@@ -1,0 +1,240 @@
+package presto_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§VI) plus the ablation studies for the design decisions of
+// §IV/§V. Each benchmark prints its report once; run with:
+//
+//	go test -bench=. -benchmem
+//
+// Scale via environment-free flags is avoided deliberately: the harness is
+// sized for a laptop; cmd/prestobench exposes knobs for larger runs.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+var benchOpt = experiments.Options{Workers: 4, Scale: 0.25}
+
+// BenchmarkTable1 regenerates Table I (deployments per use case).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (TPC-DS-style subset under three
+// storage configurations).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (runtime distribution per use case).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig7(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (utilization/concurrency trace).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig8(experiments.Options{Workers: benchOpt.Workers, Scale: benchOpt.Scale, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkLazyLoading regenerates the §V-D lazy materialization numbers.
+func BenchmarkLazyLoading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunLazy(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkExprCompiledVsInterpreted is the §V-B codegen ablation.
+func BenchmarkExprCompiledVsInterpreted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCodegen(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkCompressedExecution is the §V-E dictionary/RLE ablation.
+func BenchmarkCompressedExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCompressed(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkSchedulerMLFQ is the §IV-F1 MLFQ-vs-FIFO ablation.
+func BenchmarkSchedulerMLFQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMLFQ(experiments.Options{Workers: benchOpt.Workers, Scale: benchOpt.Scale, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkColocatedJoin is the §IV-C3 shuffle-elision ablation.
+func BenchmarkColocatedJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunColocated(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkPhasedScheduling is the §IV-D1 stage-policy ablation.
+func BenchmarkPhasedScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunPhased(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkAdaptiveWriters is the §IV-E3 writer-scaling ablation.
+func BenchmarkAdaptiveWriters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunWriters(experiments.Options{Workers: benchOpt.Workers, Scale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkSpilling is the §IV-F2 spill ablation.
+func BenchmarkSpilling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSpill(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkBackpressure is the §IV-E2 slow-client ablation.
+func BenchmarkBackpressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBackpressure(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Report())
+		}
+	}
+}
+
+// BenchmarkPointLookup measures the Developer/Advertiser-style selective
+// query end to end (engine overhead floor).
+func BenchmarkPointLookup(b *testing.B) {
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	defer c.Close()
+	if _, err := c.Query("CREATE TABLE kvt (k BIGINT, v VARCHAR)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Query("INSERT INTO kvt SELECT * FROM (VALUES (1,'a'),(2,'b'),(3,'c'),(4,'d'))"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT v FROM kvt WHERE k = 3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanAggregate measures a full-table aggregation end to end.
+func BenchmarkScanAggregate(b *testing.B) {
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	defer c.Close()
+	c.Register(loadBenchTPCH())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT l_returnflag, count(*), sum(l_extendedprice) FROM tpch.lineitem GROUP BY l_returnflag"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoin measures a fact-dimension broadcast join end to end.
+func BenchmarkJoin(b *testing.B) {
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	defer c.Close()
+	c.Register(loadBenchTPCH())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT p_brand, count(*) FROM tpch.lineitem JOIN tpch.part ON l_partkey = p_partkey GROUP BY p_brand"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loadBenchTPCH builds a small shared TPC-H catalog for the micro benches.
+func loadBenchTPCH() presto.Connector {
+	return workload.LoadTPCHMemory("tpch", 0.25)
+}

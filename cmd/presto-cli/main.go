@@ -1,0 +1,120 @@
+// Command presto-cli is an interactive SQL client for prestod, speaking the
+// HTTP client protocol: it POSTs statements and long-polls nextUri for
+// incremental result batches (paper §IV-B1).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+type response struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Columns []string        `json:"columns,omitempty"`
+	Data    [][]interface{} `json:"data,omitempty"`
+	NextURI string          `json:"nextUri,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		server  = flag.String("server", "http://127.0.0.1:8080", "prestod address")
+		execute = flag.String("e", "", "execute one statement and exit")
+		catalog = flag.String("catalog", "", "default catalog")
+	)
+	flag.Parse()
+
+	if *execute != "" {
+		if err := run(*server, *catalog, *execute); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("presto-cli — terminate statements with ';', exit with 'quit;'")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var stmt strings.Builder
+	fmt.Print("presto> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		stmt.WriteString(line)
+		stmt.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("     -> ")
+			continue
+		}
+		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt.String()), ";"))
+		stmt.Reset()
+		if strings.EqualFold(sql, "quit") || strings.EqualFold(sql, "exit") {
+			return
+		}
+		if sql != "" {
+			if err := run(*server, *catalog, sql); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		fmt.Print("presto> ")
+	}
+}
+
+func run(server, catalog, sql string) error {
+	req, err := http.NewRequest("POST", server+"/v1/statement", bytes.NewBufferString(sql))
+	if err != nil {
+		return err
+	}
+	if catalog != "" {
+		req.Header.Set("X-Presto-Catalog", catalog)
+	}
+	req.Header.Set("X-Presto-User", os.Getenv("USER"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	printedHeader := false
+	rows := 0
+	for {
+		var doc response
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			resp.Body.Close()
+			return err
+		}
+		resp.Body.Close()
+		if doc.Error != "" {
+			return fmt.Errorf("%s", doc.Error)
+		}
+		if !printedHeader && len(doc.Columns) > 0 {
+			fmt.Println(strings.Join(doc.Columns, " | "))
+			fmt.Println(strings.Repeat("-", 4*len(doc.Columns)+8))
+			printedHeader = true
+		}
+		for _, row := range doc.Data {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				if v == nil {
+					parts[i] = "NULL"
+				} else {
+					parts[i] = fmt.Sprint(v)
+				}
+			}
+			fmt.Println(strings.Join(parts, " | "))
+			rows++
+		}
+		if doc.NextURI == "" {
+			fmt.Printf("(%d rows)\n", rows)
+			return nil
+		}
+		resp, err = http.Get(server + doc.NextURI)
+		if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command prestobench regenerates the paper's tables and figures (§VI) and
+// the ablation studies from the command line:
+//
+//	prestobench -exp all
+//	prestobench -exp fig6 -workers 8 -scale 1.0
+//
+// Experiment ids: table1, fig6, fig7, fig8, lazy, codegen, dict, mlfq,
+// colocated, phased, writers, spill, backpressure, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	run  func(experiments.Options) (interface{ Report() string }, error)
+}
+
+func wrap[T interface{ Report() string }](f func(experiments.Options) (T, error)) func(experiments.Options) (interface{ Report() string }, error) {
+	return func(o experiments.Options) (interface{ Report() string }, error) { return f(o) }
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (or 'all')")
+		workers = flag.Int("workers", 4, "simulated cluster size")
+		scale   = flag.Float64("scale", 0.25, "TPC-H scale factor")
+		quick   = flag.Bool("quick", false, "smaller iteration counts")
+	)
+	flag.Parse()
+	opt := experiments.Options{Workers: *workers, Scale: *scale, Quick: *quick}
+
+	all := []runner{
+		{"table1", wrap(experiments.RunTable1)},
+		{"fig6", wrap(experiments.RunFig6)},
+		{"fig7", wrap(experiments.RunFig7)},
+		{"fig8", wrap(experiments.RunFig8)},
+		{"lazy", wrap(experiments.RunLazy)},
+		{"codegen", wrap(experiments.RunCodegen)},
+		{"dict", wrap(experiments.RunCompressed)},
+		{"mlfq", wrap(experiments.RunMLFQ)},
+		{"colocated", wrap(experiments.RunColocated)},
+		{"phased", wrap(experiments.RunPhased)},
+		{"writers", wrap(experiments.RunWriters)},
+		{"spill", wrap(experiments.RunSpill)},
+		{"backpressure", wrap(experiments.RunBackpressure)},
+	}
+	ran := false
+	for _, r := range all {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==> %s\n", r.name)
+		res, err := r.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Report())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

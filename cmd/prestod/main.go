@@ -1,0 +1,54 @@
+// Command prestod starts a presto-repro server: an in-process cluster of N
+// worker nodes behind the HTTP client protocol (paper §III). It provisions
+// the demo catalogs — an in-memory default catalog, a TPC-H-style warehouse,
+// and (optionally) an orcish lake directory — so a fresh server is
+// immediately queryable with presto-cli.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro"
+	"repro/internal/httpapi"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers = flag.Int("workers", 4, "number of in-process worker nodes")
+		threads = flag.Int("threads", 4, "executor threads per worker")
+		scale   = flag.Float64("tpch-scale", 0.25, "TPC-H demo catalog scale factor (0 disables)")
+		lakeDir = flag.String("lake", "", "directory for an orcish 'hive' catalog (empty disables)")
+		noStats = flag.Bool("disable-stats", false, "disable cost-based optimization")
+	)
+	flag.Parse()
+
+	cluster := presto.NewCluster(presto.ClusterConfig{
+		Workers:          *workers,
+		ThreadsPerWorker: *threads,
+		DisableStats:     *noStats,
+	})
+	defer cluster.Close()
+
+	if *scale > 0 {
+		cluster.Register(workload.LoadTPCHMemory("tpch", *scale))
+		log.Printf("registered catalog tpch (scale %.2f)", *scale)
+	}
+	if *lakeDir != "" {
+		hv, err := workload.LoadTPCHHive("hive", *lakeDir, *scale, true)
+		if err != nil {
+			log.Fatalf("loading lake: %v", err)
+		}
+		cluster.Register(hv)
+		log.Printf("registered catalog hive at %s", *lakeDir)
+	}
+
+	srv := httpapi.NewServer(cluster.Coordinator)
+	log.Printf("prestod listening on http://%s (workers=%d threads=%d)", *addr, *workers, *threads)
+	fmt.Printf("try: presto-cli -server http://%s -e 'SHOW TABLES FROM tpch'\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,133 @@
+package presto
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// newTestCluster builds a small cluster preloaded with simple tables.
+func newTestCluster(t testing.TB, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.ThreadsPerWorker == 0 {
+		cfg.ThreadsPerWorker = 2
+	}
+	c := NewCluster(cfg)
+	t.Cleanup(c.Close)
+	mustExec(t, c, "CREATE TABLE nums (n BIGINT, s VARCHAR)")
+	mustExec(t, c, "INSERT INTO nums SELECT * FROM (VALUES (1, 'one'), (2, 'two'), (3, 'three'), (4, 'four'), (5, 'five'))")
+	return c
+}
+
+func mustExec(t testing.TB, c *Cluster, sql string) [][]types.Value {
+	t.Helper()
+	rows, err := c.Query(sql)
+	if err != nil {
+		t.Fatalf("query %q failed: %v", sql, err)
+	}
+	return rows
+}
+
+func TestSelectLiteral(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	row, err := c.QueryRow("SELECT 1 + 2, 'a' || 'b', 3.5 * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 3 || row[1].S != "ab" || row[2].F != 7.0 {
+		t.Fatalf("got %v", row)
+	}
+}
+
+func TestScanFilterProject(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	rows := mustExec(t, c, "SELECT n * 10, s FROM nums WHERE n >= 3 ORDER BY n")
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d: %v", len(rows), rows)
+	}
+	if rows[0][0].I != 30 || rows[0][1].S != "three" {
+		t.Fatalf("got %v", rows[0])
+	}
+	if rows[2][0].I != 50 {
+		t.Fatalf("got %v", rows[2])
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	row, err := c.QueryRow("SELECT count(*), sum(n), avg(n), min(s), max(n) FROM nums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 5 || row[1].I != 15 || row[2].F != 3.0 || row[3].S != "five" || row[4].I != 5 {
+		t.Fatalf("got %v", row)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	rows := mustExec(t, c, "SELECT n % 2 AS parity, count(*) AS c, sum(n) FROM nums GROUP BY 1 ORDER BY parity")
+	if len(rows) != 2 {
+		t.Fatalf("want 2 groups, got %v", rows)
+	}
+	// parity 0: {2,4} count 2 sum 6; parity 1: {1,3,5} count 3 sum 9
+	if rows[0][1].I != 2 || rows[0][2].I != 6 {
+		t.Fatalf("even group wrong: %v", rows[0])
+	}
+	if rows[1][1].I != 3 || rows[1][2].I != 9 {
+		t.Fatalf("odd group wrong: %v", rows[1])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	mustExec(t, c, "CREATE TABLE sq (n BIGINT, sq BIGINT)")
+	mustExec(t, c, "INSERT INTO sq SELECT * FROM (VALUES (1, 1), (2, 4), (3, 9), (7, 49))")
+	rows := mustExec(t, c, `
+		SELECT nums.n, nums.s, sq.sq
+		FROM nums JOIN sq ON nums.n = sq.n
+		ORDER BY nums.n`)
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %v", rows)
+	}
+	if rows[2][0].I != 3 || rows[2][2].I != 9 {
+		t.Fatalf("got %v", rows[2])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	mustExec(t, c, "CREATE TABLE sq (n BIGINT, sq BIGINT)")
+	mustExec(t, c, "INSERT INTO sq SELECT * FROM (VALUES (1, 1), (2, 4))")
+	rows := mustExec(t, c, `
+		SELECT nums.n, sq.sq FROM nums LEFT JOIN sq ON nums.n = sq.n ORDER BY nums.n`)
+	if len(rows) != 5 {
+		t.Fatalf("want 5 rows, got %v", rows)
+	}
+	if !rows[4][1].Null {
+		t.Fatalf("expected NULL for unmatched row, got %v", rows[4])
+	}
+}
+
+func TestLimitAndTopN(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	rows := mustExec(t, c, "SELECT n FROM nums ORDER BY n DESC LIMIT 2")
+	if len(rows) != 2 || rows[0][0].I != 5 || rows[1][0].I != 4 {
+		t.Fatalf("got %v", rows)
+	}
+}
+
+func TestInsertAndCTAS(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{})
+	row := mustExec(t, c, "CREATE TABLE doubled AS SELECT n * 2 AS d FROM nums")
+	if len(row) != 1 || row[0][0].I != 5 {
+		t.Fatalf("CTAS row count: %v", row)
+	}
+	rows := mustExec(t, c, "SELECT sum(d) FROM doubled")
+	if rows[0][0].I != 30 {
+		t.Fatalf("got %v", rows)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: start an in-process cluster, create a table, insert rows, and
+// query them — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 4-worker cluster with a default in-memory catalog named "memory".
+	cluster := presto.NewCluster(presto.ClusterConfig{Workers: 4})
+	defer cluster.Close()
+
+	must := func(sql string) [][]presto.Value {
+		rows, err := cluster.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		return rows
+	}
+
+	must(`CREATE TABLE orders (id BIGINT, customer VARCHAR, total DOUBLE, day DATE)`)
+	must(`INSERT INTO orders SELECT * FROM (VALUES
+		(1, 'alice',   99.50, DATE '2018-09-01'),
+		(2, 'bob',    250.00, DATE '2018-09-01'),
+		(3, 'alice',   12.25, DATE '2018-09-02'),
+		(4, 'carol',  830.10, DATE '2018-09-02'),
+		(5, 'bob',     55.00, DATE '2018-09-03'))`)
+
+	fmt.Println("-- totals per customer --")
+	for _, row := range must(`
+		SELECT customer, count(*) AS orders, sum(total) AS spent
+		FROM orders
+		GROUP BY customer
+		ORDER BY spent DESC`) {
+		fmt.Printf("%-8s %v orders  $%v\n", row[0].S, row[1].I, row[2])
+	}
+
+	// EXPLAIN shows the optimized logical plan and its distributed form.
+	plan, err := cluster.Explain(`SELECT day, sum(total) FROM orders GROUP BY day`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- distributed plan --")
+	fmt.Println(plan)
+}

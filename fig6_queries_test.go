@@ -1,0 +1,24 @@
+package presto
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFig6QueriesRun executes the full Figure 6 query suite at a tiny scale
+// on the in-memory catalog, checking that every query of the experiment
+// harness parses, plans, and executes.
+func TestFig6QueriesRun(t *testing.T) {
+	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	defer c.Close()
+	c.Register(workload.LoadTPCHMemory("tpch", 0.05))
+
+	for _, q := range workload.Fig6Queries("tpch") {
+		rows, err := c.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s failed: %v\nSQL: %s", q.ID, err, q.SQL)
+		}
+		t.Logf("%s: %d rows", q.ID, len(rows))
+	}
+}

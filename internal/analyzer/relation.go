@@ -1,0 +1,388 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+var rowCountType = types.Bigint
+
+// planQuery plans a query with its WITH clause; outerCTEs are visible CTEs
+// from enclosing queries.
+func (c *ctx) planQuery(q *sqlparser.Query, outer *scope) (*relationPlan, error) {
+	saved := c.ctes
+	if len(q.With) > 0 {
+		c.ctes = make(map[string]*sqlparser.Query, len(saved)+len(q.With))
+		for k, v := range saved {
+			c.ctes[k] = v
+		}
+		for _, cte := range q.With {
+			c.ctes[strings.ToLower(cte.Name)] = cte.Query
+		}
+		defer func() { c.ctes = saved }()
+	}
+
+	var rp *relationPlan
+	var err error
+	if sel, ok := q.Body.(*sqlparser.Select); ok {
+		// ORDER BY is planned inside the select so it can sort on hidden
+		// (non-projected) input columns.
+		rp, err = c.planSelectOrdered(sel, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var orderScope *scope
+		rp, orderScope, err = c.planQueryBody(q.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(q.OrderBy) > 0 {
+			rp, err = c.planOrderBy(rp, orderScope, q.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// TopN fusion for ORDER BY + LIMIT happens in the optimizer.
+	if q.Limit >= 0 || q.Offset > 0 {
+		n := q.Limit
+		if n < 0 {
+			n = int64(1) << 60
+		}
+		rp = &relationPlan{
+			node:  &plan.Limit{Input: rp.node, N: n, Offset: q.Offset},
+			scope: rp.scope,
+		}
+	}
+	return rp, nil
+}
+
+// planQueryBody returns the relation plan and the scope usable by ORDER BY
+// (which can see both output aliases and, for simple selects, input columns).
+func (c *ctx) planQueryBody(body sqlparser.QueryBody) (*relationPlan, *scope, error) {
+	switch b := body.(type) {
+	case *sqlparser.Select:
+		rp, err := c.planSelect(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rp, rp.scope, nil
+	case *sqlparser.SetOp:
+		left, _, err := c.planQueryBody(b.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, _, err := c.planQueryBody(b.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b.Op != "UNION" {
+			return nil, nil, fmt.Errorf("%s is not supported; use UNION", b.Op)
+		}
+		ls, rs := left.scope.schema(), right.scope.schema()
+		if len(ls) != len(rs) {
+			return nil, nil, fmt.Errorf("UNION inputs have %d and %d columns", len(ls), len(rs))
+		}
+		// Coerce both sides to common types where needed.
+		leftNode, rightNode := left.node, right.node
+		needCast := false
+		outFields := make(plan.Schema, len(ls))
+		for i := range ls {
+			t := types.CommonType(ls[i].T, rs[i].T)
+			if t == types.Unknown {
+				return nil, nil, fmt.Errorf("UNION column %d has incompatible types %s and %s", i+1, ls[i].T, rs[i].T)
+			}
+			outFields[i] = plan.Field{Name: ls[i].Name, T: t}
+			if t != ls[i].T || t != rs[i].T {
+				needCast = true
+			}
+		}
+		if needCast {
+			leftNode = castTo(leftNode, outFields)
+			rightNode = castTo(rightNode, outFields)
+		}
+		node := plan.Node(&plan.Union{Inputs: []plan.Node{leftNode, rightNode}})
+		if !b.All {
+			node = &plan.Distinct{Input: node}
+		}
+		sc := &scope{}
+		for i, f := range outFields {
+			sc.fields = append(sc.fields, scopeField{name: left.scope.fields[i].name, field: f})
+		}
+		return &relationPlan{node: node, scope: sc}, sc, nil
+	default:
+		return nil, nil, fmt.Errorf("unsupported query body %T", body)
+	}
+}
+
+func castTo(n plan.Node, target plan.Schema) plan.Node {
+	in := n.Schema()
+	exprs := make([]expr.Expr, len(in))
+	for i, f := range in {
+		ref := &expr.ColumnRef{Index: i, T: f.T, Name: f.Name}
+		if f.T == target[i].T {
+			exprs[i] = ref
+		} else {
+			exprs[i] = &expr.Cast{E: ref, T: target[i].T}
+		}
+	}
+	return &plan.Project{Input: n, Exprs: exprs, Out: target}
+}
+
+// planRelation plans a FROM-clause relation.
+func (c *ctx) planRelation(rel sqlparser.Relation) (*relationPlan, error) {
+	switch r := rel.(type) {
+	case *sqlparser.TableRef:
+		return c.planTableRef(r)
+	case *sqlparser.SubqueryRel:
+		rp, err := c.planQuery(r.Query, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(r.ColAliases) > 0 && len(r.ColAliases) != len(rp.scope.fields) {
+			return nil, fmt.Errorf("relation %q has %d columns but %d aliases", r.Alias, len(rp.scope.fields), len(r.ColAliases))
+		}
+		sc := &scope{}
+		for i, f := range rp.scope.fields {
+			name := f.name
+			if len(r.ColAliases) > 0 {
+				name = r.ColAliases[i]
+			}
+			sc.fields = append(sc.fields, scopeField{qualifier: r.Alias, name: name, field: plan.Field{Name: name, T: f.field.T}})
+		}
+		return &relationPlan{node: rp.node, scope: sc}, nil
+	case *sqlparser.ValuesRel:
+		return c.planValues(r)
+	case *sqlparser.Join:
+		return c.planJoin(r)
+	default:
+		return nil, fmt.Errorf("unsupported relation %T", rel)
+	}
+}
+
+func (c *ctx) planTableRef(r *sqlparser.TableRef) (*relationPlan, error) {
+	// CTE reference?
+	if len(r.Name.Parts) == 1 {
+		if cte, ok := c.ctes[strings.ToLower(r.Name.Parts[0])]; ok {
+			rp, err := c.planQuery(cte, nil)
+			if err != nil {
+				return nil, fmt.Errorf("in WITH %s: %w", r.Name.Parts[0], err)
+			}
+			alias := r.Alias
+			if alias == "" {
+				alias = r.Name.Parts[0]
+			}
+			sc := &scope{}
+			for _, f := range rp.scope.fields {
+				sc.fields = append(sc.fields, scopeField{qualifier: alias, name: f.name, field: f.field})
+			}
+			return &relationPlan{node: rp.node, scope: sc}, nil
+		}
+	}
+	catalog, meta, err := c.a.Catalogs.Resolve(r.Name, c.a.DefaultCatalog)
+	if err != nil {
+		return nil, err
+	}
+	alias := r.Alias
+	if alias == "" {
+		alias = r.Name.Parts[len(r.Name.Parts)-1]
+	}
+	out := make(plan.Schema, len(meta.Columns))
+	cols := make([]string, len(meta.Columns))
+	sc := &scope{}
+	for i, col := range meta.Columns {
+		out[i] = plan.Field{Name: col.Name, T: col.T}
+		cols[i] = col.Name
+		sc.fields = append(sc.fields, scopeField{qualifier: alias, name: col.Name, field: out[i]})
+	}
+	scan := &plan.Scan{
+		Handle:  plan.TableHandle{Catalog: catalog, Table: meta.Name},
+		Columns: cols,
+		Out:     out,
+	}
+	return &relationPlan{node: scan, scope: sc}, nil
+}
+
+func (c *ctx) planValues(r *sqlparser.ValuesRel) (*relationPlan, error) {
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("VALUES requires at least one row")
+	}
+	ncols := len(r.Rows[0])
+	rows := make([][]types.Value, len(r.Rows))
+	colTypes := make([]types.Type, ncols)
+	it := &expr.Interpreter{}
+	emptyScope := &scope{}
+	for i, astRow := range r.Rows {
+		if len(astRow) != ncols {
+			return nil, fmt.Errorf("VALUES rows have differing column counts")
+		}
+		row := make([]types.Value, ncols)
+		for j, e := range astRow {
+			ex, err := c.analyzeExpr(e, emptyScope)
+			if err != nil {
+				return nil, err
+			}
+			v, err := it.Eval(ex, expr.ValuesRow(nil))
+			if err != nil {
+				return nil, fmt.Errorf("VALUES expressions must be constant: %w", err)
+			}
+			row[j] = v
+			t := types.CommonType(colTypes[j], v.T)
+			if t == types.Unknown && colTypes[j] != types.Unknown && v.T != types.Unknown {
+				return nil, fmt.Errorf("VALUES column %d mixes %s and %s", j+1, colTypes[j], v.T)
+			}
+			if t != types.Unknown {
+				colTypes[j] = t
+			}
+		}
+		rows[i] = row
+	}
+	// Coerce all rows to the common column types.
+	for _, row := range rows {
+		for j := range row {
+			if colTypes[j] != types.Unknown {
+				v, err := row[j].Coerce(colTypes[j])
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+		}
+	}
+	if len(r.ColAliases) > 0 && len(r.ColAliases) != ncols {
+		return nil, fmt.Errorf("VALUES has %d columns but %d aliases", ncols, len(r.ColAliases))
+	}
+	out := make(plan.Schema, ncols)
+	sc := &scope{}
+	for j := 0; j < ncols; j++ {
+		name := fmt.Sprintf("_col%d", j)
+		if len(r.ColAliases) > 0 {
+			name = r.ColAliases[j]
+		}
+		out[j] = plan.Field{Name: name, T: colTypes[j]}
+		sc.fields = append(sc.fields, scopeField{qualifier: r.Alias, name: name, field: out[j]})
+	}
+	return &relationPlan{node: &plan.Values{Rows: rows, Out: out}, scope: sc}, nil
+}
+
+func (c *ctx) planJoin(r *sqlparser.Join) (*relationPlan, error) {
+	left, err := c.planRelation(r.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.planRelation(r.Right)
+	if err != nil {
+		return nil, err
+	}
+	combined := &scope{}
+	combined.fields = append(combined.fields, left.scope.fields...)
+	combined.fields = append(combined.fields, right.scope.fields...)
+
+	var jt plan.JoinType
+	switch r.Type {
+	case "INNER":
+		jt = plan.InnerJoin
+	case "LEFT":
+		jt = plan.LeftJoin
+	case "RIGHT":
+		jt = plan.RightJoin
+	case "FULL":
+		jt = plan.FullJoin
+	case "CROSS":
+		jt = plan.CrossJoin
+	default:
+		return nil, fmt.Errorf("unsupported join type %q", r.Type)
+	}
+
+	join := &plan.Join{
+		Type:  jt,
+		Left:  left.node,
+		Right: right.node,
+		Out:   combined.schema(),
+	}
+
+	var cond expr.Expr
+	if len(r.Using) > 0 {
+		for _, col := range r.Using {
+			li, lf, err := left.scope.resolve([]string{col})
+			if err != nil {
+				return nil, fmt.Errorf("USING column: %w", err)
+			}
+			ri, rf, err := right.scope.resolve([]string{col})
+			if err != nil {
+				return nil, fmt.Errorf("USING column: %w", err)
+			}
+			eq := expr.Expr(&expr.Compare{
+				Op: expr.CmpEq,
+				L:  &expr.ColumnRef{Index: li, T: lf.T, Name: lf.Name},
+				R:  &expr.ColumnRef{Index: len(left.scope.fields) + ri, T: rf.T, Name: rf.Name},
+			})
+			if cond == nil {
+				cond = eq
+			} else {
+				cond = &expr.And{L: cond, R: eq}
+			}
+		}
+	} else if r.On != nil {
+		cond, err = c.analyzeExpr(r.On, combined)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type() != types.Boolean {
+			return nil, fmt.Errorf("JOIN condition must be boolean, got %s", cond.Type())
+		}
+	}
+	if cond != nil {
+		equi, residual := extractEquiClauses(cond, len(left.scope.fields))
+		join.Equi = equi
+		join.Residual = residual
+	}
+	if jt != plan.CrossJoin && cond == nil {
+		return nil, fmt.Errorf("%s JOIN requires a condition", r.Type)
+	}
+	return &relationPlan{node: join, scope: combined}, nil
+}
+
+// extractEquiClauses splits a join condition into equi-join clauses
+// (leftCol = rightCol) and a residual expression.
+func extractEquiClauses(cond expr.Expr, leftWidth int) ([]plan.EquiClause, expr.Expr) {
+	conjuncts := splitConjuncts(cond)
+	var equi []plan.EquiClause
+	var residual expr.Expr
+	for _, cj := range conjuncts {
+		if cmp, ok := cj.(*expr.Compare); ok && cmp.Op == expr.CmpEq {
+			l, lok := cmp.L.(*expr.ColumnRef)
+			r, rok := cmp.R.(*expr.ColumnRef)
+			if lok && rok {
+				switch {
+				case l.Index < leftWidth && r.Index >= leftWidth:
+					equi = append(equi, plan.EquiClause{Left: l.Index, Right: r.Index - leftWidth})
+					continue
+				case r.Index < leftWidth && l.Index >= leftWidth:
+					equi = append(equi, plan.EquiClause{Left: r.Index, Right: l.Index - leftWidth})
+					continue
+				}
+			}
+		}
+		if residual == nil {
+			residual = cj
+		} else {
+			residual = &expr.And{L: residual, R: cj}
+		}
+	}
+	return equi, residual
+}
+
+// splitConjuncts flattens nested ANDs.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if a, ok := e.(*expr.And); ok {
+		return append(splitConjuncts(a.L), splitConjuncts(a.R)...)
+	}
+	return []expr.Expr{e}
+}

@@ -1,0 +1,204 @@
+package block
+
+import "repro/internal/types"
+
+// RLEBlock is a run-length-encoded block: one value repeated Count times.
+// The paper's Fig. 5 shows an RLE returnflag column ("F" x 6).
+type RLEBlock struct {
+	Val   Block // single-row block holding the repeated value
+	Count int
+}
+
+// NewRLEBlockFromBlock wraps a single-row block as an RLE run of count rows.
+func NewRLEBlockFromBlock(val Block, count int) *RLEBlock {
+	return &RLEBlock{Val: val, Count: count}
+}
+
+// NewRLEBlock builds an RLE run of a boxed value.
+func NewRLEBlock(v types.Value, count int) *RLEBlock {
+	return &RLEBlock{Val: BuildBlock(v.T, []types.Value{v}), Count: count}
+}
+
+func (b *RLEBlock) Len() int                  { return b.Count }
+func (b *RLEBlock) Type() types.Type          { return b.Val.Type() }
+func (b *RLEBlock) IsNull(row int) bool       { return b.Val.IsNull(0) }
+func (b *RLEBlock) Long(row int) int64        { return b.Val.Long(0) }
+func (b *RLEBlock) Double(row int) float64    { return b.Val.Double(0) }
+func (b *RLEBlock) Str(row int) string        { return b.Val.Str(0) }
+func (b *RLEBlock) Bool(row int) bool         { return b.Val.Bool(0) }
+func (b *RLEBlock) Value(row int) types.Value { return b.Val.Value(0) }
+func (b *RLEBlock) SizeBytes() int64          { return b.Val.SizeBytes() + 8 }
+
+// DictionaryBlock stores per-row indices into a (usually small) dictionary
+// block. Several pages may share one dictionary (paper §V-C), so page
+// processors can evaluate expressions once per dictionary entry and reuse the
+// results across pages (paper §V-E).
+type DictionaryBlock struct {
+	Dict    Block
+	Indices []int32
+}
+
+// NewDictionaryBlock builds a dictionary block over dict with the given
+// per-row indices.
+func NewDictionaryBlock(dict Block, indices []int32) *DictionaryBlock {
+	return &DictionaryBlock{Dict: dict, Indices: indices}
+}
+
+func (b *DictionaryBlock) Len() int               { return len(b.Indices) }
+func (b *DictionaryBlock) Type() types.Type       { return b.Dict.Type() }
+func (b *DictionaryBlock) IsNull(row int) bool    { return b.Dict.IsNull(int(b.Indices[row])) }
+func (b *DictionaryBlock) Long(row int) int64     { return b.Dict.Long(int(b.Indices[row])) }
+func (b *DictionaryBlock) Double(row int) float64 { return b.Dict.Double(int(b.Indices[row])) }
+func (b *DictionaryBlock) Str(row int) string     { return b.Dict.Str(int(b.Indices[row])) }
+func (b *DictionaryBlock) Bool(row int) bool      { return b.Dict.Bool(int(b.Indices[row])) }
+func (b *DictionaryBlock) Value(row int) types.Value {
+	return b.Dict.Value(int(b.Indices[row]))
+}
+func (b *DictionaryBlock) SizeBytes() int64 {
+	return b.Dict.SizeBytes() + int64(4*len(b.Indices))
+}
+
+// LazyBlock defers producing a column until it is first accessed, so that
+// highly selective filters never pay to read, decompress, or decode columns
+// they end up not touching (paper §V-D).
+type LazyBlock struct {
+	T      types.Type
+	Count  int
+	loader func() Block
+	loaded Block
+}
+
+// NewLazyBlock builds a lazy block of the given type and row count; loader is
+// invoked at most once, on first access.
+func NewLazyBlock(t types.Type, count int, loader func() Block) *LazyBlock {
+	return &LazyBlock{T: t, Count: count, loader: loader}
+}
+
+// Load materializes the underlying block (idempotent).
+func (b *LazyBlock) Load() Block {
+	if b.loaded == nil {
+		b.loaded = b.loader()
+		b.loader = nil
+	}
+	return b.loaded
+}
+
+// Loaded reports whether the block has been materialized yet.
+func (b *LazyBlock) Loaded() bool { return b.loaded != nil }
+
+func (b *LazyBlock) Len() int                  { return b.Count }
+func (b *LazyBlock) Type() types.Type          { return b.T }
+func (b *LazyBlock) IsNull(row int) bool       { return b.Load().IsNull(row) }
+func (b *LazyBlock) Long(row int) int64        { return b.Load().Long(row) }
+func (b *LazyBlock) Double(row int) float64    { return b.Load().Double(row) }
+func (b *LazyBlock) Str(row int) string        { return b.Load().Str(row) }
+func (b *LazyBlock) Bool(row int) bool         { return b.Load().Bool(row) }
+func (b *LazyBlock) Value(row int) types.Value { return b.Load().Value(row) }
+func (b *LazyBlock) SizeBytes() int64 {
+	if b.loaded != nil {
+		return b.loaded.SizeBytes()
+	}
+	return 16
+}
+
+// DictEncode builds a dictionary block from a plain block if the column's
+// cardinality is low enough to make it worthwhile; otherwise it returns the
+// input unchanged. maxRatio caps dictionary size as a fraction of row count.
+func DictEncode(b Block, maxRatio float64) Block {
+	n := b.Len()
+	if n == 0 {
+		return b
+	}
+	switch src := b.(type) {
+	case *VarcharBlock:
+		seen := make(map[string]int32)
+		indices := make([]int32, n)
+		var dict []string
+		var dictNull bool
+		nullID := int32(-1)
+		for i := 0; i < n; i++ {
+			if src.IsNull(i) {
+				if nullID < 0 {
+					nullID = int32(len(dict))
+					dict = append(dict, "")
+					dictNull = true
+				}
+				indices[i] = nullID
+				continue
+			}
+			s := src.Vals[i]
+			id, ok := seen[s]
+			if !ok {
+				id = int32(len(dict))
+				dict = append(dict, s)
+				seen[s] = id
+			}
+			indices[i] = id
+			if float64(len(dict)) > maxRatio*float64(n) {
+				return b
+			}
+		}
+		var nulls []bool
+		if dictNull {
+			nulls = make([]bool, len(dict))
+			nulls[nullID] = true
+		}
+		return &DictionaryBlock{Dict: &VarcharBlock{Vals: dict, Nulls: nulls}, Indices: indices}
+	case *LongBlock:
+		seen := make(map[int64]int32)
+		indices := make([]int32, n)
+		var dict []int64
+		var dictNull bool
+		nullID := int32(-1)
+		for i := 0; i < n; i++ {
+			if src.IsNull(i) {
+				if nullID < 0 {
+					nullID = int32(len(dict))
+					dict = append(dict, 0)
+					dictNull = true
+				}
+				indices[i] = nullID
+				continue
+			}
+			v := src.Vals[i]
+			id, ok := seen[v]
+			if !ok {
+				id = int32(len(dict))
+				dict = append(dict, v)
+				seen[v] = id
+			}
+			indices[i] = id
+			if float64(len(dict)) > maxRatio*float64(n) {
+				return b
+			}
+		}
+		var nulls []bool
+		if dictNull {
+			nulls = make([]bool, len(dict))
+			nulls[nullID] = true
+		}
+		return &DictionaryBlock{Dict: &LongBlock{T: src.T, Vals: dict, Nulls: nulls}, Indices: indices}
+	default:
+		return b
+	}
+}
+
+// RLEEncode returns an RLE block if every row of b holds the same value
+// (including all-NULL), otherwise b unchanged.
+func RLEEncode(b Block) Block {
+	n := b.Len()
+	if n == 0 {
+		return b
+	}
+	first := b.Value(0)
+	for i := 1; i < n; i++ {
+		v := b.Value(i)
+		if v.Null != first.Null {
+			return b
+		}
+		if !v.Null && !v.Equal(first) {
+			return b
+		}
+	}
+	return NewRLEBlock(first, n)
+}

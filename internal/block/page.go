@@ -1,0 +1,212 @@
+package block
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Page is a columnar batch of rows: the unit of data moved by the driver loop
+// between operators and shipped through shuffles.
+type Page struct {
+	Cols []Block
+	rows int
+}
+
+// NewPage builds a page from equal-length column blocks.
+func NewPage(cols ...Block) *Page {
+	p := &Page{Cols: cols}
+	if len(cols) > 0 {
+		p.rows = cols[0].Len()
+		for i, c := range cols {
+			if c.Len() != p.rows {
+				panic(fmt.Sprintf("page column %d has %d rows, want %d", i, c.Len(), p.rows))
+			}
+		}
+	}
+	return p
+}
+
+// NewEmptyPage builds a page with no columns but a row count, used by
+// COUNT(*)-style scans that read no columns.
+func NewEmptyPage(rows int) *Page { return &Page{rows: rows} }
+
+// RowCount returns the number of rows in the page.
+func (p *Page) RowCount() int { return p.rows }
+
+// ColCount returns the number of columns in the page.
+func (p *Page) ColCount() int { return len(p.Cols) }
+
+// Col returns column i.
+func (p *Page) Col(i int) Block { return p.Cols[i] }
+
+// SizeBytes estimates retained memory of all columns.
+func (p *Page) SizeBytes() int64 {
+	var n int64 = 16
+	for _, c := range p.Cols {
+		n += c.SizeBytes()
+	}
+	return n
+}
+
+// Row returns the boxed values of one row, for result delivery and tests.
+func (p *Page) Row(row int) []types.Value {
+	out := make([]types.Value, len(p.Cols))
+	for i, c := range p.Cols {
+		out[i] = c.Value(row)
+	}
+	return out
+}
+
+// FilterPositions gathers the given rows from every column into a new page.
+func (p *Page) FilterPositions(rows []int) *Page {
+	cols := make([]Block, len(p.Cols))
+	for i, c := range p.Cols {
+		cols[i] = CopyPositions(c, rows)
+	}
+	return &Page{Cols: cols, rows: len(rows)}
+}
+
+// SlicePage returns rows [from, to) as a new page.
+func (p *Page) SlicePage(from, to int) *Page {
+	if from == 0 && to == p.rows {
+		return p
+	}
+	cols := make([]Block, len(p.Cols))
+	for i, c := range p.Cols {
+		cols[i] = Slice(c, from, to)
+	}
+	return &Page{Cols: cols, rows: to - from}
+}
+
+// DecodeAll returns a page whose columns are all plain (no lazy, RLE, or
+// dictionary encodings).
+func (p *Page) DecodeAll() *Page {
+	cols := make([]Block, len(p.Cols))
+	changed := false
+	for i, c := range p.Cols {
+		d := Decode(c)
+		cols[i] = d
+		if d != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return p
+	}
+	return &Page{Cols: cols, rows: p.rows}
+}
+
+// LoadLazy returns a page whose lazy columns are materialized while
+// dictionary/RLE encodings are preserved. Pages are de-lazied at task output
+// boundaries: lazy blocks reference reader state that does not survive the
+// shuffle, but compressed encodings do (§V-E).
+func (p *Page) LoadLazy() *Page {
+	changed := false
+	cols := make([]Block, len(p.Cols))
+	for i, c := range p.Cols {
+		if lz, ok := c.(*LazyBlock); ok {
+			cols[i] = lz.Load()
+			changed = true
+		} else {
+			cols[i] = c
+		}
+	}
+	if !changed {
+		return p
+	}
+	return &Page{Cols: cols, rows: p.rows}
+}
+
+// String renders a small page for debugging.
+func (p *Page) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Page[%d rows x %d cols]", p.rows, len(p.Cols))
+	limit := p.rows
+	if limit > 10 {
+		limit = 10
+	}
+	for r := 0; r < limit; r++ {
+		sb.WriteString("\n  ")
+		for i, v := range p.Row(r) {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v.String())
+		}
+	}
+	return sb.String()
+}
+
+// PageBuilder accumulates rows of boxed values into a page. It is the
+// convenience path used by connectors and operators that produce output
+// row-at-a-time; hot operators build blocks directly.
+type PageBuilder struct {
+	types [][]types.Value
+	ts    []types.Type
+	rows  int
+}
+
+// NewPageBuilder creates a builder for the given column types.
+func NewPageBuilder(ts []types.Type) *PageBuilder {
+	cols := make([][]types.Value, len(ts))
+	return &PageBuilder{types: cols, ts: append([]types.Type(nil), ts...)}
+}
+
+// AppendRow adds one row; len(vals) must equal the column count.
+func (b *PageBuilder) AppendRow(vals []types.Value) {
+	if len(vals) != len(b.types) {
+		panic(fmt.Sprintf("row has %d values, want %d", len(vals), len(b.types)))
+	}
+	for i, v := range vals {
+		b.types[i] = append(b.types[i], v)
+	}
+	b.rows++
+}
+
+// RowCount returns the number of buffered rows.
+func (b *PageBuilder) RowCount() int { return b.rows }
+
+// Build converts the buffered rows into a page and resets the builder.
+func (b *PageBuilder) Build() *Page {
+	cols := make([]Block, len(b.types))
+	for i, vals := range b.types {
+		cols[i] = BuildBlock(b.ts[i], vals)
+		b.types[i] = nil
+	}
+	rows := b.rows
+	b.rows = 0
+	return &Page{Cols: cols, rows: rows}
+}
+
+// ConcatPages concatenates pages with identical schemas into one page.
+func ConcatPages(pages []*Page) *Page {
+	if len(pages) == 1 {
+		return pages[0]
+	}
+	if len(pages) == 0 {
+		return NewEmptyPage(0)
+	}
+	ncols := pages[0].ColCount()
+	totalRows := 0
+	for _, p := range pages {
+		totalRows += p.RowCount()
+	}
+	cols := make([]Block, ncols)
+	for c := 0; c < ncols; c++ {
+		vals := make([]types.Value, 0, totalRows)
+		t := pages[0].Col(c).Type()
+		for _, p := range pages {
+			col := p.Col(c)
+			if col.Type() != types.Unknown {
+				t = col.Type()
+			}
+			for r := 0; r < p.RowCount(); r++ {
+				vals = append(vals, col.Value(r))
+			}
+		}
+		cols[c] = BuildBlock(t, vals)
+	}
+	return &Page{Cols: cols, rows: totalRows}
+}

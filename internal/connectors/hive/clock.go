@@ -1,0 +1,6 @@
+package hive
+
+import "time"
+
+// nowNanos returns a monotonic-ish nanosecond clock for simulated latency.
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,17 @@
+package hive
+
+import (
+	"os"
+
+	"repro/internal/block"
+	"repro/internal/orcish"
+	"repro/internal/types"
+)
+
+func mkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func writeOrcish(path string, vals []int64) error {
+	cols := []orcish.ColumnMeta{{Name: "v", T: types.Bigint}}
+	page := block.NewPage(block.NewLongBlock(vals, nil))
+	return orcish.WriteFile(path, cols, []*block.Page{page}, 16)
+}

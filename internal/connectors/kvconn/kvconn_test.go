@@ -1,0 +1,47 @@
+package kvconn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/connector"
+	"repro/internal/connectors/conformance"
+	"repro/internal/types"
+)
+
+func loaded(t *testing.T) *Connector {
+	t.Helper()
+	c := New("kv")
+	cols := []connector.Column{{Name: "key", T: types.Varchar}, {Name: "val", T: types.Bigint}}
+	if err := c.CreateTable("t", cols); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Put("t", []types.Value{types.VarcharValue(fmt.Sprintf("k%02d", i)), types.BigintValue(int64(i))})
+	}
+	return c
+}
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Harness{Conn: loaded(t), Table: "t", Rows: 50, Writable: true})
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c := loaded(t)
+	c.Put("t", []types.Value{types.VarcharValue("k01"), types.BigintValue(999)})
+	if c.Stats("t").RowCount != 50 {
+		t.Error("upsert should not grow the table")
+	}
+	idx, _ := c.Index("t", []string{"key"}, []string{"val"})
+	p, _ := idx.Lookup([]types.Value{types.VarcharValue("k01")})
+	if p.Col(0).Long(0) != 999 {
+		t.Error("overwrite lost")
+	}
+}
+
+func TestIndexOnlyOnKeyColumn(t *testing.T) {
+	c := loaded(t)
+	if _, ok := c.Index("t", []string{"val"}, []string{"key"}); ok {
+		t.Error("non-key index should not exist")
+	}
+}

@@ -1,0 +1,306 @@
+// Package memconn implements an in-memory catalog: tables are slices of
+// pages partitioned into splits. It is the simplest complete implementation
+// of the Connector API and the default catalog for tests and examples.
+package memconn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Connector is an in-memory catalog.
+type Connector struct {
+	name string
+
+	mu     sync.RWMutex
+	tables map[string]*table
+	// SplitsPerTable controls how many splits a scan enumerates (default 4).
+	SplitsPerTable int
+}
+
+type table struct {
+	meta  connector.TableMeta
+	pages []*block.Page
+	stats connector.TableStats
+}
+
+// New creates an empty in-memory catalog with the given name.
+func New(name string) *Connector {
+	return &Connector{name: name, tables: map[string]*table{}, SplitsPerTable: 4}
+}
+
+// Name implements connector.Connector.
+func (c *Connector) Name() string { return c.name }
+
+// Tables implements the Metadata API.
+func (c *Connector) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Table implements the Metadata API.
+func (c *Connector) Table(name string) *connector.TableMeta {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil
+	}
+	meta := t.meta
+	return &meta
+}
+
+// Stats implements the Metadata API. Statistics are computed on load.
+func (c *Connector) Stats(name string) connector.TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return connector.NoStats
+	}
+	return t.stats
+}
+
+// CreateTable implements DDL.
+func (c *Connector) CreateTable(name string, columns []connector.Column) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return fmt.Errorf("table %s.%s already exists", c.name, name)
+	}
+	c.tables[name] = &table{
+		meta:  connector.TableMeta{Name: name, Columns: columns},
+		stats: connector.TableStats{RowCount: 0, ColumnNDV: map[string]int64{}},
+	}
+	return nil
+}
+
+// DropTable implements DDL.
+func (c *Connector) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; !exists {
+		return fmt.Errorf("table %s.%s does not exist", c.name, name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// LoadTable registers a table with data, computing statistics.
+func (c *Connector) LoadTable(name string, columns []connector.Column, pages []*block.Page) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &table{meta: connector.TableMeta{Name: name, Columns: columns}, pages: pages}
+	t.stats = computeStats(columns, pages)
+	c.tables[name] = t
+}
+
+// AppendRows adds boxed rows to an existing table (used by examples).
+func (c *Connector) AppendRows(name string, rows [][]types.Value) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("table %s.%s does not exist", c.name, name)
+	}
+	ts := make([]types.Type, len(t.meta.Columns))
+	for i, col := range t.meta.Columns {
+		ts[i] = col.T
+	}
+	b := block.NewPageBuilder(ts)
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	t.pages = append(t.pages, b.Build())
+	t.stats = computeStats(t.meta.Columns, t.pages)
+	return nil
+}
+
+func computeStats(columns []connector.Column, pages []*block.Page) connector.TableStats {
+	stats := connector.TableStats{ColumnNDV: map[string]int64{}}
+	ndv := make([]map[string]struct{}, len(columns))
+	for i := range ndv {
+		ndv[i] = map[string]struct{}{}
+	}
+	for _, p := range pages {
+		stats.RowCount += int64(p.RowCount())
+		for ci := range columns {
+			col := p.Col(ci)
+			for r := 0; r < p.RowCount(); r++ {
+				if !col.IsNull(r) {
+					ndv[ci][col.Value(r).String()] = struct{}{}
+				}
+			}
+		}
+	}
+	for i, col := range columns {
+		stats.ColumnNDV[col.Name] = int64(len(ndv[i]))
+	}
+	return stats
+}
+
+// split is a contiguous page range of a table.
+type split struct {
+	catalog string
+	table   string
+	from    int // page index
+	to      int
+	rows    int64
+}
+
+func (s *split) Connector() string     { return s.catalog }
+func (s *split) PreferredNodes() []int { return nil }
+func (s *split) EstimatedRows() int64  { return s.rows }
+
+// Splits implements the Data Location API.
+func (c *Connector) Splits(handle plan.TableHandle) (connector.SplitSource, error) {
+	c.mu.RLock()
+	t, ok := c.tables[handle.Table]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("table %s.%s does not exist", c.name, handle.Table)
+	}
+	n := c.SplitsPerTable
+	if n <= 0 {
+		n = 4
+	}
+	var splits []connector.Split
+	total := len(t.pages)
+	if total == 0 {
+		return &sliceSplitSource{}, nil
+	}
+	per := (total + n - 1) / n
+	for from := 0; from < total; from += per {
+		to := from + per
+		if to > total {
+			to = total
+		}
+		var rows int64
+		for _, p := range t.pages[from:to] {
+			rows += int64(p.RowCount())
+		}
+		splits = append(splits, &split{catalog: c.name, table: handle.Table, from: from, to: to, rows: rows})
+	}
+	return &sliceSplitSource{splits: splits}, nil
+}
+
+// sliceSplitSource enumerates a fixed split list in batches.
+type sliceSplitSource struct {
+	splits []connector.Split
+	pos    int
+}
+
+func (s *sliceSplitSource) NextBatch(max int) (connector.SplitBatch, error) {
+	end := s.pos + max
+	if end > len(s.splits) {
+		end = len(s.splits)
+	}
+	b := connector.SplitBatch{Splits: s.splits[s.pos:end], Done: end == len(s.splits)}
+	s.pos = end
+	return b, nil
+}
+
+func (s *sliceSplitSource) Close() {}
+
+// pageSource replays the split's pages with the requested columns.
+type pageSource struct {
+	pages []*block.Page
+	cols  []int
+	pos   int
+	bytes int64
+}
+
+// PageSource implements the Data Source API.
+func (c *Connector) PageSource(s connector.Split, columns []string, handle plan.TableHandle) (connector.PageSource, error) {
+	ms, ok := s.(*split)
+	if !ok {
+		return nil, fmt.Errorf("foreign split type %T", s)
+	}
+	c.mu.RLock()
+	t, ok := c.tables[ms.table]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("table %s.%s does not exist", c.name, ms.table)
+	}
+	cols := make([]int, len(columns))
+	for i, name := range columns {
+		idx := t.meta.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("column %q does not exist in %s", name, ms.table)
+		}
+		cols[i] = idx
+	}
+	return &pageSource{pages: t.pages[ms.from:ms.to], cols: cols}, nil
+}
+
+func (p *pageSource) NextPage() (*block.Page, error) {
+	if p.pos >= len(p.pages) {
+		return nil, nil
+	}
+	src := p.pages[p.pos]
+	p.pos++
+	if len(p.cols) == 0 {
+		out := block.NewEmptyPage(src.RowCount())
+		p.bytes += out.SizeBytes()
+		return out, nil
+	}
+	cols := make([]block.Block, len(p.cols))
+	for i, c := range p.cols {
+		cols[i] = src.Col(c)
+	}
+	out := block.NewPage(cols...)
+	p.bytes += out.SizeBytes()
+	return out, nil
+}
+
+func (p *pageSource) BytesRead() int64 { return p.bytes }
+func (p *pageSource) Close()           {}
+
+// pageSink buffers pages and commits them to the table.
+type pageSink struct {
+	c     *Connector
+	table string
+	pages []*block.Page
+	rows  int64
+}
+
+// PageSink implements the Data Sink API.
+func (c *Connector) PageSink(table string) (connector.PageSink, error) {
+	c.mu.RLock()
+	_, ok := c.tables[table]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("table %s.%s does not exist", c.name, table)
+	}
+	return &pageSink{c: c, table: table}, nil
+}
+
+func (s *pageSink) Append(p *block.Page) error {
+	s.pages = append(s.pages, p.DecodeAll())
+	s.rows += int64(p.RowCount())
+	return nil
+}
+
+func (s *pageSink) Finish() (int64, error) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	t, ok := s.c.tables[s.table]
+	if !ok {
+		return 0, fmt.Errorf("table %s.%s vanished during write", s.c.name, s.table)
+	}
+	t.pages = append(t.pages, s.pages...)
+	t.stats = computeStats(t.meta.Columns, t.pages)
+	return s.rows, nil
+}
+
+func (s *pageSink) Abort() { s.pages = nil }

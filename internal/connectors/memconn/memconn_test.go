@@ -1,0 +1,50 @@
+package memconn
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+	"repro/internal/connectors/conformance"
+	"repro/internal/types"
+)
+
+func loaded(t *testing.T) *Connector {
+	t.Helper()
+	c := New("mem")
+	vals := make([]int64, 100)
+	names := make([]string, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+		names[i] = "row"
+	}
+	c.LoadTable("t",
+		[]connector.Column{{Name: "id", T: types.Bigint}, {Name: "name", T: types.Varchar}},
+		[]*block.Page{block.NewPage(block.NewLongBlock(vals, nil), block.NewVarcharBlock(names, nil))})
+	return c
+}
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Harness{Conn: loaded(t), Table: "t", Rows: 100, Writable: true})
+}
+
+func TestStatsComputedOnLoad(t *testing.T) {
+	c := loaded(t)
+	st := c.Stats("t")
+	if st.RowCount != 100 {
+		t.Errorf("rowcount: %d", st.RowCount)
+	}
+	if st.ColumnNDV["id"] != 100 || st.ColumnNDV["name"] != 1 {
+		t.Errorf("ndv: %v", st.ColumnNDV)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	c := loaded(t)
+	if err := c.CreateTable("t", nil); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if err := c.DropTable("missing"); err == nil {
+		t.Error("dropping a missing table should fail")
+	}
+}

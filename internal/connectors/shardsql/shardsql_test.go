@@ -1,0 +1,80 @@
+package shardsql
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/connector"
+	"repro/internal/connectors/conformance"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func loaded(t *testing.T) *Connector {
+	t.Helper()
+	c := New("mysql", 4)
+	cols := []connector.Column{{Name: "k", T: types.Bigint}, {Name: "v", T: types.Varchar}}
+	if err := c.CreateShardedTable("t", cols, "k"); err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]types.Value
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, []types.Value{types.BigintValue(i), types.VarcharValue(fmt.Sprint(i))})
+	}
+	if err := c.LoadRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Harness{Conn: loaded(t), Table: "t", Rows: 100, Writable: true})
+}
+
+func TestPointPushdownEnumeratesOneShard(t *testing.T) {
+	c := loaded(t)
+	handle := plan.TableHandle{Catalog: "mysql", Table: "t", Constraint: plan.AllDomain()}
+	handle.Constraint.Columns["k"] = plan.PointDomain(types.Bigint, types.BigintValue(42))
+	src, err := c.Splits(handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := src.NextBatch(100)
+	if len(batch.Splits) != 1 {
+		t.Fatalf("point lookup should hit 1 shard, got %d", len(batch.Splits))
+	}
+	ps, err := c.PageSource(batch.Splits[0], []string{"k", "v"}, handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := ps.NextPage()
+	if p == nil || p.RowCount() != 1 || p.Col(0).Long(0) != 42 {
+		t.Errorf("pushdown result: %v", p)
+	}
+}
+
+func TestApplyPushdownReportsShardColumn(t *testing.T) {
+	c := loaded(t)
+	d := plan.AllDomain()
+	d.Columns["k"] = plan.PointDomain(types.Bigint, types.BigintValue(1))
+	if cols := c.ApplyPushdown("t", d); len(cols) != 1 || cols[0] != "k" {
+		t.Errorf("enforced: %v", cols)
+	}
+	d2 := plan.AllDomain()
+	d2.Columns["v"] = plan.PointDomain(types.Varchar, types.VarcharValue("x"))
+	if cols := c.ApplyPushdown("t", d2); len(cols) != 0 {
+		t.Errorf("non-shard column must not be enforced: %v", cols)
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	c := loaded(t)
+	idx, ok := c.Index("t", []string{"k"}, []string{"v"})
+	if !ok {
+		t.Fatal("shard column index missing")
+	}
+	p, err := idx.Lookup([]types.Value{types.BigintValue(7)})
+	if err != nil || p == nil || p.Col(0).Str(0) != "7" {
+		t.Errorf("lookup: %v %v", p, err)
+	}
+}

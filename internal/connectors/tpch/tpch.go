@@ -1,0 +1,217 @@
+// Package tpch generates deterministic TPC-H-style benchmark data at
+// configurable scale. The paper's Figure 6 experiment runs TPC-DS at scale
+// factor 30TB on a 100-node cluster; this laptop-scale substitute preserves
+// the experiment's structure — a warehouse schema with fact/dimension
+// tables, realistic value skew, dates, and low-cardinality flag columns that
+// exercise dictionary and RLE encodings — so the relative comparisons (which
+// storage configuration wins and by roughly how much) still hold.
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+	"repro/internal/types"
+)
+
+// rng is a small deterministic xorshift generator so data is reproducible.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed*2685821657736338717 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int        { return int(r.next() % uint64(n)) }
+func (r *rng) f64() float64          { return float64(r.next()%1_000_000) / 1_000_000 }
+func (r *rng) rangeI(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+var (
+	regions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	flags      = []string{"A", "N", "R"}
+	statuses   = []string{"F", "O", "P"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	modes      = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	brands     = []string{"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31", "Brand#32", "Brand#33"}
+	ptypes     = []string{"ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER", "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED BRASS"}
+	nations    = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "ROMANIA", "RUSSIA", "SAUDI ARABIA", "UNITED KINGDOM", "UNITED STATES", "VIETNAM"}
+)
+
+// baseDate is 1994-01-01 in days since epoch.
+const baseDate = 8766
+
+// Sizes returns base row counts per table at scale 1.
+func Sizes() map[string]int {
+	return map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 100,
+		"customer": 1500,
+		"part":     2000,
+		"orders":   15000,
+		"lineitem": 60000,
+	}
+}
+
+// TableNames lists generated tables in dependency order.
+func TableNames() []string {
+	return []string{"region", "nation", "supplier", "customer", "part", "orders", "lineitem"}
+}
+
+// Columns returns the schema of a table.
+func Columns(table string) []connector.Column {
+	switch table {
+	case "region":
+		return cols("r_regionkey", types.Bigint, "r_name", types.Varchar)
+	case "nation":
+		return cols("n_nationkey", types.Bigint, "n_name", types.Varchar, "n_regionkey", types.Bigint)
+	case "supplier":
+		return cols("s_suppkey", types.Bigint, "s_name", types.Varchar, "s_nationkey", types.Bigint, "s_acctbal", types.Double)
+	case "customer":
+		return cols("c_custkey", types.Bigint, "c_name", types.Varchar, "c_nationkey", types.Bigint, "c_acctbal", types.Double, "c_mktsegment", types.Varchar)
+	case "part":
+		return cols("p_partkey", types.Bigint, "p_name", types.Varchar, "p_brand", types.Varchar, "p_type", types.Varchar, "p_size", types.Bigint, "p_retailprice", types.Double)
+	case "orders":
+		return cols("o_orderkey", types.Bigint, "o_custkey", types.Bigint, "o_orderstatus", types.Varchar, "o_totalprice", types.Double, "o_orderdate", types.Date, "o_orderpriority", types.Varchar)
+	case "lineitem":
+		return cols("l_orderkey", types.Bigint, "l_partkey", types.Bigint, "l_suppkey", types.Bigint, "l_linenumber", types.Bigint,
+			"l_quantity", types.Double, "l_extendedprice", types.Double, "l_discount", types.Double, "l_tax", types.Double,
+			"l_returnflag", types.Varchar, "l_shipdate", types.Date, "l_shipinstruct", types.Varchar, "l_shipmode", types.Varchar)
+	default:
+		return nil
+	}
+}
+
+func cols(pairs ...interface{}) []connector.Column {
+	out := make([]connector.Column, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, connector.Column{Name: pairs[i].(string), T: pairs[i+1].(types.Type)})
+	}
+	return out
+}
+
+// Generate produces a table's pages at the given scale factor, in pages of
+// pageRows rows.
+func Generate(table string, scale float64, pageRows int) []*block.Page {
+	if pageRows <= 0 {
+		pageRows = 4096
+	}
+	n := int(float64(Sizes()[table]) * scale)
+	if n <= 0 {
+		n = 1
+	}
+	if table == "region" {
+		n = 5
+	}
+	if table == "nation" {
+		n = 25
+	}
+	ts := make([]types.Type, 0)
+	for _, c := range Columns(table) {
+		ts = append(ts, c.T)
+	}
+	r := newRng(fnv(table))
+	var pages []*block.Page
+	b := block.NewPageBuilder(ts)
+	custN := int(float64(Sizes()["customer"]) * scale)
+	partN := int(float64(Sizes()["part"]) * scale)
+	suppN := int(float64(Sizes()["supplier"]) * scale)
+	ordersN := int(float64(Sizes()["orders"]) * scale)
+	for i := 0; i < n; i++ {
+		b.AppendRow(genRow(table, i, r, custN, partN, suppN, ordersN))
+		if b.RowCount() >= pageRows {
+			pages = append(pages, b.Build())
+		}
+	}
+	if b.RowCount() > 0 {
+		pages = append(pages, b.Build())
+	}
+	return pages
+}
+
+func fnv(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func genRow(table string, i int, r *rng, custN, partN, suppN, ordersN int) []types.Value {
+	switch table {
+	case "region":
+		return []types.Value{types.BigintValue(int64(i)), types.VarcharValue(regions[i%len(regions)])}
+	case "nation":
+		return []types.Value{
+			types.BigintValue(int64(i)),
+			types.VarcharValue(nations[i%len(nations)]),
+			types.BigintValue(int64(i % 5)),
+		}
+	case "supplier":
+		return []types.Value{
+			types.BigintValue(int64(i)),
+			types.VarcharValue(fmt.Sprintf("Supplier#%09d", i)),
+			types.BigintValue(int64(r.intn(25))),
+			types.DoubleValue(-999 + r.f64()*10998),
+		}
+	case "customer":
+		return []types.Value{
+			types.BigintValue(int64(i)),
+			types.VarcharValue(fmt.Sprintf("Customer#%09d", i)),
+			types.BigintValue(int64(r.intn(25))),
+			types.DoubleValue(-999 + r.f64()*10998),
+			types.VarcharValue(segments[r.intn(len(segments))]),
+		}
+	case "part":
+		return []types.Value{
+			types.BigintValue(int64(i)),
+			types.VarcharValue(fmt.Sprintf("part %d", i)),
+			types.VarcharValue(brands[r.intn(len(brands))]),
+			types.VarcharValue(ptypes[r.intn(len(ptypes))]),
+			types.BigintValue(int64(r.rangeI(1, 50))),
+			types.DoubleValue(900 + r.f64()*1200),
+		}
+	case "orders":
+		return []types.Value{
+			types.BigintValue(int64(i)),
+			types.BigintValue(int64(r.intn(max(custN, 1)))),
+			types.VarcharValue(statuses[r.intn(len(statuses))]),
+			types.DoubleValue(1000 + r.f64()*450000),
+			types.DateValue(int64(baseDate + r.intn(2557))), // ~7 years
+			types.VarcharValue(priorities[r.intn(len(priorities))]),
+		}
+	case "lineitem":
+		qty := float64(r.rangeI(1, 50))
+		price := qty * (900 + r.f64()*1200)
+		return []types.Value{
+			types.BigintValue(int64(r.intn(max(ordersN, 1)))),
+			types.BigintValue(int64(r.intn(max(partN, 1)))),
+			types.BigintValue(int64(r.intn(max(suppN, 1)))),
+			types.BigintValue(int64(r.rangeI(1, 7))),
+			types.DoubleValue(qty),
+			types.DoubleValue(price),
+			types.DoubleValue(float64(r.intn(11)) / 100), // 0.00-0.10
+			types.DoubleValue(float64(r.intn(9)) / 100),
+			types.VarcharValue(flags[r.intn(len(flags))]),
+			types.DateValue(int64(baseDate + r.intn(2557))),
+			types.VarcharValue(instructs[r.intn(len(instructs))]),
+			types.VarcharValue(modes[r.intn(len(modes))]),
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

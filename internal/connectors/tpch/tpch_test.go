@@ -1,0 +1,76 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("orders", 0.01, 64)
+	b := Generate("orders", 0.01, 64)
+	if len(a) != len(b) {
+		t.Fatal("page counts differ")
+	}
+	for i := range a {
+		if a[i].RowCount() != b[i].RowCount() {
+			t.Fatal("row counts differ")
+		}
+		for r := 0; r < a[i].RowCount(); r++ {
+			ra, rb := a[i].Row(r), b[i].Row(r)
+			for c := range ra {
+				if !ra[c].Equal(rb[c]) && !(ra[c].Null && rb[c].Null) {
+					t.Fatalf("row %d col %d: %v vs %v", r, c, ra[c], rb[c])
+				}
+			}
+		}
+	}
+}
+
+func TestSchemasAndSizes(t *testing.T) {
+	for _, table := range TableNames() {
+		cols := Columns(table)
+		if len(cols) == 0 {
+			t.Fatalf("%s has no schema", table)
+		}
+		pages := Generate(table, 0.01, 32)
+		total := 0
+		for _, p := range pages {
+			if p.ColCount() != len(cols) {
+				t.Fatalf("%s page has %d cols, schema %d", table, p.ColCount(), len(cols))
+			}
+			total += p.RowCount()
+		}
+		if total == 0 {
+			t.Errorf("%s generated no rows", table)
+		}
+	}
+}
+
+func TestForeignKeysInRange(t *testing.T) {
+	scale := 0.05
+	custN := int(float64(Sizes()["customer"]) * scale)
+	for _, p := range Generate("orders", scale, 128) {
+		custCol := p.Col(1)
+		for r := 0; r < p.RowCount(); r++ {
+			if ck := custCol.Long(r); ck < 0 || ck >= int64(custN) {
+				t.Fatalf("o_custkey %d out of range [0,%d)", ck, custN)
+			}
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	for _, p := range Generate("lineitem", 0.02, 128) {
+		for r := 0; r < p.RowCount(); r++ {
+			row := p.Row(r)
+			disc := row[6].F
+			if disc < 0 || disc > 0.10 {
+				t.Fatalf("l_discount %f out of range", disc)
+			}
+			if row[9].T != types.Date {
+				t.Fatal("l_shipdate not a date")
+			}
+		}
+	}
+}

@@ -1,0 +1,518 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/exec"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/queue"
+	"repro/internal/sqlparser"
+	"repro/internal/types"
+)
+
+// Config tunes the coordinator.
+type Config struct {
+	// DefaultCatalog resolves unqualified table names.
+	DefaultCatalog string
+	// HashPartitions is the task count for intermediate (hash/round-robin)
+	// stages.
+	HashPartitions int
+	// Optimizer configures the planner.
+	Optimizer optimizer.Config
+	// Task configures task execution on workers.
+	Task exec.TaskConfig
+	// MemoryLimits are the per-query defaults (§IV-F2).
+	MemoryLimits memory.QueryLimits
+	// QueuePolicies configure admission (group "" is the default).
+	QueuePolicies []queue.Policy
+	// SplitBatchSize is the lazy enumeration batch (§IV-D3).
+	SplitBatchSize int
+	// Topology maps worker node ids to rack names for rack-local split
+	// placement (§IV-D2); empty disables topology awareness.
+	Topology map[int]string
+}
+
+// Session carries per-query client settings.
+type Session struct {
+	Catalog string
+	// Source selects the admission queue group.
+	Source string
+	// User identifies the client (informational).
+	User string
+}
+
+// QueryState tracks lifecycle.
+type QueryState int
+
+// Query lifecycle states.
+const (
+	StateQueued QueryState = iota
+	StatePlanning
+	StateRunning
+	StateFinished
+	StateFailed
+)
+
+func (s QueryState) String() string {
+	return [...]string{"QUEUED", "PLANNING", "RUNNING", "FINISHED", "FAILED"}[s]
+}
+
+// QueryInfo captures a query's progress and statistics.
+type QueryInfo struct {
+	ID         string
+	SQL        string
+	State      QueryState
+	Err        error
+	Queued     time.Time
+	Started    time.Time
+	Finished   time.Time
+	CPUNanos   int64
+	PeakMemory int64
+	Rows       int64
+}
+
+// Coordinator admits, plans, schedules and tracks queries (paper §III).
+type Coordinator struct {
+	Catalog *CatalogManager
+	workers []*exec.Worker
+	cfg     Config
+
+	queue   *queue.Manager
+	arbiter *memory.Arbiter
+	pools   map[int]*memory.NodePool
+
+	mu      sync.Mutex
+	queries map[string]*Query
+	nextID  atomic.Int64
+}
+
+// Query is a running or finished query.
+type Query struct {
+	Info   QueryInfo
+	mu     sync.Mutex
+	tasks  []*exec.Task
+	qmem   *memory.QueryContext
+	result *Result
+	coord  *Coordinator
+}
+
+// New creates a coordinator over the given workers.
+func New(catalog *CatalogManager, workers []*exec.Worker, cfg Config) *Coordinator {
+	if cfg.HashPartitions <= 0 {
+		cfg.HashPartitions = len(workers)
+	}
+	if cfg.SplitBatchSize <= 0 {
+		cfg.SplitBatchSize = 16
+	}
+	if cfg.DefaultCatalog == "" {
+		cfg.DefaultCatalog = "memory"
+	}
+	pools := map[int]*memory.NodePool{}
+	for _, w := range workers {
+		pools[w.ID] = w.Pool
+	}
+	return &Coordinator{
+		Catalog: catalog,
+		workers: workers,
+		cfg:     cfg,
+		queue:   queue.NewManager(cfg.QueuePolicies...),
+		arbiter: memory.NewArbiter(pools),
+		pools:   pools,
+	}
+}
+
+// Workers exposes the cluster's workers (used by experiments).
+func (c *Coordinator) Workers() []*exec.Worker { return c.workers }
+
+// Execute runs a SQL statement to a streaming result. DDL statements
+// (CREATE TABLE without AS, DROP TABLE, SHOW TABLES) execute immediately.
+func (c *Coordinator) Execute(sql string, session Session) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("parse error: %w", err)
+	}
+	if session.Catalog == "" {
+		session.Catalog = c.cfg.DefaultCatalog
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.Explain:
+		if s.Analyze {
+			return c.explainAnalyze(s, sql, session)
+		}
+		return c.explain(s, session)
+	case *sqlparser.ShowTables:
+		return c.showTables(s, session)
+	case *sqlparser.ShowCatalogs:
+		names := c.Catalog.Catalogs()
+		sort.Strings(names)
+		rows := make([][]types.Value, len(names))
+		for i, n := range names {
+			rows[i] = []types.Value{types.VarcharValue(n)}
+		}
+		return literalResult([]string{"catalog"}, rows), nil
+	case *sqlparser.Describe:
+		return c.describe(s, session)
+	case *sqlparser.DropTable:
+		return c.dropTable(s, session)
+	case *sqlparser.CreateTable:
+		if s.AsQuery == nil {
+			return c.createTable(s, session)
+		}
+		if err := c.createTableFor(s, session); err != nil {
+			return nil, err
+		}
+		return c.run(stmt, sql, session)
+	default:
+		return c.run(stmt, sql, session)
+	}
+}
+
+// Plan parses, analyzes, and optimizes a statement without executing it.
+func (c *Coordinator) Plan(sql string, session Session) (plan.Node, *plan.DistributedPlan, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse error: %w", err)
+	}
+	if session.Catalog == "" {
+		session.Catalog = c.cfg.DefaultCatalog
+	}
+	return c.planStatement(stmt, session)
+}
+
+func (c *Coordinator) planStatement(stmt sqlparser.Statement, session Session) (plan.Node, *plan.DistributedPlan, error) {
+	az := analyzer.New(c.Catalog, session.Catalog)
+	logical, err := az.PlanStatement(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := optimizer.New(c.Catalog, c.cfg.Optimizer)
+	optimized := opt.Optimize(logical)
+	dp := opt.Fragment(optimized)
+	return optimized, dp, nil
+}
+
+// run executes a plannable statement through the cluster.
+func (c *Coordinator) run(stmt sqlparser.Statement, sql string, session Session) (*Result, error) {
+	res, _, err := c.runTracked(stmt, sql, session)
+	return res, err
+}
+
+// runTracked is run exposing the query record (EXPLAIN ANALYZE reads its
+// statistics after draining the result).
+func (c *Coordinator) runTracked(stmt sqlparser.Statement, sql string, session Session) (*Result, *Query, error) {
+	id := fmt.Sprintf("q%d", c.nextID.Add(1))
+	q := &Query{coord: c}
+	q.Info = QueryInfo{ID: id, SQL: sql, State: StateQueued, Queued: time.Now()}
+	c.mu.Lock()
+	c.queries = lazyInit(c.queries)
+	c.queries[id] = q
+	c.mu.Unlock()
+
+	release, err := c.queue.Acquire(session.Source)
+	if err != nil {
+		q.fail(err)
+		return nil, nil, err
+	}
+
+	q.setState(StatePlanning)
+	_, dp, err := c.planStatement(stmt, session)
+	if err != nil {
+		release()
+		q.fail(err)
+		return nil, nil, err
+	}
+
+	limits := c.cfg.MemoryLimits
+	limits.SpillEnabled = c.cfg.Task.SpillEnabled
+	qmem := memory.NewQueryContext(id, limits, c.pools)
+	qmem.PromoteHook = c.promoteHook
+	q.qmem = qmem
+
+	q.setState(StateRunning)
+	q.Info.Started = time.Now()
+	result, err := c.schedule(q, dp)
+	if err != nil {
+		release()
+		q.abort()
+		q.fail(err)
+		return nil, nil, err
+	}
+	q.result = result
+	result.onClose = func(resErr error) {
+		if resErr != nil {
+			q.abort()
+			q.fail(resErr)
+		} else {
+			q.finish()
+		}
+		qmem.Close()
+		c.arbiter.Clear(id)
+		release()
+	}
+	return result, q, nil
+}
+
+func lazyInit(m map[string]*Query) map[string]*Query {
+	if m == nil {
+		return map[string]*Query{}
+	}
+	return m
+}
+
+// promoteHook implements reserved-pool promotion (§IV-F2): when a node's
+// general pool is exhausted, the query using the most memory on that node is
+// promoted to the reserved pool on all nodes.
+func (c *Coordinator) promoteHook(node int) bool {
+	pool, ok := c.pools[node]
+	if !ok {
+		return false
+	}
+	c.mu.Lock()
+	var biggest string
+	var biggestBytes int64 = -1
+	for id := range c.queries {
+		u, s := pool.QueryBytes(id)
+		if u+s > biggestBytes {
+			biggestBytes = u + s
+			biggest = id
+		}
+	}
+	c.mu.Unlock()
+	if biggest == "" {
+		return false
+	}
+	return c.arbiter.TryPromote(biggest)
+}
+
+func (q *Query) setState(s QueryState) {
+	q.mu.Lock()
+	q.Info.State = s
+	q.mu.Unlock()
+}
+
+func (q *Query) fail(err error) {
+	q.mu.Lock()
+	q.Info.State = StateFailed
+	q.Info.Err = err
+	q.Info.Finished = time.Now()
+	q.mu.Unlock()
+}
+
+func (q *Query) finish() {
+	q.mu.Lock()
+	q.Info.State = StateFinished
+	q.Info.Finished = time.Now()
+	var cpu int64
+	for _, t := range q.tasks {
+		cpu += t.CPUNanos()
+	}
+	q.Info.CPUNanos = cpu
+	if q.qmem != nil {
+		q.Info.PeakMemory = q.qmem.PeakBytes()
+	}
+	q.mu.Unlock()
+}
+
+func (q *Query) abort() {
+	q.mu.Lock()
+	tasks := q.tasks
+	q.mu.Unlock()
+	for _, t := range tasks {
+		t.Abort()
+	}
+}
+
+// QueryInfo returns a snapshot of a query's state.
+func (c *Coordinator) QueryInfo(id string) (QueryInfo, bool) {
+	c.mu.Lock()
+	q, ok := c.queries[id]
+	c.mu.Unlock()
+	if !ok {
+		return QueryInfo{}, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.Info, true
+}
+
+// RunningQueries counts queries in the running state.
+func (c *Coordinator) RunningQueries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, q := range c.queries {
+		q.mu.Lock()
+		if q.Info.State == StateRunning {
+			n++
+		}
+		q.mu.Unlock()
+	}
+	return n
+}
+
+// --- DDL ---
+
+func (c *Coordinator) createTable(s *sqlparser.CreateTable, session Session) (*Result, error) {
+	catalog, table := splitName(s.Name, session.Catalog)
+	conn, err := c.Catalog.Connector(catalog)
+	if err != nil {
+		return nil, err
+	}
+	if s.IfNotExists && conn.Table(table) != nil {
+		return literalResult([]string{"result"}, [][]types.Value{{types.VarcharValue("OK")}}), nil
+	}
+	var cols []connectorColumn
+	for _, cd := range s.Columns {
+		t, err := types.ParseType(cd.Type)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, connectorColumn{Name: strings.ToLower(cd.Name), T: t})
+	}
+	if err := conn.CreateTable(table, toConnectorCols(cols)); err != nil {
+		return nil, err
+	}
+	return literalResult([]string{"result"}, [][]types.Value{{types.VarcharValue("OK")}}), nil
+}
+
+// createTableFor registers the target table of CREATE TABLE AS before the
+// insert plan runs.
+func (c *Coordinator) createTableFor(s *sqlparser.CreateTable, session Session) error {
+	catalog, table := splitName(s.Name, session.Catalog)
+	conn, err := c.Catalog.Connector(catalog)
+	if err != nil {
+		return err
+	}
+	if conn.Table(table) != nil {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("table %s.%s already exists", catalog, table)
+	}
+	// Derive the schema from the query.
+	az := analyzer.New(c.Catalog, session.Catalog)
+	out, err := az.PlanQuery(s.AsQuery)
+	if err != nil {
+		return err
+	}
+	var cols []connectorColumn
+	for _, f := range out.Schema() {
+		cols = append(cols, connectorColumn{Name: strings.ToLower(f.Name), T: f.T})
+	}
+	return conn.CreateTable(table, toConnectorCols(cols))
+}
+
+func (c *Coordinator) dropTable(s *sqlparser.DropTable, session Session) (*Result, error) {
+	catalog, table := splitName(s.Name, session.Catalog)
+	conn, err := c.Catalog.Connector(catalog)
+	if err != nil {
+		return nil, err
+	}
+	if conn.Table(table) == nil {
+		if s.IfExists {
+			return literalResult([]string{"result"}, [][]types.Value{{types.VarcharValue("OK")}}), nil
+		}
+		return nil, fmt.Errorf("table %s.%s does not exist", catalog, table)
+	}
+	if err := conn.DropTable(table); err != nil {
+		return nil, err
+	}
+	return literalResult([]string{"result"}, [][]types.Value{{types.VarcharValue("OK")}}), nil
+}
+
+func (c *Coordinator) showTables(s *sqlparser.ShowTables, session Session) (*Result, error) {
+	catalog := session.Catalog
+	if s.Catalog != "" {
+		catalog = s.Catalog
+	}
+	conn, err := c.Catalog.Connector(catalog)
+	if err != nil {
+		return nil, err
+	}
+	names := conn.Tables()
+	sort.Strings(names)
+	rows := make([][]types.Value, len(names))
+	for i, n := range names {
+		rows[i] = []types.Value{types.VarcharValue(n)}
+	}
+	return literalResult([]string{"table"}, rows), nil
+}
+
+// describe renders a table's schema.
+func (c *Coordinator) describe(s *sqlparser.Describe, session Session) (*Result, error) {
+	_, meta, err := c.Catalog.Resolve(s.Name, session.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]types.Value, len(meta.Columns))
+	for i, col := range meta.Columns {
+		rows[i] = []types.Value{types.VarcharValue(col.Name), types.VarcharValue(col.T.String())}
+	}
+	return literalResult([]string{"column", "type"}, rows), nil
+}
+
+// explainAnalyze executes the statement and reports the plan annotated with
+// run statistics (wall time, aggregate task CPU, peak memory, output rows).
+func (c *Coordinator) explainAnalyze(s *sqlparser.Explain, sql string, session Session) (*Result, error) {
+	logical, dp, err := c.planStatement(s.Stmt, session)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, q, err := c.runTracked(s.Stmt, sql, session)
+	if err != nil {
+		return nil, err
+	}
+	var outRows int64
+	for {
+		p, err := res.NextPage()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			break
+		}
+		outRows += int64(p.RowCount())
+	}
+	wall := time.Since(start)
+	q.mu.Lock()
+	info := q.Info
+	q.mu.Unlock()
+	text := plan.Format(logical) + "\n" + dp.Format()
+	text += fmt.Sprintf("\nwall: %s  task CPU: %s  peak memory: %d bytes  output rows: %d\n",
+		wall.Round(time.Millisecond), time.Duration(info.CPUNanos).Round(time.Millisecond),
+		info.PeakMemory, outRows)
+	var rows [][]types.Value
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows = append(rows, []types.Value{types.VarcharValue(line)})
+	}
+	return literalResult([]string{"plan"}, rows), nil
+}
+
+func (c *Coordinator) explain(s *sqlparser.Explain, session Session) (*Result, error) {
+	logical, dp, err := c.planStatement(s.Stmt, session)
+	if err != nil {
+		return nil, err
+	}
+	text := plan.Format(logical) + "\n" + dp.Format()
+	var rows [][]types.Value
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows = append(rows, []types.Value{types.VarcharValue(line)})
+	}
+	return literalResult([]string{"plan"}, rows), nil
+}
+
+func splitName(n sqlparser.QualifiedName, defaultCatalog string) (string, string) {
+	if len(n.Parts) >= 2 {
+		return strings.ToLower(n.Parts[0]), strings.ToLower(n.Parts[len(n.Parts)-1])
+	}
+	return defaultCatalog, strings.ToLower(n.Parts[0])
+}

@@ -1,0 +1,257 @@
+package coordinator
+
+import (
+	"fmt"
+
+	"repro/internal/connector"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/shuffle"
+)
+
+// schedule places tasks for every fragment of the distributed plan
+// (paper §IV-D2): leaf (source) stages get a task on every worker — since
+// most CPU goes to decompressing/decoding/filtering connector data, running
+// leaves everywhere yields the shortest wall time; intermediate stages get
+// HashPartitions tasks spread round-robin; single stages get one task. Then
+// split enumeration starts lazily (§IV-D3), assigning each split to the
+// eligible task with the shortest queue.
+func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, error) {
+	nWorkers := len(c.workers)
+	if nWorkers == 0 {
+		return nil, fmt.Errorf("cluster has no workers")
+	}
+
+	// Decide task counts.
+	counts := make([]int, len(dp.Fragments))
+	for _, f := range dp.Fragments {
+		switch partitioningOf(f, dp) {
+		case plan.PartitionSingle:
+			counts[f.ID] = 1
+		case plan.PartitionSource:
+			counts[f.ID] = nWorkers
+		default:
+			counts[f.ID] = c.cfg.HashPartitions
+			if counts[f.ID] > nWorkers*4 {
+				counts[f.ID] = nWorkers * 4
+			}
+		}
+	}
+
+	// Output partitions of a fragment = task count of its consumer.
+	outParts := make([]int, len(dp.Fragments))
+	for _, f := range dp.Fragments {
+		if f.OutputConsumer < 0 {
+			outParts[f.ID] = 1 // coordinator reads the root
+		} else {
+			outParts[f.ID] = counts[f.OutputConsumer]
+		}
+	}
+
+	// Create tasks in fragment-id order: the fragmenter numbers producers
+	// before consumers.
+	tasks := make([][]*exec.Task, len(dp.Fragments))
+	singleRR := 0
+	for _, f := range dp.Fragments {
+		n := counts[f.ID]
+		tasks[f.ID] = make([]*exec.Task, n)
+		for i := 0; i < n; i++ {
+			var w *exec.Worker
+			switch partitioningOf(f, dp) {
+			case plan.PartitionSource:
+				w = c.workers[i]
+			case plan.PartitionSingle:
+				w = c.workers[singleRR%nWorkers]
+				singleRR++
+			default:
+				w = c.workers[i%nWorkers]
+			}
+			// Wire exchange sources: for every producing fragment, this
+			// task reads partition i of every producer task.
+			sources := map[int][]shuffle.Fetcher{}
+			plan.Walk(f.Root, func(n plan.Node) {
+				rs, ok := n.(*plan.RemoteSource)
+				if !ok {
+					return
+				}
+				for _, pid := range rs.SourceFragments {
+					for _, pt := range tasks[pid] {
+						sources[pid] = append(sources[pid], &shuffle.LocalFetcher{Buf: pt.Output().Partition(i)})
+					}
+				}
+			})
+			cfg := c.cfg.Task
+			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
+			t, err := w.CreateTask(id, f, q.qmem, outParts[f.ID], sources, &cfg)
+			if err != nil {
+				return nil, fmt.Errorf("creating task %s: %w", id, err)
+			}
+			tasks[f.ID][i] = t
+			q.mu.Lock()
+			q.tasks = append(q.tasks, t)
+			q.mu.Unlock()
+		}
+	}
+
+	// Build the result before starting enumeration so failures propagate.
+	root := dp.Root()
+	names := outputNames(root)
+	res := &Result{Columns: names, buf: tasks[root.ID][0].Output().Partition(0)}
+
+	// Failure monitor: the first task error cancels the query.
+	go func() {
+		for _, ft := range tasks {
+			for _, t := range ft {
+				<-t.Done()
+				if err := t.Err(); err != nil {
+					res.setFailure(err)
+					q.abort()
+					return
+				}
+			}
+		}
+	}()
+
+	// Split scheduling (§IV-D3): one enumerator per scan of each leaf stage.
+	for _, f := range dp.Fragments {
+		stage := tasks[f.ID]
+		scans := stage[0].Scans()
+		for scanID := range scans {
+			go c.enumerateSplits(q, res, stage, scanID, scans[scanID])
+		}
+	}
+	return res, nil
+}
+
+// partitioningOf infers the scheduling class of a fragment (§IV-D2):
+// fragments containing scans are source-partitioned (leaf stages run on
+// every worker); fragments fed by hash- or round-robin-partitioned producers
+// run HashPartitions tasks; fragments fed only by gathering (single) or
+// broadcast producers run one task.
+func partitioningOf(f *plan.Fragment, dp *plan.DistributedPlan) plan.PartitioningKind {
+	hasScan := false
+	plan.Walk(f.Root, func(n plan.Node) {
+		if _, ok := n.(*plan.Scan); ok {
+			hasScan = true
+		}
+	})
+	if hasScan {
+		return plan.PartitionSource
+	}
+	parallel := false
+	for _, p := range dp.Fragments {
+		if p.OutputConsumer != f.ID {
+			continue
+		}
+		switch p.OutputPartitioning.Kind {
+		case plan.PartitionHash, plan.PartitionRoundRobin:
+			parallel = true
+		}
+	}
+	if parallel {
+		return plan.PartitionHash
+	}
+	return plan.PartitionSingle
+}
+
+func outputNames(f *plan.Fragment) []string {
+	if out, ok := f.Root.(*plan.Output); ok {
+		return out.Names
+	}
+	sch := f.Root.Schema()
+	names := make([]string, len(sch))
+	for i, fd := range sch {
+		names[i] = fd.Name
+	}
+	return names
+}
+
+// enumerateSplits lazily pulls split batches from the connector and assigns
+// them: bucketed splits go to task (bucket mod tasks) so co-located tables
+// align; node-local splits go to their owning worker; everything else goes
+// to the task with the shortest split queue.
+func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task, scanID int, scan *plan.Scan) {
+	conn, err := c.Catalog.Connector(scan.Handle.Catalog)
+	if err != nil {
+		res.setFailure(err)
+		q.abort()
+		return
+	}
+	src, err := conn.Splits(scan.Handle)
+	if err != nil {
+		res.setFailure(err)
+		q.abort()
+		return
+	}
+	defer src.Close()
+
+	nodeTask := map[int]*exec.Task{}
+	for i, t := range stage {
+		nodeTask[c.workers[i%len(c.workers)].ID] = t
+	}
+
+	for {
+		batch, err := src.NextBatch(c.cfg.SplitBatchSize)
+		if err != nil {
+			res.setFailure(err)
+			q.abort()
+			return
+		}
+		for _, s := range batch.Splits {
+			t := c.pickTask(stage, nodeTask, scanID, s)
+			if err := t.AddSplit(scanID, s); err != nil {
+				res.setFailure(err)
+				q.abort()
+				return
+			}
+		}
+		if batch.Done {
+			break
+		}
+	}
+	for _, t := range stage {
+		t.NoMoreSplits(scanID)
+	}
+}
+
+func (c *Coordinator) pickTask(stage []*exec.Task, nodeTask map[int]*exec.Task, scanID int, s connector.Split) *exec.Task {
+	if b, ok := s.(connector.Bucketed); ok {
+		return stage[b.Bucket()%len(stage)]
+	}
+	if pref := s.PreferredNodes(); len(pref) > 0 {
+		for _, node := range pref {
+			if t, ok := nodeTask[node]; ok {
+				return t
+			}
+		}
+	}
+	// Rack-local placement (§IV-D2): among tasks whose worker sits in a
+	// preferred rack, pick the shortest queue; fall back to the whole stage.
+	if rl, ok := s.(connector.RackLocated); ok && len(c.cfg.Topology) > 0 {
+		prefRacks := map[string]bool{}
+		for _, r := range rl.PreferredRacks() {
+			prefRacks[r] = true
+		}
+		var best *exec.Task
+		bestLen := 0
+		for node, t := range nodeTask {
+			if !prefRacks[c.cfg.Topology[node]] {
+				continue
+			}
+			if l := t.SplitQueueLength(scanID); best == nil || l < bestLen {
+				best, bestLen = t, l
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	best := stage[0]
+	bestLen := best.SplitQueueLength(scanID)
+	for _, t := range stage[1:] {
+		if l := t.SplitQueueLength(scanID); l < bestLen {
+			best, bestLen = t, l
+		}
+	}
+	return best
+}

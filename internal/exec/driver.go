@@ -1,0 +1,164 @@
+// Package exec implements local query execution (paper §IV-E, §IV-F1): the
+// driver loop that moves pages between the operators of a pipeline, tasks
+// that host the pipelines of one plan fragment, and the cooperative
+// multi-tasking executor with a multi-level feedback queue that shares
+// worker threads among the splits of many concurrent queries.
+package exec
+
+import (
+	"time"
+
+	"repro/internal/operators"
+)
+
+// Driver executes one pipeline instance: a chain of operators processing one
+// split (or one exchange stream). The driver loop is more complex than the
+// Volcano pull model but supports cooperative multitasking: operators are
+// brought to a known state before yielding, and every iteration moves data
+// between all operator pairs that can make progress (§IV-E1).
+type Driver struct {
+	ops            []operators.Operator
+	finishSignaled []bool
+	finished       bool
+	failed         error
+
+	// cpuNanos accumulates execution time for MLFQ level selection.
+	cpuNanos int64
+}
+
+// NewDriver creates a driver over the operator chain (source first, sink
+// last).
+func NewDriver(ops []operators.Operator) *Driver {
+	return &Driver{ops: ops, finishSignaled: make([]bool, len(ops))}
+}
+
+// CPUNanos returns accumulated processing time.
+func (d *Driver) CPUNanos() int64 { return d.cpuNanos }
+
+// Finished reports driver completion.
+func (d *Driver) Finished() bool { return d.finished }
+
+// Err returns the failure, if any.
+func (d *Driver) Err() error { return d.failed }
+
+// Blocked reports whether no operator can currently make progress because
+// one is waiting on an external event.
+func (d *Driver) Blocked() bool {
+	if d.finished {
+		return false
+	}
+	for _, op := range d.ops {
+		if op.IsBlocked() {
+			return true
+		}
+	}
+	return false
+}
+
+// Process runs the driver loop for up to quanta, returning whether it made
+// progress. The driver yields early when blocked or when the quanta expires
+// (the yield signal of §IV-F1).
+func (d *Driver) Process(quanta time.Duration) (progress bool, err error) {
+	if d.finished {
+		return false, d.failed
+	}
+	start := time.Now()
+	defer func() {
+		d.cpuNanos += time.Since(start).Nanoseconds()
+	}()
+
+	for {
+		moved := d.iterate()
+		if d.failed != nil {
+			d.finished = true
+			d.closeAll()
+			return progress, d.failed
+		}
+		if moved {
+			progress = true
+		}
+		// Completion: the sink is finished.
+		if d.ops[len(d.ops)-1].IsFinished() {
+			d.finished = true
+			d.closeAll()
+			return progress, nil
+		}
+		if !moved {
+			return progress, nil // blocked or starved: yield
+		}
+		if time.Since(start) >= quanta {
+			return progress, nil // quanta expired: yield
+		}
+	}
+}
+
+// iterate makes one pass over adjacent operator pairs, moving at most one
+// page between each pair that can make progress.
+func (d *Driver) iterate() bool {
+	moved := false
+	for i := 0; i < len(d.ops)-1; i++ {
+		up, down := d.ops[i], d.ops[i+1]
+		if down.IsFinished() {
+			// Downstream gave up (e.g. limit satisfied): finish upstream.
+			if !d.finishSignaled[i] && !up.IsFinished() {
+				up.Finish()
+				d.finishSignaled[i] = true
+				moved = true
+			}
+			continue
+		}
+		if down.NeedsInput() && !up.IsBlocked() {
+			p, err := up.Output()
+			if err != nil {
+				d.failed = err
+				return moved
+			}
+			if p != nil && p.RowCount() > 0 {
+				if err := down.AddInput(p); err != nil {
+					d.failed = err
+					return moved
+				}
+				moved = true
+				continue
+			}
+		}
+		if up.IsFinished() {
+			// Drain any remaining output before finishing downstream.
+			if down.NeedsInput() {
+				p, err := up.Output()
+				if err != nil {
+					d.failed = err
+					return moved
+				}
+				if p != nil && p.RowCount() > 0 {
+					if err := down.AddInput(p); err != nil {
+						d.failed = err
+						return moved
+					}
+					moved = true
+					continue
+				}
+			}
+			if !d.finishSignaled[i+1] && !down.IsFinished() {
+				down.Finish()
+				d.finishSignaled[i+1] = true
+				moved = true
+			}
+		}
+	}
+	return moved
+}
+
+func (d *Driver) closeAll() {
+	for _, op := range d.ops {
+		op.Close()
+	}
+}
+
+// Abort terminates the driver, closing all operators.
+func (d *Driver) Abort() {
+	if !d.finished {
+		d.finished = true
+		d.closeAll()
+	}
+}

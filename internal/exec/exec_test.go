@@ -1,0 +1,302 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+	"repro/internal/connectors/memconn"
+	"repro/internal/memory"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/shuffle"
+	"repro/internal/types"
+)
+
+// passthrough is a counting sink for driver tests (pipelines end in a sink
+// that consumes without producing, like PartitionedOutput).
+type passthrough struct {
+	finished bool
+	rows     int64
+}
+
+func (o *passthrough) NeedsInput() bool { return !o.finished }
+func (o *passthrough) AddInput(p *block.Page) error {
+	o.rows += int64(p.RowCount())
+	return nil
+}
+func (o *passthrough) Output() (*block.Page, error) { return nil, nil }
+func (o *passthrough) Finish()                      { o.finished = true }
+func (o *passthrough) IsFinished() bool             { return o.finished }
+func (o *passthrough) IsBlocked() bool              { return false }
+func (o *passthrough) Close() error                 { return nil }
+
+func TestDriverRunsToCompletion(t *testing.T) {
+	src := operators.NewValuesOperator([][]types.Value{
+		{types.BigintValue(1)}, {types.BigintValue(2)},
+	}, []types.Type{types.Bigint})
+	sink := &passthrough{}
+	d := NewDriver([]operators.Operator{src, sink})
+	for i := 0; i < 100 && !d.Finished(); i++ {
+		if _, err := d.Process(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Finished() {
+		t.Fatal("driver did not finish")
+	}
+	if sink.rows != 2 {
+		t.Errorf("rows: %d", sink.rows)
+	}
+}
+
+// errOp fails on input.
+type errOp struct{ passthrough }
+
+func (o *errOp) AddInput(p *block.Page) error { return errors.New("boom") }
+
+func TestDriverPropagatesErrors(t *testing.T) {
+	src := operators.NewValuesOperator([][]types.Value{{types.BigintValue(1)}}, []types.Type{types.Bigint})
+	d := NewDriver([]operators.Operator{src, &errOp{}})
+	var lastErr error
+	for i := 0; i < 10 && !d.Finished(); i++ {
+		_, lastErr = d.Process(time.Millisecond)
+	}
+	if lastErr == nil || d.Err() == nil {
+		t.Error("driver should surface operator errors")
+	}
+}
+
+func TestExecutorRunsDrivers(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Threads: 2, Quanta: time.Millisecond})
+	defer e.Close()
+	var done atomic.Int32
+	th := NewTaskHandle("q")
+	for i := 0; i < 20; i++ {
+		src := operators.NewValuesOperator([][]types.Value{{types.BigintValue(int64(i))}}, []types.Type{types.Bigint})
+		d := NewDriver([]operators.Operator{src, &passthrough{}})
+		e.Enqueue(d, th, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done.Add(1)
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for done.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if done.Load() != 20 {
+		t.Fatalf("completed %d/20 drivers", done.Load())
+	}
+	if th.CPUNanos() == 0 {
+		t.Error("task CPU time should accumulate")
+	}
+}
+
+func TestExecutorMLFQLevels(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Threads: 1, Quanta: time.Millisecond})
+	defer e.Close()
+	fresh := NewTaskHandle("fresh")
+	old := NewTaskHandle("old")
+	old.cpuNanos.Store(int64(60 * time.Second)) // deep into level 4
+	if e.levelOf(fresh) != 0 {
+		t.Errorf("fresh task level: %d", e.levelOf(fresh))
+	}
+	if e.levelOf(old) != nLevels-1 {
+		t.Errorf("old task level: %d", e.levelOf(old))
+	}
+	// FIFO mode pins everything to level 0.
+	f := NewExecutor(ExecutorConfig{Threads: 1, FIFO: true})
+	defer f.Close()
+	if f.levelOf(old) != 0 {
+		t.Error("FIFO mode should ignore levels")
+	}
+}
+
+// testRegistry adapts a memconn connector for task tests.
+type testRegistry struct{ conn connector.Connector }
+
+func (r *testRegistry) Connector(catalog string) (connector.Connector, error) {
+	if catalog != r.conn.Name() {
+		return nil, fmt.Errorf("unknown catalog %q", catalog)
+	}
+	return r.conn, nil
+}
+
+// buildScanFragment returns a fragment scanning table t's single column.
+func buildScanFragment(catalog string) *plan.Fragment {
+	scan := &plan.Scan{
+		Handle:  plan.TableHandle{Catalog: catalog, Table: "t"},
+		Columns: []string{"v"},
+		Out:     plan.Schema{{Name: "v", T: types.Bigint}},
+	}
+	return &plan.Fragment{
+		ID:                 0,
+		Root:               scan,
+		OutputPartitioning: plan.Partitioning{Kind: plan.PartitionSingle},
+		OutputConsumer:     -1,
+	}
+}
+
+func loadTestTable(rows int) *memconn.Connector {
+	conn := memconn.New("mem")
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	conn.LoadTable("t",
+		[]connector.Column{{Name: "v", T: types.Bigint}},
+		[]*block.Page{block.NewPage(block.NewLongBlock(vals, nil))})
+	return conn
+}
+
+func TestTaskScanEndToEnd(t *testing.T) {
+	conn := loadTestTable(100)
+	reg := &testRegistry{conn: conn}
+	ex := NewExecutor(ExecutorConfig{Threads: 2, Quanta: time.Millisecond})
+	defer ex.Close()
+	pool := memory.NewNodePool(1<<30, 0)
+	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: pool})
+
+	task, err := NewTask(TaskID{QueryID: "q", Fragment: 0}, buildScanFragment("mem"), 0,
+		ex, reg, qmem, pool, 1, nil, TaskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Feed splits as the coordinator would.
+	src, err := conn.Splits(plan.TableHandle{Catalog: "mem", Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		batch, _ := src.NextBatch(10)
+		for _, s := range batch.Splits {
+			if err := task.AddSplit(0, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if batch.Done {
+			break
+		}
+	}
+	task.NoMoreSplits(0)
+	if !task.waitDone(5 * time.Second) {
+		t.Fatal("task did not finish")
+	}
+	if err := task.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the output buffer.
+	rows := 0
+	var token int64
+	for {
+		pages, next, done := task.Output().Partition(0).Fetch(token, 0, 100*time.Millisecond)
+		for _, p := range pages {
+			rows += p.RowCount()
+		}
+		token = next
+		if done {
+			break
+		}
+	}
+	if rows != 100 {
+		t.Errorf("rows: %d", rows)
+	}
+}
+
+func TestTaskAbort(t *testing.T) {
+	conn := loadTestTable(10)
+	reg := &testRegistry{conn: conn}
+	ex := NewExecutor(ExecutorConfig{Threads: 1})
+	defer ex.Close()
+	pool := memory.NewNodePool(1<<30, 0)
+	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: pool})
+	task, err := NewTask(TaskID{QueryID: "q", Fragment: 0}, buildScanFragment("mem"), 0,
+		ex, reg, qmem, pool, 1, nil, TaskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Start(); err != nil {
+		t.Fatal(err)
+	}
+	task.Abort()
+	if !task.waitDone(2 * time.Second) {
+		t.Fatal("aborted task should finish")
+	}
+	if task.Err() == nil {
+		t.Error("aborted task should report an error")
+	}
+}
+
+func TestTaskExchangePipeline(t *testing.T) {
+	// A task whose source is a remote exchange: feed it from a local
+	// buffer and watch the data pass through.
+	producer := shuffle.NewOutputBuffer(1, 1<<20)
+	producer.Add(0, block.NewPage(block.NewLongBlock([]int64{1, 2, 3}, nil)))
+	producer.SetNoMorePages()
+
+	rs := &plan.RemoteSource{SourceFragments: []int{1}, Out: plan.Schema{{Name: "v", T: types.Bigint}}}
+	frag := &plan.Fragment{
+		ID: 0, Root: rs,
+		OutputPartitioning: plan.Partitioning{Kind: plan.PartitionSingle},
+		OutputConsumer:     -1,
+	}
+	ex := NewExecutor(ExecutorConfig{Threads: 1})
+	defer ex.Close()
+	pool := memory.NewNodePool(1<<30, 0)
+	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: pool})
+	task, err := NewTask(TaskID{QueryID: "q", Fragment: 0}, frag, 0, ex,
+		&testRegistry{conn: memconn.New("mem")}, qmem, pool, 1,
+		map[int][]shuffle.Fetcher{1: {&shuffle.LocalFetcher{Buf: producer.Partition(0)}}},
+		TaskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !task.waitDone(5 * time.Second) {
+		t.Fatal("task did not finish")
+	}
+	pages, _, _ := task.Output().Partition(0).Fetch(0, 0, 100*time.Millisecond)
+	rows := 0
+	for _, p := range pages {
+		rows += p.RowCount()
+	}
+	if rows != 3 {
+		t.Errorf("rows: %d", rows)
+	}
+}
+
+func TestWorkerLifecycle(t *testing.T) {
+	conn := loadTestTable(10)
+	w := NewWorker(0, &testRegistry{conn: conn}, WorkerConfig{Threads: 1})
+	defer w.Close()
+	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: w.Pool})
+	task, err := w.CreateTask(TaskID{QueryID: "q", Fragment: 0}, buildScanFragment("mem"), qmem, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TaskCount() != 1 {
+		t.Errorf("task count: %d", w.TaskCount())
+	}
+	task.NoMoreSplits(0)
+	if !task.waitDone(2 * time.Second) {
+		t.Fatal("task stuck")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.TaskCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.TaskCount() != 0 {
+		t.Error("finished task should be reaped")
+	}
+}

@@ -1,0 +1,449 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/connector"
+	"repro/internal/expr"
+	"repro/internal/memory"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/shuffle"
+	"repro/internal/types"
+)
+
+// ConnectorRegistry resolves catalog names to connectors; the worker's host
+// (cluster or server) provides it.
+type ConnectorRegistry interface {
+	Connector(catalog string) (connector.Connector, error)
+}
+
+// sourceKind classifies how a pipeline's drivers obtain input.
+type sourceKind int
+
+const (
+	srcScan sourceKind = iota
+	srcExchange
+	srcValues
+	srcLocalExchange
+)
+
+// pipelineSpec is one compiled pipeline of a task: a source plus factories
+// creating the downstream operator chain per driver.
+type pipelineSpec struct {
+	id     int
+	source sourceKind
+
+	// srcScan
+	scanID     int
+	scanHandle plan.TableHandle
+	scanCols   []string
+
+	// srcExchange
+	exchangeFragments []int
+
+	// srcValues
+	values *plan.Values
+
+	// srcLocalExchange
+	localEx      *operators.LocalExchange
+	localWays    int
+	localSources int
+
+	// mkOps builds the per-driver operator chain after the source.
+	mkOps func(ctx *driverCtx) ([]operators.Operator, error)
+
+	// bridge bookkeeping: bridges this pipeline builds into / probes.
+	buildBridge  *operators.JoinBridge
+	probeBridges []*operators.JoinBridge
+
+	// exchangeClient is the shared client for srcExchange pipelines.
+	exchangeClient *shuffle.ExchangeClient
+	// hasWriter marks pipelines containing a table writer (adaptive
+	// scaling candidates).
+	hasWriter bool
+	// noMoreDrivers records that bridge driver-creation is complete.
+	noMoreDrivers bool
+}
+
+// driverCtx is passed to factories when instantiating a driver's operators.
+type driverCtx struct {
+	task *Task
+}
+
+func (d *driverCtx) opCtx(kind memory.Kind) *operators.OpContext {
+	return &operators.OpContext{
+		Mem:   memory.NewLocalContext(d.task.queryMem, d.task.nodeID, kind),
+		Stats: &operators.OpStats{},
+	}
+}
+
+// compiler translates a fragment's plan tree into pipelines.
+type compiler struct {
+	task      *Task
+	pipelines []*pipelineSpec
+	scans     []*plan.Scan
+	pageSize  int
+}
+
+// opFactory builds one operator for a driver.
+type opFactory func(ctx *driverCtx) (operators.Operator, error)
+
+// chain accumulates factories for the pipeline being built.
+type chain struct {
+	spec      *pipelineSpec
+	factories []opFactory
+}
+
+func (c *chain) append(f opFactory) { c.factories = append(c.factories, f) }
+
+func (c *compiler) newPipeline() *chain {
+	spec := &pipelineSpec{id: len(c.pipelines)}
+	c.pipelines = append(c.pipelines, spec)
+	return &chain{spec: spec}
+}
+
+func (c *chain) seal() {
+	fs := c.factories
+	c.spec.mkOps = func(ctx *driverCtx) ([]operators.Operator, error) {
+		ops := make([]operators.Operator, 0, len(fs))
+		for _, f := range fs {
+			op, err := f(ctx)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+		}
+		return ops, nil
+	}
+}
+
+// compileFragment builds the pipelines of a fragment. The root pipeline's
+// sink is the task's partitioned output.
+func (c *compiler) compileFragment(f *plan.Fragment) error {
+	root := c.newPipeline()
+	node := f.Root
+	// Output nodes only name columns; TableWrite and others execute.
+	if out, ok := node.(*plan.Output); ok {
+		node = out.Input
+	}
+	if err := c.compile(node, root); err != nil {
+		return err
+	}
+	// Append the partitioned output sink.
+	mode := operators.OutputSingle
+	var hashCols []int
+	switch f.OutputPartitioning.Kind {
+	case plan.PartitionHash:
+		mode = operators.OutputHash
+		hashCols = f.OutputPartitioning.Cols
+	case plan.PartitionBroadcast:
+		mode = operators.OutputBroadcast
+	case plan.PartitionRoundRobin:
+		mode = operators.OutputRoundRobin
+	}
+	root.append(func(ctx *driverCtx) (operators.Operator, error) {
+		return operators.NewPartitionedOutput(ctx.opCtx(memory.System), ctx.task.output, mode, hashCols), nil
+	})
+	root.seal()
+	return nil
+}
+
+// compile appends operators for node to the pipeline being built, creating
+// additional pipelines for join build sides and local exchanges.
+func (c *compiler) compile(n plan.Node, pb *chain) error {
+	switch x := n.(type) {
+	case *plan.Scan:
+		pb.spec.source = srcScan
+		pb.spec.scanID = len(c.scans)
+		pb.spec.scanHandle = x.Handle
+		pb.spec.scanCols = x.Columns
+		c.scans = append(c.scans, x)
+		return nil
+
+	case *plan.RemoteSource:
+		pb.spec.source = srcExchange
+		pb.spec.exchangeFragments = x.SourceFragments
+		return nil
+
+	case *plan.Values:
+		pb.spec.source = srcValues
+		pb.spec.values = x
+		return nil
+
+	case *plan.LocalExchange:
+		// Producer side becomes its own pipeline ending in the sink.
+		ways := x.Ways
+		if ways <= 0 {
+			ways = 2
+		}
+		lex := operators.NewLocalExchange(ways, x.HashCols)
+		producer := c.newPipeline()
+		if err := c.compile(x.Input, producer); err != nil {
+			return err
+		}
+		producer.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewLocalExchangeSink(ctx.opCtx(memory.System), lex), nil
+		})
+		producer.seal()
+		pb.spec.source = srcLocalExchange
+		pb.spec.localEx = lex
+		pb.spec.localWays = ways
+		return nil
+
+	case *plan.Filter:
+		// Fuse Filter with identity projection.
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		sch := x.Input.Schema()
+		proj := identityExprs(sch)
+		pred := x.Predicate
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewFilterProject(ctx.opCtx(memory.System), ctx.task.newProcessor(pred, proj)), nil
+		})
+		return nil
+
+	case *plan.Project:
+		// Fuse Project(Filter(y)) into one page processor.
+		var pred expr.Expr
+		input := x.Input
+		if f, ok := x.Input.(*plan.Filter); ok {
+			pred = f.Predicate
+			input = f.Input
+		}
+		if err := c.compile(input, pb); err != nil {
+			return err
+		}
+		exprs := x.Exprs
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewFilterProject(ctx.opCtx(memory.System), ctx.task.newProcessor(pred, exprs)), nil
+		})
+		return nil
+
+	case *plan.Limit:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		nRows, off := x.N, x.Offset
+		if x.Partial {
+			off = 0
+		}
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewLimit(ctx.opCtx(memory.System), nRows, off), nil
+		})
+		return nil
+
+	case *plan.Distinct:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		ncols := len(x.Schema())
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewDistinct(ctx.opCtx(memory.User), ncols), nil
+		})
+		return nil
+
+	case *plan.Sort:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		cols, desc := splitKeys(x.Keys)
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewSort(ctx.opCtx(memory.User), cols, desc, c.pageSize), nil
+		})
+		return nil
+
+	case *plan.TopN:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		cols, desc := splitKeys(x.Keys)
+		nRows := x.N
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewTopN(ctx.opCtx(memory.User), cols, desc, nRows), nil
+		})
+		return nil
+
+	case *plan.Window:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		cols, desc := splitKeys(x.OrderBy)
+		part := x.PartitionBy
+		funcs := x.Funcs
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewWindow(ctx.opCtx(memory.User), part, cols, desc, funcs, c.pageSize), nil
+		})
+		return nil
+
+	case *plan.EnforceSingleRow:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		ts := x.Schema().Types()
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			return operators.NewEnforceSingleRow(ctx.opCtx(memory.System), ts), nil
+		})
+		return nil
+
+	case *plan.Aggregation:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		groupCols := make([]int, len(x.GroupBy))
+		groupTs := make([]types.Type, len(x.GroupBy))
+		for i, g := range x.GroupBy {
+			cr, ok := g.(*expr.ColumnRef)
+			if !ok {
+				return fmt.Errorf("aggregation group key %d is not a column (fragmenter should have projected it)", i)
+			}
+			groupCols[i] = cr.Index
+			groupTs[i] = cr.T
+		}
+		specs := make([]operators.AggSpec, len(x.Aggregates))
+		for i, a := range x.Aggregates {
+			spec := operators.AggSpec{Func: a.Func, ArgCol: -1, Distinct: a.Distinct, Out: a.Out}
+			if a.Arg != nil {
+				cr, ok := a.Arg.(*expr.ColumnRef)
+				if !ok {
+					return fmt.Errorf("aggregate argument %d is not a column", i)
+				}
+				spec.ArgCol = cr.Index
+			}
+			specs[i] = spec
+		}
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			op := operators.NewHashAggregation(ctx.opCtx(memory.User), groupCols, groupTs, specs, ctx.task.spillEnabled, c.pageSize)
+			if ctx.task.spillEnabled {
+				ctx.task.registerRevocable(op)
+			}
+			return op, nil
+		})
+		return nil
+
+	case *plan.Join:
+		return c.compileJoin(x, pb)
+
+	case *plan.TableWrite:
+		if err := c.compile(x.Input, pb); err != nil {
+			return err
+		}
+		pb.spec.hasWriter = true
+		catalog, table := x.Catalog, x.Table
+		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+			conn, err := ctx.task.connectors.Connector(catalog)
+			if err != nil {
+				return nil, err
+			}
+			sink, err := conn.PageSink(table)
+			if err != nil {
+				return nil, err
+			}
+			w := operators.NewTableWriter(ctx.opCtx(memory.System), sink)
+			w.WriteDelay = ctx.task.writeDelay
+			return w, nil
+		})
+		return nil
+
+	case *plan.Output:
+		return c.compile(x.Input, pb)
+
+	default:
+		return fmt.Errorf("pipeline compiler: unsupported node %T", n)
+	}
+}
+
+func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
+	if j.Strategy == plan.StrategyIndex {
+		return c.compileIndexJoin(j, pb)
+	}
+	// Build side: its own pipeline ending in HashBuild.
+	bridge := operators.NewJoinBridge()
+	build := c.newPipeline()
+	if err := c.compile(j.Right, build); err != nil {
+		return err
+	}
+	buildKeys := make([]int, len(j.Equi))
+	probeKeys := make([]int, len(j.Equi))
+	for i, eq := range j.Equi {
+		buildKeys[i] = eq.Right
+		probeKeys[i] = eq.Left
+	}
+	build.append(func(ctx *driverCtx) (operators.Operator, error) {
+		bridge.AddBuilder()
+		return operators.NewHashBuild(ctx.opCtx(memory.User), bridge, buildKeys), nil
+	})
+	build.seal()
+	build.spec.buildBridge = bridge
+
+	// Probe continues the current pipeline.
+	if err := c.compile(j.Left, pb); err != nil {
+		return err
+	}
+	jt := j.Type
+	residual := j.Residual
+	probeTs := j.Left.Schema().Types()
+	buildTs := j.Right.Schema().Types()
+	pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		bridge.AddProbe()
+		return operators.NewLookupJoin(ctx.opCtx(memory.User), bridge, jt, probeKeys, residual, probeTs, buildTs, c.pageSize), nil
+	})
+	pb.spec.probeBridges = append(pb.spec.probeBridges, bridge)
+	return nil
+}
+
+func (c *compiler) compileIndexJoin(j *plan.Join, pb *chain) error {
+	scan, ok := j.Right.(*plan.Scan)
+	if !ok {
+		return fmt.Errorf("index join requires a scan build side")
+	}
+	if err := c.compile(j.Left, pb); err != nil {
+		return err
+	}
+	probeKeys := make([]int, len(j.Equi))
+	keyCols := make([]string, len(j.Equi))
+	for i, eq := range j.Equi {
+		probeKeys[i] = eq.Left
+		keyCols[i] = scan.Columns[eq.Right]
+	}
+	jt := j.Type
+	probeTs := j.Left.Schema().Types()
+	buildTs := j.Right.Schema().Types()
+	catalog, table := scan.Handle.Catalog, scan.Handle.Table
+	outCols := scan.Columns
+	pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		conn, err := ctx.task.connectors.Connector(catalog)
+		if err != nil {
+			return nil, err
+		}
+		idxConn, ok := conn.(connector.Indexed)
+		if !ok {
+			return nil, fmt.Errorf("connector %s does not support index joins", catalog)
+		}
+		idx, ok := idxConn.Index(table, keyCols, outCols)
+		if !ok {
+			return nil, fmt.Errorf("no index on %s.%s(%v)", catalog, table, keyCols)
+		}
+		return operators.NewIndexJoin(ctx.opCtx(memory.User), idx.Lookup, jt, probeKeys, probeTs, buildTs, c.pageSize), nil
+	})
+	return nil
+}
+
+func identityExprs(sch plan.Schema) []expr.Expr {
+	out := make([]expr.Expr, len(sch))
+	for i, f := range sch {
+		out[i] = &expr.ColumnRef{Index: i, T: f.T, Name: f.Name}
+	}
+	return out
+}
+
+func splitKeys(keys []plan.SortKey) ([]int, []bool) {
+	cols := make([]int, len(keys))
+	desc := make([]bool, len(keys))
+	for i, k := range keys {
+		cols[i] = k.Col
+		desc[i] = k.Descending
+	}
+	return cols, desc
+}

@@ -1,0 +1,484 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/connector"
+	"repro/internal/expr"
+	"repro/internal/memory"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/shuffle"
+)
+
+// TaskID identifies a task: one execution of a fragment on one worker.
+type TaskID struct {
+	QueryID  string
+	Fragment int
+	Index    int // task index within the stage (= output partition consumed)
+}
+
+// String renders the id.
+func (t TaskID) String() string {
+	return fmt.Sprintf("%s.%d.%d", t.QueryID, t.Fragment, t.Index)
+}
+
+// TaskConfig tunes task execution.
+type TaskConfig struct {
+	// PageSize is the target rows per page for accumulating operators.
+	PageSize int
+	// OutputBufferBytes caps each output partition before backpressure.
+	OutputBufferBytes int64
+	// TargetSplitConcurrency is the initial number of concurrently running
+	// leaf splits per task; the task adapts it down when output buffers
+	// stay full (§IV-E2).
+	TargetSplitConcurrency int
+	// MaxWriters bounds adaptive writer scaling (§IV-E3).
+	MaxWriters int
+	// SpillEnabled allows aggregations to spill under memory pressure.
+	SpillEnabled bool
+	// Interpreted forces interpreted expression evaluation (codegen
+	// ablation).
+	Interpreted bool
+	// Phased delays probe-side splits until the join build completes
+	// (stage scheduling policy, §IV-D1), trading wall-clock time for peak
+	// memory. All-at-once (false) is the latency-optimized default.
+	Phased bool
+	// WriteDelay simulates remote-storage write latency (benchmarks).
+	WriteDelay func()
+}
+
+// Task executes one plan fragment on a worker: it owns the fragment's
+// pipelines, creates a driver per split for leaf pipelines, and produces
+// into a partitioned output buffer (paper §IV-D, §IV-E).
+type Task struct {
+	ID TaskID
+
+	nodeID       int
+	executor     *Executor
+	connectors   ConnectorRegistry
+	queryMem     *memory.QueryContext
+	nodePool     *memory.NodePool
+	output       *shuffle.OutputBuffer
+	handle       *TaskHandle
+	cfg          TaskConfig
+	spillEnabled bool
+	writeDelay   func()
+
+	compiled  []*pipelineSpec
+	scanPipes map[int]*pipelineSpec // scanID → pipeline
+	scans     []*plan.Scan
+
+	mu            sync.Mutex
+	activeDrivers int
+	pendingSplits map[int][]connector.Split // scanID → queued splits
+	runningSplits map[int]int               // scanID → running drivers
+	noMoreSplits  map[int]bool
+	failed        error
+	doneCh        chan struct{}
+	doneOnce      sync.Once
+	aborted       bool
+
+	exchangeClients []*shuffle.ExchangeClient
+	scalablePipes   []*scalablePipe
+}
+
+// scalablePipe tracks a writer pipeline eligible for adaptive scaling.
+type scalablePipe struct {
+	spec    *pipelineSpec
+	client  *shuffle.ExchangeClient
+	drivers int
+}
+
+// NewTask compiles a fragment and prepares (but does not start) execution.
+// exchangeSources maps upstream fragment ids to this task's page fetchers.
+func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg ConnectorRegistry,
+	qmem *memory.QueryContext, pool *memory.NodePool, outPartitions int,
+	exchangeSources map[int][]shuffle.Fetcher, cfg TaskConfig) (*Task, error) {
+
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 1024
+	}
+	if cfg.TargetSplitConcurrency <= 0 {
+		cfg.TargetSplitConcurrency = 4
+	}
+	if cfg.MaxWriters <= 0 {
+		cfg.MaxWriters = 8
+	}
+	t := &Task{
+		ID:            id,
+		nodeID:        nodeID,
+		executor:      ex,
+		connectors:    reg,
+		queryMem:      qmem,
+		nodePool:      pool,
+		output:        shuffle.NewOutputBuffer(outPartitions, cfg.OutputBufferBytes),
+		handle:        NewTaskHandle(id.QueryID),
+		cfg:           cfg,
+		spillEnabled:  cfg.SpillEnabled,
+		writeDelay:    cfg.WriteDelay,
+		pendingSplits: map[int][]connector.Split{},
+		runningSplits: map[int]int{},
+		noMoreSplits:  map[int]bool{},
+		doneCh:        make(chan struct{}),
+		scanPipes:     map[int]*pipelineSpec{},
+	}
+	c := &compiler{task: t, pageSize: cfg.PageSize}
+	if err := c.compileFragment(f); err != nil {
+		return nil, err
+	}
+	t.compiled = c.pipelines
+	t.scans = c.scans
+	for _, p := range t.compiled {
+		if p.source == srcScan {
+			t.scanPipes[p.scanID] = p
+		}
+	}
+
+	// Wire exchange clients.
+	for _, p := range t.compiled {
+		if p.source != srcExchange {
+			continue
+		}
+		var fetchers []shuffle.Fetcher
+		for _, fid := range p.exchangeFragments {
+			fetchers = append(fetchers, exchangeSources[fid]...)
+		}
+		client := shuffle.NewExchangeClient(fetchers, cfg.OutputBufferBytes)
+		t.exchangeClients = append(t.exchangeClients, client)
+		p.exchangeClient = client
+	}
+	return t, nil
+}
+
+// Output returns the task's partitioned output buffer.
+func (t *Task) Output() *shuffle.OutputBuffer { return t.output }
+
+// Handle returns the MLFQ accounting handle.
+func (t *Task) Handle() *TaskHandle { return t.handle }
+
+// Start launches the task's non-split drivers.
+func (t *Task) Start() error {
+	for _, client := range t.exchangeClients {
+		client.Start()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.compiled {
+		switch p.source {
+		case srcValues:
+			src := operators.NewValuesOperator(p.values.Rows, p.values.Out.Types())
+			if err := t.startDriverLocked(p, src); err != nil {
+				return err
+			}
+			t.declareNoMoreDriversLocked(p)
+		case srcExchange:
+			src := operators.NewExchangeSource(t.opCtx(), p.exchangeClient)
+			if err := t.startDriverLocked(p, src); err != nil {
+				return err
+			}
+			if t.isWriterPipe(p) {
+				t.scalablePipes = append(t.scalablePipes, &scalablePipe{spec: p, client: p.exchangeClient, drivers: 1})
+				// Writers may scale: more drivers can still be added.
+			} else {
+				t.declareNoMoreDriversLocked(p)
+			}
+		case srcLocalExchange:
+			for i := 0; i < p.localWays; i++ {
+				src := operators.NewLocalExchangeSource(t.opCtx(), p.localEx, i)
+				if err := t.startDriverLocked(p, src); err != nil {
+					return err
+				}
+			}
+			t.declareNoMoreDriversLocked(p)
+		}
+	}
+	t.maybeFinishLocked()
+	return nil
+}
+
+func (t *Task) isWriterPipe(p *pipelineSpec) bool { return p.hasWriter }
+
+func (t *Task) opCtx() *operators.OpContext {
+	d := &driverCtx{task: t}
+	return d.opCtx(memory.System)
+}
+
+// newProcessor builds a page processor honoring the interpreted-mode
+// ablation flag.
+func (t *Task) newProcessor(pred expr.Expr, proj []expr.Expr) *expr.PageProcessor {
+	if t.cfg.Interpreted {
+		return expr.NewInterpretedPageProcessor(pred, proj)
+	}
+	return expr.NewPageProcessor(pred, proj)
+}
+
+func (t *Task) registerRevocable(r memory.Revocable) {
+	if t.nodePool != nil {
+		t.nodePool.RegisterRevocable(t.ID.QueryID, r)
+	}
+}
+
+// startDriverLocked instantiates the pipeline's operators behind src and
+// enqueues the driver.
+func (t *Task) startDriverLocked(p *pipelineSpec, src operators.Operator) error {
+	dctx := &driverCtx{task: t}
+	ops, err := p.mkOps(dctx)
+	if err != nil {
+		return err
+	}
+	all := append([]operators.Operator{src}, ops...)
+	d := NewDriver(all)
+	t.activeDrivers++
+	pipe := p
+	t.executor.Enqueue(d, t.handle, func(err error) {
+		t.driverDone(pipe, err)
+	})
+	return nil
+}
+
+// declareNoMoreDriversLocked tells bridges attached to the pipeline that all
+// its drivers now exist.
+func (t *Task) declareNoMoreDriversLocked(p *pipelineSpec) {
+	if p.noMoreDrivers {
+		return
+	}
+	p.noMoreDrivers = true
+	if p.buildBridge != nil {
+		p.buildBridge.NoMoreBuilders()
+	}
+	for _, b := range p.probeBridges {
+		b.NoMoreProbes()
+	}
+}
+
+// AddSplit queues a split for the scan pipeline scanID.
+func (t *Task) AddSplit(scanID int, s connector.Split) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.aborted || t.failed != nil {
+		return nil
+	}
+	if _, ok := t.scanPipes[scanID]; !ok {
+		return fmt.Errorf("task %s has no scan pipeline %d", t.ID, scanID)
+	}
+	t.pendingSplits[scanID] = append(t.pendingSplits[scanID], s)
+	return t.maybeStartSplitsLocked(scanID)
+}
+
+// NoMoreSplits declares split enumeration complete for a scan.
+func (t *Task) NoMoreSplits(scanID int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.noMoreSplits[scanID] = true
+	t.maybeDeclareScanDoneLocked(scanID)
+	t.maybeFinishLocked()
+}
+
+func (t *Task) maybeDeclareScanDoneLocked(scanID int) {
+	if t.noMoreSplits[scanID] && len(t.pendingSplits[scanID]) == 0 && t.runningSplits[scanID] == 0 {
+		if p, ok := t.scanPipes[scanID]; ok {
+			t.declareNoMoreDriversLocked(p)
+		}
+	}
+}
+
+// maybeStartSplitsLocked starts pending split drivers up to the adaptive
+// concurrency target: when output buffer utilization is consistently high,
+// effective concurrency drops (§IV-E2).
+func (t *Task) maybeStartSplitsLocked(scanID int) error {
+	p := t.scanPipes[scanID]
+	// Phased scheduling: hold probe splits until the build sides are ready.
+	if t.cfg.Phased {
+		for _, b := range p.probeBridges {
+			if !b.Built() {
+				return nil
+			}
+		}
+	}
+	target := t.cfg.TargetSplitConcurrency
+	if t.output.Utilization() > 0.5 {
+		target = 1 // buffers full: lower effective concurrency
+	}
+	for t.runningSplits[scanID] < target && len(t.pendingSplits[scanID]) > 0 {
+		s := t.pendingSplits[scanID][0]
+		t.pendingSplits[scanID] = t.pendingSplits[scanID][1:]
+		conn, err := t.connectors.Connector(p.scanHandle.Catalog)
+		if err != nil {
+			return err
+		}
+		srcReader, err := conn.PageSource(s, p.scanCols, p.scanHandle)
+		if err != nil {
+			return err
+		}
+		src := operators.NewTableScan(t.opCtx(), srcReader)
+		if err := t.startDriverLocked(p, src); err != nil {
+			return err
+		}
+		t.runningSplits[scanID]++
+	}
+	return nil
+}
+
+// driverDone is called by the executor when a driver completes.
+func (t *Task) driverDone(p *pipelineSpec, err error) {
+	t.mu.Lock()
+	t.activeDrivers--
+	if p.source == srcScan {
+		t.runningSplits[p.scanID]--
+		if err == nil && !t.aborted {
+			if serr := t.maybeStartSplitsLocked(p.scanID); serr != nil && t.failed == nil {
+				t.failed = serr
+			}
+		}
+		t.maybeDeclareScanDoneLocked(p.scanID)
+	}
+	if err != nil && t.failed == nil {
+		t.failed = err
+	}
+	t.maybeFinishLocked()
+	t.mu.Unlock()
+}
+
+// maybeFinishLocked finalizes the task when all drivers are done and no
+// splits remain.
+func (t *Task) maybeFinishLocked() {
+	if t.activeDrivers > 0 {
+		return
+	}
+	for id, p := range t.scanPipes {
+		_ = p
+		if !t.noMoreSplits[id] || len(t.pendingSplits[id]) > 0 {
+			return
+		}
+	}
+	if t.failed != nil {
+		t.output.Destroy()
+	} else {
+		t.output.SetNoMorePages()
+	}
+	t.doneOnce.Do(func() { close(t.doneCh) })
+}
+
+// Done returns a channel closed when the task finishes (or fails).
+func (t *Task) Done() <-chan struct{} { return t.doneCh }
+
+// Err returns the task failure, if any.
+func (t *Task) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}
+
+// Abort cancels the task, dropping buffered output.
+func (t *Task) Abort() {
+	t.mu.Lock()
+	t.aborted = true
+	t.pendingSplits = map[int][]connector.Split{}
+	for id := range t.scanPipes {
+		t.noMoreSplits[id] = true
+	}
+	if t.failed == nil {
+		t.failed = fmt.Errorf("task %s aborted", t.ID)
+	}
+	t.output.Destroy()
+	for _, c := range t.exchangeClients {
+		c.Close()
+	}
+	t.maybeFinishLocked()
+	t.mu.Unlock()
+}
+
+// PumpSplits re-evaluates gated split starts (phased scheduling and
+// adaptive concurrency); called periodically by the worker monitor.
+func (t *Task) PumpSplits() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed != nil || t.aborted {
+		return
+	}
+	for id := range t.scanPipes {
+		if err := t.maybeStartSplitsLocked(id); err != nil && t.failed == nil {
+			t.failed = err
+		}
+	}
+	t.maybeFinishLocked()
+}
+
+// ScaleWriters checks adaptive writer scaling: when a writer pipeline's
+// input exchange buffer is persistently occupied, another writer driver is
+// added up to MaxWriters (paper §IV-E3: writer concurrency increases when
+// the producing stage exceeds a buffer utilization threshold). Called
+// periodically by the worker's monitor.
+func (t *Task) ScaleWriters() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed != nil || t.aborted {
+		return
+	}
+	for _, sp := range t.scalablePipes {
+		if sp.drivers >= t.cfg.MaxWriters {
+			t.declareNoMoreDriversLocked(sp.spec)
+			continue
+		}
+		// Scale when the writer's input backlog persists past the
+		// threshold (the paper's buffer-utilization trigger, §IV-E3).
+		threshold := t.cfg.OutputBufferBytes / 2
+		if threshold <= 0 || threshold > 32<<10 {
+			threshold = 32 << 10
+		}
+		if sp.client.BufferedBytes() > threshold {
+			// Exponential ramp: double the writer count each time the
+			// backlog persists, up to the cap (§IV-E3).
+			add := sp.drivers
+			if sp.drivers+add > t.cfg.MaxWriters {
+				add = t.cfg.MaxWriters - sp.drivers
+			}
+			for i := 0; i < add; i++ {
+				src := operators.NewExchangeSource(t.opCtx(), sp.client)
+				if err := t.startDriverLocked(sp.spec, src); err != nil {
+					break
+				}
+				sp.drivers++
+			}
+		}
+	}
+}
+
+// WriterCount reports the current writer drivers (for the scaling bench).
+func (t *Task) WriterCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, sp := range t.scalablePipes {
+		n += sp.drivers
+	}
+	return n
+}
+
+// SplitQueueLength reports queued plus running splits for a scan, used for
+// the coordinator's shortest-queue split assignment (§IV-D3).
+func (t *Task) SplitQueueLength(scanID int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pendingSplits[scanID]) + t.runningSplits[scanID]
+}
+
+// CPUNanos reports task CPU time.
+func (t *Task) CPUNanos() int64 { return t.handle.CPUNanos() }
+
+// Scans exposes the fragment's scan nodes in scanID order (for split
+// scheduling).
+func (t *Task) Scans() []*plan.Scan { return t.scans }
+
+// waitDone blocks until completion or timeout.
+func (t *Task) waitDone(d time.Duration) bool {
+	select {
+	case <-t.doneCh:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

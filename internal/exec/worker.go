@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/plan"
+	"repro/internal/shuffle"
+)
+
+// Worker is one node of the cluster: a cooperative executor, a node memory
+// pool, and the tasks currently assigned to it (paper §III). Multiple
+// queries share the worker's long-lived process, mirroring Presto's shared
+// JVM design.
+type Worker struct {
+	ID   int
+	Exec *Executor
+	Pool *memory.NodePool
+
+	connectors ConnectorRegistry
+	cfg        TaskConfig
+
+	mu    sync.Mutex
+	tasks map[TaskID]*Task
+
+	stopMonitor chan struct{}
+	monitorOnce sync.Once
+}
+
+// WorkerConfig sizes a worker.
+type WorkerConfig struct {
+	Threads           int
+	Quanta            time.Duration
+	FIFO              bool
+	GeneralPoolBytes  int64
+	ReservedPoolBytes int64
+	Task              TaskConfig
+}
+
+// NewWorker creates and starts a worker node.
+func NewWorker(id int, reg ConnectorRegistry, cfg WorkerConfig) *Worker {
+	if cfg.GeneralPoolBytes <= 0 {
+		cfg.GeneralPoolBytes = 1 << 30
+	}
+	if cfg.ReservedPoolBytes <= 0 {
+		cfg.ReservedPoolBytes = 256 << 20
+	}
+	w := &Worker{
+		ID:          id,
+		Exec:        NewExecutor(ExecutorConfig{Threads: cfg.Threads, Quanta: cfg.Quanta, FIFO: cfg.FIFO}),
+		Pool:        memory.NewNodePool(cfg.GeneralPoolBytes, cfg.ReservedPoolBytes),
+		connectors:  reg,
+		cfg:         cfg.Task,
+		tasks:       map[TaskID]*Task{},
+		stopMonitor: make(chan struct{}),
+	}
+	go w.monitor()
+	return w
+}
+
+// monitor periodically drives adaptive behaviours that need a clock: writer
+// scaling (§IV-E3).
+func (w *Worker) monitor() {
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopMonitor:
+			return
+		case <-ticker.C:
+			w.mu.Lock()
+			ts := make([]*Task, 0, len(w.tasks))
+			for _, t := range w.tasks {
+				ts = append(ts, t)
+			}
+			w.mu.Unlock()
+			for _, t := range ts {
+				t.ScaleWriters()
+				t.PumpSplits()
+			}
+		}
+	}
+}
+
+// CreateTask instantiates and starts a task for a fragment.
+func (w *Worker) CreateTask(id TaskID, f *plan.Fragment, qmem *memory.QueryContext,
+	outPartitions int, exchangeSources map[int][]shuffle.Fetcher, overrides *TaskConfig) (*Task, error) {
+
+	cfg := w.cfg
+	if overrides != nil {
+		cfg = *overrides
+	}
+	t, err := NewTask(id, f, w.ID, w.Exec, w.connectors, qmem, w.Pool, outPartitions, exchangeSources, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.tasks[id] = t
+	w.mu.Unlock()
+	if err := t.Start(); err != nil {
+		t.Abort()
+		return nil, err
+	}
+	// Reap the task when done.
+	go func() {
+		<-t.Done()
+		w.mu.Lock()
+		delete(w.tasks, id)
+		w.mu.Unlock()
+	}()
+	return t, nil
+}
+
+// Task looks up a running task.
+func (w *Worker) Task(id TaskID) (*Task, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.tasks[id]
+	return t, ok
+}
+
+// TaskCount returns the number of live tasks (for scheduling metrics).
+func (w *Worker) TaskCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.tasks)
+}
+
+// AbortQuery aborts all of a query's tasks on this worker.
+func (w *Worker) AbortQuery(queryID string) {
+	w.mu.Lock()
+	var ts []*Task
+	for id, t := range w.tasks {
+		if id.QueryID == queryID {
+			ts = append(ts, t)
+		}
+	}
+	w.mu.Unlock()
+	for _, t := range ts {
+		t.Abort()
+	}
+}
+
+// Close stops the worker.
+func (w *Worker) Close() {
+	w.monitorOnce.Do(func() { close(w.stopMonitor) })
+	w.Exec.Close()
+}
+
+// String renders the worker for logs.
+func (w *Worker) String() string { return fmt.Sprintf("worker-%d", w.ID) }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/connector"
+	"repro/internal/connectors/hive"
+	"repro/internal/plan"
+)
+
+// countingHive wraps a hive connector, accumulating physical bytes read
+// across all page sources — the instrumentation for the lazy-loading
+// experiment.
+type countingHive struct {
+	*hive.Connector
+	bytes atomic.Int64
+}
+
+// BytesReadTotal reports bytes fetched by all closed and open sources.
+func (c *countingHive) BytesReadTotal() int64 { return c.bytes.Load() }
+
+// PageSource intercepts the Data Source API to count bytes.
+func (c *countingHive) PageSource(s connector.Split, columns []string, handle plan.TableHandle) (connector.PageSource, error) {
+	src, err := c.Connector.PageSource(s, columns, handle)
+	if err != nil {
+		return nil, err
+	}
+	return &countingSource{PageSource: src, counter: c}, nil
+}
+
+type countingSource struct {
+	connector.PageSource
+	counter *countingHive
+	last    int64
+}
+
+// Close flushes the final byte count.
+func (s *countingSource) Close() {
+	s.counter.bytes.Add(s.PageSource.BytesRead() - s.last)
+	s.last = s.PageSource.BytesRead()
+	s.PageSource.Close()
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestFig6Smoke(t *testing.T) {
+	r, err := RunFig6(Options{Workers: 2, Scale: 0.1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Report())
+}
+
+func TestLazySmoke(t *testing.T) {
+	r, err := RunLazy(Options{Workers: 2, Scale: 0.2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Report())
+	if r.LazyBytes >= r.EagerBytes {
+		t.Errorf("lazy should read fewer bytes: lazy=%d eager=%d", r.LazyBytes, r.EagerBytes)
+	}
+}

@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§VI) on the in-process cluster, plus ablation studies
+// for the design decisions described in §IV and §V. Each experiment returns
+// a structured result with a Report() rendering the same rows/series the
+// paper presents. The harness is shared by `go test -bench` (bench_test.go)
+// and the cmd/prestobench binary.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// Options size the experiments for the host machine.
+type Options struct {
+	// Workers is the simulated cluster size (paper: 100 nodes; default 4).
+	Workers int
+	// Scale is the TPC-H scale factor (default 0.25 ≈ 15k lineitems).
+	Scale float64
+	// Quick shrinks iteration counts for smoke tests.
+	Quick bool
+}
+
+// Defaults fills unset options.
+func (o Options) Defaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	return o
+}
+
+func tempDir(prefix string) string {
+	d, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// timeQuery runs sql to completion and returns the wall time.
+func timeQuery(c *presto.Cluster, sql string) (time.Duration, error) {
+	start := time.Now()
+	res, err := c.Execute(sql)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := res.All(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// --- Figure 6: connector adaptivity ---
+
+// Fig6Row is one query's runtimes under the three configurations.
+type Fig6Row struct {
+	Query       string
+	Raptor      time.Duration
+	HiveNoStats time.Duration
+	HiveStats   time.Duration
+}
+
+// Fig6Result is the full Figure 6 dataset.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// RunFig6 reproduces Figure 6: the 19-query suite under (1) Raptor-style
+// shared-nothing storage, (2) Hive/HDFS-style storage without statistics
+// (no CBO), and (3) Hive/HDFS-style storage with table/column statistics.
+func RunFig6(opt Options) (*Fig6Result, error) {
+	opt = opt.Defaults()
+
+	type config struct {
+		name     string
+		catalog  string
+		useStats bool
+		setup    func(c *presto.Cluster) error
+	}
+	dir := tempDir("presto-fig6-hive-")
+	defer os.RemoveAll(dir)
+
+	configs := []config{
+		{
+			name: "raptor", catalog: "raptor", useStats: true,
+			setup: func(c *presto.Cluster) error {
+				conn, err := workload.LoadTPCHRaptor("raptor", opt.Workers, opt.Scale)
+				if err != nil {
+					return err
+				}
+				c.Register(conn)
+				return nil
+			},
+		},
+		{
+			name: "hive-nostats", catalog: "hive", useStats: false,
+			setup: func(c *presto.Cluster) error {
+				conn, err := workload.LoadTPCHHive("hive", dir, opt.Scale, false)
+				if err != nil {
+					return err
+				}
+				c.Register(conn)
+				return nil
+			},
+		},
+		{
+			name: "hive-stats", catalog: "hive", useStats: true,
+			setup: func(c *presto.Cluster) error {
+				conn, err := workload.LoadTPCHHive("hive", dir, opt.Scale, true)
+				if err != nil {
+					return err
+				}
+				c.Register(conn)
+				return nil
+			},
+		},
+	}
+
+	result := &Fig6Result{}
+	var all [][]time.Duration
+	for _, cfg := range configs {
+		cluster := presto.NewCluster(presto.ClusterConfig{
+			Workers:          opt.Workers,
+			ThreadsPerWorker: 2,
+			DisableStats:     !cfg.useStats,
+		})
+		if err := cfg.setup(cluster); err != nil {
+			cluster.Close()
+			return nil, fmt.Errorf("setup %s: %w", cfg.name, err)
+		}
+		var times []time.Duration
+		for _, q := range workload.Fig6Queries(cfg.catalog) {
+			d, err := timeQuery(cluster, q.SQL)
+			if err != nil {
+				cluster.Close()
+				return nil, fmt.Errorf("%s on %s: %w", q.ID, cfg.name, err)
+			}
+			times = append(times, d)
+		}
+		cluster.Close()
+		all = append(all, times)
+	}
+	for i, q := range workload.Fig6Queries("x") {
+		result.Rows = append(result.Rows, Fig6Row{
+			Query:       q.ID,
+			Raptor:      all[0][i],
+			HiveNoStats: all[1][i],
+			HiveStats:   all[2][i],
+		})
+	}
+	return result, nil
+}
+
+// Report renders the Figure 6 table.
+func (r *Fig6Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — query runtimes by storage configuration\n")
+	fmt.Fprintf(&sb, "%-6s %14s %18s %16s\n", "query", "raptor", "hive (no stats)", "hive (stats)")
+	var tr, tn, ts time.Duration
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-6s %14s %18s %16s\n", row.Query,
+			row.Raptor.Round(time.Millisecond),
+			row.HiveNoStats.Round(time.Millisecond),
+			row.HiveStats.Round(time.Millisecond))
+		tr += row.Raptor
+		tn += row.HiveNoStats
+		ts += row.HiveStats
+	}
+	fmt.Fprintf(&sb, "%-6s %14s %18s %16s\n", "total",
+		tr.Round(time.Millisecond), tn.Round(time.Millisecond), ts.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "shape check: raptor < hive-stats <= hive-nostats → %v\n",
+		tr < ts && ts <= tn+tn/10)
+	return sb.String()
+}

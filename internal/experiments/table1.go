@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table1Row is one deployment row of Table I, measured on this cluster.
+type Table1Row struct {
+	UseCase       string
+	WorkloadShape string
+	Connector     string
+	Concurrency   int
+	MinLatency    time.Duration
+	MaxLatency    time.Duration
+}
+
+// Table1Result reproduces Table I with measured latency bands.
+type Table1Result struct{ Rows []Table1Row }
+
+// RunTable1 regenerates Table I: for each use case it runs its query shape
+// at its characteristic concurrency on the appropriate connector and
+// reports the observed duration band, mirroring the paper's
+// duration/shape/connector columns.
+func RunTable1(opt Options) (*Table1Result, error) {
+	opt = opt.Defaults()
+	f7, err := RunFig7(Options{Workers: opt.Workers, Scale: opt.Scale, Quick: true})
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table1Row{
+		{
+			UseCase:       "Developer/Advertiser Analytics",
+			WorkloadShape: "Joins, aggregations and window functions",
+			Connector:     "Sharded MySQL (shardsql)",
+			Concurrency:   100,
+		},
+		{
+			UseCase:       "A/B Testing",
+			WorkloadShape: "Transform, filter and join billions of rows",
+			Connector:     "Raptor",
+			Concurrency:   10,
+		},
+		{
+			UseCase:       "Interactive Analytics",
+			WorkloadShape: "Exploratory analysis on up to ~3TB",
+			Connector:     "Hive/HDFS (orcish lake)",
+			Concurrency:   75,
+		},
+		{
+			UseCase:       "Batch ETL",
+			WorkloadShape: "Transform, filter, join or aggregate large inputs",
+			Connector:     "Hive/HDFS (orcish lake)",
+			Concurrency:   10,
+		},
+	}
+	keys := []string{"Dev/Advertiser Analytics", "A/B Testing", "Interactive Analytics", "Batch ETL"}
+	for i := range rows {
+		h := f7.Hists[keys[i]]
+		rows[i].MinLatency = h.Quantile(0.0)
+		rows[i].MaxLatency = h.Quantile(1.0)
+	}
+	return &Table1Result{Rows: rows}, nil
+}
+
+// Report renders the table.
+func (r *Table1Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Table I — deployments per use case (measured latency bands)\n")
+	fmt.Fprintf(&sb, "%-32s %-14s %-26s %s\n", "use case", "duration", "connector", "workload shape")
+	for _, row := range r.Rows {
+		band := fmt.Sprintf("%s-%s",
+			row.MinLatency.Round(time.Millisecond), row.MaxLatency.Round(time.Millisecond))
+		fmt.Fprintf(&sb, "%-32s %-14s %-26s %s\n", row.UseCase, band, row.Connector, row.WorkloadShape)
+	}
+	return sb.String()
+}

@@ -1,0 +1,776 @@
+package expr
+
+import (
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// The compiler specializes an expression tree into a graph of Go closures
+// with unboxed typed signatures. It plays the role of the paper's bytecode
+// generation (§V-B): constants are folded into the closures, type dispatch
+// happens once at compile time instead of per row, and the per-row inner
+// loops are monomorphic.
+
+// longFn/doubleFn/strFn/boolFn evaluate one row, returning (value, isNull).
+type longFn func(p *block.Page, row int) (int64, bool)
+type doubleFn func(p *block.Page, row int) (float64, bool)
+type strFn func(p *block.Page, row int) (string, bool)
+type boolFn func(p *block.Page, row int) (bool, bool)
+
+// Evaluator computes a full output column for an input page.
+type Evaluator struct {
+	T types.Type
+	// eval produces the output block for the rows of p.
+	eval func(p *block.Page) (block.Block, error)
+	// rowBool is set for BOOLEAN evaluators and is used by filters.
+	rowBool boolFn
+	// identCol is >= 0 when the expression is a bare column reference,
+	// letting the page processor pass the input block through unchanged.
+	identCol int
+}
+
+// Type returns the evaluator's result type.
+func (ev *Evaluator) Type() types.Type { return ev.T }
+
+// EvalPage computes the output column for every row of p.
+func (ev *Evaluator) EvalPage(p *block.Page) (block.Block, error) {
+	return ev.eval(p)
+}
+
+// Compile builds a specialized evaluator for e. Expressions the specializer
+// does not cover fall back to a per-row interpreter (still correct, slower) —
+// mirroring Presto, where the interpreter remains the semantic reference.
+func Compile(e Expr) *Evaluator {
+	ev := compile(e)
+	if c, ok := e.(*ColumnRef); ok {
+		ev.identCol = c.Index
+	}
+	return ev
+}
+
+func compile(e Expr) *Evaluator {
+	t := e.Type()
+	switch t {
+	case types.Bigint, types.Date:
+		f, ok := compileLong(e)
+		if !ok {
+			return interpEvaluator(e)
+		}
+		return &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+			n := p.RowCount()
+			vals := make([]int64, n)
+			var nulls []bool
+			for i := 0; i < n; i++ {
+				v, null := f(p, i)
+				if null {
+					if nulls == nil {
+						nulls = make([]bool, n)
+					}
+					nulls[i] = true
+				} else {
+					vals[i] = v
+				}
+			}
+			return &block.LongBlock{T: t, Vals: vals, Nulls: nulls}, nil
+		}}
+	case types.Double:
+		f, ok := compileDouble(e)
+		if !ok {
+			return interpEvaluator(e)
+		}
+		return &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+			n := p.RowCount()
+			vals := make([]float64, n)
+			var nulls []bool
+			for i := 0; i < n; i++ {
+				v, null := f(p, i)
+				if null {
+					if nulls == nil {
+						nulls = make([]bool, n)
+					}
+					nulls[i] = true
+				} else {
+					vals[i] = v
+				}
+			}
+			return block.NewDoubleBlock(vals, nulls), nil
+		}}
+	case types.Varchar:
+		f, ok := compileStr(e)
+		if !ok {
+			return interpEvaluator(e)
+		}
+		return &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+			n := p.RowCount()
+			vals := make([]string, n)
+			var nulls []bool
+			for i := 0; i < n; i++ {
+				v, null := f(p, i)
+				if null {
+					if nulls == nil {
+						nulls = make([]bool, n)
+					}
+					nulls[i] = true
+				} else {
+					vals[i] = v
+				}
+			}
+			return block.NewVarcharBlock(vals, nulls), nil
+		}}
+	case types.Boolean:
+		f, ok := compileBool(e)
+		if !ok {
+			return interpEvaluator(e)
+		}
+		return &Evaluator{T: t, identCol: -1, rowBool: f, eval: func(p *block.Page) (block.Block, error) {
+			n := p.RowCount()
+			vals := make([]bool, n)
+			var nulls []bool
+			for i := 0; i < n; i++ {
+				v, null := f(p, i)
+				if null {
+					if nulls == nil {
+						nulls = make([]bool, n)
+					}
+					nulls[i] = true
+				} else {
+					vals[i] = v
+				}
+			}
+			return block.NewBoolBlock(vals, nulls), nil
+		}}
+	default:
+		return interpEvaluator(e)
+	}
+}
+
+// InterpretOnly wraps e in a pure-interpreter evaluator; used by the codegen
+// ablation bench to measure interpreted execution on the same plans.
+func InterpretOnly(e Expr) *Evaluator {
+	ev := interpEvaluator(e)
+	if c, ok := e.(*ColumnRef); ok {
+		ev.identCol = c.Index
+	}
+	return ev
+}
+
+func interpEvaluator(e Expr) *Evaluator {
+	t := e.Type()
+	var it Interpreter
+	ev := &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+		n := p.RowCount()
+		vals := make([]types.Value, n)
+		row := pageRow{p: p}
+		for i := 0; i < n; i++ {
+			row.row = i
+			v, err := it.Eval(e, &row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return block.BuildBlock(t, vals), nil
+	}}
+	if t == types.Boolean {
+		ev.rowBool = func(p *block.Page, rowIdx int) (bool, bool) {
+			row := pageRow{p: p, row: rowIdx}
+			v, err := it.Eval(e, &row)
+			if err != nil || v.Null {
+				return false, true
+			}
+			return v.B, false
+		}
+	}
+	return ev
+}
+
+// pageRow adapts one row of a page as an interpreter Row.
+type pageRow struct {
+	p   *block.Page
+	row int
+}
+
+func (r *pageRow) ColValue(i int) types.Value { return r.p.Col(i).Value(r.row) }
+
+func compileLong(e Expr) (longFn, bool) {
+	switch x := e.(type) {
+	case *Const:
+		v := x.Val
+		if v.Null {
+			return func(*block.Page, int) (int64, bool) { return 0, true }, true
+		}
+		c := v.I
+		return func(*block.Page, int) (int64, bool) { return c, false }, true
+	case *ColumnRef:
+		idx := x.Index
+		return func(p *block.Page, row int) (int64, bool) {
+			col := p.Col(idx)
+			if col.IsNull(row) {
+				return 0, true
+			}
+			return col.Long(row), false
+		}, true
+	case *Neg:
+		f, ok := compileLong(x.E)
+		if !ok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (int64, bool) {
+			v, null := f(p, row)
+			return -v, null
+		}, true
+	case *Arith:
+		l, lok := compileLong(x.L)
+		r, rok := compileLong(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		op := x.Op
+		return func(p *block.Page, row int) (int64, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return 0, true
+			}
+			switch op {
+			case OpAdd:
+				return lv + rv, false
+			case OpSub:
+				return lv - rv, false
+			case OpMul:
+				return lv * rv, false
+			case OpDiv:
+				if rv == 0 {
+					return 0, true // runtime errors degrade to NULL on compiled path fallback guard
+				}
+				return lv / rv, false
+			case OpMod:
+				if rv == 0 {
+					return 0, true
+				}
+				return lv % rv, false
+			}
+			return 0, true
+		}, true
+	case *Case:
+		return compileLongCase(x)
+	case *Cast:
+		if x.E.Type() == types.Double {
+			f, ok := compileDouble(x.E)
+			if !ok {
+				return nil, false
+			}
+			return func(p *block.Page, row int) (int64, bool) {
+				v, null := f(p, row)
+				return int64(v), null
+			}, true
+		}
+		if x.E.Type() == types.Bigint || x.E.Type() == types.Date {
+			return compileLong(x.E)
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+func compileLongCase(x *Case) (longFn, bool) {
+	conds := make([]boolFn, len(x.Whens))
+	thens := make([]longFn, len(x.Whens))
+	for i, w := range x.Whens {
+		c, ok := compileBool(w.Cond)
+		if !ok {
+			return nil, false
+		}
+		t, ok := compileLong(w.Then)
+		if !ok {
+			return nil, false
+		}
+		conds[i], thens[i] = c, t
+	}
+	var elseFn longFn
+	if x.Else != nil {
+		f, ok := compileLong(x.Else)
+		if !ok {
+			return nil, false
+		}
+		elseFn = f
+	}
+	return func(p *block.Page, row int) (int64, bool) {
+		for i, c := range conds {
+			v, null := c(p, row)
+			if !null && v {
+				return thens[i](p, row)
+			}
+		}
+		if elseFn != nil {
+			return elseFn(p, row)
+		}
+		return 0, true
+	}, true
+}
+
+func compileDouble(e Expr) (doubleFn, bool) {
+	// Bigint/Date sub-expressions can be widened transparently.
+	if e.Type() == types.Bigint || e.Type() == types.Date {
+		f, ok := compileLong(e)
+		if !ok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (float64, bool) {
+			v, null := f(p, row)
+			return float64(v), null
+		}, true
+	}
+	switch x := e.(type) {
+	case *Const:
+		v := x.Val
+		if v.Null {
+			return func(*block.Page, int) (float64, bool) { return 0, true }, true
+		}
+		c := v.F
+		return func(*block.Page, int) (float64, bool) { return c, false }, true
+	case *ColumnRef:
+		idx := x.Index
+		return func(p *block.Page, row int) (float64, bool) {
+			col := p.Col(idx)
+			if col.IsNull(row) {
+				return 0, true
+			}
+			return col.Double(row), false
+		}, true
+	case *Neg:
+		f, ok := compileDouble(x.E)
+		if !ok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (float64, bool) {
+			v, null := f(p, row)
+			return -v, null
+		}, true
+	case *Arith:
+		l, lok := compileDouble(x.L)
+		r, rok := compileDouble(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		op := x.Op
+		return func(p *block.Page, row int) (float64, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return 0, true
+			}
+			switch op {
+			case OpAdd:
+				return lv + rv, false
+			case OpSub:
+				return lv - rv, false
+			case OpMul:
+				return lv * rv, false
+			case OpDiv:
+				if rv == 0 {
+					return 0, true
+				}
+				return lv / rv, false
+			}
+			return 0, true
+		}, true
+	case *Cast:
+		if x.E.Type() == types.Bigint || x.E.Type() == types.Date {
+			return compileDouble(x.E)
+		}
+		if x.E.Type() == types.Double {
+			return compileDouble(x.E)
+		}
+		return nil, false
+	case *Case:
+		conds := make([]boolFn, len(x.Whens))
+		thens := make([]doubleFn, len(x.Whens))
+		for i, w := range x.Whens {
+			c, ok := compileBool(w.Cond)
+			if !ok {
+				return nil, false
+			}
+			t, ok := compileDouble(w.Then)
+			if !ok {
+				return nil, false
+			}
+			conds[i], thens[i] = c, t
+		}
+		var elseFn doubleFn
+		if x.Else != nil {
+			f, ok := compileDouble(x.Else)
+			if !ok {
+				return nil, false
+			}
+			elseFn = f
+		}
+		return func(p *block.Page, row int) (float64, bool) {
+			for i, c := range conds {
+				v, null := c(p, row)
+				if !null && v {
+					return thens[i](p, row)
+				}
+			}
+			if elseFn != nil {
+				return elseFn(p, row)
+			}
+			return 0, true
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func compileStr(e Expr) (strFn, bool) {
+	switch x := e.(type) {
+	case *Const:
+		v := x.Val
+		if v.Null {
+			return func(*block.Page, int) (string, bool) { return "", true }, true
+		}
+		c := v.S
+		return func(*block.Page, int) (string, bool) { return c, false }, true
+	case *ColumnRef:
+		idx := x.Index
+		return func(p *block.Page, row int) (string, bool) {
+			col := p.Col(idx)
+			if col.IsNull(row) {
+				return "", true
+			}
+			return col.Str(row), false
+		}, true
+	case *Arith:
+		if x.Op != OpConcat {
+			return nil, false
+		}
+		l, lok := compileStr(x.L)
+		r, rok := compileStr(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (string, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return "", true
+			}
+			return lv + rv, false
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func compileBool(e Expr) (boolFn, bool) {
+	switch x := e.(type) {
+	case *Const:
+		v := x.Val
+		if v.Null {
+			return func(*block.Page, int) (bool, bool) { return false, true }, true
+		}
+		c := v.B
+		return func(*block.Page, int) (bool, bool) { return c, false }, true
+	case *ColumnRef:
+		idx := x.Index
+		return func(p *block.Page, row int) (bool, bool) {
+			col := p.Col(idx)
+			if col.IsNull(row) {
+				return false, true
+			}
+			return col.Bool(row), false
+		}, true
+	case *Not:
+		f, ok := compileBool(x.E)
+		if !ok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			v, null := f(p, row)
+			return !v, null
+		}, true
+	case *And:
+		l, lok := compileBool(x.L)
+		r, rok := compileBool(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			lv, ln := l(p, row)
+			if !ln && !lv {
+				return false, false
+			}
+			rv, rn := r(p, row)
+			if !rn && !rv {
+				return false, false
+			}
+			if ln || rn {
+				return false, true
+			}
+			return true, false
+		}, true
+	case *Or:
+		l, lok := compileBool(x.L)
+		r, rok := compileBool(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			lv, ln := l(p, row)
+			if !ln && lv {
+				return true, false
+			}
+			rv, rn := r(p, row)
+			if !rn && rv {
+				return true, false
+			}
+			if ln || rn {
+				return false, true
+			}
+			return false, false
+		}, true
+	case *IsNull:
+		neg := x.Negate
+		inner := x.E
+		if c, ok := inner.(*ColumnRef); ok {
+			idx := c.Index
+			return func(p *block.Page, row int) (bool, bool) {
+				return p.Col(idx).IsNull(row) != neg, false
+			}, true
+		}
+		return nil, false
+	case *Compare:
+		return compileCompare(x)
+	case *Between:
+		lt := types.CommonType(x.E.Type(), types.CommonType(x.Lo.Type(), x.Hi.Type()))
+		if lt == types.Bigint || lt == types.Date {
+			v, ok1 := compileLong(x.E)
+			lo, ok2 := compileLong(x.Lo)
+			hi, ok3 := compileLong(x.Hi)
+			if !ok1 || !ok2 || !ok3 {
+				return nil, false
+			}
+			neg := x.Negate
+			return func(p *block.Page, row int) (bool, bool) {
+				vv, vn := v(p, row)
+				lv, ln := lo(p, row)
+				hv, hn := hi(p, row)
+				if vn || ln || hn {
+					return false, true
+				}
+				return (vv >= lv && vv <= hv) != neg, false
+			}, true
+		}
+		if lt == types.Double {
+			v, ok1 := compileDouble(x.E)
+			lo, ok2 := compileDouble(x.Lo)
+			hi, ok3 := compileDouble(x.Hi)
+			if !ok1 || !ok2 || !ok3 {
+				return nil, false
+			}
+			neg := x.Negate
+			return func(p *block.Page, row int) (bool, bool) {
+				vv, vn := v(p, row)
+				lv, ln := lo(p, row)
+				hv, hn := hi(p, row)
+				if vn || ln || hn {
+					return false, true
+				}
+				return (vv >= lv && vv <= hv) != neg, false
+			}, true
+		}
+		return nil, false
+	case *Like:
+		pat, ok := x.Pattern.(*Const)
+		if !ok || pat.Val.Null {
+			return nil, false
+		}
+		f, ok := compileStr(x.E)
+		if !ok {
+			return nil, false
+		}
+		pattern := pat.Val.S
+		neg := x.Negate
+		return func(p *block.Page, row int) (bool, bool) {
+			v, null := f(p, row)
+			if null {
+				return false, true
+			}
+			return likeMatch(v, pattern) != neg, false
+		}, true
+	case *In:
+		return compileIn(x)
+	default:
+		return nil, false
+	}
+}
+
+func compileIn(x *In) (boolFn, bool) {
+	// Specialize IN over constant lists into set lookups.
+	t := x.E.Type()
+	allConst := true
+	for _, le := range x.List {
+		if _, ok := le.(*Const); !ok {
+			allConst = false
+			break
+		}
+	}
+	if !allConst {
+		return nil, false
+	}
+	neg := x.Negate
+	switch t {
+	case types.Bigint, types.Date:
+		set := make(map[int64]bool, len(x.List))
+		for _, le := range x.List {
+			c := le.(*Const)
+			if !c.Val.Null {
+				set[c.Val.I] = true
+			}
+		}
+		f, ok := compileLong(x.E)
+		if !ok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			v, null := f(p, row)
+			if null {
+				return false, true
+			}
+			return set[v] != neg, false
+		}, true
+	case types.Varchar:
+		set := make(map[string]bool, len(x.List))
+		for _, le := range x.List {
+			c := le.(*Const)
+			if !c.Val.Null {
+				set[c.Val.S] = true
+			}
+		}
+		f, ok := compileStr(x.E)
+		if !ok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			v, null := f(p, row)
+			if null {
+				return false, true
+			}
+			return set[v] != neg, false
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func compileCompare(x *Compare) (boolFn, bool) {
+	lt := types.CommonType(x.L.Type(), x.R.Type())
+	op := x.Op
+	switch lt {
+	case types.Bigint, types.Date:
+		l, lok := compileLong(x.L)
+		r, rok := compileLong(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return false, true
+			}
+			switch op {
+			case CmpEq:
+				return lv == rv, false
+			case CmpNe:
+				return lv != rv, false
+			case CmpLt:
+				return lv < rv, false
+			case CmpLe:
+				return lv <= rv, false
+			case CmpGt:
+				return lv > rv, false
+			default:
+				return lv >= rv, false
+			}
+		}, true
+	case types.Double:
+		l, lok := compileDouble(x.L)
+		r, rok := compileDouble(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return false, true
+			}
+			switch op {
+			case CmpEq:
+				return lv == rv, false
+			case CmpNe:
+				return lv != rv, false
+			case CmpLt:
+				return lv < rv, false
+			case CmpLe:
+				return lv <= rv, false
+			case CmpGt:
+				return lv > rv, false
+			default:
+				return lv >= rv, false
+			}
+		}, true
+	case types.Varchar:
+		l, lok := compileStr(x.L)
+		r, rok := compileStr(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return false, true
+			}
+			switch op {
+			case CmpEq:
+				return lv == rv, false
+			case CmpNe:
+				return lv != rv, false
+			case CmpLt:
+				return lv < rv, false
+			case CmpLe:
+				return lv <= rv, false
+			case CmpGt:
+				return lv > rv, false
+			default:
+				return lv >= rv, false
+			}
+		}, true
+	case types.Boolean:
+		l, lok := compileBool(x.L)
+		r, rok := compileBool(x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return func(p *block.Page, row int) (bool, bool) {
+			lv, ln := l(p, row)
+			rv, rn := r(p, row)
+			if ln || rn {
+				return false, true
+			}
+			switch op {
+			case CmpEq:
+				return lv == rv, false
+			case CmpNe:
+				return lv != rv, false
+			default:
+				return false, true
+			}
+		}, true
+	default:
+		return nil, false
+	}
+}

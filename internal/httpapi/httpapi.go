@@ -1,0 +1,242 @@
+// Package httpapi exposes the engine over HTTP, following the shape of
+// Presto's client protocol (paper §III, §IV-B1): the client POSTs a SQL
+// statement to /v1/statement and receives a JSON document with initial
+// results and a nextUri; it long-polls nextUri for further batches until
+// the document carries no nextUri. Results stream incrementally — clients
+// see rows before the query completes. The server also exposes cluster and
+// query introspection endpoints.
+//
+// The paper's multi-node deployment runs this protocol between coordinator
+// and workers too; in this reproduction the worker fabric is in-process
+// (see DESIGN.md's substitution table) and HTTP carries the client surface.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/coordinator"
+	"repro/internal/types"
+)
+
+// Server serves the client protocol for one coordinator.
+type Server struct {
+	Coord *coordinator.Coordinator
+
+	mu      sync.Mutex
+	results map[string]*liveResult
+	nextID  atomic.Int64
+}
+
+type liveResult struct {
+	res     *coordinator.Result
+	columns []string
+	done    bool
+}
+
+// NewServer wraps a coordinator.
+func NewServer(c *coordinator.Coordinator) *Server {
+	return &Server{Coord: c, results: map[string]*liveResult{}}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/statement", s.handleStatement)
+	mux.HandleFunc("GET /v1/statement/{id}", s.handleNext)
+	mux.HandleFunc("DELETE /v1/statement/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogs)
+	mux.HandleFunc("GET /v1/query/{id}", s.handleQueryInfo)
+	return mux
+}
+
+// StatementResponse is one protocol document.
+type StatementResponse struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Columns []string        `json:"columns,omitempty"`
+	Data    [][]interface{} `json:"data,omitempty"`
+	NextURI string          `json:"nextUri,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	var sql strings.Builder
+	if _, err := copyBody(&sql, r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	session := coordinator.Session{
+		Catalog: r.Header.Get("X-Presto-Catalog"),
+		Source:  r.Header.Get("X-Presto-Source"),
+		User:    r.Header.Get("X-Presto-User"),
+	}
+	res, err := s.Coord.Execute(sql.String(), session)
+	if err != nil {
+		writeJSON(w, StatementResponse{State: "FAILED", Error: err.Error()})
+		return
+	}
+	id := fmt.Sprintf("s%d", s.nextID.Add(1))
+	lr := &liveResult{res: res, columns: res.Columns}
+	s.mu.Lock()
+	s.results[id] = lr
+	s.mu.Unlock()
+	s.respond(w, id, lr)
+}
+
+func (s *Server) lookup(id string) (*liveResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lr, ok := s.results[id]
+	return lr, ok
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	lr, ok := s.lookup(id)
+	if !ok {
+		http.Error(w, "unknown statement "+id, http.StatusNotFound)
+		return
+	}
+	s.respond(w, id, lr)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	lr, ok := s.lookup(id)
+	if !ok {
+		http.Error(w, "unknown statement "+id, http.StatusNotFound)
+		return
+	}
+	lr.res.Close()
+	s.mu.Lock()
+	delete(s.results, id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// respond emits the next protocol document: one page of results (long-poll
+// semantics come from Result.NextPage's internal wait).
+func (s *Server) respond(w http.ResponseWriter, id string, lr *liveResult) {
+	doc := StatementResponse{ID: id, State: "RUNNING", Columns: lr.columns}
+	p, err := lr.res.NextPage()
+	switch {
+	case err != nil:
+		doc.State = "FAILED"
+		doc.Error = err.Error()
+		s.drop(id)
+	case p == nil:
+		doc.State = "FINISHED"
+		s.drop(id)
+	default:
+		doc.Data = pageToJSON(p)
+		doc.NextURI = "/v1/statement/" + id
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) drop(id string) {
+	s.mu.Lock()
+	delete(s.results, id)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"engine":  "presto-repro",
+		"version": "0.1",
+		"uptime":  time.Now().String(),
+	})
+}
+
+func (s *Server) handleCatalogs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Coord.Catalog.Catalogs())
+}
+
+// handleQueryInfo exposes a query's lifecycle and statistics (state, times,
+// aggregate task CPU, peak memory) — the introspection surface behind the
+// paper's "effortless instrumentation" philosophy (§VII).
+func (s *Server) handleQueryInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.Coord.QueryInfo(id)
+	if !ok {
+		http.Error(w, "unknown query "+id, http.StatusNotFound)
+		return
+	}
+	doc := map[string]interface{}{
+		"id":         info.ID,
+		"sql":        info.SQL,
+		"state":      info.State.String(),
+		"queued":     info.Queued,
+		"cpuNanos":   info.CPUNanos,
+		"peakMemory": info.PeakMemory,
+	}
+	if info.Err != nil {
+		doc["error"] = info.Err.Error()
+	}
+	writeJSON(w, doc)
+}
+
+// pageToJSON renders a page as rows of JSON-friendly values.
+func pageToJSON(p *block.Page) [][]interface{} {
+	out := make([][]interface{}, p.RowCount())
+	for i := range out {
+		row := p.Row(i)
+		vals := make([]interface{}, len(row))
+		for j, v := range row {
+			vals[j] = valueToJSON(v)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+func valueToJSON(v types.Value) interface{} {
+	if v.Null {
+		return nil
+	}
+	switch v.T {
+	case types.Bigint:
+		return v.I
+	case types.Double:
+		return v.F
+	case types.Boolean:
+		return v.B
+	case types.Date:
+		return types.FormatDate(v.I)
+	default:
+		return v.String()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func copyBody(sb *strings.Builder, r *http.Request) (int64, error) {
+	buf := make([]byte, 4096)
+	var total int64
+	for {
+		n, err := r.Body.Read(buf)
+		sb.Write(buf[:n])
+		total += int64(n)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return total, nil
+			}
+			return total, nil
+		}
+		if total > 10<<20 {
+			return total, fmt.Errorf("statement too large")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/connectors/memconn"
+	"repro/internal/coordinator"
+	"repro/internal/exec"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	catalog := coordinator.NewCatalogManager()
+	catalog.Register(memconn.New("memory"))
+	workers := []*exec.Worker{exec.NewWorker(0, catalog, exec.WorkerConfig{Threads: 2})}
+	coord := coordinator.New(catalog, workers, coordinator.Config{DefaultCatalog: "memory"})
+	srv := httptest.NewServer(NewServer(coord).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		workers[0].Close()
+	})
+	return srv
+}
+
+func runSQL(t *testing.T, srv *httptest.Server, sql string) ([][]interface{}, string) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/statement", "text/plain", strings.NewReader(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]interface{}
+	for {
+		var doc StatementResponse
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if doc.Error != "" {
+			return rows, doc.Error
+		}
+		rows = append(rows, doc.Data...)
+		if doc.NextURI == "" {
+			return rows, ""
+		}
+		resp, err = http.Get(srv.URL + doc.NextURI)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStatementProtocol(t *testing.T) {
+	srv := testServer(t)
+	if _, errStr := runSQL(t, srv, "CREATE TABLE t (a BIGINT)"); errStr != "" {
+		t.Fatal(errStr)
+	}
+	if _, errStr := runSQL(t, srv, "INSERT INTO t SELECT * FROM (VALUES (1), (2), (3))"); errStr != "" {
+		t.Fatal(errStr)
+	}
+	rows, errStr := runSQL(t, srv, "SELECT sum(a) FROM t")
+	if errStr != "" {
+		t.Fatal(errStr)
+	}
+	if len(rows) != 1 || rows[0][0].(float64) != 6 {
+		t.Errorf("rows: %v", rows)
+	}
+}
+
+func TestStatementError(t *testing.T) {
+	srv := testServer(t)
+	_, errStr := runSQL(t, srv, "SELECT * FROM missing_table")
+	if errStr == "" || !strings.Contains(errStr, "does not exist") {
+		t.Errorf("error: %q", errStr)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	srv := testServer(t)
+	_, errStr := runSQL(t, srv, "SELEKT 1")
+	if errStr == "" {
+		t.Error("expected parse error")
+	}
+}
+
+func TestInfoAndCatalogs(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/info")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("info: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/catalogs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var catalogs []string
+	json.NewDecoder(resp.Body).Decode(&catalogs)
+	resp.Body.Close()
+	if len(catalogs) != 1 || catalogs[0] != "memory" {
+		t.Errorf("catalogs: %v", catalogs)
+	}
+}
+
+func TestUnknownStatementID(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/statement/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status: %d", resp.StatusCode)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/statement", "text/plain",
+		strings.NewReader("SELECT * FROM (VALUES (1),(2)) t (a)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc StatementResponse
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if doc.NextURI == "" {
+		return // finished in one document; nothing to cancel
+	}
+	req, _ := http.NewRequest("DELETE", srv.URL+doc.NextURI, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Errorf("cancel status: %d", dresp.StatusCode)
+	}
+}

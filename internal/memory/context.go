@@ -1,0 +1,241 @@
+package memory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// QueryLimits configures a query's memory ceilings (paper §IV-F2): distinct
+// per-node and global user limits allow a bounded level of usage skew.
+type QueryLimits struct {
+	PerNodeUser int64
+	GlobalUser  int64
+	GlobalTotal int64
+	// SpillEnabled allows revocation instead of failure on pool exhaustion.
+	SpillEnabled bool
+}
+
+// QueryContext tracks one query's memory across all nodes and enforces its
+// limits.
+type QueryContext struct {
+	QueryID string
+	Limits  QueryLimits
+
+	// PromoteHook, when set, is invoked after a node pool rejects a
+	// reservation; returning true (the cluster promoted a query to the
+	// reserved pool, §IV-F2) retries the reservation once.
+	PromoteHook func(node int) bool
+
+	mu        sync.Mutex
+	nodeUser  map[int]int64 // per node id
+	userTotal atomic.Int64
+	sysTotal  atomic.Int64
+	peakTotal atomic.Int64
+
+	pools map[int]*NodePool
+}
+
+// NewQueryContext creates memory tracking for a query across node pools.
+func NewQueryContext(queryID string, limits QueryLimits, pools map[int]*NodePool) *QueryContext {
+	return &QueryContext{
+		QueryID:  queryID,
+		Limits:   limits,
+		nodeUser: make(map[int]int64),
+		pools:    pools,
+	}
+}
+
+// Reserve reserves n bytes of the given kind on node, enforcing the query's
+// per-node and global limits before touching the pool.
+func (q *QueryContext) Reserve(node int, kind Kind, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if kind == User {
+		for attempt := 0; ; attempt++ {
+			q.mu.Lock()
+			newNode := q.nodeUser[node] + n
+			overNode := q.Limits.PerNodeUser > 0 && newNode > q.Limits.PerNodeUser
+			overGlobal := q.Limits.GlobalUser > 0 && q.userTotal.Load()+n > q.Limits.GlobalUser
+			if !overNode && !overGlobal {
+				q.nodeUser[node] = newNode
+				q.mu.Unlock()
+				break
+			}
+			q.mu.Unlock()
+			// Revocable memory does not have to count against the user
+			// limit: with spilling enabled, ask operators to spill and
+			// retry (§IV-F2).
+			if q.Limits.SpillEnabled && attempt < 3 {
+				if pool, ok := q.pools[node]; ok && pool.TryRevoke(n) {
+					continue
+				}
+			}
+			if overNode {
+				return fmt.Errorf("%w: per-node user limit %d exceeded on node %d (wanted %d)",
+					ErrExceededLimit, q.Limits.PerNodeUser, node, newNode)
+			}
+			return fmt.Errorf("%w: global user limit %d exceeded (wanted %d)",
+				ErrExceededLimit, q.Limits.GlobalUser, q.userTotal.Load()+n)
+		}
+		q.userTotal.Add(n)
+		q.updatePeak()
+	} else {
+		if q.Limits.GlobalTotal > 0 && q.userTotal.Load()+q.sysTotal.Load()+n > q.Limits.GlobalTotal {
+			return fmt.Errorf("%w: global total limit %d exceeded", ErrExceededLimit, q.Limits.GlobalTotal)
+		}
+		q.sysTotal.Add(n)
+		q.updatePeak()
+	}
+	if pool, ok := q.pools[node]; ok {
+		err := pool.Reserve(q.QueryID, kind, n, q.Limits.SpillEnabled)
+		if err != nil && q.PromoteHook != nil && q.PromoteHook(node) {
+			err = pool.Reserve(q.QueryID, kind, n, q.Limits.SpillEnabled)
+		}
+		if err != nil {
+			q.unwind(node, kind, n)
+			return err
+		}
+	}
+	return nil
+}
+
+func (q *QueryContext) unwind(node int, kind Kind, n int64) {
+	if kind == User {
+		q.mu.Lock()
+		q.nodeUser[node] -= n
+		q.mu.Unlock()
+		q.userTotal.Add(-n)
+	} else {
+		q.sysTotal.Add(-n)
+	}
+}
+
+// Release returns n bytes of the given kind on node.
+func (q *QueryContext) Release(node int, kind Kind, n int64) {
+	if n <= 0 {
+		return
+	}
+	q.unwind(node, kind, n)
+	if pool, ok := q.pools[node]; ok {
+		pool.Release(q.QueryID, kind, n)
+	}
+}
+
+// Close releases all remaining reservations.
+func (q *QueryContext) Close() {
+	for _, pool := range q.pools {
+		pool.ReleaseQuery(q.QueryID)
+	}
+	q.mu.Lock()
+	q.nodeUser = map[int]int64{}
+	q.mu.Unlock()
+	q.userTotal.Store(0)
+	q.sysTotal.Store(0)
+}
+
+func (q *QueryContext) updatePeak() {
+	total := q.userTotal.Load() + q.sysTotal.Load()
+	for {
+		peak := q.peakTotal.Load()
+		if total <= peak || q.peakTotal.CompareAndSwap(peak, total) {
+			return
+		}
+	}
+}
+
+// PeakBytes returns the query's peak total reservation.
+func (q *QueryContext) PeakBytes() int64 { return q.peakTotal.Load() }
+
+// UserBytes returns the query's current global user reservation.
+func (q *QueryContext) UserBytes() int64 { return q.userTotal.Load() }
+
+// TotalBytes returns user+system reservation.
+func (q *QueryContext) TotalBytes() int64 { return q.userTotal.Load() + q.sysTotal.Load() }
+
+// LocalContext is an operator-scoped tracker that simplifies delta
+// accounting against a query context.
+type LocalContext struct {
+	Q    *QueryContext
+	Node int
+	Kind Kind
+	held int64
+}
+
+// NewLocalContext creates an operator-local tracker.
+func NewLocalContext(q *QueryContext, node int, kind Kind) *LocalContext {
+	return &LocalContext{Q: q, Node: node, Kind: kind}
+}
+
+// SetBytes adjusts the reservation to the new absolute value.
+func (l *LocalContext) SetBytes(n int64) error {
+	delta := n - l.held
+	if delta > 0 {
+		if err := l.Q.Reserve(l.Node, l.Kind, delta); err != nil {
+			return err
+		}
+	} else if delta < 0 {
+		l.Q.Release(l.Node, l.Kind, -delta)
+	}
+	l.held = n
+	return nil
+}
+
+// Held returns the current reservation.
+func (l *LocalContext) Held() int64 { return l.held }
+
+// Close releases everything held.
+func (l *LocalContext) Close() {
+	if l.held > 0 {
+		l.Q.Release(l.Node, l.Kind, l.held)
+		l.held = 0
+	}
+}
+
+// Arbiter coordinates the cluster-wide reserved-pool promotion: when a
+// node's general pool fills up, the query using the most memory on that node
+// is promoted to the reserved pool on all nodes (§IV-F2).
+type Arbiter struct {
+	mu       sync.Mutex
+	pools    map[int]*NodePool
+	promoted string
+}
+
+// NewArbiter creates an arbiter over the node pools.
+func NewArbiter(pools map[int]*NodePool) *Arbiter {
+	return &Arbiter{pools: pools}
+}
+
+// TryPromote promotes query to the reserved pool on every node if the pool
+// is free. Returns whether the promotion happened (or was already held).
+func (a *Arbiter) TryPromote(query string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.promoted != "" && a.promoted != query {
+		return false
+	}
+	for _, p := range a.pools {
+		if !p.PromoteToReserved(query) {
+			return false
+		}
+	}
+	a.promoted = query
+	return true
+}
+
+// Promoted returns the currently promoted query ("" if none).
+func (a *Arbiter) Promoted() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.promoted
+}
+
+// Clear releases the reserved pool after the promoted query finishes.
+func (a *Arbiter) Clear(query string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.promoted == query {
+		a.promoted = ""
+	}
+}

@@ -1,0 +1,141 @@
+// Package metrics provides the lightweight instrumentation the experiments
+// use: time-series recorders for the utilization trace (Fig. 8), latency
+// histograms and CDFs (Fig. 7), and simple counters. The paper stresses
+// "effortless instrumentation" (§VII); these helpers are allocation-light
+// and safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Series records (elapsed, value) samples.
+type Series struct {
+	mu     sync.Mutex
+	start  time.Time
+	times  []time.Duration
+	values []float64
+	label  string
+}
+
+// NewSeries creates a series anchored at now.
+func NewSeries(label string) *Series {
+	return &Series{start: time.Now(), label: label}
+}
+
+// Record appends a sample at the current elapsed time.
+func (s *Series) Record(v float64) {
+	s.mu.Lock()
+	s.times = append(s.times, time.Since(s.start))
+	s.values = append(s.values, v)
+	s.mu.Unlock()
+}
+
+// Samples returns copies of the recorded points.
+func (s *Series) Samples() ([]time.Duration, []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration{}, s.times...), append([]float64{}, s.values...)
+}
+
+// Table renders the series as two columns.
+func (s *Series) Table() string {
+	ts, vs := s.Samples()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %s\n", "elapsed", s.label)
+	for i := range ts {
+		fmt.Fprintf(&sb, "%-12s %.2f\n", ts[i].Round(time.Millisecond), vs[i])
+	}
+	return sb.String()
+}
+
+// Histogram collects latency samples and reports quantiles and CDFs.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Quantile returns the q-quantile (0..1) of recorded samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration{}, h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// CDF returns (latency, cumulative fraction) points at the given percentile
+// grid, suitable for plotting Fig. 7-style curves.
+func (h *Histogram) CDF(points []float64) []CDFPoint {
+	out := make([]CDFPoint, len(points))
+	for i, q := range points {
+		out[i] = CDFPoint{Fraction: q, Latency: h.Quantile(q)}
+	}
+	return out
+}
+
+// CDFPoint is one point of a latency CDF.
+type CDFPoint struct {
+	Fraction float64
+	Latency  time.Duration
+}
+
+// CDFRow renders a CDF as a fixed-grid table row set.
+func CDFTable(name string, h *Histogram) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s", name)
+	for _, p := range h.CDF([]float64{0.25, 0.50, 0.75, 0.90, 0.99}) {
+		fmt.Fprintf(&sb, " p%02.0f=%-10s", p.Fraction*100, p.Latency.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// LogScaleBuckets returns log-spaced latency buckets between lo and hi, used
+// for the log-scale x axis of Fig. 7.
+func LogScaleBuckets(lo, hi time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	llo, lhi := math.Log(float64(lo)), math.Log(float64(hi))
+	for i := 0; i < n; i++ {
+		out[i] = time.Duration(math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1)))
+	}
+	return out
+}
+
+// FractionBelow reports the fraction of samples at or below d.
+func (h *Histogram) FractionBelow(d time.Duration) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range h.samples {
+		if s <= d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.samples))
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count: %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q < 49*time.Millisecond || q > 52*time.Millisecond {
+		t.Errorf("median: %s", q)
+	}
+	if q := h.Quantile(0); q != time.Millisecond {
+		t.Errorf("min: %s", q)
+	}
+	if q := h.Quantile(1); q != 100*time.Millisecond {
+		t.Errorf("max: %s", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.FractionBelow(time.Second) != 0 {
+		t.Error("empty histogram should be zero-valued")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	h := &Histogram{}
+	h.Record(time.Millisecond)
+	h.Record(10 * time.Millisecond)
+	h.Record(100 * time.Millisecond)
+	if f := h.FractionBelow(10 * time.Millisecond); f < 0.66 || f > 0.67 {
+		t.Errorf("fraction: %f", f)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 10; i++ {
+		h.Record(time.Duration(i) * time.Second)
+	}
+	pts := h.CDF([]float64{0.1, 0.9})
+	if len(pts) != 2 || pts[0].Latency >= pts[1].Latency {
+		t.Errorf("cdf: %+v", pts)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("cpu")
+	s.Record(1.5)
+	s.Record(2.5)
+	ts, vs := s.Samples()
+	if len(ts) != 2 || vs[1] != 2.5 {
+		t.Errorf("series: %v %v", ts, vs)
+	}
+	if s.Table() == "" {
+		t.Error("table render")
+	}
+}
+
+func TestLogScaleBuckets(t *testing.T) {
+	b := LogScaleBuckets(time.Millisecond, time.Second, 4)
+	if len(b) != 4 {
+		t.Fatalf("buckets: %v", b)
+	}
+	if d := b[0] - time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("first bucket ≈ 1ms, got %v", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Error("buckets must increase")
+		}
+	}
+}

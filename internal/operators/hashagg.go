@@ -1,0 +1,463 @@
+package operators
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/memory"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// AggSpec is one aggregate computed by the hash aggregation operator. Group
+// keys and argument expressions are computed into columns by a preceding
+// projection, so the operator works on column indices only.
+type AggSpec struct {
+	Func     plan.AggFunc
+	ArgCol   int // -1 for COUNT(*)
+	Distinct bool
+	Out      types.Type
+}
+
+// aggState is the per-group accumulator for one aggregate.
+type aggState struct {
+	Count  int64
+	SumI   int64
+	SumF   float64
+	HasVal bool
+	MinMax types.Value
+	// distinct values for DISTINCT aggregates (not spillable).
+	distinct map[string]struct{}
+}
+
+// groupEntry is one hash-table entry: the group's key values plus one state
+// per aggregate.
+type groupEntry struct {
+	Key    []types.Value
+	States []aggState
+}
+
+// HashAggregationOperator implements GROUP BY aggregation with a flat hash
+// table, memory accounting, and optional spill-to-disk revocation (§IV-F2).
+type HashAggregationOperator struct {
+	ctx       *OpContext
+	groupCols []int
+	groupTs   []types.Type
+	aggs      []AggSpec
+
+	// mu guards groups/bytes/spillFiles: the pool's revocation path may
+	// call Revoke from another query's thread (§IV-F2).
+	mu     sync.Mutex
+	groups map[string]*groupEntry
+	bytes  int64
+
+	spillFiles []string
+	spillable  bool
+	startNanos int64
+
+	finished bool
+	out      []*block.Page
+	outPos   int
+	pageSize int
+	prepared bool
+}
+
+// NewHashAggregation builds the operator. spillable enables revocation.
+func NewHashAggregation(ctx *OpContext, groupCols []int, groupTs []types.Type, aggs []AggSpec, spillable bool, pageSize int) *HashAggregationOperator {
+	for _, a := range aggs {
+		if a.Distinct {
+			spillable = false // DISTINCT state is not spillable
+		}
+	}
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &HashAggregationOperator{
+		ctx:        ctx,
+		groupCols:  groupCols,
+		groupTs:    groupTs,
+		aggs:       aggs,
+		groups:     make(map[string]*groupEntry),
+		spillable:  spillable,
+		startNanos: time.Now().UnixNano(),
+		pageSize:   pageSize,
+	}
+}
+
+func (o *HashAggregationOperator) NeedsInput() bool { return !o.finished }
+
+func (o *HashAggregationOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	o.mu.Lock()
+	var buf []byte
+	for r := 0; r < p.RowCount(); r++ {
+		buf = encodeRowKey(buf[:0], p, r, o.groupCols)
+		k := string(buf)
+		g, ok := o.groups[k]
+		if !ok {
+			key := make([]types.Value, len(o.groupCols))
+			for i, c := range o.groupCols {
+				key[i] = p.Col(c).Value(r)
+			}
+			g = &groupEntry{Key: key, States: make([]aggState, len(o.aggs))}
+			o.groups[k] = g
+			o.bytes += int64(len(k)) + int64(64*len(o.aggs)) + 48
+		}
+		for i := range o.aggs {
+			if err := o.accumulate(&g.States[i], &o.aggs[i], p, r); err != nil {
+				o.mu.Unlock()
+				return err
+			}
+		}
+	}
+	bytes := o.bytes
+	o.mu.Unlock()
+	err := o.ctx.Mem.SetBytes(bytes)
+	if err != nil && o.spillable && errors.Is(err, memory.ErrExceededLimit) {
+		// Self-spill: the page is fully accumulated, so the table can be
+		// written out and the reservation retried at (near) zero (§IV-F2).
+		if _, serr := o.Revoke(); serr != nil {
+			return serr
+		}
+		o.mu.Lock()
+		bytes = o.bytes
+		o.mu.Unlock()
+		err = o.ctx.Mem.SetBytes(bytes)
+	}
+	return err
+}
+
+func (o *HashAggregationOperator) accumulate(st *aggState, spec *AggSpec, p *block.Page, r int) error {
+	if spec.Func == plan.AggCountAll {
+		st.Count++
+		return nil
+	}
+	col := p.Col(spec.ArgCol)
+	if col.IsNull(r) {
+		return nil
+	}
+	if spec.Distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[string]struct{})
+		}
+		var kb []byte
+		kb = encodeRowKey(kb, p, r, []int{spec.ArgCol})
+		k := string(kb)
+		if _, seen := st.distinct[k]; seen {
+			return nil
+		}
+		st.distinct[k] = struct{}{}
+		o.bytes += int64(len(k) + 16)
+	}
+	switch spec.Func {
+	case plan.AggCount:
+		st.Count++
+	case plan.AggSum, plan.AggAvg:
+		st.Count++
+		st.HasVal = true
+		if col.Type() == types.Double {
+			st.SumF += col.Double(r)
+		} else {
+			st.SumI += col.Long(r)
+			st.SumF += float64(col.Long(r))
+		}
+	case plan.AggMin:
+		v := col.Value(r)
+		if !st.HasVal || v.Compare(st.MinMax) < 0 {
+			st.MinMax = v
+			st.HasVal = true
+		}
+	case plan.AggMax:
+		v := col.Value(r)
+		if !st.HasVal || v.Compare(st.MinMax) > 0 {
+			st.MinMax = v
+			st.HasVal = true
+		}
+	default:
+		return fmt.Errorf("unknown aggregate %q", spec.Func)
+	}
+	return nil
+}
+
+// result renders one aggregate's final value.
+func (spec *AggSpec) result(st *aggState) types.Value {
+	switch spec.Func {
+	case plan.AggCount, plan.AggCountAll:
+		return types.BigintValue(st.Count)
+	case plan.AggSum:
+		if !st.HasVal {
+			return types.NullValue(spec.Out)
+		}
+		if spec.Out == types.Double {
+			return types.DoubleValue(st.SumF)
+		}
+		return types.BigintValue(st.SumI)
+	case plan.AggAvg:
+		if st.Count == 0 {
+			return types.NullValue(types.Double)
+		}
+		return types.DoubleValue(st.SumF / float64(st.Count))
+	case plan.AggMin, plan.AggMax:
+		if !st.HasVal {
+			return types.NullValue(spec.Out)
+		}
+		v, err := st.MinMax.Coerce(spec.Out)
+		if err != nil {
+			return st.MinMax
+		}
+		return v
+	}
+	return types.NullValue(spec.Out)
+}
+
+func (o *HashAggregationOperator) Finish() {
+	o.finished = true
+}
+
+func (o *HashAggregationOperator) prepareOutput() error {
+	if o.prepared {
+		return nil
+	}
+	o.prepared = true
+	// Global aggregation with no groups: one row even for empty input.
+	if len(o.groupCols) == 0 && len(o.groups) == 0 && len(o.spillFiles) == 0 {
+		o.groups[""] = &groupEntry{Key: nil, States: make([]aggState, len(o.aggs))}
+	}
+	outTypes := make([]types.Type, 0, len(o.groupTs)+len(o.aggs))
+	outTypes = append(outTypes, o.groupTs...)
+	for _, a := range o.aggs {
+		outTypes = append(outTypes, a.Out)
+	}
+	if len(o.spillFiles) == 0 {
+		o.emitGroups(o.groups, outTypes)
+		o.groups = nil
+		return nil
+	}
+	// Spilled: flush the in-memory tail too, then merge one hash partition
+	// at a time so peak memory stays ~1/spillPartitions of the table.
+	o.mu.Lock()
+	if len(o.groups) > 0 {
+		if _, err := o.revokeLocked(); err != nil {
+			o.mu.Unlock()
+			return err
+		}
+	}
+	o.mu.Unlock()
+	for part := 0; part < spillPartitions; part++ {
+		merged := make(map[string]*groupEntry)
+		for _, name := range o.spillFiles {
+			if err := o.mergePartition(name, part, merged); err != nil {
+				return err
+			}
+		}
+		o.emitGroups(merged, outTypes)
+	}
+	for _, name := range o.spillFiles {
+		os.Remove(name)
+	}
+	o.spillFiles = nil
+	o.groups = nil
+	return nil
+}
+
+// emitGroups renders a group map into output pages.
+func (o *HashAggregationOperator) emitGroups(groups map[string]*groupEntry, outTypes []types.Type) {
+	b := block.NewPageBuilder(outTypes)
+	row := make([]types.Value, len(outTypes))
+	for _, g := range groups {
+		copy(row, g.Key)
+		for i := range o.aggs {
+			row[len(o.groupTs)+i] = o.aggs[i].result(&g.States[i])
+		}
+		b.AppendRow(row)
+		if b.RowCount() >= o.pageSize {
+			o.out = append(o.out, b.Build())
+		}
+	}
+	if b.RowCount() > 0 {
+		o.out = append(o.out, b.Build())
+	}
+}
+
+// mergePartition folds one spill file's entries of one partition into the
+// merged map.
+func (o *HashAggregationOperator) mergePartition(name string, part int, merged map[string]*groupEntry) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	for {
+		var k string
+		if err := dec.Decode(&k); err != nil {
+			return nil // io.EOF
+		}
+		var sg spilledGroup
+		if err := dec.Decode(&sg); err != nil {
+			return fmt.Errorf("corrupt spill file %s: %w", name, err)
+		}
+		if sg.Part != part {
+			continue
+		}
+		g, ok := merged[k]
+		if !ok {
+			merged[k] = &groupEntry{Key: sg.Key, States: sg.States}
+			continue
+		}
+		for i := range g.States {
+			mergeState(&g.States[i], &sg.States[i], &o.aggs[i])
+		}
+	}
+}
+
+func (o *HashAggregationOperator) Output() (*block.Page, error) {
+	if !o.finished {
+		return nil, nil
+	}
+	if err := o.prepareOutput(); err != nil {
+		return nil, err
+	}
+	if o.outPos >= len(o.out) {
+		return nil, nil
+	}
+	p := o.out[o.outPos]
+	o.outPos++
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+func (o *HashAggregationOperator) IsFinished() bool {
+	return o.finished && o.prepared && o.outPos >= len(o.out)
+}
+func (o *HashAggregationOperator) IsBlocked() bool { return false }
+func (o *HashAggregationOperator) Close() error {
+	for _, f := range o.spillFiles {
+		os.Remove(f)
+	}
+	o.groups, o.out = nil, nil
+	o.ctx.Mem.Close()
+	return nil
+}
+
+// --- Revocable (spilling) support ---
+
+// spilledGroup is the on-disk form of one group. Part assigns the group to
+// one of spillPartitions hash partitions so the merge can process one
+// partition at a time, bounding peak memory to ~1/spillPartitions of the
+// table (§IV-F2).
+type spilledGroup struct {
+	Key    []types.Value
+	States []aggState
+	Part   int
+}
+
+// spillPartitions is the merge fan-out for spilled aggregations.
+const spillPartitions = 16
+
+// RevocableBytes implements memory.Revocable.
+func (o *HashAggregationOperator) RevocableBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.spillable || o.finished {
+		return 0
+	}
+	return o.bytes
+}
+
+// ExecutionNanos implements memory.Revocable.
+func (o *HashAggregationOperator) ExecutionNanos() int64 {
+	return time.Now().UnixNano() - o.startNanos
+}
+
+// Revoke spills the hash table to a temp file and clears it.
+func (o *HashAggregationOperator) Revoke() (int64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.revokeLocked()
+}
+
+func (o *HashAggregationOperator) revokeLocked() (int64, error) {
+	if len(o.groups) == 0 {
+		return 0, nil
+	}
+	f, err := os.CreateTemp("", "presto-agg-spill-*.gob")
+	if err != nil {
+		return 0, err
+	}
+	enc := gob.NewEncoder(f)
+	for k, g := range o.groups {
+		if err := enc.Encode(k); err != nil {
+			f.Close()
+			return 0, err
+		}
+		sg := spilledGroup{Key: g.Key, States: g.States, Part: int(hashRowKey([]byte(k)) % spillPartitions)}
+		if err := enc.Encode(sg); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	o.spillFiles = append(o.spillFiles, f.Name())
+	freed := o.bytes
+	o.groups = make(map[string]*groupEntry)
+	o.bytes = 0
+	if err := o.ctx.Mem.SetBytes(0); err != nil {
+		return 0, err
+	}
+	return freed, nil
+}
+
+// SpillCount reports how many times the operator spilled (for benches).
+func (o *HashAggregationOperator) SpillCount() int { return len(o.spillFiles) }
+
+func mergeState(dst, src *aggState, spec *AggSpec) {
+	switch spec.Func {
+	case plan.AggCount, plan.AggCountAll:
+		dst.Count += src.Count
+	case plan.AggSum, plan.AggAvg:
+		dst.Count += src.Count
+		dst.SumI += src.SumI
+		dst.SumF += src.SumF
+		dst.HasVal = dst.HasVal || src.HasVal
+	case plan.AggMin:
+		if src.HasVal && (!dst.HasVal || src.MinMax.Compare(dst.MinMax) < 0) {
+			dst.MinMax = src.MinMax
+			dst.HasVal = true
+		}
+	case plan.AggMax:
+		if src.HasVal && (!dst.HasVal || src.MinMax.Compare(dst.MinMax) > 0) {
+			dst.MinMax = src.MinMax
+			dst.HasVal = true
+		}
+	}
+}
+
+// BuildAggProjection computes the projection expressions that feed a hash
+// aggregation: group-by expressions first, then aggregate arguments. It
+// returns the projection list, the operator's group columns/types, and the
+// rewritten agg specs.
+func BuildAggProjection(agg *plan.Aggregation) (proj []expr.Expr, groupCols []int, groupTs []types.Type, specs []AggSpec) {
+	for i, g := range agg.GroupBy {
+		proj = append(proj, g)
+		groupCols = append(groupCols, i)
+		groupTs = append(groupTs, g.Type())
+	}
+	for _, a := range agg.Aggregates {
+		spec := AggSpec{Func: a.Func, ArgCol: -1, Distinct: a.Distinct, Out: a.Out}
+		if a.Arg != nil {
+			spec.ArgCol = len(proj)
+			proj = append(proj, a.Arg)
+		}
+		specs = append(specs, spec)
+	}
+	return proj, groupCols, groupTs, specs
+}

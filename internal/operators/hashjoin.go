@@ -1,0 +1,546 @@
+package operators
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// JoinBridge connects the build pipeline of a hash join to its probe
+// pipeline (paper Fig. 4): the build side publishes its hash table here and
+// the probe side blocks until it is ready.
+type JoinBridge struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	table   map[string][]bridgeRow
+	pages   []*block.Page
+	matched [][]bool // per page, per row: matched flags for RIGHT/FULL joins
+	built   bool
+	rows    int64
+
+	// Multi-driver accounting: a leaf build pipeline runs one driver per
+	// split, each with its own HashBuildOperator feeding this bridge; the
+	// table is "built" when the task has created all build drivers and all
+	// of them have finished. Probe accounting gates the one-time emission
+	// of unmatched build rows for RIGHT/FULL joins.
+	buildersActive int
+	noMoreBuilders bool
+	probesActive   int
+	noMoreProbes   bool
+	outerClaimed   bool
+}
+
+// AddBuilder registers a build-side driver (called at driver creation).
+func (b *JoinBridge) AddBuilder() {
+	b.mu.Lock()
+	b.buildersActive++
+	b.mu.Unlock()
+}
+
+// BuilderFinished marks one build driver complete; the bridge becomes built
+// when no builders remain and the task has declared no more will come.
+func (b *JoinBridge) BuilderFinished() {
+	b.mu.Lock()
+	b.buildersActive--
+	b.maybeBuiltLocked()
+	b.mu.Unlock()
+}
+
+// NoMoreBuilders declares that every build driver has been created.
+func (b *JoinBridge) NoMoreBuilders() {
+	b.mu.Lock()
+	b.noMoreBuilders = true
+	b.maybeBuiltLocked()
+	b.mu.Unlock()
+}
+
+func (b *JoinBridge) maybeBuiltLocked() {
+	if b.noMoreBuilders && b.buildersActive == 0 {
+		b.built = true
+		b.cond.Broadcast()
+	}
+}
+
+// AddProbe registers a probe-side driver.
+func (b *JoinBridge) AddProbe() {
+	b.mu.Lock()
+	b.probesActive++
+	b.mu.Unlock()
+}
+
+// ProbeFinished marks one probe driver's input complete.
+func (b *JoinBridge) ProbeFinished() {
+	b.mu.Lock()
+	b.probesActive--
+	b.mu.Unlock()
+}
+
+// NoMoreProbes declares that every probe driver has been created.
+func (b *JoinBridge) NoMoreProbes() {
+	b.mu.Lock()
+	b.noMoreProbes = true
+	b.mu.Unlock()
+}
+
+// AllProbesFinished reports that no probe will record further matches, so
+// unmatched build rows may be emitted.
+func (b *JoinBridge) AllProbesFinished() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.noMoreProbes && b.probesActive <= 0
+}
+
+// ClaimOuter grants the outer-row emission to exactly one probe operator.
+func (b *JoinBridge) ClaimOuter() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.outerClaimed {
+		return false
+	}
+	b.outerClaimed = true
+	return true
+}
+
+type bridgeRow struct {
+	page int
+	row  int
+}
+
+// NewJoinBridge creates an empty bridge.
+func NewJoinBridge() *JoinBridge {
+	b := &JoinBridge{table: make(map[string][]bridgeRow)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Built reports whether the build side has completed.
+func (b *JoinBridge) Built() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.built
+}
+
+// BuildRows returns the number of build-side rows (valid after Built).
+func (b *JoinBridge) BuildRows() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rows
+}
+
+// HashBuildOperator consumes the build side of a join and publishes the hash
+// table to the bridge. It acts as a pipeline sink: it produces no output.
+type HashBuildOperator struct {
+	ctx      *OpContext
+	bridge   *JoinBridge
+	keyCols  []int
+	bytes    int64
+	finished bool
+}
+
+// NewHashBuild creates the build-side sink for a join.
+func NewHashBuild(ctx *OpContext, bridge *JoinBridge, keyCols []int) *HashBuildOperator {
+	return &HashBuildOperator{ctx: ctx, bridge: bridge, keyCols: keyCols}
+}
+
+func (o *HashBuildOperator) NeedsInput() bool { return !o.finished }
+
+func (o *HashBuildOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	p = p.DecodeAll()
+	b := o.bridge
+	b.mu.Lock()
+	pageIdx := len(b.pages)
+	b.pages = append(b.pages, p)
+	b.matched = append(b.matched, make([]bool, p.RowCount()))
+	var buf []byte
+	for r := 0; r < p.RowCount(); r++ {
+		// Rows with NULL keys never match an equi-join.
+		null := false
+		for _, c := range o.keyCols {
+			if p.Col(c).IsNull(r) {
+				null = true
+				break
+			}
+		}
+		b.rows++
+		if null && len(o.keyCols) > 0 {
+			continue
+		}
+		buf = encodeRowKey(buf[:0], p, r, o.keyCols)
+		b.table[string(buf)] = append(b.table[string(buf)], bridgeRow{pageIdx, r})
+	}
+	b.mu.Unlock()
+	o.bytes += p.SizeBytes() + int64(p.RowCount()*32)
+	return o.ctx.Mem.SetBytes(o.bytes)
+}
+
+func (o *HashBuildOperator) Finish() {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	o.bridge.BuilderFinished()
+}
+
+func (o *HashBuildOperator) Output() (*block.Page, error) { return nil, nil }
+func (o *HashBuildOperator) IsFinished() bool             { return o.finished }
+func (o *HashBuildOperator) IsBlocked() bool              { return false }
+func (o *HashBuildOperator) Close() error                 { return nil }
+
+// LookupJoinOperator probes the bridge's hash table with left-side pages and
+// emits joined rows. It implements INNER, LEFT, RIGHT, FULL, CROSS, SEMI,
+// and ANTI joins; RIGHT/FULL emit unmatched build rows after the probe side
+// finishes.
+type LookupJoinOperator struct {
+	ctx       *OpContext
+	bridge    *JoinBridge
+	jt        plan.JoinType
+	probeKeys []int
+	residual  *expr.Evaluator // over concatenated (probe ++ build) schema
+	probeTs   []types.Type
+	buildTs   []types.Type
+
+	pending      []*block.Page
+	outPos       int
+	finished     bool
+	outerHandled bool
+	pageSize     int
+}
+
+// NewLookupJoin creates the probe-side operator.
+func NewLookupJoin(ctx *OpContext, bridge *JoinBridge, jt plan.JoinType, probeKeys []int, residual expr.Expr, probeTs, buildTs []types.Type, pageSize int) *LookupJoinOperator {
+	op := &LookupJoinOperator{
+		ctx: ctx, bridge: bridge, jt: jt, probeKeys: probeKeys,
+		probeTs: probeTs, buildTs: buildTs, pageSize: pageSize,
+	}
+	if residual != nil {
+		op.residual = expr.Compile(residual)
+	}
+	if op.pageSize <= 0 {
+		op.pageSize = 4096
+	}
+	return op
+}
+
+func (o *LookupJoinOperator) IsBlocked() bool {
+	if !o.bridge.Built() {
+		return true
+	}
+	// A finished RIGHT/FULL probe waits for its peers before emitting
+	// unmatched build rows.
+	return o.finished && !o.outerHandled && !o.bridge.AllProbesFinished()
+}
+
+func (o *LookupJoinOperator) NeedsInput() bool {
+	return o.bridge.Built() && !o.finished && len(o.pending) == 0
+}
+
+// outTypes returns the join's output column types.
+func (o *LookupJoinOperator) outTypes() []types.Type {
+	switch o.jt {
+	case plan.SemiJoin, plan.AntiJoin:
+		return o.probeTs
+	default:
+		return append(append([]types.Type{}, o.probeTs...), o.buildTs...)
+	}
+}
+
+func (o *LookupJoinOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	p = p.DecodeAll()
+	b := o.bridge
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	builder := block.NewPageBuilder(o.outTypes())
+	var buf []byte
+	nProbe := len(o.probeTs)
+	row := make([]types.Value, nProbe+len(o.buildTs))
+
+	flush := func() {
+		if builder.RowCount() > 0 {
+			o.pending = append(o.pending, builder.Build())
+		}
+	}
+
+	for r := 0; r < p.RowCount(); r++ {
+		var matches []bridgeRow
+		switch {
+		case o.jt == plan.CrossJoin || len(o.probeKeys) == 0:
+			// Cross join / keyless semi: all build rows are candidates.
+			matches = allBuildRows(b)
+		default:
+			nullKey := false
+			for _, c := range o.probeKeys {
+				if p.Col(c).IsNull(r) {
+					nullKey = true
+					break
+				}
+			}
+			if !nullKey {
+				buf = encodeRowKey(buf[:0], p, r, o.probeKeys)
+				matches = b.table[string(buf)]
+			}
+		}
+
+		switch o.jt {
+		case plan.SemiJoin:
+			if o.matchExists(p, r, matches, b) {
+				for c := 0; c < nProbe; c++ {
+					row[c] = p.Col(c).Value(r)
+				}
+				builder.AppendRow(row[:nProbe])
+			}
+		case plan.AntiJoin:
+			if !o.matchExists(p, r, matches, b) {
+				for c := 0; c < nProbe; c++ {
+					row[c] = p.Col(c).Value(r)
+				}
+				builder.AppendRow(row[:nProbe])
+			}
+		default:
+			matched := false
+			for c := 0; c < nProbe; c++ {
+				row[c] = p.Col(c).Value(r)
+			}
+			for _, m := range matches {
+				bp := b.pages[m.page]
+				for c := 0; c < len(o.buildTs); c++ {
+					row[nProbe+c] = bp.Col(c).Value(m.row)
+				}
+				if o.residual != nil && !o.residualTrue(row) {
+					continue
+				}
+				matched = true
+				b.matched[m.page][m.row] = true
+				builder.AppendRow(row)
+				if builder.RowCount() >= o.pageSize {
+					flush()
+					builder = block.NewPageBuilder(o.outTypes())
+				}
+			}
+			if !matched && (o.jt == plan.LeftJoin || o.jt == plan.FullJoin) {
+				for c := 0; c < len(o.buildTs); c++ {
+					row[nProbe+c] = types.NullValue(o.buildTs[c])
+				}
+				builder.AppendRow(row)
+			}
+		}
+		if builder.RowCount() >= o.pageSize {
+			flush()
+			builder = block.NewPageBuilder(o.outTypes())
+		}
+	}
+	flush()
+	return nil
+}
+
+func allBuildRows(b *JoinBridge) []bridgeRow {
+	var out []bridgeRow
+	for pi, p := range b.pages {
+		for r := 0; r < p.RowCount(); r++ {
+			out = append(out, bridgeRow{pi, r})
+		}
+	}
+	return out
+}
+
+func (o *LookupJoinOperator) matchExists(p *block.Page, r int, matches []bridgeRow, b *JoinBridge) bool {
+	if o.residual == nil {
+		return len(matches) > 0
+	}
+	nProbe := len(o.probeTs)
+	row := make([]types.Value, nProbe+len(o.buildTs))
+	for c := 0; c < nProbe; c++ {
+		row[c] = p.Col(c).Value(r)
+	}
+	for _, m := range matches {
+		bp := b.pages[m.page]
+		for c := 0; c < len(o.buildTs); c++ {
+			row[nProbe+c] = bp.Col(c).Value(m.row)
+		}
+		if o.residualTrue(row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *LookupJoinOperator) residualTrue(row []types.Value) bool {
+	// Evaluate the residual via a one-row page.
+	ts := append(append([]types.Type{}, o.probeTs...), o.buildTs...)
+	b := block.NewPageBuilder(ts)
+	b.AppendRow(row)
+	out, err := o.residual.EvalPage(b.Build())
+	if err != nil || out.Len() == 0 {
+		return false
+	}
+	return !out.IsNull(0) && out.Bool(0)
+}
+
+func (o *LookupJoinOperator) Finish() {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	o.bridge.ProbeFinished()
+	if o.jt != plan.RightJoin && o.jt != plan.FullJoin {
+		o.outerHandled = true
+	}
+}
+
+func (o *LookupJoinOperator) emitUnmatchedBuild() {
+	b := o.bridge
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	builder := block.NewPageBuilder(o.outTypes())
+	nProbe := len(o.probeTs)
+	row := make([]types.Value, nProbe+len(o.buildTs))
+	for c := 0; c < nProbe; c++ {
+		row[c] = types.NullValue(o.probeTs[c])
+	}
+	for pi, p := range b.pages {
+		for r := 0; r < p.RowCount(); r++ {
+			if b.matched[pi][r] {
+				continue
+			}
+			for c := 0; c < len(o.buildTs); c++ {
+				row[nProbe+c] = p.Col(c).Value(r)
+			}
+			builder.AppendRow(row)
+			if builder.RowCount() >= o.pageSize {
+				o.pending = append(o.pending, builder.Build())
+				builder = block.NewPageBuilder(o.outTypes())
+			}
+		}
+	}
+	if builder.RowCount() > 0 {
+		o.pending = append(o.pending, builder.Build())
+	}
+}
+
+func (o *LookupJoinOperator) Output() (*block.Page, error) {
+	if o.finished && !o.outerHandled && o.bridge.AllProbesFinished() {
+		o.outerHandled = true
+		if o.bridge.ClaimOuter() {
+			o.emitUnmatchedBuild()
+		}
+	}
+	if o.outPos >= len(o.pending) {
+		if o.outPos > 0 {
+			o.pending = o.pending[:0]
+			o.outPos = 0
+		}
+		return nil, nil
+	}
+	p := o.pending[o.outPos]
+	o.outPos++
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+func (o *LookupJoinOperator) IsFinished() bool {
+	return o.finished && o.outerHandled && o.outPos >= len(o.pending)
+}
+
+func (o *LookupJoinOperator) Close() error { return nil }
+
+// IndexJoinOperator joins probe rows against a connector index
+// (paper §IV-C1): for every probe row it looks up matching rows through the
+// connector's IndexLookup, avoiding a full build-side scan. Used when the
+// optimizer selects StrategyIndex against normalized production stores.
+type IndexJoinOperator struct {
+	ctx       *OpContext
+	lookup    IndexLookupFunc
+	jt        plan.JoinType
+	probeKeys []int
+	probeTs   []types.Type
+	buildTs   []types.Type
+	pending   []*block.Page
+	outPos    int
+	finished  bool
+	pageSize  int
+}
+
+// IndexLookupFunc probes the connector index with one key tuple.
+type IndexLookupFunc func(keys []types.Value) (*block.Page, error)
+
+// NewIndexJoin creates an index join operator.
+func NewIndexJoin(ctx *OpContext, lookup IndexLookupFunc, jt plan.JoinType, probeKeys []int, probeTs, buildTs []types.Type, pageSize int) *IndexJoinOperator {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &IndexJoinOperator{ctx: ctx, lookup: lookup, jt: jt, probeKeys: probeKeys, probeTs: probeTs, buildTs: buildTs, pageSize: pageSize}
+}
+
+func (o *IndexJoinOperator) NeedsInput() bool { return !o.finished && len(o.pending) == 0 }
+func (o *IndexJoinOperator) IsBlocked() bool  { return false }
+
+func (o *IndexJoinOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	p = p.DecodeAll()
+	nProbe := len(o.probeTs)
+	ts := append(append([]types.Type{}, o.probeTs...), o.buildTs...)
+	builder := block.NewPageBuilder(ts)
+	row := make([]types.Value, len(ts))
+	keys := make([]types.Value, len(o.probeKeys))
+	for r := 0; r < p.RowCount(); r++ {
+		for i, c := range o.probeKeys {
+			keys[i] = p.Col(c).Value(r)
+		}
+		res, err := o.lookup(keys)
+		if err != nil {
+			return fmt.Errorf("index lookup: %w", err)
+		}
+		for c := 0; c < nProbe; c++ {
+			row[c] = p.Col(c).Value(r)
+		}
+		matched := false
+		if res != nil {
+			for br := 0; br < res.RowCount(); br++ {
+				matched = true
+				for c := 0; c < len(o.buildTs); c++ {
+					row[nProbe+c] = res.Col(c).Value(br)
+				}
+				builder.AppendRow(row)
+			}
+		}
+		if !matched && o.jt == plan.LeftJoin {
+			for c := 0; c < len(o.buildTs); c++ {
+				row[nProbe+c] = types.NullValue(o.buildTs[c])
+			}
+			builder.AppendRow(row)
+		}
+		if builder.RowCount() >= o.pageSize {
+			o.pending = append(o.pending, builder.Build())
+			builder = block.NewPageBuilder(ts)
+		}
+	}
+	if builder.RowCount() > 0 {
+		o.pending = append(o.pending, builder.Build())
+	}
+	return nil
+}
+
+func (o *IndexJoinOperator) Output() (*block.Page, error) {
+	if o.outPos >= len(o.pending) {
+		if o.outPos > 0 {
+			o.pending = o.pending[:0]
+			o.outPos = 0
+		}
+		return nil, nil
+	}
+	p := o.pending[o.outPos]
+	o.outPos++
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+func (o *IndexJoinOperator) Finish()          { o.finished = true }
+func (o *IndexJoinOperator) IsFinished() bool { return o.finished && o.outPos >= len(o.pending) }
+func (o *IndexJoinOperator) Close() error     { return nil }

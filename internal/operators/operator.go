@@ -1,0 +1,69 @@
+// Package operators implements the engine's physical operators (paper
+// §IV-E1): each performs a single well-defined computation on pages and is
+// chained into pipelines executed by the driver loop. Accumulating operators
+// (aggregation, join build, sort, distinct, window) account their memory
+// against the query's memory context and — for joins and aggregations —
+// support revocation by spilling state to disk (§IV-F2).
+package operators
+
+import (
+	"repro/internal/block"
+	"repro/internal/memory"
+)
+
+// Operator is one stage of a pipeline. The driver moves pages between
+// adjacent operators whenever the downstream needs input and the upstream
+// can produce (§IV-E1).
+type Operator interface {
+	// NeedsInput reports whether AddInput may be called.
+	NeedsInput() bool
+	// AddInput accepts one page.
+	AddInput(p *block.Page) error
+	// Output returns a produced page or nil if none is ready.
+	Output() (*block.Page, error)
+	// Finish signals that no more input will arrive.
+	Finish()
+	// IsFinished reports that the operator will produce no more output.
+	IsFinished() bool
+	// IsBlocked reports the operator is waiting on an external event
+	// (exchange data, buffer space, a join build). Blocked drivers yield
+	// their thread (§IV-F1).
+	IsBlocked() bool
+	// Close releases resources.
+	Close() error
+}
+
+// OpContext carries per-operator execution context: memory accounting and
+// statistics shared with the task.
+type OpContext struct {
+	Mem   *memory.LocalContext
+	Stats *OpStats
+}
+
+// OpStats counts operator work for EXPLAIN ANALYZE and the experiments.
+type OpStats struct {
+	PagesIn  int64
+	RowsIn   int64
+	PagesOut int64
+	RowsOut  int64
+}
+
+// NopContext returns a context with no memory accounting, for tests.
+func NopContext() *OpContext {
+	q := memory.NewQueryContext("test", memory.QueryLimits{}, map[int]*memory.NodePool{})
+	return &OpContext{Mem: memory.NewLocalContext(q, 0, memory.User), Stats: &OpStats{}}
+}
+
+func (c *OpContext) recordIn(p *block.Page) {
+	if c != nil && c.Stats != nil && p != nil {
+		c.Stats.PagesIn++
+		c.Stats.RowsIn += int64(p.RowCount())
+	}
+}
+
+func (c *OpContext) recordOut(p *block.Page) {
+	if c != nil && c.Stats != nil && p != nil {
+		c.Stats.PagesOut++
+		c.Stats.RowsOut += int64(p.RowCount())
+	}
+}

@@ -1,0 +1,107 @@
+package operators
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// encodeRowKey appends a canonical binary encoding of the given columns of
+// row r to buf. It is the hashing primitive for aggregations, joins,
+// distinct, and hash partitioning: equal rows encode identically.
+func encodeRowKey(buf []byte, p *block.Page, r int, cols []int) []byte {
+	for _, c := range cols {
+		col := p.Col(c)
+		if col.IsNull(r) {
+			buf = append(buf, 0)
+			continue
+		}
+		switch col.Type() {
+		case types.Bigint, types.Date:
+			buf = append(buf, 1)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(col.Long(r)))
+		case types.Double:
+			buf = append(buf, 2)
+			// Encode doubles that equal an integer identically to the
+			// integer so cross-type joins group correctly.
+			f := col.Double(r)
+			if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+				buf[len(buf)-1] = 1
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(f)))
+			} else {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+		case types.Varchar:
+			buf = append(buf, 3)
+			s := col.Str(r)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		case types.Boolean:
+			if col.Bool(r) {
+				buf = append(buf, 4, 1)
+			} else {
+				buf = append(buf, 4, 0)
+			}
+		default:
+			buf = append(buf, 5)
+			s := col.Value(r).String()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// hashRowKey hashes the encoded key with FNV-1a, used for partitioning.
+func hashRowKey(key []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HashPartition computes the target partition of row r given the hash
+// columns; it is used by partitioned outputs and local exchanges.
+func HashPartition(p *block.Page, r int, cols []int, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	var buf [64]byte
+	key := encodeRowKey(buf[:0], p, r, cols)
+	return int(hashRowKey(key) % uint64(parts))
+}
+
+// compareRows orders row a of pa against row b of pb on the sort keys.
+func compareRows(pa *block.Page, a int, pb *block.Page, b int, keys []sortKey) int {
+	for _, k := range keys {
+		ca, cb := pa.Col(k.col), pb.Col(k.col)
+		an, bn := ca.IsNull(a), cb.IsNull(b)
+		var c int
+		switch {
+		case an && bn:
+			c = 0
+		case an:
+			c = 1 // NULLS LAST
+		case bn:
+			c = -1
+		default:
+			c = ca.Value(a).Compare(cb.Value(b))
+		}
+		if k.desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+type sortKey struct {
+	col  int
+	desc bool
+}

@@ -1,0 +1,109 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+)
+
+// TableScanOperator is a source operator reading one split through the
+// Connector Data Source API. Each driver of a leaf pipeline owns one split
+// (paper §IV-D3).
+type TableScanOperator struct {
+	ctx    *OpContext
+	source connector.PageSource
+	done   bool
+}
+
+// NewTableScan wraps a connector page source.
+func NewTableScan(ctx *OpContext, source connector.PageSource) *TableScanOperator {
+	return &TableScanOperator{ctx: ctx, source: source}
+}
+
+func (o *TableScanOperator) NeedsInput() bool { return false }
+func (o *TableScanOperator) AddInput(p *block.Page) error {
+	return fmt.Errorf("scan: unexpected input")
+}
+func (o *TableScanOperator) Finish()          { o.done = true }
+func (o *TableScanOperator) IsFinished() bool { return o.done }
+func (o *TableScanOperator) IsBlocked() bool  { return false }
+
+func (o *TableScanOperator) Output() (*block.Page, error) {
+	if o.done {
+		return nil, nil
+	}
+	p, err := o.source.NextPage()
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		o.done = true
+		return nil, nil
+	}
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+// BytesRead reports physical bytes fetched by the underlying source.
+func (o *TableScanOperator) BytesRead() int64 { return o.source.BytesRead() }
+
+func (o *TableScanOperator) Close() error {
+	o.source.Close()
+	return nil
+}
+
+// TableWriterOperator writes its input through a connector page sink and
+// emits a single row count (paper §IV-E3). The adaptive writer-scaling
+// experiment measures how many of these run concurrently.
+type TableWriterOperator struct {
+	ctx      *OpContext
+	sink     connector.PageSink
+	rows     int64
+	finished bool
+	emitted  bool
+	// WriteDelay simulates per-page remote storage latency for the
+	// adaptive-writers experiment (0 in normal operation).
+	WriteDelay func()
+}
+
+// NewTableWriter wraps a connector sink.
+func NewTableWriter(ctx *OpContext, sink connector.PageSink) *TableWriterOperator {
+	return &TableWriterOperator{ctx: ctx, sink: sink}
+}
+
+func (o *TableWriterOperator) NeedsInput() bool { return !o.finished }
+
+func (o *TableWriterOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	if o.WriteDelay != nil {
+		o.WriteDelay()
+	}
+	if err := o.sink.Append(p); err != nil {
+		return err
+	}
+	o.rows += int64(p.RowCount())
+	return nil
+}
+
+func (o *TableWriterOperator) Output() (*block.Page, error) {
+	if !o.finished || o.emitted {
+		return nil, nil
+	}
+	o.emitted = true
+	n, err := o.sink.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		n = o.rows
+	}
+	p := block.NewPage(block.NewLongBlock([]int64{n}, nil))
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+func (o *TableWriterOperator) Finish()          { o.finished = true }
+func (o *TableWriterOperator) IsFinished() bool { return o.finished && o.emitted }
+func (o *TableWriterOperator) IsBlocked() bool  { return false }
+func (o *TableWriterOperator) Close() error     { return nil }

@@ -1,0 +1,238 @@
+package operators
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// SortOperator fully sorts its input. It accumulates pages, reserves user
+// memory for them, and emits sorted output after Finish.
+type SortOperator struct {
+	ctx      *OpContext
+	keys     []sortKey
+	pages    []*block.Page
+	bytes    int64
+	finished bool
+	out      []*block.Page
+	outPos   int
+	pageSize int
+}
+
+// NewSort builds a sort operator over the given key columns.
+func NewSort(ctx *OpContext, keyCols []int, desc []bool, pageSize int) *SortOperator {
+	keys := make([]sortKey, len(keyCols))
+	for i, c := range keyCols {
+		keys[i] = sortKey{col: c, desc: desc[i]}
+	}
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &SortOperator{ctx: ctx, keys: keys, pageSize: pageSize}
+}
+
+func (o *SortOperator) NeedsInput() bool { return !o.finished }
+
+func (o *SortOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	p = p.DecodeAll()
+	o.pages = append(o.pages, p)
+	o.bytes += p.SizeBytes()
+	return o.ctx.Mem.SetBytes(o.bytes)
+}
+
+func (o *SortOperator) Finish() {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	o.sortAll()
+}
+
+type rowRef struct {
+	page int
+	row  int
+}
+
+func (o *SortOperator) sortAll() {
+	var refs []rowRef
+	for pi, p := range o.pages {
+		for r := 0; r < p.RowCount(); r++ {
+			refs = append(refs, rowRef{pi, r})
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		return compareRows(o.pages[a.page], a.row, o.pages[b.page], b.row, o.keys) < 0
+	})
+	for start := 0; start < len(refs); start += o.pageSize {
+		end := start + o.pageSize
+		if end > len(refs) {
+			end = len(refs)
+		}
+		o.out = append(o.out, buildFromRefs(o.pages, refs[start:end]))
+	}
+	o.pages = nil
+}
+
+// buildFromRefs gathers the referenced rows into a new page, column by
+// column, through the boxed value path (output assembly is not the hot loop).
+func buildFromRefs(pages []*block.Page, refs []rowRef) *block.Page {
+	if len(pages) == 0 || len(refs) == 0 {
+		return block.NewEmptyPage(0)
+	}
+	ncols := pages[0].ColCount()
+	cols := make([]block.Block, ncols)
+	for c := 0; c < ncols; c++ {
+		t := pages[0].Col(c).Type()
+		vals := make([]types.Value, len(refs))
+		for i, ref := range refs {
+			vals[i] = pages[ref.page].Col(c).Value(ref.row)
+			if t == types.Unknown && vals[i].T != types.Unknown {
+				t = vals[i].T
+			}
+		}
+		cols[c] = block.BuildBlock(t, vals)
+	}
+	return block.NewPage(cols...)
+}
+
+func (o *SortOperator) Output() (*block.Page, error) {
+	if o.outPos >= len(o.out) {
+		return nil, nil
+	}
+	p := o.out[o.outPos]
+	o.outPos++
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+func (o *SortOperator) IsFinished() bool { return o.finished && o.outPos >= len(o.out) }
+func (o *SortOperator) IsBlocked() bool  { return false }
+func (o *SortOperator) Close() error {
+	o.pages, o.out = nil, nil
+	o.ctx.Mem.Close()
+	return nil
+}
+
+// TopNOperator keeps the top N rows under the ordering using a bounded heap —
+// the fused Sort+Limit the optimizer produces for ORDER BY ... LIMIT.
+type TopNOperator struct {
+	ctx      *OpContext
+	keys     []sortKey
+	n        int
+	h        *topHeap
+	finished bool
+	emitted  bool
+}
+
+// NewTopN builds a top-N operator.
+func NewTopN(ctx *OpContext, keyCols []int, desc []bool, n int64) *TopNOperator {
+	keys := make([]sortKey, len(keyCols))
+	for i, c := range keyCols {
+		keys[i] = sortKey{col: c, desc: desc[i]}
+	}
+	return &TopNOperator{ctx: ctx, keys: keys, n: int(n), h: &topHeap{keys: keys}}
+}
+
+type heapRow struct {
+	page *block.Page
+	row  int
+	seq  int64 // arrival order for stability
+}
+
+type topHeap struct {
+	rows []heapRow
+	keys []sortKey
+}
+
+func (h *topHeap) Len() int { return len(h.rows) }
+func (h *topHeap) Less(i, j int) bool {
+	// Max-heap on sort order: the root is the worst row, evicted first.
+	c := compareRows(h.rows[i].page, h.rows[i].row, h.rows[j].page, h.rows[j].row, h.keys)
+	if c != 0 {
+		return c > 0
+	}
+	return h.rows[i].seq > h.rows[j].seq
+}
+func (h *topHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topHeap) Push(x interface{}) { h.rows = append(h.rows, x.(heapRow)) }
+func (h *topHeap) Pop() interface{} {
+	last := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return last
+}
+
+var seqCounter int64
+
+func (o *TopNOperator) NeedsInput() bool { return !o.finished }
+
+func (o *TopNOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	p = p.DecodeAll()
+	for r := 0; r < p.RowCount(); r++ {
+		seqCounter++
+		if o.h.Len() < o.n {
+			heap.Push(o.h, heapRow{page: p, row: r, seq: seqCounter})
+			continue
+		}
+		if o.n == 0 {
+			break
+		}
+		worst := o.h.rows[0]
+		if compareRows(p, r, worst.page, worst.row, o.keys) < 0 {
+			o.h.rows[0] = heapRow{page: p, row: r, seq: seqCounter}
+			heap.Fix(o.h, 0)
+		}
+	}
+	var bytes int64
+	seen := map[*block.Page]bool{}
+	for _, hr := range o.h.rows {
+		if !seen[hr.page] {
+			seen[hr.page] = true
+			bytes += hr.page.SizeBytes()
+		}
+	}
+	return o.ctx.Mem.SetBytes(bytes)
+}
+
+func (o *TopNOperator) Finish() { o.finished = true }
+
+func (o *TopNOperator) Output() (*block.Page, error) {
+	if !o.finished || o.emitted {
+		return nil, nil
+	}
+	o.emitted = true
+	rows := make([]heapRow, o.h.Len())
+	for i := len(rows) - 1; i >= 0; i-- {
+		rows[i] = heap.Pop(o.h).(heapRow)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	refs := make([]rowRef, len(rows))
+	pages := make([]*block.Page, 0)
+	pageIdx := map[*block.Page]int{}
+	for i, hr := range rows {
+		idx, ok := pageIdx[hr.page]
+		if !ok {
+			idx = len(pages)
+			pageIdx[hr.page] = idx
+			pages = append(pages, hr.page)
+		}
+		refs[i] = rowRef{page: idx, row: hr.row}
+	}
+	out := buildFromRefs(pages, refs)
+	o.ctx.recordOut(out)
+	return out, nil
+}
+
+func (o *TopNOperator) IsFinished() bool { return o.finished && o.emitted }
+func (o *TopNOperator) IsBlocked() bool  { return false }
+func (o *TopNOperator) Close() error {
+	o.h = nil
+	o.ctx.Mem.Close()
+	return nil
+}

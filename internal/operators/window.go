@@ -1,0 +1,287 @@
+package operators
+
+import (
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// WindowOperator evaluates window functions: it accumulates its input,
+// partitions by the partition columns, orders each partition, and appends
+// one output column per window function.
+type WindowOperator struct {
+	ctx      *OpContext
+	partCols []int
+	order    []sortKey
+	funcs    []plan.WindowExpr
+	argEvals []*expr.Evaluator
+
+	pages    []*block.Page
+	bytes    int64
+	finished bool
+	out      []*block.Page
+	outPos   int
+	prepared bool
+	pageSize int
+}
+
+// NewWindow builds a window operator.
+func NewWindow(ctx *OpContext, partCols []int, orderCols []int, desc []bool, funcs []plan.WindowExpr, pageSize int) *WindowOperator {
+	order := make([]sortKey, len(orderCols))
+	for i, c := range orderCols {
+		order[i] = sortKey{col: c, desc: desc[i]}
+	}
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	o := &WindowOperator{ctx: ctx, partCols: partCols, order: order, funcs: funcs, pageSize: pageSize}
+	for _, f := range funcs {
+		if f.Arg != nil {
+			o.argEvals = append(o.argEvals, expr.Compile(f.Arg))
+		} else {
+			o.argEvals = append(o.argEvals, nil)
+		}
+	}
+	return o
+}
+
+func (o *WindowOperator) NeedsInput() bool { return !o.finished }
+
+func (o *WindowOperator) AddInput(p *block.Page) error {
+	o.ctx.recordIn(p)
+	o.pages = append(o.pages, p.DecodeAll())
+	o.bytes += p.SizeBytes()
+	return o.ctx.Mem.SetBytes(o.bytes)
+}
+
+func (o *WindowOperator) Finish() { o.finished = true }
+
+func (o *WindowOperator) prepare() error {
+	if o.prepared {
+		return nil
+	}
+	o.prepared = true
+
+	// Evaluate window arguments once per page.
+	argCols := make([][]block.Block, len(o.funcs))
+	for fi, ev := range o.argEvals {
+		if ev == nil {
+			continue
+		}
+		argCols[fi] = make([]block.Block, len(o.pages))
+		for pi, p := range o.pages {
+			b, err := ev.EvalPage(p)
+			if err != nil {
+				return err
+			}
+			argCols[fi][pi] = b
+		}
+	}
+
+	// Collect and globally order rows: partition key, then order keys.
+	var refs []rowRef
+	for pi, p := range o.pages {
+		for r := 0; r < p.RowCount(); r++ {
+			refs = append(refs, rowRef{pi, r})
+		}
+	}
+	partKeys := make([]sortKey, len(o.partCols))
+	for i, c := range o.partCols {
+		partKeys[i] = sortKey{col: c}
+	}
+	allKeys := append(append([]sortKey{}, partKeys...), o.order...)
+	sort.SliceStable(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		return compareRows(o.pages[a.page], a.row, o.pages[b.page], b.row, allKeys) < 0
+	})
+
+	// Walk partitions and compute per-row outputs.
+	n := len(refs)
+	outVals := make([][]types.Value, len(o.funcs))
+	for i := range outVals {
+		outVals[i] = make([]types.Value, n)
+	}
+	start := 0
+	for start < n {
+		end := start + 1
+		for end < n && o.samePartition(refs[start], refs[end]) {
+			end++
+		}
+		o.computePartition(refs[start:end], outVals, start, argCols)
+		start = end
+	}
+
+	// Assemble output: input columns in original row order followed by the
+	// window columns; rows appear in partition/order sequence (the engine
+	// adds an explicit Sort above if the query orders differently).
+	for chunk := 0; chunk < n; chunk += o.pageSize {
+		endC := chunk + o.pageSize
+		if endC > n {
+			endC = n
+		}
+		base := buildFromRefs(o.pages, refs[chunk:endC])
+		cols := append([]block.Block{}, base.Cols...)
+		for fi, f := range o.funcs {
+			cols = append(cols, block.BuildBlock(f.Out, outVals[fi][chunk:endC]))
+		}
+		o.out = append(o.out, block.NewPage(cols...))
+	}
+	o.pages = nil
+	return nil
+}
+
+func (o *WindowOperator) samePartition(a, b rowRef) bool {
+	partKeys := make([]sortKey, len(o.partCols))
+	for i, c := range o.partCols {
+		partKeys[i] = sortKey{col: c}
+	}
+	return compareRows(o.pages[a.page], a.row, o.pages[b.page], b.row, partKeys) == 0
+}
+
+// computePartition fills outVals[fi][base+i] for each row i of one partition.
+func (o *WindowOperator) computePartition(part []rowRef, outVals [][]types.Value, base int, argCols [][]block.Block) {
+	for fi, f := range o.funcs {
+		switch f.Func {
+		case plan.WinRowNumber:
+			for i := range part {
+				outVals[fi][base+i] = types.BigintValue(int64(i + 1))
+			}
+		case plan.WinRank, plan.WinDenseRank:
+			rank, dense := int64(1), int64(1)
+			for i := range part {
+				if i > 0 {
+					if compareRows(o.pages[part[i].page], part[i].row, o.pages[part[i-1].page], part[i-1].row, o.order) != 0 {
+						rank = int64(i + 1)
+						dense++
+					}
+				}
+				if f.Func == plan.WinRank {
+					outVals[fi][base+i] = types.BigintValue(rank)
+				} else {
+					outVals[fi][base+i] = types.BigintValue(dense)
+				}
+			}
+		default:
+			// Running aggregates over the partition. With an ORDER BY the
+			// frame is the default RANGE UNBOUNDED PRECEDING..CURRENT ROW;
+			// without one it is the whole partition.
+			running := len(o.order) > 0
+			o.computeAggWindow(f, fi, part, outVals, base, argCols[fi], running)
+		}
+	}
+}
+
+func (o *WindowOperator) computeAggWindow(f plan.WindowExpr, fi int, part []rowRef, outVals [][]types.Value, base int, args []block.Block, running bool) {
+	var count int64
+	var sumF float64
+	var minmax types.Value
+	hasVal := false
+	valAt := func(i int) (types.Value, bool) {
+		ref := part[i]
+		col := args[ref.page]
+		if col.IsNull(ref.row) {
+			return types.Value{}, false
+		}
+		return col.Value(ref.row), true
+	}
+	emit := func(i int) {
+		switch f.Func {
+		case plan.WinCount:
+			outVals[fi][base+i] = types.BigintValue(count)
+		case plan.WinSum:
+			if !hasVal {
+				outVals[fi][base+i] = types.NullValue(f.Out)
+			} else if f.Out == types.Double {
+				outVals[fi][base+i] = types.DoubleValue(sumF)
+			} else {
+				outVals[fi][base+i] = types.BigintValue(int64(sumF))
+			}
+		case plan.WinAvg:
+			if count == 0 {
+				outVals[fi][base+i] = types.NullValue(types.Double)
+			} else {
+				outVals[fi][base+i] = types.DoubleValue(sumF / float64(count))
+			}
+		case plan.WinMin, plan.WinMax:
+			if !hasVal {
+				outVals[fi][base+i] = types.NullValue(f.Out)
+			} else {
+				outVals[fi][base+i] = minmax
+			}
+		}
+	}
+	accumulate := func(i int) {
+		v, ok := valAt(i)
+		if !ok {
+			return
+		}
+		count++
+		hasVal = true
+		switch v.T {
+		case types.Double:
+			sumF += v.F
+		case types.Bigint, types.Date:
+			sumF += float64(v.I)
+		}
+		if f.Func == plan.WinMin {
+			if count == 1 || v.Compare(minmax) < 0 {
+				minmax = v
+			}
+		}
+		if f.Func == plan.WinMax {
+			if count == 1 || v.Compare(minmax) > 0 {
+				minmax = v
+			}
+		}
+	}
+	if !running {
+		for i := range part {
+			accumulate(i)
+		}
+		for i := range part {
+			emit(i)
+		}
+		return
+	}
+	// Running frame with peer handling: rows equal under ORDER BY share the
+	// same aggregate value.
+	i := 0
+	for i < len(part) {
+		j := i
+		for j < len(part) && compareRows(o.pages[part[i].page], part[i].row, o.pages[part[j].page], part[j].row, o.order) == 0 {
+			accumulate(j)
+			j++
+		}
+		for k := i; k < j; k++ {
+			emit(k)
+		}
+		i = j
+	}
+}
+
+func (o *WindowOperator) Output() (*block.Page, error) {
+	if !o.finished {
+		return nil, nil
+	}
+	if err := o.prepare(); err != nil {
+		return nil, err
+	}
+	if o.outPos >= len(o.out) {
+		return nil, nil
+	}
+	p := o.out[o.outPos]
+	o.outPos++
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+func (o *WindowOperator) IsFinished() bool { return o.finished && o.prepared && o.outPos >= len(o.out) }
+func (o *WindowOperator) IsBlocked() bool  { return false }
+func (o *WindowOperator) Close() error {
+	o.pages, o.out = nil, nil
+	o.ctx.Mem.Close()
+	return nil
+}

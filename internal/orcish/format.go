@@ -1,0 +1,348 @@
+// Package orcish implements a from-scratch columnar file format standing in
+// for ORC in the paper's Hive warehouse (§V-C): files are divided into
+// stripes; each stripe stores every column in a contiguous, independently
+// decodable section with min/max statistics and row counts in the footer;
+// low-cardinality columns are dictionary-encoded and constant runs
+// run-length-encoded. Readers skip whole stripes using footer statistics and
+// materialize columns lazily (§V-D).
+//
+// Layout:
+//
+//	[stripe 0][stripe 1]...[stripe N-1][footer][footer length: 8 bytes][magic]
+//
+// Stripes and the footer are length-prefixed gob blobs; columns within a
+// stripe are separately offset so lazy readers fetch only what they touch.
+package orcish
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// Magic trails every orcish file.
+const Magic = "ORCISH01"
+
+// DefaultStripeRows is the row count per stripe.
+const DefaultStripeRows = 8192
+
+// ColumnMeta describes one column of the file.
+type ColumnMeta struct {
+	Name string
+	T    types.Type
+}
+
+// ColumnStats summarizes one column of one stripe for skipping (§V-C).
+type ColumnStats struct {
+	Min, Max  types.Value
+	NullCount int64
+	HasValues bool
+}
+
+// StripeInfo locates one stripe and carries its statistics.
+type StripeInfo struct {
+	Offset     int64
+	Length     int64
+	Rows       int64
+	ColOffsets []int64 // column data offset within the stripe blob
+	ColLengths []int64
+	Stats      []ColumnStats
+}
+
+// Footer is the file's table of contents.
+type Footer struct {
+	Columns []ColumnMeta
+	Stripes []StripeInfo
+	Rows    int64
+}
+
+// encoding kinds for column sections.
+const (
+	encPlain byte = iota
+	encRLE
+	encDict
+)
+
+// columnSection is the serialized form of one column in one stripe.
+type columnSection struct {
+	Enc   byte
+	T     types.Type
+	Longs []int64
+	Dbls  []float64
+	Strs  []string
+	Bools []bool
+	Nulls []bool
+	// Dictionary encoding: Indices into the value slices above.
+	Indices []int32
+	// RLE: Count rows of the single value above.
+	Count int
+}
+
+// Writer streams pages into an orcish file.
+type Writer struct {
+	w          io.WriteSeeker
+	columns    []ColumnMeta
+	footer     Footer
+	pending    []*block.Page
+	pendRows   int
+	stripeRows int
+	offset     int64
+}
+
+// NewWriter creates a writer over ws for the given schema.
+func NewWriter(ws io.WriteSeeker, columns []ColumnMeta, stripeRows int) *Writer {
+	if stripeRows <= 0 {
+		stripeRows = DefaultStripeRows
+	}
+	return &Writer{w: ws, columns: columns, footer: Footer{Columns: columns}, stripeRows: stripeRows}
+}
+
+// Append buffers a page, flushing complete stripes.
+func (w *Writer) Append(p *block.Page) error {
+	w.pending = append(w.pending, p.DecodeAll())
+	w.pendRows += p.RowCount()
+	for w.pendRows >= w.stripeRows {
+		if err := w.flushStripe(w.stripeRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes remaining rows and writes the footer.
+func (w *Writer) Close() error {
+	if w.pendRows > 0 {
+		if err := w.flushStripe(w.pendRows); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w.footer); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	var tail [16]byte
+	binary.LittleEndian.PutUint64(tail[:8], uint64(buf.Len()))
+	copy(tail[8:], Magic)
+	_, err := w.w.Write(tail[:])
+	return err
+}
+
+// flushStripe writes the first n pending rows as one stripe.
+func (w *Writer) flushStripe(n int) error {
+	page := block.ConcatPages(w.pending)
+	stripe := page.SlicePage(0, n)
+	rest := page.SlicePage(n, page.RowCount())
+	if rest.RowCount() > 0 {
+		w.pending = []*block.Page{rest}
+	} else {
+		w.pending = nil
+	}
+	w.pendRows -= n
+
+	info := StripeInfo{Offset: w.offset, Rows: int64(n)}
+	var body bytes.Buffer
+	for ci := range w.columns {
+		col := stripe.Col(ci)
+		sec := encodeColumn(col)
+		start := int64(body.Len())
+		if err := gob.NewEncoder(&body).Encode(sec); err != nil {
+			return err
+		}
+		info.ColOffsets = append(info.ColOffsets, start)
+		info.ColLengths = append(info.ColLengths, int64(body.Len())-start)
+		info.Stats = append(info.Stats, computeColumnStats(col))
+	}
+	if _, err := w.w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	info.Length = int64(body.Len())
+	w.offset += info.Length
+	w.footer.Stripes = append(w.footer.Stripes, info)
+	w.footer.Rows += int64(n)
+	return nil
+}
+
+func computeColumnStats(col block.Block) ColumnStats {
+	var st ColumnStats
+	for r := 0; r < col.Len(); r++ {
+		if col.IsNull(r) {
+			st.NullCount++
+			continue
+		}
+		v := col.Value(r)
+		if !st.HasValues {
+			st.Min, st.Max = v, v
+			st.HasValues = true
+			continue
+		}
+		if v.T.Comparable() {
+			if v.Compare(st.Min) < 0 {
+				st.Min = v
+			}
+			if v.Compare(st.Max) > 0 {
+				st.Max = v
+			}
+		}
+	}
+	return st
+}
+
+// encodeColumn picks an encoding: RLE for constant runs, dictionary for
+// low-cardinality columns, plain otherwise.
+func encodeColumn(col block.Block) *columnSection {
+	n := col.Len()
+	sec := &columnSection{T: col.Type()}
+	// Constant column → RLE.
+	if rle, ok := block.RLEEncode(col).(*block.RLEBlock); ok {
+		sec.Enc = encRLE
+		sec.Count = n
+		fillSectionValues(sec, rle.Val)
+		return sec
+	}
+	// Low cardinality → dictionary.
+	if dict, ok := block.DictEncode(col, 0.5).(*block.DictionaryBlock); ok {
+		sec.Enc = encDict
+		sec.Indices = dict.Indices
+		fillSectionValues(sec, dict.Dict)
+		return sec
+	}
+	sec.Enc = encPlain
+	fillSectionValues(sec, col)
+	return sec
+}
+
+// fillSectionValues copies a block's values into the section's typed slices.
+func fillSectionValues(sec *columnSection, col block.Block) {
+	n := col.Len()
+	hasNull := false
+	for r := 0; r < n; r++ {
+		if col.IsNull(r) {
+			hasNull = true
+			break
+		}
+	}
+	if hasNull {
+		sec.Nulls = make([]bool, n)
+		for r := 0; r < n; r++ {
+			sec.Nulls[r] = col.IsNull(r)
+		}
+	}
+	switch col.Type() {
+	case types.Bigint, types.Date:
+		sec.Longs = make([]int64, n)
+		for r := 0; r < n; r++ {
+			if !col.IsNull(r) {
+				sec.Longs[r] = col.Long(r)
+			}
+		}
+	case types.Double:
+		sec.Dbls = make([]float64, n)
+		for r := 0; r < n; r++ {
+			if !col.IsNull(r) {
+				sec.Dbls[r] = col.Double(r)
+			}
+		}
+	case types.Varchar:
+		sec.Strs = make([]string, n)
+		for r := 0; r < n; r++ {
+			if !col.IsNull(r) {
+				sec.Strs[r] = col.Str(r)
+			}
+		}
+	case types.Boolean:
+		sec.Bools = make([]bool, n)
+		for r := 0; r < n; r++ {
+			if !col.IsNull(r) {
+				sec.Bools[r] = col.Bool(r)
+			}
+		}
+	}
+}
+
+// decodeSection reconstructs the block for a column section.
+func (sec *columnSection) decode() block.Block {
+	plain := func() block.Block {
+		switch sec.T {
+		case types.Bigint, types.Date:
+			return &block.LongBlock{T: sec.T, Vals: sec.Longs, Nulls: sec.Nulls}
+		case types.Double:
+			return block.NewDoubleBlock(sec.Dbls, sec.Nulls)
+		case types.Varchar:
+			return block.NewVarcharBlock(sec.Strs, sec.Nulls)
+		case types.Boolean:
+			return block.NewBoolBlock(sec.Bools, sec.Nulls)
+		default:
+			return block.NewBoolBlock(make([]bool, len(sec.Nulls)), sec.Nulls)
+		}
+	}
+	switch sec.Enc {
+	case encRLE:
+		return block.NewRLEBlockFromBlock(plain(), sec.Count)
+	case encDict:
+		return block.NewDictionaryBlock(plain(), sec.Indices)
+	default:
+		return plain()
+	}
+}
+
+// WriteFile writes pages to path with the given schema.
+func WriteFile(path string, columns []ColumnMeta, pages []*block.Page, stripeRows int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f, columns, stripeRows)
+	for _, p := range pages {
+		if err := w.Append(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFooter loads a file's footer.
+func ReadFooter(path string) (*Footer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < 16 {
+		return nil, fmt.Errorf("%s: not an orcish file (too small)", path)
+	}
+	var tail [16]byte
+	if _, err := f.ReadAt(tail[:], st.Size()-16); err != nil {
+		return nil, err
+	}
+	if string(tail[8:]) != Magic {
+		return nil, fmt.Errorf("%s: bad magic %q", path, tail[8:])
+	}
+	flen := int64(binary.LittleEndian.Uint64(tail[:8]))
+	buf := make([]byte, flen)
+	if _, err := f.ReadAt(buf, st.Size()-16-flen); err != nil {
+		return nil, err
+	}
+	var footer Footer
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&footer); err != nil {
+		return nil, fmt.Errorf("%s: corrupt footer: %w", path, err)
+	}
+	return &footer, nil
+}

@@ -1,0 +1,204 @@
+package orcish
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Reader reads stripes of an orcish file as pages, skipping stripes whose
+// statistics cannot match a pushed-down constraint (§V-C) and materializing
+// columns lazily so untouched columns are never fetched or decoded (§V-D).
+type Reader struct {
+	path    string
+	footer  *Footer
+	columns []int // projected column indices into footer.Columns
+	domain  *plan.Domain
+	lazy    bool
+
+	f         *os.File
+	stripe    int
+	bytesRead atomic.Int64
+
+	// Stats for the lazy-loading experiment.
+	StripesSkipped int64
+	StripesRead    int64
+	CellsDecoded   atomic.Int64
+}
+
+// OpenReader opens path projecting the named columns. domain (may be nil)
+// enables stripe skipping; lazy defers column materialization.
+func OpenReader(path string, columns []string, domain *plan.Domain, lazy bool) (*Reader, error) {
+	footer, err := ReadFooter(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{path: path, footer: footer, domain: domain, lazy: lazy, f: f}
+	for _, name := range columns {
+		idx := -1
+		for i, cm := range footer.Columns {
+			if cm.Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			f.Close()
+			return nil, fmt.Errorf("%s: column %q not found", path, name)
+		}
+		r.columns = append(r.columns, idx)
+	}
+	return r, nil
+}
+
+// Schema returns the projected column metadata.
+func (r *Reader) Schema() []ColumnMeta {
+	out := make([]ColumnMeta, len(r.columns))
+	for i, c := range r.columns {
+		out[i] = r.footer.Columns[c]
+	}
+	return out
+}
+
+// BytesRead reports physical bytes fetched (grows as lazy columns load).
+func (r *Reader) BytesRead() int64 { return r.bytesRead.Load() }
+
+// NextPage returns the next stripe as a page, or nil at end of file.
+func (r *Reader) NextPage() (*block.Page, error) {
+	for r.stripe < len(r.footer.Stripes) {
+		info := &r.footer.Stripes[r.stripe]
+		r.stripe++
+		if r.domain != nil && !r.stripeMatches(info) {
+			r.StripesSkipped++
+			continue
+		}
+		r.StripesRead++
+		return r.readStripe(info)
+	}
+	return nil, nil
+}
+
+// stripeMatches tests footer statistics against the pushed-down domain.
+func (r *Reader) stripeMatches(info *StripeInfo) bool {
+	for name, cd := range r.domain.Columns {
+		ci := -1
+		for i, cm := range r.footer.Columns {
+			if cm.Name == name {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 || ci >= len(info.Stats) {
+			continue
+		}
+		st := info.Stats[ci]
+		if !st.HasValues {
+			if !cd.NullAllowed {
+				return false
+			}
+			continue
+		}
+		if !cd.OverlapsMinMax(st.Min, st.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Reader) readStripe(info *StripeInfo) (*block.Page, error) {
+	rows := int(info.Rows)
+	if len(r.columns) == 0 {
+		return block.NewEmptyPage(rows), nil
+	}
+	cols := make([]block.Block, len(r.columns))
+	for i, ci := range r.columns {
+		t := r.footer.Columns[ci].T
+		if r.lazy {
+			ciCopy := ci
+			cols[i] = block.NewLazyBlock(t, rows, func() block.Block {
+				b, err := r.loadColumn(info, ciCopy)
+				if err != nil {
+					// Lazy loads surface errors as an empty column; the
+					// row-count mismatch fails the query loudly.
+					return block.NewBoolBlock(nil, nil)
+				}
+				return b
+			})
+			continue
+		}
+		b, err := r.loadColumn(info, ci)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = b
+	}
+	return block.NewPage(cols...), nil
+}
+
+// loadColumn fetches and decodes one column section of a stripe.
+func (r *Reader) loadColumn(info *StripeInfo, ci int) (block.Block, error) {
+	off := info.Offset + info.ColOffsets[ci]
+	length := info.ColLengths[ci]
+	buf := make([]byte, length)
+	if _, err := r.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("%s: reading column %d: %w", r.path, ci, err)
+	}
+	r.bytesRead.Add(length)
+	var sec columnSection
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&sec); err != nil {
+		return nil, fmt.Errorf("%s: corrupt column %d: %w", r.path, ci, err)
+	}
+	b := sec.decode()
+	r.CellsDecoded.Add(int64(b.Len()))
+	return b, nil
+}
+
+// Close releases the file handle.
+func (r *Reader) Close() { r.f.Close() }
+
+// FileStats aggregates footer-level statistics for the optimizer.
+func FileStats(footer *Footer) (rows int64, ndv map[string]int64) {
+	// Distinct counts are not stored per file; estimate from min/max for
+	// integer columns and report unknown otherwise.
+	ndv = map[string]int64{}
+	for ci, cm := range footer.Columns {
+		if cm.T != types.Bigint && cm.T != types.Date {
+			continue
+		}
+		var lo, hi types.Value
+		seen := false
+		for _, s := range footer.Stripes {
+			if ci >= len(s.Stats) || !s.Stats[ci].HasValues {
+				continue
+			}
+			if !seen {
+				lo, hi = s.Stats[ci].Min, s.Stats[ci].Max
+				seen = true
+				continue
+			}
+			if s.Stats[ci].Min.Compare(lo) < 0 {
+				lo = s.Stats[ci].Min
+			}
+			if s.Stats[ci].Max.Compare(hi) > 0 {
+				hi = s.Stats[ci].Max
+			}
+		}
+		if seen {
+			span := hi.I - lo.I + 1
+			if span > 0 {
+				ndv[cm.Name] = span
+			}
+		}
+	}
+	return footer.Rows, ndv
+}

@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Domain is the connector-evaluable form of pushed-down predicates
+// (paper §IV-C2): a conjunction of per-column value ranges and point sets.
+// Connectors use it to prune partitions, skip file sections via min/max
+// statistics, select indexed layouts, and — in the sharded-SQL connector —
+// route to individual shards.
+type Domain struct {
+	// Columns maps connector column name to its allowed values.
+	Columns map[string]*ColumnDomain
+}
+
+// ColumnDomain constrains a single column.
+type ColumnDomain struct {
+	T types.Type
+	// Points is a discrete IN-list (nil when Ranges are used).
+	Points []types.Value
+	// Ranges is a union of ordered ranges (nil when Points are used).
+	Ranges []Range
+	// NullAllowed reports whether NULL satisfies the constraint.
+	NullAllowed bool
+}
+
+// Range is a contiguous value interval. Unbounded ends are nil.
+type Range struct {
+	Lo, Hi             *types.Value
+	LoClosed, HiClosed bool
+}
+
+// AllDomain returns the unconstrained domain.
+func AllDomain() *Domain { return &Domain{Columns: map[string]*ColumnDomain{}} }
+
+// All reports whether the domain permits everything.
+func (d *Domain) All() bool { return d == nil || len(d.Columns) == 0 }
+
+// String renders the domain for EXPLAIN.
+func (d *Domain) String() string {
+	if d.All() {
+		return "ALL"
+	}
+	names := make([]string, 0, len(d.Columns))
+	for n := range d.Columns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+":"+d.Columns[n].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// String renders the column constraint.
+func (c *ColumnDomain) String() string {
+	if len(c.Points) > 0 {
+		parts := make([]string, len(c.Points))
+		for i, v := range c.Points {
+			parts[i] = v.String()
+		}
+		return "IN(" + strings.Join(parts, ",") + ")"
+	}
+	parts := make([]string, len(c.Ranges))
+	for i, r := range c.Ranges {
+		lo, hi := "-inf", "+inf"
+		lb, hb := "(", ")"
+		if r.Lo != nil {
+			lo = r.Lo.String()
+			if r.LoClosed {
+				lb = "["
+			}
+		}
+		if r.Hi != nil {
+			hi = r.Hi.String()
+			if r.HiClosed {
+				hb = "]"
+			}
+		}
+		parts[i] = fmt.Sprintf("%s%s,%s%s", lb, lo, hi, hb)
+	}
+	return strings.Join(parts, "∪")
+}
+
+// Contains reports whether value v satisfies the column constraint.
+func (c *ColumnDomain) Contains(v types.Value) bool {
+	if v.Null {
+		return c.NullAllowed
+	}
+	if len(c.Points) > 0 {
+		for _, p := range c.Points {
+			if v.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range c.Ranges {
+		if r.Contains(v) {
+			return true
+		}
+	}
+	return len(c.Ranges) == 0
+}
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v types.Value) bool {
+	if r.Lo != nil {
+		c := v.Compare(*r.Lo)
+		if c < 0 || (c == 0 && !r.LoClosed) {
+			return false
+		}
+	}
+	if r.Hi != nil {
+		c := v.Compare(*r.Hi)
+		if c > 0 || (c == 0 && !r.HiClosed) {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapsMinMax reports whether any value in [min, max] could satisfy the
+// constraint — the test used against file/stripe statistics.
+func (c *ColumnDomain) OverlapsMinMax(min, max types.Value) bool {
+	if min.Null || max.Null {
+		return true
+	}
+	if len(c.Points) > 0 {
+		for _, p := range c.Points {
+			if !p.Null && p.Compare(min) >= 0 && p.Compare(max) <= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range c.Ranges {
+		loOK := r.Lo == nil || max.Compare(*r.Lo) > 0 || (max.Compare(*r.Lo) == 0 && r.LoClosed)
+		hiOK := r.Hi == nil || min.Compare(*r.Hi) < 0 || (min.Compare(*r.Hi) == 0 && r.HiClosed)
+		if loOK && hiOK {
+			return true
+		}
+	}
+	return len(c.Ranges) == 0
+}
+
+// Intersect merges another constraint for the same column (conjunction).
+// Point sets intersect; a point set intersected with ranges filters the
+// points; range unions intersect pairwise. The operation is idempotent
+// (d ∩ d = d), which the optimizer's fixpoint loop relies on.
+func (c *ColumnDomain) Intersect(o *ColumnDomain) *ColumnDomain {
+	out := &ColumnDomain{T: c.T, NullAllowed: c.NullAllowed && o.NullAllowed}
+	switch {
+	case len(c.Points) > 0:
+		for _, p := range c.Points {
+			if o.Contains(p) {
+				out.Points = append(out.Points, p)
+			}
+		}
+	case len(o.Points) > 0:
+		for _, p := range o.Points {
+			if c.Contains(p) {
+				out.Points = append(out.Points, p)
+			}
+		}
+	case len(c.Ranges) == 0:
+		out.Ranges = append([]Range{}, o.Ranges...)
+	case len(o.Ranges) == 0:
+		out.Ranges = append([]Range{}, c.Ranges...)
+	default:
+		seen := map[string]bool{}
+		for _, a := range c.Ranges {
+			for _, b := range o.Ranges {
+				if r, ok := a.intersect(b); ok {
+					key := r.key()
+					if !seen[key] {
+						seen[key] = true
+						out.Ranges = append(out.Ranges, r)
+					}
+				}
+			}
+		}
+		if len(out.Ranges) == 0 {
+			// Empty intersection: an impossible point keeps the domain
+			// unsatisfiable rather than unconstrained.
+			out.Points = []types.Value{}
+			out.Ranges = []Range{{Lo: &emptyLo, Hi: &emptyHi, LoClosed: true, HiClosed: true}}
+		}
+	}
+	return out
+}
+
+// emptyLo/emptyHi form a deliberately empty range (1 > 0 inverted bounds are
+// not representable, so use a sentinel range matching nothing practical).
+var (
+	emptyLo = types.BigintValue(1)
+	emptyHi = types.BigintValue(0)
+)
+
+// intersect tightens two ranges; ok is false when they do not overlap.
+func (r Range) intersect(o Range) (Range, bool) {
+	out := Range{Lo: r.Lo, LoClosed: r.LoClosed, Hi: r.Hi, HiClosed: r.HiClosed}
+	if o.Lo != nil {
+		if out.Lo == nil {
+			out.Lo, out.LoClosed = o.Lo, o.LoClosed
+		} else {
+			c := o.Lo.Compare(*out.Lo)
+			if c > 0 || (c == 0 && !o.LoClosed) {
+				out.Lo, out.LoClosed = o.Lo, o.LoClosed
+			}
+		}
+	}
+	if o.Hi != nil {
+		if out.Hi == nil {
+			out.Hi, out.HiClosed = o.Hi, o.HiClosed
+		} else {
+			c := o.Hi.Compare(*out.Hi)
+			if c < 0 || (c == 0 && !o.HiClosed) {
+				out.Hi, out.HiClosed = o.Hi, o.HiClosed
+			}
+		}
+	}
+	if out.Lo != nil && out.Hi != nil {
+		c := out.Lo.Compare(*out.Hi)
+		if c > 0 || (c == 0 && !(out.LoClosed && out.HiClosed)) {
+			return Range{}, false
+		}
+	}
+	return out, true
+}
+
+func (r Range) key() string {
+	lo, hi := "-inf", "+inf"
+	if r.Lo != nil {
+		lo = r.Lo.String()
+	}
+	if r.Hi != nil {
+		hi = r.Hi.String()
+	}
+	return fmt.Sprintf("%s|%v|%s|%v", lo, r.LoClosed, hi, r.HiClosed)
+}
+
+// Intersect conjoins two domains.
+func (d *Domain) Intersect(o *Domain) *Domain {
+	if d.All() {
+		return o
+	}
+	if o.All() {
+		return d
+	}
+	out := AllDomain()
+	for n, c := range d.Columns {
+		out.Columns[n] = c
+	}
+	for n, c := range o.Columns {
+		if prev, ok := out.Columns[n]; ok {
+			out.Columns[n] = prev.Intersect(c)
+		} else {
+			out.Columns[n] = c
+		}
+	}
+	return out
+}
+
+// PointDomain builds a single-point column constraint.
+func PointDomain(t types.Type, v types.Value) *ColumnDomain {
+	return &ColumnDomain{T: t, Points: []types.Value{v}}
+}
+
+// RangeDomain builds a single-range column constraint.
+func RangeDomain(t types.Type, lo, hi *types.Value, loClosed, hiClosed bool) *ColumnDomain {
+	return &ColumnDomain{T: t, Ranges: []Range{{Lo: lo, Hi: hi, LoClosed: loClosed, HiClosed: hiClosed}}}
+}

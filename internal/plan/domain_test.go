@@ -1,0 +1,197 @@
+package plan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func bi(v int64) types.Value { return types.BigintValue(v) }
+
+func TestPointDomainContains(t *testing.T) {
+	d := PointDomain(types.Bigint, bi(5))
+	if !d.Contains(bi(5)) || d.Contains(bi(6)) {
+		t.Error("point containment")
+	}
+	if d.Contains(types.NullValue(types.Bigint)) {
+		t.Error("NULL should not satisfy a point domain")
+	}
+}
+
+func TestRangeDomainContains(t *testing.T) {
+	lo, hi := bi(2), bi(8)
+	d := RangeDomain(types.Bigint, &lo, &hi, true, false) // [2, 8)
+	cases := map[int64]bool{1: false, 2: true, 5: true, 8: false, 9: false}
+	for v, want := range cases {
+		if d.Contains(bi(v)) != want {
+			t.Errorf("contains(%d) = %v, want %v", v, !want, want)
+		}
+	}
+}
+
+func TestUnboundedRanges(t *testing.T) {
+	lo := bi(3)
+	d := RangeDomain(types.Bigint, &lo, nil, false, false) // (3, +inf)
+	if d.Contains(bi(3)) || !d.Contains(bi(4)) {
+		t.Error("open lower bound")
+	}
+	hi := bi(3)
+	d2 := RangeDomain(types.Bigint, nil, &hi, false, true) // (-inf, 3]
+	if !d2.Contains(bi(3)) || d2.Contains(bi(4)) {
+		t.Error("closed upper bound")
+	}
+}
+
+func TestOverlapsMinMax(t *testing.T) {
+	lo, hi := bi(10), bi(20)
+	d := RangeDomain(types.Bigint, &lo, &hi, true, true)
+	if d.OverlapsMinMax(bi(1), bi(5)) {
+		t.Error("[1,5] should not overlap [10,20]")
+	}
+	if !d.OverlapsMinMax(bi(15), bi(30)) {
+		t.Error("[15,30] should overlap [10,20]")
+	}
+	if !d.OverlapsMinMax(bi(20), bi(25)) {
+		t.Error("touching boundary should overlap")
+	}
+	p := PointDomain(types.Bigint, bi(7))
+	if p.OverlapsMinMax(bi(8), bi(9)) || !p.OverlapsMinMax(bi(5), bi(7)) {
+		t.Error("point stats overlap")
+	}
+}
+
+func TestIntersectRanges(t *testing.T) {
+	lo1, hi1 := bi(0), bi(10)
+	lo2, hi2 := bi(5), bi(20)
+	a := RangeDomain(types.Bigint, &lo1, &hi1, true, true)
+	b := RangeDomain(types.Bigint, &lo2, &hi2, true, true)
+	x := a.Intersect(b)
+	if !x.Contains(bi(7)) || x.Contains(bi(3)) || x.Contains(bi(12)) {
+		t.Errorf("intersection [5,10] wrong: %s", x)
+	}
+}
+
+func TestIntersectDisjointRangesEmpty(t *testing.T) {
+	lo1, hi1 := bi(0), bi(5)
+	lo2, hi2 := bi(10), bi(20)
+	a := RangeDomain(types.Bigint, &lo1, &hi1, true, true)
+	b := RangeDomain(types.Bigint, &lo2, &hi2, true, true)
+	x := a.Intersect(b)
+	for _, v := range []int64{0, 5, 7, 10, 20} {
+		if x.Contains(bi(v)) {
+			t.Errorf("empty intersection contains %d", v)
+		}
+	}
+}
+
+func TestIntersectPointsWithRange(t *testing.T) {
+	p := &ColumnDomain{T: types.Bigint, Points: []types.Value{bi(1), bi(7), bi(20)}}
+	lo, hi := bi(5), bi(10)
+	r := RangeDomain(types.Bigint, &lo, &hi, true, true)
+	x := p.Intersect(r)
+	if len(x.Points) != 1 || x.Points[0].I != 7 {
+		t.Errorf("point∩range: %v", x.Points)
+	}
+}
+
+// Property: Intersect is idempotent (d∩d preserves membership), which the
+// optimizer's fixpoint loop depends on.
+func TestIntersectIdempotent(t *testing.T) {
+	f := func(loRaw, hiRaw int16, probe int16) bool {
+		lo, hi := bi(int64(loRaw)), bi(int64(hiRaw))
+		if hi.I < lo.I {
+			lo, hi = hi, lo
+		}
+		d := RangeDomain(types.Bigint, &lo, &hi, true, true)
+		dd := d.Intersect(d)
+		v := bi(int64(probe))
+		return d.Contains(v) == dd.Contains(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: membership in an intersection equals conjunction of memberships.
+func TestIntersectIsConjunction(t *testing.T) {
+	f := func(a1, a2, b1, b2, probe int16) bool {
+		lo1, hi1 := bi(int64(min16(a1, a2))), bi(int64(max16(a1, a2)))
+		lo2, hi2 := bi(int64(min16(b1, b2))), bi(int64(max16(b1, b2)))
+		da := RangeDomain(types.Bigint, &lo1, &hi1, true, true)
+		db := RangeDomain(types.Bigint, &lo2, &hi2, true, true)
+		x := da.Intersect(db)
+		v := bi(int64(probe))
+		return x.Contains(v) == (da.Contains(v) && db.Contains(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func min16(a, b int16) int16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestDomainIntersect(t *testing.T) {
+	d1 := AllDomain()
+	d1.Columns["a"] = PointDomain(types.Bigint, bi(1))
+	d2 := AllDomain()
+	d2.Columns["b"] = PointDomain(types.Bigint, bi(2))
+	x := d1.Intersect(d2)
+	if len(x.Columns) != 2 {
+		t.Errorf("merged domain: %s", x)
+	}
+	if !AllDomain().Intersect(d1).Columns["a"].Contains(bi(1)) {
+		t.Error("ALL ∩ d = d")
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	d := AllDomain()
+	if d.String() != "ALL" {
+		t.Error("empty domain renders ALL")
+	}
+	d.Columns["x"] = PointDomain(types.Bigint, bi(3))
+	if s := d.String(); s != "{x:IN(3)}" {
+		t.Errorf("render: %s", s)
+	}
+}
+
+func TestFormatPlan(t *testing.T) {
+	scan := &Scan{
+		Handle:  TableHandle{Catalog: "c", Table: "t"},
+		Columns: []string{"a"},
+		Out:     Schema{{Name: "a", T: types.Bigint}},
+	}
+	lim := &Limit{Input: scan, N: 5}
+	text := Format(lim)
+	if !containsAll(text, "Limit", "Scan[c.t]", "a:BIGINT") {
+		t.Errorf("format:\n%s", text)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, x := range subs {
+		found := false
+		for i := 0; i+len(x) <= len(s); i++ {
+			if s[i:i+len(x)] == x {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+// Package queue implements coordinator admission control (paper §III): the
+// coordinator evaluates queue policies before a query is planned. A policy
+// bounds concurrent running queries and queued depth per resource group;
+// groups are selected by session source, mirroring how deployments separate
+// interactive from batch traffic.
+package queue
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Policy bounds one resource group.
+type Policy struct {
+	// Name identifies the group.
+	Name string
+	// MaxConcurrent is the running-query bound (0 = unlimited).
+	MaxConcurrent int
+	// MaxQueued is the waiting bound (0 = unlimited); beyond it queries
+	// are rejected.
+	MaxQueued int
+}
+
+// Manager admits queries against group policies.
+type Manager struct {
+	mu     sync.Mutex
+	groups map[string]*group
+}
+
+type group struct {
+	policy  Policy
+	running int
+	waiting []chan struct{}
+}
+
+// NewManager creates a manager with the given policies; the group named ""
+// is the default.
+func NewManager(policies ...Policy) *Manager {
+	m := &Manager{groups: map[string]*group{}}
+	for _, p := range policies {
+		m.groups[p.Name] = &group{policy: p}
+	}
+	if _, ok := m.groups[""]; !ok {
+		m.groups[""] = &group{policy: Policy{Name: ""}}
+	}
+	return m
+}
+
+// Acquire blocks until the query may run in the named group (falling back to
+// the default group), or returns an error when the queue is full.
+func (m *Manager) Acquire(groupName string) (release func(), err error) {
+	m.mu.Lock()
+	g, ok := m.groups[groupName]
+	if !ok {
+		g = m.groups[""]
+	}
+	if g.policy.MaxConcurrent <= 0 || g.running < g.policy.MaxConcurrent {
+		g.running++
+		m.mu.Unlock()
+		return func() { m.release(g) }, nil
+	}
+	if g.policy.MaxQueued > 0 && len(g.waiting) >= g.policy.MaxQueued {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("queue for group %q is full (%d queued)", g.policy.Name, len(g.waiting))
+	}
+	ch := make(chan struct{})
+	g.waiting = append(g.waiting, ch)
+	m.mu.Unlock()
+	<-ch
+	return func() { m.release(g) }, nil
+}
+
+func (m *Manager) release(g *group) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(g.waiting) > 0 {
+		next := g.waiting[0]
+		g.waiting = g.waiting[1:]
+		close(next) // hand the slot over; running count unchanged
+		return
+	}
+	g.running--
+}
+
+// Stats reports (running, queued) for a group.
+func (m *Manager) Stats(groupName string) (running, queued int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[groupName]
+	if !ok {
+		g = m.groups[""]
+	}
+	return g.running, len(g.waiting)
+}

@@ -1,0 +1,120 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAcquireReleaseUnlimited(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 10; i++ {
+		rel, err := m.Acquire("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	m := NewManager(Policy{Name: "g", MaxConcurrent: 2, MaxQueued: 100})
+	var running, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := m.Acquire("g")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			running.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d exceeds bound", peak.Load())
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	m := NewManager(Policy{Name: "g", MaxConcurrent: 1, MaxQueued: 1})
+	rel1, err := m.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter is allowed.
+	done := make(chan struct{})
+	go func() {
+		rel2, err := m.Acquire("g")
+		if err == nil {
+			rel2()
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// The queue is now full: a further acquire must be rejected.
+	if _, err := m.Acquire("g"); err == nil {
+		t.Error("full queue should reject")
+	}
+	rel1()
+	<-done
+}
+
+func TestUnknownGroupFallsBackToDefault(t *testing.T) {
+	m := NewManager(Policy{Name: "", MaxConcurrent: 1})
+	rel, err := m.Acquire("unknown-group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, q := m.Stats("unknown-group")
+	if r != 1 || q != 0 {
+		t.Errorf("stats: %d %d", r, q)
+	}
+	rel()
+}
+
+func TestHandoffPreservesFIFO(t *testing.T) {
+	m := NewManager(Policy{Name: "g", MaxConcurrent: 1, MaxQueued: 10})
+	rel, _ := m.Acquire("g")
+	order := make(chan int, 3)
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			r, err := m.Acquire("g")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			time.Sleep(time.Millisecond)
+			r()
+		}()
+		time.Sleep(5 * time.Millisecond) // establish arrival order
+	}
+	rel()
+	wg.Wait()
+	close(order)
+	prev := 0
+	for got := range order {
+		if got < prev {
+			t.Errorf("out of FIFO order: %d after %d", got, prev)
+		}
+		prev = got
+	}
+}

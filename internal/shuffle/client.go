@@ -1,0 +1,152 @@
+package shuffle
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/block"
+)
+
+// Fetcher abstracts the source of a remote exchange: in-process it wraps a
+// PartitionBuffer; over HTTP it wraps long-poll requests to a worker.
+type Fetcher interface {
+	// Fetch returns pages from token onward plus the next token; done
+	// reports stream completion.
+	Fetch(token int64, maxBytes int64, wait time.Duration) (pages []*block.Page, next int64, done bool, err error)
+}
+
+// LocalFetcher adapts a PartitionBuffer as a Fetcher.
+type LocalFetcher struct{ Buf *PartitionBuffer }
+
+// Fetch implements Fetcher.
+func (f *LocalFetcher) Fetch(token int64, maxBytes int64, wait time.Duration) ([]*block.Page, int64, bool, error) {
+	pages, next, done := f.Buf.Fetch(token, maxBytes, wait)
+	return pages, next, done, nil
+}
+
+// ExchangeClient pulls pages from the producing tasks of upstream stages
+// into a bounded local queue. It monitors the moving average of data
+// received per request to size request concurrency, and stops fetching while
+// its input buffer is full — propagating backpressure upstream (§IV-E2).
+type ExchangeClient struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*block.Page
+	bytes     int64
+	capacity  int64
+	remaining int // sources still open
+	err       error
+	started   bool
+	sources   []Fetcher
+	closed    bool
+
+	// avgBytesPerFetch is the moving average used to compute target
+	// concurrency; exposed for tests.
+	avgBytesPerFetch float64
+}
+
+// NewExchangeClient creates a client over the given sources with an input
+// buffer of capacityBytes.
+func NewExchangeClient(sources []Fetcher, capacityBytes int64) *ExchangeClient {
+	if capacityBytes <= 0 {
+		capacityBytes = 16 << 20
+	}
+	c := &ExchangeClient{capacity: capacityBytes, sources: sources, remaining: len(sources)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Start launches one fetch loop per source.
+func (c *ExchangeClient) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	for _, s := range c.sources {
+		go c.fetchLoop(s)
+	}
+}
+
+func (c *ExchangeClient) fetchLoop(src Fetcher) {
+	var token int64
+	for {
+		// Backpressure: wait while the input buffer is full.
+		c.mu.Lock()
+		for c.bytes >= c.capacity && c.err == nil && !c.closed {
+			waitCond(c.cond, 50*time.Millisecond)
+		}
+		stop := c.err != nil || c.closed
+		c.mu.Unlock()
+		if stop {
+			return
+		}
+
+		pages, next, done, err := src.Fetch(token, c.capacity/4, 200*time.Millisecond)
+		c.mu.Lock()
+		if err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			c.remaining--
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		var got int64
+		for _, p := range pages {
+			c.queue = append(c.queue, p)
+			c.bytes += p.SizeBytes()
+			got += p.SizeBytes()
+		}
+		c.avgBytesPerFetch = 0.8*c.avgBytesPerFetch + 0.2*float64(got)
+		token = next
+		if done {
+			c.remaining--
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		if len(pages) > 0 {
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Poll returns the next page without blocking; ok=false means none is
+// currently available. done reports that all sources are exhausted.
+func (c *ExchangeClient) Poll() (p *block.Page, ok bool, done bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, false, true, c.err
+	}
+	if len(c.queue) > 0 {
+		p = c.queue[0]
+		c.queue = c.queue[1:]
+		c.bytes -= p.SizeBytes()
+		c.cond.Broadcast()
+		return p, true, false, nil
+	}
+	return nil, false, c.remaining == 0, nil
+}
+
+// Close stops fetching and drops buffered pages.
+func (c *ExchangeClient) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.queue = nil
+	c.bytes = 0
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// BufferedBytes reports current input-buffer occupancy (for tests).
+func (c *ExchangeClient) BufferedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,223 @@
+// Package sqlparser implements the SQL dialect frontend: a hand-written
+// lexer and recursive-descent parser producing the AST consumed by the
+// analyzer (paper §IV-B2). The dialect follows ANSI SQL closely, with the
+// paper's usability extensions (lambda expressions and higher-order array
+// functions).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is one lexical unit with its source position for error reporting.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the statement
+	Line int
+	Col  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "FULL": true, "OUTER": true, "CROSS": true, "ON": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "ALL": true, "UNION": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "IS": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "EXISTS": true, "CREATE": true,
+	"TABLE": true, "INSERT": true, "INTO": true, "VALUES": true, "WITH": true,
+	"EXPLAIN": true, "OVER": true, "PARTITION": true, "ROWS": true,
+	"DATE": true, "INTERVAL": true, "DROP": true, "SHOW": true,
+	"TABLES": true, "DESCRIBE": true, "USING": true, "NATURAL": true,
+	"OFFSET": true, "FETCH": true, "FIRST": true, "NEXT": true, "ONLY": true,
+	"ANALYZE": true, "IF": true, "EXCEPT": true, "INTERSECT": true,
+	"SCHEMAS": true, "CATALOGS": true, "COLUMNS": true, "EXTRACT": true,
+}
+
+// Lexer splits a SQL statement into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// Tokenize runs the lexer to completion.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			start := l.pos
+			l.advance(2)
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.advance(1)
+			}
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("unterminated block comment at offset %d", start)
+			}
+			l.advance(2)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos, Line: l.line, Col: l.col}, nil
+	}
+	start, line, col := l.pos, l.line, l.col
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.advance(1)
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start, Line: line, Col: col}, nil
+
+	case c == '"': // quoted identifier
+		l.advance(1)
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					sb.WriteByte('"')
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				return Token{Kind: TokIdent, Text: sb.String(), Pos: start, Line: line, Col: col}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.advance(1)
+		}
+		return Token{}, fmt.Errorf("line %d: unterminated quoted identifier", line)
+
+	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+		sawDot, sawExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.advance(1)
+			} else if ch == '.' && !sawDot && !sawExp {
+				sawDot = true
+				l.advance(1)
+			} else if (ch == 'e' || ch == 'E') && !sawExp {
+				sawExp = true
+				l.advance(1)
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.advance(1)
+				}
+			} else {
+				break
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start, Line: line, Col: col}, nil
+
+	case c == '\'':
+		l.advance(1)
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				return Token{Kind: TokString, Text: sb.String(), Pos: start, Line: line, Col: col}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.advance(1)
+		}
+		return Token{}, fmt.Errorf("line %d: unterminated string literal", line)
+
+	default:
+		for _, op := range multiCharOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.advance(len(op))
+				return Token{Kind: TokOp, Text: op, Pos: start, Line: line, Col: col}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%(),.;<>=!|[]", rune(c)) {
+			l.advance(1)
+			return Token{Kind: TokOp, Text: string(c), Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{}, fmt.Errorf("line %d col %d: unexpected character %q", line, col, c)
+	}
+}
+
+var multiCharOps = []string{"<=", ">=", "<>", "!=", "||", "->"}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

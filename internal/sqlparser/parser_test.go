@@ -1,0 +1,310 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return stmt
+}
+
+func parseErr(t *testing.T, sql string) error {
+	t.Helper()
+	_, err := Parse(sql)
+	if err == nil {
+		t.Fatalf("parse %q: expected error", sql)
+	}
+	return err
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := parseOK(t, "SELECT a, b AS bee FROM t WHERE a > 1").(*Query)
+	sel := q.Body.(*Select)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "bee" {
+		t.Errorf("items: %+v", sel.Items)
+	}
+	if sel.Where == nil {
+		t.Error("missing WHERE")
+	}
+	if _, ok := sel.From.(*TableRef); !ok {
+		t.Errorf("from: %T", sel.From)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := parseOK(t, "SELECT 1 + 2 * 3").(*Query)
+	e := q.Body.(*Select).Items[0].Expr.(*BinaryExpr)
+	if e.Op != "+" {
+		t.Fatalf("top op %q", e.Op)
+	}
+	if inner, ok := e.Right.(*BinaryExpr); !ok || inner.Op != "*" {
+		t.Error("* should bind tighter than +")
+	}
+}
+
+func TestParseAndOrPrecedence(t *testing.T) {
+	q := parseOK(t, "SELECT 1 FROM t WHERE a OR b AND c").(*Query)
+	w := q.Body.(*Select).Where.(*BinaryExpr)
+	if w.Op != "OR" {
+		t.Fatalf("top should be OR, got %s", w.Op)
+	}
+	if inner, ok := w.Right.(*BinaryExpr); !ok || inner.Op != "AND" {
+		t.Error("AND should bind tighter than OR")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q := parseOK(t, `SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y`).(*Query)
+	top := q.Body.(*Select).From.(*Join)
+	if top.Type != "LEFT" {
+		t.Errorf("outer join type %s", top.Type)
+	}
+	inner := top.Left.(*Join)
+	if inner.Type != "INNER" {
+		t.Errorf("inner join type %s", inner.Type)
+	}
+}
+
+func TestParseJoinUsing(t *testing.T) {
+	q := parseOK(t, "SELECT * FROM a JOIN b USING (id, ts)").(*Query)
+	j := q.Body.(*Select).From.(*Join)
+	if len(j.Using) != 2 || j.Using[0] != "id" {
+		t.Errorf("using: %v", j.Using)
+	}
+}
+
+func TestParseCrossJoinComma(t *testing.T) {
+	q := parseOK(t, "SELECT * FROM a, b").(*Query)
+	if j := q.Body.(*Select).From.(*Join); j.Type != "CROSS" {
+		t.Errorf("comma join type %s", j.Type)
+	}
+}
+
+func TestParseGroupHavingOrderLimit(t *testing.T) {
+	q := parseOK(t, `
+		SELECT a, count(*) FROM t
+		GROUP BY a HAVING count(*) > 2
+		ORDER BY 2 DESC, a
+		LIMIT 10 OFFSET 5`).(*Query)
+	sel := q.Body.(*Select)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Descending || q.OrderBy[1].Descending {
+		t.Error("order by flags")
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("limit %d offset %d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	q := parseOK(t, "SELECT 1 UNION ALL SELECT 2 UNION SELECT 3").(*Query)
+	top := q.Body.(*SetOp)
+	if top.All {
+		t.Error("outer UNION should be distinct")
+	}
+	if inner := top.Left.(*SetOp); !inner.All {
+		t.Error("inner UNION ALL lost")
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	q := parseOK(t, `SELECT * FROM (SELECT a FROM t) s WHERE a IN (SELECT x FROM u) AND EXISTS (SELECT 1 FROM v)`).(*Query)
+	sel := q.Body.(*Select)
+	if _, ok := sel.From.(*SubqueryRel); !ok {
+		t.Error("from subquery")
+	}
+	conj := sel.Where.(*BinaryExpr)
+	if in, ok := conj.Left.(*InExpr); !ok || in.Subquery == nil {
+		t.Error("IN subquery")
+	}
+	if ex, ok := conj.Right.(*ExistsExpr); !ok || ex.Subquery == nil {
+		t.Error("EXISTS subquery")
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	q := parseOK(t, "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END FROM t").(*Query)
+	c := q.Body.(*Select).Items[0].Expr.(*CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil || c.Operand != nil {
+		t.Errorf("case: %+v", c)
+	}
+	q2 := parseOK(t, "SELECT CASE a WHEN 1 THEN 'one' END FROM t").(*Query)
+	c2 := q2.Body.(*Select).Items[0].Expr.(*CaseExpr)
+	if c2.Operand == nil {
+		t.Error("operand case lost operand")
+	}
+}
+
+func TestParseBetweenLikeIn(t *testing.T) {
+	q := parseOK(t, "SELECT 1 FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%' AND c NOT IN (1, 2)").(*Query)
+	conj := q.Body.(*Select).Where.(*BinaryExpr)
+	inner := conj.Left.(*BinaryExpr)
+	if _, ok := inner.Left.(*BetweenExpr); !ok {
+		t.Error("between")
+	}
+	if _, ok := inner.Right.(*LikeExpr); !ok {
+		t.Error("like")
+	}
+	if in, ok := conj.Right.(*InExpr); !ok || !in.Not {
+		t.Error("not in")
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	q := parseOK(t, "SELECT row_number() OVER (PARTITION BY a ORDER BY b DESC) FROM t").(*Query)
+	fc := q.Body.(*Select).Items[0].Expr.(*FuncCall)
+	if fc.Over == nil || len(fc.Over.PartitionBy) != 1 || len(fc.Over.OrderBy) != 1 {
+		t.Errorf("window spec: %+v", fc.Over)
+	}
+}
+
+func TestParseLambda(t *testing.T) {
+	q := parseOK(t, "SELECT transform(xs, x -> x * 2) FROM t").(*Query)
+	fc := q.Body.(*Select).Items[0].Expr.(*FuncCall)
+	lam, ok := fc.Args[1].(*LambdaExpr)
+	if !ok || len(lam.Params) != 1 {
+		t.Errorf("lambda: %+v", fc.Args[1])
+	}
+	q2 := parseOK(t, "SELECT reduce(xs, 0, (a, b) -> a + b) FROM t").(*Query)
+	fc2 := q2.Body.(*Select).Items[0].Expr.(*FuncCall)
+	if lam2, ok := fc2.Args[2].(*LambdaExpr); !ok || len(lam2.Params) != 2 {
+		t.Error("two-parameter lambda")
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	ct := parseOK(t, "CREATE TABLE x (a BIGINT, b VARCHAR)").(*CreateTable)
+	if len(ct.Columns) != 2 || ct.Columns[1].Type != "VARCHAR" {
+		t.Errorf("create: %+v", ct)
+	}
+	ctas := parseOK(t, "CREATE TABLE y AS SELECT 1").(*CreateTable)
+	if ctas.AsQuery == nil {
+		t.Error("CTAS query lost")
+	}
+	ins := parseOK(t, "INSERT INTO t (a, b) SELECT 1, 2").(*InsertInto)
+	if len(ins.Columns) != 2 {
+		t.Errorf("insert cols: %v", ins.Columns)
+	}
+	drop := parseOK(t, "DROP TABLE IF EXISTS t").(*DropTable)
+	if !drop.IfExists {
+		t.Error("if exists lost")
+	}
+	if _, ok := parseOK(t, "SHOW TABLES FROM hive").(*ShowTables); !ok {
+		t.Error("show tables")
+	}
+	if ex := parseOK(t, "EXPLAIN SELECT 1").(*Explain); ex.Stmt == nil {
+		t.Error("explain")
+	}
+}
+
+func TestParseValuesWithAliases(t *testing.T) {
+	q := parseOK(t, "SELECT * FROM (VALUES (1, 'a'), (2, 'b')) AS t (id, name)").(*Query)
+	sub := q.Body.(*Select).From.(*SubqueryRel)
+	inner := sub.Query.Body.(*Select).From.(*ValuesRel)
+	_ = inner
+	if sub.Alias != "t" || len(sub.ColAliases) != 2 || sub.ColAliases[1] != "name" {
+		t.Errorf("aliases: %s %v", sub.Alias, sub.ColAliases)
+	}
+}
+
+func TestParseDateAndInterval(t *testing.T) {
+	q := parseOK(t, "SELECT DATE '2020-01-02', INTERVAL '3' DAY").(*Query)
+	items := q.Body.(*Select).Items
+	if _, ok := items[0].Expr.(*DateLit); !ok {
+		t.Error("date literal")
+	}
+	if iv, ok := items[1].Expr.(*IntervalLit); !ok || iv.Value != 3 || iv.Unit != "DAY" {
+		t.Error("interval literal")
+	}
+}
+
+func TestParseQuotedIdentifiersAndStrings(t *testing.T) {
+	q := parseOK(t, `SELECT "weird col", 'it''s' FROM "my table"`).(*Query)
+	sel := q.Body.(*Select)
+	id := sel.Items[0].Expr.(*Ident)
+	if id.Parts[0] != "weird col" {
+		t.Errorf("quoted ident: %v", id.Parts)
+	}
+	if s := sel.Items[1].Expr.(*StringLit); s.Val != "it's" {
+		t.Errorf("escaped string: %q", s.Val)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	parseOK(t, `
+		-- line comment
+		SELECT /* block
+		comment */ 1`)
+}
+
+func TestParseCTE(t *testing.T) {
+	q := parseOK(t, "WITH a AS (SELECT 1 AS x), b AS (SELECT x FROM a) SELECT * FROM b").(*Query)
+	if len(q.With) != 2 || q.With[1].Name != "b" {
+		t.Errorf("with: %+v", q.With)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT 'unterminated",
+		"SELECT * FROM t JOIN u",     // missing ON
+		"CREATE TABLE",               // missing name
+		"SELECT CASE END",            // no WHEN
+		"SELECT 1 +",                 // dangling op
+		"SELECT 1; SELECT 2",         // trailing statement
+		"SELECT * FROM t WHERE a ==", // bad operator usage
+	} {
+		err := parseErr(t, sql)
+		if !strings.Contains(err.Error(), "line") && !strings.Contains(err.Error(), "statement") &&
+			!strings.Contains(err.Error(), "CASE") && !strings.Contains(err.Error(), "unterminated") {
+			t.Logf("note: %q → %v", sql, err)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	err := parseErr(t, "SELECT a FROM t WHERE\n  a >>> 1")
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name line 2: %v", err)
+	}
+}
+
+func TestTokenizerOperators(t *testing.T) {
+	toks, err := Tokenize("a <= b <> c != d || e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokOp {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<=", "<>", "!=", "||"}
+	for i, w := range want {
+		if ops[i] != w {
+			t.Errorf("op %d = %q, want %q", i, ops[i], w)
+		}
+	}
+}
+
+func TestParseFetchFirst(t *testing.T) {
+	q := parseOK(t, "SELECT 1 FROM t FETCH FIRST 7 ROWS ONLY").(*Query)
+	if q.Limit != 7 {
+		t.Errorf("fetch first: %d", q.Limit)
+	}
+}

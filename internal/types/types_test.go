@@ -1,0 +1,189 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{BigintValue(42), "42"},
+		{BigintValue(-7), "-7"},
+		{DoubleValue(2.5), "2.5"},
+		{VarcharValue("hi"), "hi"},
+		{BooleanValue(true), "true"},
+		{NullValue(Bigint), "NULL"},
+		{DateValue(0), "1970-01-01"},
+		{ArrayValue([]Value{BigintValue(1), BigintValue(2)}), "[1, 2]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if BigintValue(1).Compare(BigintValue(2)) != -1 {
+		t.Error("1 < 2 failed")
+	}
+	if VarcharValue("b").Compare(VarcharValue("a")) != 1 {
+		t.Error("b > a failed")
+	}
+	if DoubleValue(1.5).Compare(BigintValue(2)) != -1 {
+		t.Error("cross-type 1.5 < 2 failed")
+	}
+	if BigintValue(2).Compare(DoubleValue(1.5)) != 1 {
+		t.Error("cross-type 2 > 1.5 failed")
+	}
+	if BooleanValue(false).Compare(BooleanValue(true)) != -1 {
+		t.Error("false < true failed")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for bigints.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := BigintValue(a), BigintValue(b)
+		c1, c2 := va.Compare(vb), vb.Compare(va)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coercing Bigint to Double preserves ordering.
+func TestCoercePreservesOrder(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, _ := BigintValue(int64(a)).Coerce(Double)
+		vb, _ := BigintValue(int64(b)).Coerce(Double)
+		want := BigintValue(int64(a)).Compare(BigintValue(int64(b)))
+		return va.Compare(vb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := BigintValue(3).Coerce(Double)
+	if err != nil || v.T != Double || v.F != 3.0 {
+		t.Fatalf("bigint→double: %v %v", v, err)
+	}
+	if _, err := VarcharValue("x").Coerce(Bigint); err == nil {
+		t.Error("varchar→bigint should not implicitly coerce")
+	}
+	n, err := NullValue(Bigint).Coerce(Varchar)
+	if err != nil || !n.Null || n.T != Varchar {
+		t.Errorf("null coercion: %v %v", n, err)
+	}
+}
+
+func TestCast(t *testing.T) {
+	v, err := VarcharValue("123").Cast(Bigint)
+	if err != nil || v.I != 123 {
+		t.Fatalf("cast '123': %v %v", v, err)
+	}
+	v, err = VarcharValue("2.75").Cast(Double)
+	if err != nil || v.F != 2.75 {
+		t.Fatalf("cast '2.75': %v %v", v, err)
+	}
+	v, err = VarcharValue("true").Cast(Boolean)
+	if err != nil || !v.B {
+		t.Fatalf("cast 'true': %v %v", v, err)
+	}
+	if _, err := VarcharValue("zap").Cast(Bigint); err == nil {
+		t.Error("cast 'zap' to bigint should fail")
+	}
+	v, err = VarcharValue("2001-02-03").Cast(Date)
+	if err != nil || v.T != Date {
+		t.Fatalf("cast date: %v %v", v, err)
+	}
+	if v.String() != "2001-02-03" {
+		t.Errorf("date roundtrip: %s", v)
+	}
+}
+
+// Property: date parse/format round-trips for a wide day range.
+func TestDateRoundTrip(t *testing.T) {
+	f := func(d uint16) bool {
+		days := int64(d) // 1970..~2149
+		s := FormatDate(days)
+		back, err := ParseDate(s)
+		return err == nil && back == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateParts(t *testing.T) {
+	d, _ := ParseDate("1997-08-15")
+	if DateYear(d) != 1997 || DateMonth(d) != 8 || DateDay(d) != 15 {
+		t.Errorf("got %d-%d-%d", DateYear(d), DateMonth(d), DateDay(d))
+	}
+}
+
+func TestCommonType(t *testing.T) {
+	cases := []struct {
+		a, b, want Type
+	}{
+		{Bigint, Bigint, Bigint},
+		{Bigint, Double, Double},
+		{Double, Bigint, Double},
+		{Unknown, Varchar, Varchar},
+		{Varchar, Unknown, Varchar},
+		{Varchar, Bigint, Unknown},
+		{Date, Varchar, Date},
+	}
+	for _, c := range cases {
+		if got := CommonType(c.a, c.b); got != c.want {
+			t.Errorf("CommonType(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for in, want := range map[string]Type{
+		"bigint": Bigint, "VARCHAR": Varchar, "Double": Double,
+		"boolean": Boolean, "date": Date, "int": Bigint, "text": Varchar,
+	} {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestEqualNaNAndInf(t *testing.T) {
+	inf := DoubleValue(math.Inf(1))
+	if !inf.Equal(DoubleValue(math.Inf(1))) {
+		t.Error("inf != inf")
+	}
+	if NullValue(Double).Equal(NullValue(Double)) {
+		t.Error("NULL = NULL should be false through Equal")
+	}
+}
+
+func TestArrayEqual(t *testing.T) {
+	a := ArrayValue([]Value{BigintValue(1), NullValue(Bigint)})
+	b := ArrayValue([]Value{BigintValue(1), NullValue(Bigint)})
+	c := ArrayValue([]Value{BigintValue(1), BigintValue(2)})
+	if !a.Equal(b) {
+		t.Error("equal arrays reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("unequal arrays reported equal")
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import "fmt"
+
+// Fig6Query is one benchmark query of the Figure 6 suite.
+type Fig6Query struct {
+	// ID carries the paper's TPC-DS query label (q09 ... q82).
+	ID  string
+	SQL string
+}
+
+// Fig6Queries returns the 19-query suite mirroring the paper's low-memory
+// TPC-DS subset (Fig. 6: q09, q18, q20, q26, q28, q35, q37, q44, q50, q54,
+// q60, q64, q69, q71, q73, q76, q78, q80, q82). The bodies are TPC-H-style
+// equivalents over this repository's generator schema, chosen to preserve
+// each original's shape class: scan-heavy conditional aggregation,
+// fact-dimension joins, multi-join analyses, and selective range scans.
+func Fig6Queries(catalog string) []Fig6Query {
+	c := catalog
+	q := func(id, sql string) Fig6Query { return Fig6Query{ID: id, SQL: sql} }
+	return []Fig6Query{
+		// q09: bucketed conditional aggregation over the fact table.
+		q("q09", fmt.Sprintf(`
+			SELECT
+			  sum(CASE WHEN l_quantity BETWEEN 1 AND 10 THEN l_extendedprice ELSE 0 END),
+			  sum(CASE WHEN l_quantity BETWEEN 11 AND 20 THEN l_extendedprice ELSE 0 END),
+			  sum(CASE WHEN l_quantity BETWEEN 21 AND 30 THEN l_extendedprice ELSE 0 END),
+			  sum(CASE WHEN l_quantity BETWEEN 31 AND 40 THEN l_extendedprice ELSE 0 END),
+			  sum(CASE WHEN l_quantity BETWEEN 41 AND 50 THEN l_extendedprice ELSE 0 END)
+			FROM %s.lineitem`, c)),
+		// q18: customer/order join with grouped aggregation.
+		q("q18", fmt.Sprintf(`
+			SELECT c_mktsegment, o_orderpriority, count(*), avg(o_totalprice)
+			FROM %s.orders JOIN %s.customer ON o_custkey = c_custkey
+			GROUP BY c_mktsegment, o_orderpriority
+			ORDER BY c_mktsegment, o_orderpriority`, c, c)),
+		// q20: selective date-range scan with ranking output.
+		q("q20", fmt.Sprintf(`
+			SELECT l_partkey, sum(l_extendedprice) AS revenue
+			FROM %s.lineitem
+			WHERE l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1995-03-31'
+			GROUP BY l_partkey
+			ORDER BY revenue DESC
+			LIMIT 100`, c)),
+		// q26: fact joined to two dimensions, filtered, grouped.
+		q("q26", fmt.Sprintf(`
+			SELECT p_brand, avg(l_quantity), avg(l_extendedprice)
+			FROM %s.lineitem
+			JOIN %s.part ON l_partkey = p_partkey
+			JOIN %s.supplier ON l_suppkey = s_suppkey
+			WHERE s_acctbal > 0
+			GROUP BY p_brand
+			ORDER BY p_brand`, c, c, c)),
+		// q28: multiple distinct-style aggregates over banded scans.
+		q("q28", fmt.Sprintf(`
+			SELECT count(*), avg(l_extendedprice), min(l_extendedprice), max(l_extendedprice)
+			FROM %s.lineitem
+			WHERE l_discount BETWEEN 0.02 AND 0.06 AND l_quantity < 25`, c)),
+		// q35: customer demographics via semi-join (IN subquery).
+		q("q35", fmt.Sprintf(`
+			SELECT c_mktsegment, count(*)
+			FROM %s.customer
+			WHERE c_custkey IN (SELECT o_custkey FROM %s.orders WHERE o_totalprice > 200000)
+			GROUP BY c_mktsegment
+			ORDER BY c_mktsegment`, c, c)),
+		// q37: selective part scan joined to the fact table.
+		q("q37", fmt.Sprintf(`
+			SELECT p_brand, count(*)
+			FROM %s.part JOIN %s.lineitem ON p_partkey = l_partkey
+			WHERE p_size BETWEEN 10 AND 20
+			GROUP BY p_brand ORDER BY p_brand`, c, c)),
+		// q44: best/worst performers by average metric (TopN both ways).
+		q("q44", fmt.Sprintf(`
+			SELECT l_partkey, avg(l_discount) AS d
+			FROM %s.lineitem GROUP BY l_partkey
+			ORDER BY d DESC LIMIT 10`, c)),
+		// q50: shipping-latency style banded counts by flag.
+		q("q50", fmt.Sprintf(`
+			SELECT l_returnflag, l_shipmode, count(*)
+			FROM %s.lineitem
+			WHERE l_shipdate > DATE '1996-01-01'
+			GROUP BY l_returnflag, l_shipmode
+			ORDER BY l_returnflag, l_shipmode`, c)),
+		// q54: multi-step: revenue per customer segment via two joins.
+		q("q54", fmt.Sprintf(`
+			SELECT c_mktsegment, sum(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM %s.customer
+			JOIN %s.orders ON c_custkey = o_custkey
+			JOIN %s.lineitem ON o_orderkey = l_orderkey
+			GROUP BY c_mktsegment ORDER BY revenue DESC`, c, c, c)),
+		// q60: union of revenue by category bands.
+		q("q60", fmt.Sprintf(`
+			SELECT p_type, sum(l_extendedprice) AS rev FROM %s.lineitem JOIN %s.part ON l_partkey = p_partkey WHERE p_size < 15 GROUP BY p_type
+			UNION ALL
+			SELECT p_type, sum(l_extendedprice) AS rev FROM %s.lineitem JOIN %s.part ON l_partkey = p_partkey WHERE p_size >= 35 GROUP BY p_type
+			ORDER BY rev DESC LIMIT 20`, c, c, c, c)),
+		// q64: wide multi-join across four relations.
+		q("q64", fmt.Sprintf(`
+			SELECT n_name, p_brand, count(*), sum(l_quantity)
+			FROM %s.lineitem
+			JOIN %s.supplier ON l_suppkey = s_suppkey
+			JOIN %s.nation ON s_nationkey = n_nationkey
+			JOIN %s.part ON l_partkey = p_partkey
+			WHERE p_size < 10
+			GROUP BY n_name, p_brand
+			ORDER BY 3 DESC LIMIT 50`, c, c, c, c)),
+		// q69: anti-join demographic count (NOT IN).
+		q("q69", fmt.Sprintf(`
+			SELECT c_mktsegment, count(*)
+			FROM %s.customer
+			WHERE c_custkey NOT IN (SELECT o_custkey FROM %s.orders WHERE o_orderstatus = 'F')
+			GROUP BY c_mktsegment ORDER BY c_mktsegment`, c, c)),
+		// q71: revenue by brand and month over a year.
+		q("q71", fmt.Sprintf(`
+			SELECT p_brand, month(l_shipdate) AS m, sum(l_extendedprice) AS rev
+			FROM %s.lineitem JOIN %s.part ON l_partkey = p_partkey
+			WHERE year(l_shipdate) = 1997
+			GROUP BY p_brand, month(l_shipdate)
+			ORDER BY p_brand, m`, c, c)),
+		// q73: grouped having over order counts per customer.
+		q("q73", fmt.Sprintf(`
+			SELECT o_custkey, count(*) AS cnt
+			FROM %s.orders
+			GROUP BY o_custkey
+			HAVING count(*) > 3
+			ORDER BY cnt DESC LIMIT 25`, c)),
+		// q76: union-all over differently filtered scans with counts.
+		q("q76", fmt.Sprintf(`
+			SELECT 'high' AS band, count(*) AS c FROM %s.lineitem WHERE l_extendedprice > 50000
+			UNION ALL
+			SELECT 'mid' AS band, count(*) AS c FROM %s.lineitem WHERE l_extendedprice BETWEEN 20000 AND 50000
+			UNION ALL
+			SELECT 'low' AS band, count(*) AS c FROM %s.lineitem WHERE l_extendedprice < 20000`, c, c, c)),
+		// q78: fact-fact style self analysis: order revenue vs line counts.
+		q("q78", fmt.Sprintf(`
+			SELECT o_orderstatus, count(*), sum(total_lines)
+			FROM %s.orders JOIN (
+				SELECT l_orderkey, count(*) AS total_lines FROM %s.lineitem GROUP BY l_orderkey
+			) l ON o_orderkey = l.l_orderkey
+			GROUP BY o_orderstatus ORDER BY o_orderstatus`, c, c)),
+		// q80: revenue less returns per brand.
+		q("q80", fmt.Sprintf(`
+			SELECT p_brand,
+			       sum(CASE WHEN l_returnflag = 'R' THEN 0 ELSE l_extendedprice END) AS sold,
+			       sum(CASE WHEN l_returnflag = 'R' THEN l_extendedprice ELSE 0 END) AS returned
+			FROM %s.lineitem JOIN %s.part ON l_partkey = p_partkey
+			GROUP BY p_brand ORDER BY p_brand`, c, c)),
+		// q82: highly selective dimension scan joined to fact.
+		q("q82", fmt.Sprintf(`
+			SELECT p_name, p_size, count(*)
+			FROM %s.part JOIN %s.lineitem ON p_partkey = l_partkey
+			WHERE p_size BETWEEN 44 AND 48 AND l_quantity > 45
+			GROUP BY p_name, p_size
+			ORDER BY p_name LIMIT 40`, c, c)),
+	}
+}

@@ -1,0 +1,282 @@
+// Package workload builds the datasets and query mixes behind the paper's
+// evaluation (§II, §VI): TPC-H-style warehouse data loaded into the three
+// storage configurations of Figure 6, and the four production use cases of
+// Table I / Figure 7 — Developer/Advertiser Analytics (selective sharded
+// lookups), A/B Testing (co-located joins on Raptor), Interactive Analytics
+// (exploratory warehouse queries), and Batch ETL (large transforms and
+// writes).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+	"repro/internal/connectors/hive"
+	"repro/internal/connectors/memconn"
+	"repro/internal/connectors/raptor"
+	"repro/internal/connectors/shardsql"
+	"repro/internal/connectors/tpch"
+	"repro/internal/types"
+)
+
+// Registrar is the subset of the cluster API the loaders need.
+type Registrar interface {
+	Register(conn connector.Connector)
+}
+
+// LoadTPCHMemory loads the TPC-H tables into a memconn catalog.
+func LoadTPCHMemory(name string, scale float64) *memconn.Connector {
+	return LoadTPCHMemorySmallPages(name, scale, 4096)
+}
+
+// LoadTPCHMemorySmallPages loads the warehouse with a chosen page size
+// (small pages model fine-grained streaming for the writer experiments).
+func LoadTPCHMemorySmallPages(name string, scale float64, pageRows int) *memconn.Connector {
+	c := memconn.New(name)
+	for _, t := range tpch.TableNames() {
+		c.LoadTable(t, tpch.Columns(t), tpch.Generate(t, scale, pageRows))
+	}
+	return c
+}
+
+// LoadTPCHHive writes the TPC-H tables as orcish files under dir and returns
+// a connector reading them; collectStats selects the Figure 6 configuration.
+func LoadTPCHHive(name, dir string, scale float64, collectStats bool) (*hive.Connector, error) {
+	return LoadTPCHHiveConfig(name, scale, hive.Config{
+		Dir:          dir,
+		CollectStats: collectStats,
+		LazyReads:    true,
+		StripeRows:   4096,
+		// Remote shared-storage reads are slower than local flash; the
+		// delay models the Hive/HDFS vs Raptor gap of Fig. 6.
+		ReadDelayPerByte: 2,
+	})
+}
+
+// LoadTPCHHiveLazy loads the warehouse with explicit lazy-read control and
+// no simulated read latency (the §V-D ablation).
+func LoadTPCHHiveLazy(name, dir string, scale float64, lazy bool) (*hive.Connector, error) {
+	return LoadTPCHHiveConfig(name, scale, hive.Config{
+		Dir:          dir,
+		CollectStats: true,
+		LazyReads:    lazy,
+		StripeRows:   1024,
+	})
+}
+
+// LoadTPCHHiveConfig loads the warehouse with full config control.
+func LoadTPCHHiveConfig(name string, scale float64, cfg hive.Config) (*hive.Connector, error) {
+	c, err := hive.New(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tpch.TableNames() {
+		if c.Table(t) != nil {
+			continue // already materialized by a previous run
+		}
+		cms := make([]connector.Column, 0)
+		cms = append(cms, tpch.Columns(t)...)
+		if err := c.CreateTable(t, cms); err != nil {
+			return nil, err
+		}
+		sink, err := c.PageSink(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range tpch.Generate(t, scale, 4096) {
+			if err := sink.Append(p); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := sink.Finish(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// LoadTPCHRaptor loads the TPC-H tables into a raptor catalog, bucketing
+// fact and dimension tables on their join keys so the optimizer can plan
+// co-located joins.
+func LoadTPCHRaptor(name string, nodes int, scale float64) (*raptor.Connector, error) {
+	c := raptor.New(name, nodes)
+	buckets := nodes * 2
+	bucketCol := map[string]string{
+		"region":   "r_regionkey",
+		"nation":   "n_nationkey",
+		"supplier": "s_suppkey",
+		"customer": "c_custkey",
+		"part":     "p_partkey",
+		"orders":   "o_orderkey",
+		"lineitem": "l_orderkey",
+	}
+	for _, t := range tpch.TableNames() {
+		if err := c.CreateBucketedTable(t, tpch.Columns(t), bucketCol[t], buckets); err != nil {
+			return nil, err
+		}
+		var rows [][]types.Value
+		for _, p := range tpch.Generate(t, scale, 4096) {
+			for r := 0; r < p.RowCount(); r++ {
+				rows = append(rows, p.Row(r))
+			}
+		}
+		if err := c.LoadRows(t, rows); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// --- Developer/Advertiser Analytics (Table I row 1) ---
+
+// AdvertiserData loads a sharded metrics table: apps × days × metrics.
+func AdvertiserData(name string, shards, apps, days int) (*shardsql.Connector, error) {
+	c := shardsql.New(name, shards)
+	cols := []connector.Column{
+		{Name: "app_id", T: types.Bigint},
+		{Name: "day", T: types.Date},
+		{Name: "metric", T: types.Varchar},
+		{Name: "v", T: types.Double},
+	}
+	if err := c.CreateShardedTable("app_metrics", cols, "app_id"); err != nil {
+		return nil, err
+	}
+	metricNames := []string{"impressions", "clicks", "installs", "spend", "revenue"}
+	r := rand.New(rand.NewSource(7))
+	var rows [][]types.Value
+	for app := 0; app < apps; app++ {
+		for d := 0; d < days; d++ {
+			for _, m := range metricNames {
+				rows = append(rows, []types.Value{
+					types.BigintValue(int64(app)),
+					types.DateValue(int64(19000 + d)),
+					types.VarcharValue(m),
+					types.DoubleValue(r.Float64() * 1000),
+				})
+			}
+		}
+	}
+	return c, c.LoadRows("app_metrics", rows)
+}
+
+// AdvertiserQuery returns one restricted-shape advertiser query (§II-D):
+// highly selective on app_id, with aggregation over the app's own rows.
+func AdvertiserQuery(catalog string, app int) string {
+	return fmt.Sprintf(`
+		SELECT metric, sum(v) AS total, avg(v) AS daily
+		FROM %s.app_metrics
+		WHERE app_id = %d
+		GROUP BY metric
+		ORDER BY metric`, catalog, app)
+}
+
+// --- A/B Testing (Table I row 2) ---
+
+// ABTestData loads co-bucketed experiment tables into raptor: exposures
+// (user, experiment, variant) and outcomes (user, converted, value).
+func ABTestData(name string, nodes, users, experiments int) (*raptor.Connector, error) {
+	c := raptor.New(name, nodes)
+	buckets := nodes * 2
+	expCols := []connector.Column{
+		{Name: "user_id", T: types.Bigint},
+		{Name: "experiment", T: types.Bigint},
+		{Name: "variant", T: types.Varchar},
+	}
+	outCols := []connector.Column{
+		{Name: "user_id", T: types.Bigint},
+		{Name: "converted", T: types.Bigint},
+		{Name: "value", T: types.Double},
+	}
+	if err := c.CreateBucketedTable("exposures", expCols, "user_id", buckets); err != nil {
+		return nil, err
+	}
+	if err := c.CreateBucketedTable("outcomes", outCols, "user_id", buckets); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(11))
+	var exp, out [][]types.Value
+	for u := 0; u < users; u++ {
+		for e := 0; e < experiments; e++ {
+			if r.Intn(3) > 0 {
+				continue // not every user is in every experiment
+			}
+			variant := "control"
+			if r.Intn(2) == 1 {
+				variant = "treatment"
+			}
+			exp = append(exp, []types.Value{
+				types.BigintValue(int64(u)), types.BigintValue(int64(e)), types.VarcharValue(variant),
+			})
+		}
+		out = append(out, []types.Value{
+			types.BigintValue(int64(u)),
+			types.BigintValue(int64(r.Intn(2))),
+			types.DoubleValue(r.Float64() * 100),
+		})
+	}
+	if err := c.LoadRows("exposures", exp); err != nil {
+		return nil, err
+	}
+	return c, c.LoadRows("outcomes", out)
+}
+
+// ABTestQuery computes per-variant conversion for one experiment — the
+// "arbitrary slice and dice at interactive latency" query shape (§II-C),
+// which requires joining exposures with outcomes on the co-located key.
+func ABTestQuery(catalog string, experiment int) string {
+	return fmt.Sprintf(`
+		SELECT e.variant,
+		       count(*) AS users,
+		       sum(o.converted) AS conversions,
+		       avg(o.value) AS avg_value
+		FROM %s.exposures e JOIN %s.outcomes o ON e.user_id = o.user_id
+		WHERE e.experiment = %d
+		GROUP BY e.variant
+		ORDER BY e.variant`, catalog, catalog, experiment)
+}
+
+// --- Interactive Analytics (Table I row 3) ---
+
+// InteractiveQueries returns a rotating set of exploratory warehouse query
+// shapes (§II-A) against a TPC-H catalog.
+func InteractiveQueries(catalog string) []string {
+	c := catalog
+	return []string{
+		fmt.Sprintf(`SELECT l_returnflag, count(*), sum(l_extendedprice) FROM %s.lineitem WHERE l_discount > 0.05 GROUP BY l_returnflag`, c),
+		fmt.Sprintf(`SELECT o_orderpriority, count(*) FROM %s.orders WHERE o_totalprice > 100000 GROUP BY o_orderpriority ORDER BY 2 DESC`, c),
+		fmt.Sprintf(`SELECT c_mktsegment, avg(o_totalprice) FROM %s.customer JOIN %s.orders ON c_custkey = o_custkey GROUP BY c_mktsegment`, c, c),
+		fmt.Sprintf(`SELECT l_shipmode, sum(l_quantity) FROM %s.lineitem WHERE l_shipdate >= DATE '1995-01-01' GROUP BY l_shipmode ORDER BY 1`, c),
+		fmt.Sprintf(`SELECT n_name, count(*) FROM %s.customer JOIN %s.nation ON c_nationkey = n_nationkey GROUP BY n_name ORDER BY 2 DESC LIMIT 10`, c, c),
+	}
+}
+
+// --- Batch ETL (Table I row 4) ---
+
+// ETLQuery returns a large transform-and-write statement (§II-B): it
+// aggregates the fact table and writes a derived table.
+func ETLQuery(srcCatalog, dstCatalog string, runID int) string {
+	return fmt.Sprintf(`
+		CREATE TABLE %s.daily_part_summary_%d AS
+		SELECT l_partkey,
+		       l_returnflag,
+		       sum(l_quantity) AS qty,
+		       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+		       count(*) AS line_count
+		FROM %s.lineitem
+		GROUP BY l_partkey, l_returnflag`, dstCatalog, runID, srcCatalog)
+}
+
+// SummaryPages converts generated rows to pages (test helper).
+func SummaryPages(cols []connector.Column, rows [][]types.Value) []*block.Page {
+	ts := make([]types.Type, len(cols))
+	for i, c := range cols {
+		ts[i] = c.T
+	}
+	b := block.NewPageBuilder(ts)
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return []*block.Page{b.Build()}
+}

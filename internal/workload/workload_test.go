@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig6QueriesWellFormed(t *testing.T) {
+	qs := Fig6Queries("cat")
+	if len(qs) != 19 {
+		t.Fatalf("suite has %d queries, want 19 (the paper's subset)", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seen[q.ID] = true
+		if !strings.Contains(q.SQL, "cat.") {
+			t.Errorf("%s does not reference the catalog", q.ID)
+		}
+	}
+	for _, id := range []string{"q09", "q35", "q64", "q82"} {
+		if !seen[id] {
+			t.Errorf("missing paper query id %s", id)
+		}
+	}
+}
+
+func TestLoadTPCHMemory(t *testing.T) {
+	c := LoadTPCHMemory("tpch", 0.02)
+	for _, table := range []string{"lineitem", "orders", "customer", "nation", "region", "part", "supplier"} {
+		if c.Table(table) == nil {
+			t.Errorf("missing table %s", table)
+		}
+		if c.Stats(table).RowCount <= 0 {
+			t.Errorf("%s has no rows", table)
+		}
+	}
+}
+
+func TestLoadTPCHRaptorBucketed(t *testing.T) {
+	c, err := LoadTPCHRaptor("raptor", 2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := c.Table("lineitem")
+	if meta == nil || len(meta.Layouts) == 0 {
+		t.Fatal("lineitem has no layouts")
+	}
+	l := meta.Layouts[0]
+	if l.BucketCount == 0 || len(l.PartitionCols) != 1 || l.PartitionCols[0] != "l_orderkey" {
+		t.Errorf("layout: %+v", l)
+	}
+}
+
+func TestAdvertiserDataAndQuery(t *testing.T) {
+	c, err := AdvertiserData("adv", 4, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats("app_metrics").RowCount != 10*3*5 {
+		t.Errorf("rows: %d", c.Stats("app_metrics").RowCount)
+	}
+	q := AdvertiserQuery("adv", 7)
+	if !strings.Contains(q, "app_id = 7") || !strings.Contains(q, "adv.app_metrics") {
+		t.Errorf("query: %s", q)
+	}
+}
+
+func TestABTestData(t *testing.T) {
+	c, err := ABTestData("ab", 2, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats("outcomes").RowCount != 100 {
+		t.Errorf("outcomes: %d", c.Stats("outcomes").RowCount)
+	}
+	if c.Stats("exposures").RowCount == 0 {
+		t.Error("no exposures")
+	}
+	// Both tables must share the bucketed layout for co-located joins.
+	for _, tbl := range []string{"exposures", "outcomes"} {
+		m := c.Table(tbl)
+		if m.Layouts[0].PartitionCols[0] != "user_id" {
+			t.Errorf("%s layout: %+v", tbl, m.Layouts[0])
+		}
+	}
+}
+
+func TestETLQueryShape(t *testing.T) {
+	q := ETLQuery("src", "dst", 3)
+	if !strings.Contains(q, "CREATE TABLE dst.daily_part_summary_3") ||
+		!strings.Contains(q, "src.lineitem") {
+		t.Errorf("etl query: %s", q)
+	}
+}

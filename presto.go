@@ -1,0 +1,240 @@
+// Package presto is a from-scratch Go implementation of the architecture
+// described in "Presto: SQL on Everything" (ICDE 2019): a distributed SQL
+// query engine with a coordinator, cooperative multi-tasking workers,
+// columnar paged execution, a rule- and cost-based optimizer, pluggable
+// connectors, integrated memory management, and buffered streaming shuffles.
+//
+// The primary entry point is Cluster, an in-process cluster of N worker
+// nodes plus a coordinator:
+//
+//	c := presto.NewCluster(presto.ClusterConfig{Workers: 4})
+//	defer c.Close()
+//	c.Register(memconn.New("memory"))
+//	res, err := c.Execute("SELECT 1 + 2")
+//
+// The same engine also runs as real network services: cmd/prestod starts a
+// coordinator or worker speaking the HTTP protocol, and cmd/presto-cli is an
+// interactive client.
+package presto
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/connector"
+	"repro/internal/connectors/memconn"
+	"repro/internal/coordinator"
+	"repro/internal/exec"
+	"repro/internal/memory"
+	"repro/internal/optimizer"
+	"repro/internal/queue"
+	"repro/internal/types"
+)
+
+// Re-exported types so applications can use the engine without importing
+// internal packages directly.
+type (
+	// Value is a boxed SQL value.
+	Value = types.Value
+	// Type is a SQL type.
+	Type = types.Type
+	// Connector integrates an external data source (the Connector API).
+	Connector = connector.Connector
+	// Column describes a connector table column.
+	Column = connector.Column
+	// Result streams query output.
+	Result = coordinator.Result
+	// Session carries per-query settings.
+	Session = coordinator.Session
+	// QueryInfo reports query state and statistics.
+	QueryInfo = coordinator.QueryInfo
+	// QueuePolicy bounds a resource group's admission.
+	QueuePolicy = queue.Policy
+)
+
+// SQL type constants.
+const (
+	Boolean = types.Boolean
+	Bigint  = types.Bigint
+	Double  = types.Double
+	Varchar = types.Varchar
+	Date    = types.Date
+)
+
+// ClusterConfig sizes an in-process cluster.
+type ClusterConfig struct {
+	// Workers is the number of worker nodes (default 4).
+	Workers int
+	// ThreadsPerWorker sizes each worker's executor (default 4).
+	ThreadsPerWorker int
+	// Quanta is the cooperative scheduling quanta (default 20ms; the paper
+	// uses 1s at production scale).
+	Quanta time.Duration
+	// FIFOScheduler disables the multi-level feedback queue (ablation).
+	FIFOScheduler bool
+	// HashPartitions is the intermediate-stage task count (default =
+	// Workers).
+	HashPartitions int
+	// DefaultCatalog resolves unqualified table names (default "memory"; a
+	// memconn catalog of that name is registered automatically).
+	DefaultCatalog string
+	// NodeMemoryBytes is each worker's general pool (default 1 GiB).
+	NodeMemoryBytes int64
+	// QueryMemoryBytes is the per-query global user limit (default
+	// unlimited).
+	QueryMemoryBytes int64
+	// PerNodeQueryMemoryBytes is the per-query per-node user limit.
+	PerNodeQueryMemoryBytes int64
+	// SpillEnabled lets aggregations spill to disk under memory pressure.
+	SpillEnabled bool
+	// DisableStats turns off cost-based optimization (Figure 6's
+	// "no stats" configuration).
+	DisableStats bool
+	// DisableColocated turns off co-located join planning (ablation).
+	DisableColocated bool
+	// Interpreted forces interpreted expression evaluation (the codegen
+	// ablation, §V-B).
+	Interpreted bool
+	// Phased enables phased stage scheduling (§IV-D1); default is
+	// all-at-once.
+	Phased bool
+	// QueuePolicies configure admission control.
+	QueuePolicies []QueuePolicy
+	// TargetSplitConcurrency is the per-task concurrent split target.
+	TargetSplitConcurrency int
+	// OutputBufferBytes sizes shuffle buffers (default 16 MiB).
+	OutputBufferBytes int64
+	// PageSize is the target rows per page (default 1024).
+	PageSize int
+	// MaxWriters bounds adaptive writer scaling per task (§IV-E3).
+	MaxWriters int
+	// WriteDelay simulates remote-storage write latency per page (used by
+	// the adaptive-writers experiment).
+	WriteDelay func()
+}
+
+// Cluster is an in-process Presto-style cluster: one coordinator and N
+// workers sharing the process, connected by in-memory shuffles.
+type Cluster struct {
+	Coordinator *coordinator.Coordinator
+	workers     []*exec.Worker
+	catalog     *coordinator.CatalogManager
+}
+
+// NewCluster creates and starts a cluster.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.ThreadsPerWorker <= 0 {
+		cfg.ThreadsPerWorker = 4
+	}
+	if cfg.DefaultCatalog == "" {
+		cfg.DefaultCatalog = "memory"
+	}
+	catalog := coordinator.NewCatalogManager()
+	catalog.Register(memconn.New(cfg.DefaultCatalog))
+
+	taskCfg := exec.TaskConfig{
+		PageSize:               cfg.PageSize,
+		OutputBufferBytes:      cfg.OutputBufferBytes,
+		TargetSplitConcurrency: cfg.TargetSplitConcurrency,
+		SpillEnabled:           cfg.SpillEnabled,
+		Interpreted:            cfg.Interpreted,
+		Phased:                 cfg.Phased,
+		MaxWriters:             cfg.MaxWriters,
+		WriteDelay:             cfg.WriteDelay,
+	}
+	workers := make([]*exec.Worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = exec.NewWorker(i, catalog, exec.WorkerConfig{
+			Threads:          cfg.ThreadsPerWorker,
+			Quanta:           cfg.Quanta,
+			FIFO:             cfg.FIFOScheduler,
+			GeneralPoolBytes: cfg.NodeMemoryBytes,
+			Task:             taskCfg,
+		})
+	}
+	optCfg := optimizer.DefaultConfig()
+	optCfg.UseStats = !cfg.DisableStats
+	optCfg.DisableColocated = cfg.DisableColocated
+
+	coord := coordinator.New(catalog, workers, coordinator.Config{
+		DefaultCatalog: cfg.DefaultCatalog,
+		HashPartitions: cfg.HashPartitions,
+		Optimizer:      optCfg,
+		Task:           taskCfg,
+		MemoryLimits: memory.QueryLimits{
+			GlobalUser:  cfg.QueryMemoryBytes,
+			PerNodeUser: cfg.PerNodeQueryMemoryBytes,
+		},
+		QueuePolicies: cfg.QueuePolicies,
+	})
+	return &Cluster{Coordinator: coord, workers: workers, catalog: catalog}
+}
+
+// Register adds a connector catalog to the cluster.
+func (c *Cluster) Register(conn Connector) { c.catalog.Register(conn) }
+
+// Execute runs a SQL statement with default session settings, returning a
+// streaming result.
+func (c *Cluster) Execute(sql string) (*Result, error) {
+	return c.Coordinator.Execute(sql, Session{})
+}
+
+// ExecuteSession runs a SQL statement with explicit session settings.
+func (c *Cluster) ExecuteSession(sql string, s Session) (*Result, error) {
+	return c.Coordinator.Execute(sql, s)
+}
+
+// Query runs a statement and collects all rows (convenience).
+func (c *Cluster) Query(sql string) ([][]Value, error) {
+	res, err := c.Execute(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := res.All()
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// QueryRow runs a statement expected to yield a single row.
+func (c *Cluster) QueryRow(sql string) ([]Value, error) {
+	rows, err := c.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != 1 {
+		return nil, fmt.Errorf("expected 1 row, got %d", len(rows))
+	}
+	return rows[0], nil
+}
+
+// Explain returns the optimized logical and distributed plans as text.
+func (c *Cluster) Explain(sql string) (string, error) {
+	res, err := c.Execute("EXPLAIN " + sql)
+	if err != nil {
+		return "", err
+	}
+	rows, err := res.All()
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for _, r := range rows {
+		out += r[0].S + "\n"
+	}
+	return out, nil
+}
+
+// Workers exposes worker nodes (for experiments and tests).
+func (c *Cluster) Workers() []*exec.Worker { return c.workers }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	for _, w := range c.workers {
+		w.Close()
+	}
+}
