@@ -102,6 +102,10 @@ type Query struct {
 	qmem   *memory.QueryContext
 	result *Result
 	coord  *Coordinator
+
+	// splitsTotal counts splits enumerated so far (live progress counter;
+	// final total once enumeration completes).
+	splitsTotal atomic.Int64
 }
 
 // New creates a coordinator over the given workers.
@@ -246,6 +250,7 @@ func (c *Coordinator) runTracked(stmt sqlparser.Statement, sql string, session S
 		return nil, nil, err
 	}
 	q.result = result
+	result.QueryID = id
 	result.onClose = func(resErr error) {
 		if resErr != nil {
 			q.abort()
@@ -490,11 +495,16 @@ func (c *Coordinator) explainAnalyze(s *sqlparser.Explain, sql string, session S
 	text += fmt.Sprintf("\nwall: %s  task CPU: %s  peak memory: %d bytes  output rows: %d\n",
 		wall.Round(time.Millisecond), time.Duration(info.CPUNanos).Round(time.Millisecond),
 		info.PeakMemory, outRows)
+	if st, ok := c.QueryStats(info.ID); ok {
+		text += "\n" + FormatOperatorTable(st)
+	}
 	var rows [][]types.Value
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		rows = append(rows, []types.Value{types.VarcharValue(line)})
 	}
-	return literalResult([]string{"plan"}, rows), nil
+	lr := literalResult([]string{"plan"}, rows)
+	lr.QueryID = info.ID
+	return lr, nil
 }
 
 func (c *Coordinator) explain(s *sqlparser.Explain, session Session) (*Result, error) {

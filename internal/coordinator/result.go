@@ -19,6 +19,9 @@ func toConnectorCols(cs []connectorColumn) []connector.Column { return cs }
 // completes (paper §III).
 type Result struct {
 	Columns []string
+	// QueryID names the tracked query behind this result ("" for DDL and
+	// other literal results), for the /v1/query/{id}/stats endpoint.
+	QueryID string
 
 	mu      sync.Mutex
 	buf     *shuffle.PartitionBuffer // nil for literal results

@@ -199,6 +199,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 		}
 		for _, s := range batch.Splits {
 			t := c.pickTask(stage, nodeTask, scanID, s)
+			q.splitsTotal.Add(1)
 			if err := t.AddSplit(scanID, s); err != nil {
 				res.setFailure(err)
 				q.abort()

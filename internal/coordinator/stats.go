@@ -1,0 +1,173 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/operators"
+)
+
+// PipelineRollup aggregates one pipeline's operator stats across the tasks
+// of a stage.
+type PipelineRollup struct {
+	Pipeline    int                         `json:"pipeline"`
+	Drivers     int                         `json:"drivers"`
+	DriversDone int                         `json:"driversDone"`
+	Operators   []operators.OpStatsSnapshot `json:"operators"`
+}
+
+// StageStats aggregates the tasks of one fragment.
+type StageStats struct {
+	Fragment  int              `json:"fragment"`
+	Tasks     int              `json:"tasks"`
+	CPUNanos  int64            `json:"cpuNanos"`
+	Pipelines []PipelineRollup `json:"pipelines"`
+}
+
+// QueryStats is the live rollup served by /v1/query/{id}/stats: query-level
+// progress counters plus per-stage, per-pipeline, per-operator breakdowns.
+// It is valid both while the query runs (live counters) and after it
+// finishes (final totals — tasks are retained on the query record).
+type QueryStats struct {
+	ID              string       `json:"id"`
+	State           string       `json:"state"`
+	ElapsedNanos    int64        `json:"elapsedNanos"`
+	CPUNanos        int64        `json:"cpuNanos"`
+	BlockedNanos    int64        `json:"blockedNanos"`
+	PeakMemoryBytes int64        `json:"peakMemoryBytes"`
+	SplitsTotal     int64        `json:"splitsTotal"`
+	SplitsQueued    int          `json:"splitsQueued"`
+	SplitsRunning   int          `json:"splitsRunning"`
+	SplitsDone      int          `json:"splitsDone"`
+	RowsRead        int64        `json:"rowsRead"`
+	BytesRead       int64        `json:"bytesRead"`
+	OutputRows      int64        `json:"outputRows"`
+	Tasks           int          `json:"tasks"`
+	Stages          []StageStats `json:"stages"`
+}
+
+// QueryStats snapshots a query's execution statistics, rolling task stats up
+// into per-stage operator aggregates.
+func (c *Coordinator) QueryStats(id string) (QueryStats, bool) {
+	c.mu.Lock()
+	q, ok := c.queries[id]
+	c.mu.Unlock()
+	if !ok {
+		return QueryStats{}, false
+	}
+
+	q.mu.Lock()
+	info := q.Info
+	tasks := append([]*exec.Task{}, q.tasks...)
+	qmem := q.qmem
+	result := q.result
+	q.mu.Unlock()
+
+	st := QueryStats{
+		ID:          info.ID,
+		State:       info.State.String(),
+		SplitsTotal: q.splitsTotal.Load(),
+		Tasks:       len(tasks),
+	}
+	switch {
+	case info.Started.IsZero():
+	case info.Finished.IsZero():
+		st.ElapsedNanos = time.Since(info.Started).Nanoseconds()
+	default:
+		st.ElapsedNanos = info.Finished.Sub(info.Started).Nanoseconds()
+	}
+	if qmem != nil {
+		st.PeakMemoryBytes = qmem.PeakBytes()
+	}
+	if result != nil {
+		st.OutputRows = result.RowCount()
+	}
+
+	stages := map[int]*StageStats{}
+	for _, t := range tasks {
+		ts := t.Stats()
+		st.CPUNanos += ts.CPUNanos
+		st.SplitsQueued += ts.SplitsQueued
+		st.SplitsRunning += ts.SplitsRunning
+		st.SplitsDone += ts.SplitsDone
+		st.RowsRead += ts.RowsRead
+		st.BytesRead += ts.BytesRead
+		sg := stages[ts.Fragment]
+		if sg == nil {
+			sg = &StageStats{Fragment: ts.Fragment}
+			stages[ts.Fragment] = sg
+		}
+		sg.Tasks++
+		sg.CPUNanos += ts.CPUNanos
+		mergePipelines(sg, ts.Pipelines)
+	}
+	frags := make([]int, 0, len(stages))
+	for f := range stages {
+		frags = append(frags, f)
+	}
+	sort.Ints(frags)
+	for _, f := range frags {
+		sg := stages[f]
+		for _, pl := range sg.Pipelines {
+			for _, op := range pl.Operators {
+				st.BlockedNanos += op.BlockedNanos
+			}
+		}
+		st.Stages = append(st.Stages, *sg)
+	}
+	return st, true
+}
+
+// mergePipelines folds one task's pipelines into the stage rollup
+// element-wise: every task of a stage compiles the same fragment, so
+// pipeline and operator positions line up.
+func mergePipelines(sg *StageStats, pls []exec.PipelineStats) {
+	for _, pl := range pls {
+		var target *PipelineRollup
+		for i := range sg.Pipelines {
+			if sg.Pipelines[i].Pipeline == pl.Pipeline {
+				target = &sg.Pipelines[i]
+				break
+			}
+		}
+		if target == nil {
+			sg.Pipelines = append(sg.Pipelines, PipelineRollup{Pipeline: pl.Pipeline})
+			target = &sg.Pipelines[len(sg.Pipelines)-1]
+		}
+		target.Drivers += pl.Drivers
+		target.DriversDone += pl.DriversDone
+		for i, op := range pl.Operators {
+			if i < len(target.Operators) {
+				target.Operators[i].Merge(op)
+			} else {
+				target.Operators = append(target.Operators, op)
+			}
+		}
+	}
+}
+
+// FormatOperatorTable renders the per-operator breakdown appended to
+// EXPLAIN ANALYZE output and printed by presto-cli --stats.
+func FormatOperatorTable(st QueryStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Operator stats:\n")
+	for _, sg := range st.Stages {
+		fmt.Fprintf(&sb, "Fragment %d (%d tasks, cpu %s):\n",
+			sg.Fragment, sg.Tasks, time.Duration(sg.CPUNanos).Round(10*time.Microsecond))
+		for _, pl := range sg.Pipelines {
+			fmt.Fprintf(&sb, "  pipeline %d (%d drivers):\n", pl.Pipeline, pl.Drivers)
+			for _, op := range pl.Operators {
+				fmt.Fprintf(&sb, "    %-20s rows %d/%d  wall %s  cpu %s  blocked %s  peak mem %d B\n",
+					op.Name, op.RowsIn, op.RowsOut,
+					time.Duration(op.WallNanos).Round(10*time.Microsecond),
+					time.Duration(op.CPUNanos).Round(10*time.Microsecond),
+					time.Duration(op.BlockedNanos).Round(10*time.Microsecond),
+					op.PeakMemBytes)
+			}
+		}
+	}
+	return sb.String()
+}

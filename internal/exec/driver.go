@@ -8,6 +8,7 @@ package exec
 import (
 	"time"
 
+	"repro/internal/memory"
 	"repro/internal/operators"
 )
 
@@ -24,6 +25,23 @@ type Driver struct {
 
 	// cpuNanos accumulates execution time for MLFQ level selection.
 	cpuNanos int64
+	// blockedNanos accumulates time parked off-thread between Process calls
+	// that ended without progress.
+	blockedNanos int64
+
+	// Per-operator instrumentation (paper §VII), parallel to ops. Timing is
+	// attributed at iterate-pass granularity — two clock samples per pass,
+	// never per page. Entries may be nil when the driver was built without
+	// stats (tests).
+	stats    []*operators.OpStats
+	mems     []*memory.LocalContext
+	lastHeld []int64
+	touched  []bool
+
+	startedAt    time.Time
+	yieldedAt    time.Time // set when yielding without progress
+	yieldBlocker int       // op index blamed for the park, -1 if starved
+	wallRecorded bool
 }
 
 // NewDriver creates a driver over the operator chain (source first, sink
@@ -32,8 +50,29 @@ func NewDriver(ops []operators.Operator) *Driver {
 	return &Driver{ops: ops, finishSignaled: make([]bool, len(ops))}
 }
 
+// WithStats attaches per-operator contexts (parallel to the operator chain)
+// so the driver loop can attribute execution time, blocked time, and memory
+// to each operator. Entries may be nil.
+func (d *Driver) WithStats(ctxs []*operators.OpContext) *Driver {
+	d.stats = make([]*operators.OpStats, len(d.ops))
+	d.mems = make([]*memory.LocalContext, len(d.ops))
+	d.lastHeld = make([]int64, len(d.ops))
+	d.touched = make([]bool, len(d.ops))
+	for i, c := range ctxs {
+		if i >= len(d.ops) || c == nil {
+			continue
+		}
+		d.stats[i] = c.Stats
+		d.mems[i] = c.Mem
+	}
+	return d
+}
+
 // CPUNanos returns accumulated processing time.
 func (d *Driver) CPUNanos() int64 { return d.cpuNanos }
+
+// BlockedNanos returns accumulated off-thread parked time.
+func (d *Driver) BlockedNanos() int64 { return d.blockedNanos }
 
 // Finished reports driver completion.
 func (d *Driver) Finished() bool { return d.finished }
@@ -63,15 +102,32 @@ func (d *Driver) Process(quanta time.Duration) (progress bool, err error) {
 		return false, d.failed
 	}
 	start := time.Now()
+	if d.startedAt.IsZero() {
+		d.startedAt = start
+	}
+	// Time spent parked since the last fruitless yield is blocked time,
+	// charged to the operator that was blocking then.
+	if !d.yieldedAt.IsZero() {
+		gap := start.Sub(d.yieldedAt).Nanoseconds()
+		d.blockedNanos += gap
+		if d.yieldBlocker >= 0 && d.stats != nil && d.stats[d.yieldBlocker] != nil {
+			d.stats[d.yieldBlocker].AddBlocked(gap)
+		}
+		d.yieldedAt = time.Time{}
+	}
+	last := start
 	defer func() {
 		d.cpuNanos += time.Since(start).Nanoseconds()
 	}()
 
 	for {
 		moved := d.iterate()
+		now := time.Now()
+		d.attribute(now.Sub(last).Nanoseconds())
+		last = now
+		d.sampleMem()
 		if d.failed != nil {
-			d.finished = true
-			d.closeAll()
+			d.finishDriver(now)
 			return progress, d.failed
 		}
 		if moved {
@@ -79,16 +135,95 @@ func (d *Driver) Process(quanta time.Duration) (progress bool, err error) {
 		}
 		// Completion: the sink is finished.
 		if d.ops[len(d.ops)-1].IsFinished() {
-			d.finished = true
-			d.closeAll()
+			d.finishDriver(now)
 			return progress, nil
 		}
 		if !moved {
-			return progress, nil // blocked or starved: yield
+			// Blocked or starved: yield. Note the blocking operator (if
+			// any) so the park shows up as its blocked time.
+			d.yieldedAt = now
+			d.yieldBlocker = d.blockerIndex()
+			return progress, nil
 		}
-		if time.Since(start) >= quanta {
+		if now.Sub(start) >= quanta {
 			return progress, nil // quanta expired: yield
 		}
+	}
+}
+
+// blockerIndex returns the first blocked operator's index, or -1 when the
+// driver is merely starved (nothing blocked, nothing to move).
+func (d *Driver) blockerIndex() int {
+	for i, op := range d.ops {
+		if op.IsBlocked() {
+			return i
+		}
+	}
+	return -1
+}
+
+// attribute splits one iterate pass's elapsed time evenly among the
+// operators that moved data during the pass.
+func (d *Driver) attribute(passNanos int64) {
+	if d.stats == nil {
+		return
+	}
+	n := 0
+	for _, t := range d.touched {
+		if t {
+			n++
+		}
+	}
+	var share int64
+	if n > 0 && passNanos > 0 {
+		share = passNanos / int64(n)
+	}
+	for i, t := range d.touched {
+		d.touched[i] = false
+		if t && share > 0 && d.stats[i] != nil {
+			d.stats[i].AddCPU(share)
+		}
+	}
+}
+
+// sampleMem folds each operator's current memory reservation into its
+// shared stats (delta since the last sample, maintaining the peak).
+func (d *Driver) sampleMem() {
+	for i, m := range d.mems {
+		if m == nil || d.stats[i] == nil {
+			continue
+		}
+		cur := m.Held()
+		if cur != d.lastHeld[i] {
+			d.stats[i].AdjustMem(cur - d.lastHeld[i])
+			d.lastHeld[i] = cur
+		}
+	}
+}
+
+// finishDriver completes the driver: closes operators, takes a final memory
+// sample (operators release on Close), and records the driver's lifetime as
+// wall time on every operator of the pipeline.
+func (d *Driver) finishDriver(now time.Time) {
+	d.finished = true
+	d.closeAll()
+	d.sampleMem()
+	if d.stats != nil && !d.wallRecorded {
+		d.wallRecorded = true
+		wall := now.Sub(d.startedAt).Nanoseconds()
+		for _, s := range d.stats {
+			if s != nil {
+				s.AddWall(wall)
+			}
+		}
+	}
+}
+
+// touch marks an operator as having moved data this pass (timing is
+// attributed to touched operators).
+func (d *Driver) touch(i int) {
+	if d.touched != nil {
+		d.touched[i] = true
 	}
 }
 
@@ -103,6 +238,7 @@ func (d *Driver) iterate() bool {
 			if !d.finishSignaled[i] && !up.IsFinished() {
 				up.Finish()
 				d.finishSignaled[i] = true
+				d.touch(i)
 				moved = true
 			}
 			continue
@@ -118,6 +254,8 @@ func (d *Driver) iterate() bool {
 					d.failed = err
 					return moved
 				}
+				d.touch(i)
+				d.touch(i + 1)
 				moved = true
 				continue
 			}
@@ -135,6 +273,8 @@ func (d *Driver) iterate() bool {
 						d.failed = err
 						return moved
 					}
+					d.touch(i)
+					d.touch(i + 1)
 					moved = true
 					continue
 				}
@@ -142,6 +282,7 @@ func (d *Driver) iterate() bool {
 			if !d.finishSignaled[i+1] && !down.IsFinished() {
 				down.Finish()
 				d.finishSignaled[i+1] = true
+				d.touch(i + 1)
 				moved = true
 			}
 		}

@@ -46,6 +46,10 @@ type ExecutorConfig struct {
 	// FIFO disables the multi-level feedback queue (scheduler ablation):
 	// drivers run in arrival order with no level priorities.
 	FIFO bool
+	// StarvedPark is how long a driver that made no progress but is not
+	// provably blocked stays parked before re-admission (default 1ms). It
+	// bounds the busy-spin of pipelines starved behind a slow upstream.
+	StarvedPark time.Duration
 	// LevelThresholds override the cumulative task-CPU boundaries between
 	// levels (defaults scale the paper's 1s quanta world down 10x).
 	LevelThresholds [nLevels]time.Duration
@@ -84,6 +88,10 @@ type driverRunner struct {
 	task   *TaskHandle
 	done   func(error)
 	failed bool
+	// parkedUntil delays re-admission of a starved (not provably blocked)
+	// runner: its driver reports Blocked() == false, so without a deadline
+	// pick() would re-admit it immediately and the thread would busy-spin.
+	parkedUntil time.Time
 }
 
 // NewExecutor creates and starts an executor.
@@ -93,6 +101,9 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 	}
 	if cfg.Quanta <= 0 {
 		cfg.Quanta = 20 * time.Millisecond
+	}
+	if cfg.StarvedPark <= 0 {
+		cfg.StarvedPark = time.Millisecond
 	}
 	zero := [nLevels]time.Duration{}
 	if cfg.LevelThresholds == zero {
@@ -136,10 +147,16 @@ func (e *Executor) levelOf(task *TaskHandle) int {
 // pick selects the next runner using weighted level selection: the non-empty
 // level with the smallest scheduled-time/weight ratio runs next.
 func (e *Executor) pick() *driverRunner {
-	// Re-admit unblocked drivers.
+	// Re-admit unblocked drivers. Starved runners additionally wait out
+	// their park deadline; finished (e.g. aborted) drivers re-admit at once
+	// so their done callback fires promptly.
+	now := time.Now()
 	stillBlocked := e.blocked[:0]
 	for _, r := range e.blocked {
-		if !r.driver.Blocked() || r.driver.Finished() {
+		ready := r.driver.Finished() ||
+			(!r.driver.Blocked() && !now.Before(r.parkedUntil))
+		if ready {
+			r.parkedUntil = time.Time{}
 			lvl := e.levelOf(r.task)
 			e.levels[lvl] = append(e.levels[lvl], r)
 		} else {
@@ -222,7 +239,9 @@ func (e *Executor) run() {
 		case !progress:
 			// Starved but not provably blocked (e.g. upstream pipeline in
 			// the same task hasn't produced yet): park briefly with the
-			// blocked set to avoid busy spin.
+			// blocked set to avoid busy spin. The deadline is what keeps
+			// pick() from re-admitting the runner on the very next pass.
+			r.parkedUntil = time.Now().Add(e.cfg.StarvedPark)
 			e.blocked = append(e.blocked, r)
 		default:
 			nl := e.levelOf(r.task)
@@ -265,6 +284,20 @@ func (e *Executor) QueueLength() int {
 		n += len(l)
 	}
 	return n
+}
+
+// Threads returns the number of driver slots.
+func (e *Executor) Threads() int { return e.cfg.Threads }
+
+// LevelOccupancy returns the number of runnable drivers queued at each MLFQ
+// level plus the number parked as blocked/starved (for /v1/metrics).
+func (e *Executor) LevelOccupancy() (levels [nLevels]int, blocked int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, l := range e.levels {
+		levels[i] = len(l)
+	}
+	return levels, len(e.blocked)
 }
 
 // Close stops the worker threads after current quanta complete.

@@ -53,6 +53,11 @@ type pipelineSpec struct {
 	// mkOps builds the per-driver operator chain after the source.
 	mkOps func(ctx *driverCtx) ([]operators.Operator, error)
 
+	// opStats holds one shared stats object per operator position (index 0
+	// is the source); every driver of the pipeline writes into the same
+	// objects, so task-level rollup is a snapshot, not a merge.
+	opStats []*operators.OpStats
+
 	// bridge bookkeeping: bridges this pipeline builds into / probes.
 	buildBridge  *operators.JoinBridge
 	probeBridges []*operators.JoinBridge
@@ -64,18 +69,49 @@ type pipelineSpec struct {
 	hasWriter bool
 	// noMoreDrivers records that bridge driver-creation is complete.
 	noMoreDrivers bool
+
+	// driver counters, guarded by the owning task's mu.
+	driversStarted int
+	driversDone    int
+}
+
+// sourceName labels the pipeline's source operator position for stats.
+func (p *pipelineSpec) sourceName() string {
+	switch p.source {
+	case srcScan:
+		return "TableScan"
+	case srcExchange:
+		return "ExchangeSource"
+	case srcValues:
+		return "Values"
+	case srcLocalExchange:
+		return "LocalExchangeSource"
+	}
+	return "Source"
 }
 
 // driverCtx is passed to factories when instantiating a driver's operators.
+// mkOps points stats at the pipeline's shared per-operator stats object
+// before invoking each factory, and collects the contexts the factories
+// create so the driver can sample memory and attribute time.
 type driverCtx struct {
-	task *Task
+	task  *Task
+	stats *operators.OpStats
+	last  *operators.OpContext
+	ctxs  []*operators.OpContext
 }
 
 func (d *driverCtx) opCtx(kind memory.Kind) *operators.OpContext {
-	return &operators.OpContext{
-		Mem:   memory.NewLocalContext(d.task.queryMem, d.task.nodeID, kind),
-		Stats: &operators.OpStats{},
+	st := d.stats
+	if st == nil {
+		st = &operators.OpStats{}
 	}
+	c := &operators.OpContext{
+		Mem:   memory.NewLocalContext(d.task.queryMem, d.task.nodeID, kind),
+		Stats: st,
+	}
+	d.last = c
+	return c
 }
 
 // compiler translates a fragment's plan tree into pipelines.
@@ -89,13 +125,17 @@ type compiler struct {
 // opFactory builds one operator for a driver.
 type opFactory func(ctx *driverCtx) (operators.Operator, error)
 
-// chain accumulates factories for the pipeline being built.
+// chain accumulates named factories for the pipeline being built.
 type chain struct {
 	spec      *pipelineSpec
+	names     []string
 	factories []opFactory
 }
 
-func (c *chain) append(f opFactory) { c.factories = append(c.factories, f) }
+func (c *chain) append(name string, f opFactory) {
+	c.names = append(c.names, name)
+	c.factories = append(c.factories, f)
+}
 
 func (c *compiler) newPipeline() *chain {
 	spec := &pipelineSpec{id: len(c.pipelines)}
@@ -105,15 +145,25 @@ func (c *compiler) newPipeline() *chain {
 
 func (c *chain) seal() {
 	fs := c.factories
-	c.spec.mkOps = func(ctx *driverCtx) ([]operators.Operator, error) {
+	spec := c.spec
+	spec.opStats = make([]*operators.OpStats, len(fs)+1)
+	spec.opStats[0] = &operators.OpStats{Name: spec.sourceName()}
+	for i, name := range c.names {
+		spec.opStats[i+1] = &operators.OpStats{Name: name}
+	}
+	spec.mkOps = func(ctx *driverCtx) ([]operators.Operator, error) {
 		ops := make([]operators.Operator, 0, len(fs))
-		for _, f := range fs {
+		for i, f := range fs {
+			ctx.stats = spec.opStats[i+1]
+			ctx.last = nil
 			op, err := f(ctx)
 			if err != nil {
 				return nil, err
 			}
 			ops = append(ops, op)
+			ctx.ctxs = append(ctx.ctxs, ctx.last)
 		}
+		ctx.stats = nil
 		return ops, nil
 	}
 }
@@ -142,7 +192,7 @@ func (c *compiler) compileFragment(f *plan.Fragment) error {
 	case plan.PartitionRoundRobin:
 		mode = operators.OutputRoundRobin
 	}
-	root.append(func(ctx *driverCtx) (operators.Operator, error) {
+	root.append("PartitionedOutput", func(ctx *driverCtx) (operators.Operator, error) {
 		return operators.NewPartitionedOutput(ctx.opCtx(memory.System), ctx.task.output, mode, hashCols), nil
 	})
 	root.seal()
@@ -182,7 +232,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		if err := c.compile(x.Input, producer); err != nil {
 			return err
 		}
-		producer.append(func(ctx *driverCtx) (operators.Operator, error) {
+		producer.append("LocalExchangeSink", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewLocalExchangeSink(ctx.opCtx(memory.System), lex), nil
 		})
 		producer.seal()
@@ -199,7 +249,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		sch := x.Input.Schema()
 		proj := identityExprs(sch)
 		pred := x.Predicate
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("FilterProject", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewFilterProject(ctx.opCtx(memory.System), ctx.task.newProcessor(pred, proj)), nil
 		})
 		return nil
@@ -216,7 +266,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 			return err
 		}
 		exprs := x.Exprs
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("FilterProject", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewFilterProject(ctx.opCtx(memory.System), ctx.task.newProcessor(pred, exprs)), nil
 		})
 		return nil
@@ -229,7 +279,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		if x.Partial {
 			off = 0
 		}
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("Limit", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewLimit(ctx.opCtx(memory.System), nRows, off), nil
 		})
 		return nil
@@ -239,7 +289,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 			return err
 		}
 		ncols := len(x.Schema())
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("Distinct", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewDistinct(ctx.opCtx(memory.User), ncols), nil
 		})
 		return nil
@@ -249,7 +299,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 			return err
 		}
 		cols, desc := splitKeys(x.Keys)
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("Sort", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewSort(ctx.opCtx(memory.User), cols, desc, c.pageSize), nil
 		})
 		return nil
@@ -260,7 +310,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		}
 		cols, desc := splitKeys(x.Keys)
 		nRows := x.N
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("TopN", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewTopN(ctx.opCtx(memory.User), cols, desc, nRows), nil
 		})
 		return nil
@@ -272,7 +322,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		cols, desc := splitKeys(x.OrderBy)
 		part := x.PartitionBy
 		funcs := x.Funcs
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("Window", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewWindow(ctx.opCtx(memory.User), part, cols, desc, funcs, c.pageSize), nil
 		})
 		return nil
@@ -282,7 +332,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 			return err
 		}
 		ts := x.Schema().Types()
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("EnforceSingleRow", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewEnforceSingleRow(ctx.opCtx(memory.System), ts), nil
 		})
 		return nil
@@ -313,7 +363,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 			}
 			specs[i] = spec
 		}
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("HashAggregation", func(ctx *driverCtx) (operators.Operator, error) {
 			op := operators.NewHashAggregation(ctx.opCtx(memory.User), groupCols, groupTs, specs, ctx.task.spillEnabled, c.pageSize)
 			if ctx.task.spillEnabled {
 				ctx.task.registerRevocable(op)
@@ -331,7 +381,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		}
 		pb.spec.hasWriter = true
 		catalog, table := x.Catalog, x.Table
-		pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+		pb.append("TableWriter", func(ctx *driverCtx) (operators.Operator, error) {
 			conn, err := ctx.task.connectors.Connector(catalog)
 			if err != nil {
 				return nil, err
@@ -370,7 +420,7 @@ func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
 		buildKeys[i] = eq.Right
 		probeKeys[i] = eq.Left
 	}
-	build.append(func(ctx *driverCtx) (operators.Operator, error) {
+	build.append("HashBuild", func(ctx *driverCtx) (operators.Operator, error) {
 		bridge.AddBuilder()
 		return operators.NewHashBuild(ctx.opCtx(memory.User), bridge, buildKeys), nil
 	})
@@ -385,7 +435,7 @@ func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
 	residual := j.Residual
 	probeTs := j.Left.Schema().Types()
 	buildTs := j.Right.Schema().Types()
-	pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+	pb.append("LookupJoin", func(ctx *driverCtx) (operators.Operator, error) {
 		bridge.AddProbe()
 		return operators.NewLookupJoin(ctx.opCtx(memory.User), bridge, jt, probeKeys, residual, probeTs, buildTs, c.pageSize), nil
 	})
@@ -412,7 +462,7 @@ func (c *compiler) compileIndexJoin(j *plan.Join, pb *chain) error {
 	buildTs := j.Right.Schema().Types()
 	catalog, table := scan.Handle.Catalog, scan.Handle.Table
 	outCols := scan.Columns
-	pb.append(func(ctx *driverCtx) (operators.Operator, error) {
+	pb.append("IndexJoin", func(ctx *driverCtx) (operators.Operator, error) {
 		conn, err := ctx.task.connectors.Connector(catalog)
 		if err != nil {
 			return nil, err

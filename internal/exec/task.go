@@ -76,6 +76,7 @@ type Task struct {
 	pendingSplits map[int][]connector.Split // scanID → queued splits
 	runningSplits map[int]int               // scanID → running drivers
 	noMoreSplits  map[int]bool
+	splitsDone    int // completed split drivers across all scans
 	failed        error
 	doneCh        chan struct{}
 	doneOnce      sync.Once
@@ -170,13 +171,14 @@ func (t *Task) Start() error {
 		switch p.source {
 		case srcValues:
 			src := operators.NewValuesOperator(p.values.Rows, p.values.Out.Types())
-			if err := t.startDriverLocked(p, src); err != nil {
+			if err := t.startDriverLocked(p, src, t.sourceCtx(p)); err != nil {
 				return err
 			}
 			t.declareNoMoreDriversLocked(p)
 		case srcExchange:
-			src := operators.NewExchangeSource(t.opCtx(), p.exchangeClient)
-			if err := t.startDriverLocked(p, src); err != nil {
+			sctx := t.sourceCtx(p)
+			src := operators.NewExchangeSource(sctx, p.exchangeClient)
+			if err := t.startDriverLocked(p, src, sctx); err != nil {
 				return err
 			}
 			if t.isWriterPipe(p) {
@@ -187,8 +189,9 @@ func (t *Task) Start() error {
 			}
 		case srcLocalExchange:
 			for i := 0; i < p.localWays; i++ {
-				src := operators.NewLocalExchangeSource(t.opCtx(), p.localEx, i)
-				if err := t.startDriverLocked(p, src); err != nil {
+				sctx := t.sourceCtx(p)
+				src := operators.NewLocalExchangeSource(sctx, p.localEx, i)
+				if err := t.startDriverLocked(p, src, sctx); err != nil {
 					return err
 				}
 			}
@@ -201,9 +204,13 @@ func (t *Task) Start() error {
 
 func (t *Task) isWriterPipe(p *pipelineSpec) bool { return p.hasWriter }
 
-func (t *Task) opCtx() *operators.OpContext {
-	d := &driverCtx{task: t}
-	return d.opCtx(memory.System)
+// sourceCtx builds the operator context for a pipeline's source position,
+// sharing the pipeline's source stats slot across its drivers.
+func (t *Task) sourceCtx(p *pipelineSpec) *operators.OpContext {
+	return &operators.OpContext{
+		Mem:   memory.NewLocalContext(t.queryMem, t.nodeID, memory.System),
+		Stats: p.opStats[0],
+	}
 }
 
 // newProcessor builds a page processor honoring the interpreted-mode
@@ -222,16 +229,19 @@ func (t *Task) registerRevocable(r memory.Revocable) {
 }
 
 // startDriverLocked instantiates the pipeline's operators behind src and
-// enqueues the driver.
-func (t *Task) startDriverLocked(p *pipelineSpec, src operators.Operator) error {
+// enqueues the driver. srcCtx is the context the source was built with (its
+// stats slot is the pipeline's shared source stats).
+func (t *Task) startDriverLocked(p *pipelineSpec, src operators.Operator, srcCtx *operators.OpContext) error {
 	dctx := &driverCtx{task: t}
 	ops, err := p.mkOps(dctx)
 	if err != nil {
 		return err
 	}
 	all := append([]operators.Operator{src}, ops...)
-	d := NewDriver(all)
+	ctxs := append([]*operators.OpContext{srcCtx}, dctx.ctxs...)
+	d := NewDriver(all).WithStats(ctxs)
 	t.activeDrivers++
+	p.driversStarted++
 	pipe := p
 	t.executor.Enqueue(d, t.handle, func(err error) {
 		t.driverDone(pipe, err)
@@ -313,8 +323,9 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 		if err != nil {
 			return err
 		}
-		src := operators.NewTableScan(t.opCtx(), srcReader)
-		if err := t.startDriverLocked(p, src); err != nil {
+		sctx := t.sourceCtx(p)
+		src := operators.NewTableScan(sctx, srcReader)
+		if err := t.startDriverLocked(p, src, sctx); err != nil {
 			return err
 		}
 		t.runningSplits[scanID]++
@@ -326,8 +337,10 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 func (t *Task) driverDone(p *pipelineSpec, err error) {
 	t.mu.Lock()
 	t.activeDrivers--
+	p.driversDone++
 	if p.source == srcScan {
 		t.runningSplits[p.scanID]--
+		t.splitsDone++
 		if err == nil && !t.aborted {
 			if serr := t.maybeStartSplitsLocked(p.scanID); serr != nil && t.failed == nil {
 				t.failed = serr
@@ -437,8 +450,9 @@ func (t *Task) ScaleWriters() {
 				add = t.cfg.MaxWriters - sp.drivers
 			}
 			for i := 0; i < add; i++ {
-				src := operators.NewExchangeSource(t.opCtx(), sp.client)
-				if err := t.startDriverLocked(sp.spec, src); err != nil {
+				sctx := t.sourceCtx(sp.spec)
+				src := operators.NewExchangeSource(sctx, sp.client)
+				if err := t.startDriverLocked(sp.spec, src, sctx); err != nil {
 					break
 				}
 				sp.drivers++

@@ -128,6 +128,25 @@ func (w *Worker) TaskCount() int {
 	return len(w.tasks)
 }
 
+// OutputBufferUtilization reports the worst (maximum) shuffle output-buffer
+// fill fraction across the worker's live tasks, the backpressure signal the
+// /v1/metrics endpoint exposes.
+func (w *Worker) OutputBufferUtilization() float64 {
+	w.mu.Lock()
+	ts := make([]*Task, 0, len(w.tasks))
+	for _, t := range w.tasks {
+		ts = append(ts, t)
+	}
+	w.mu.Unlock()
+	max := 0.0
+	for _, t := range ts {
+		if u := t.Output().Utilization(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
 // AbortQuery aborts all of a query's tasks on this worker.
 func (w *Worker) AbortQuery(queryID string) {
 	w.mu.Lock()

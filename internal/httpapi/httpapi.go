@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/coordinator"
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -54,6 +55,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogs)
 	mux.HandleFunc("GET /v1/query/{id}", s.handleQueryInfo)
+	mux.HandleFunc("GET /v1/query/{id}/stats", s.handleQueryStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -65,6 +68,9 @@ type StatementResponse struct {
 	Data    [][]interface{} `json:"data,omitempty"`
 	NextURI string          `json:"nextUri,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// QueryID names the tracked query behind this statement (empty for DDL
+	// and other literal results); clients pass it to /v1/query/{id}/stats.
+	QueryID string `json:"queryId,omitempty"`
 }
 
 func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
@@ -126,7 +132,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // respond emits the next protocol document: one page of results (long-poll
 // semantics come from Result.NextPage's internal wait).
 func (s *Server) respond(w http.ResponseWriter, id string, lr *liveResult) {
-	doc := StatementResponse{ID: id, State: "RUNNING", Columns: lr.columns}
+	doc := StatementResponse{ID: id, State: "RUNNING", Columns: lr.columns, QueryID: lr.res.QueryID}
 	p, err := lr.res.NextPage()
 	switch {
 	case err != nil:
@@ -183,6 +189,45 @@ func (s *Server) handleQueryInfo(w http.ResponseWriter, r *http.Request) {
 		doc["error"] = info.Err.Error()
 	}
 	writeJSON(w, doc)
+}
+
+// handleQueryStats serves the live per-operator rollup: splits done/total,
+// rows/bytes read, and per-stage operator timing/memory (paper §VII). Works
+// while the query runs and after it finishes.
+func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Coord.QueryStats(id)
+	if !ok {
+		http.Error(w, "unknown query "+id, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// handleMetrics exposes cluster gauges in the Prometheus text format:
+// executor utilization, MLFQ level occupancy, shuffle buffer utilization,
+// and memory-pool usage per worker.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, wk := range s.Coord.Workers() {
+		lbl := map[string]string{"worker": fmt.Sprintf("%d", wk.ID)}
+		metrics.PromGauge(w, "presto_executor_utilization", lbl, wk.Exec.Utilization())
+		metrics.PromGauge(w, "presto_executor_busy_nanos_total", lbl, float64(wk.Exec.BusyNanos()))
+		metrics.PromGauge(w, "presto_executor_threads", lbl, float64(wk.Exec.Threads()))
+		levels, blocked := wk.Exec.LevelOccupancy()
+		for lvl, n := range levels {
+			metrics.PromGauge(w, "presto_mlfq_level_runnable",
+				map[string]string{"worker": lbl["worker"], "level": fmt.Sprintf("%d", lvl)}, float64(n))
+		}
+		metrics.PromGauge(w, "presto_mlfq_blocked", lbl, float64(blocked))
+		metrics.PromGauge(w, "presto_shuffle_buffer_utilization", lbl, wk.OutputBufferUtilization())
+		metrics.PromGauge(w, "presto_worker_tasks", lbl, float64(wk.TaskCount()))
+		metrics.PromGauge(w, "presto_memory_general_used_bytes", lbl, float64(wk.Pool.GeneralUsed()))
+		metrics.PromGauge(w, "presto_memory_general_limit_bytes", lbl, float64(wk.Pool.GeneralLimit()))
+		metrics.PromGauge(w, "presto_memory_reserved_used_bytes", lbl, float64(wk.Pool.ReservedUsed()))
+		metrics.PromGauge(w, "presto_memory_reserved_limit_bytes", lbl, float64(wk.Pool.ReservedLimit()))
+	}
+	metrics.PromGauge(w, "presto_queries_running", nil, float64(s.Coord.RunningQueries()))
 }
 
 // pageToJSON renders a page as rows of JSON-friendly values.

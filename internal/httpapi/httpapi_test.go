@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -114,6 +115,130 @@ func TestUnknownStatementID(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status: %d", resp.StatusCode)
+	}
+}
+
+// runSQLWithQueryID drains a statement and returns the queryId the server
+// attached to the protocol documents.
+func runSQLWithQueryID(t *testing.T, srv *httptest.Server, sql string) string {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/statement", "text/plain", strings.NewReader(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryID := ""
+	for {
+		var doc StatementResponse
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if doc.Error != "" {
+			t.Fatal(doc.Error)
+		}
+		if doc.QueryID != "" {
+			queryID = doc.QueryID
+		}
+		if doc.NextURI == "" {
+			return queryID
+		}
+		resp, err = http.Get(srv.URL + doc.NextURI)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueryStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	if _, errStr := runSQL(t, srv, "CREATE TABLE qs (a BIGINT)"); errStr != "" {
+		t.Fatal(errStr)
+	}
+	if _, errStr := runSQL(t, srv, "INSERT INTO qs SELECT * FROM (VALUES (1), (2), (3))"); errStr != "" {
+		t.Fatal(errStr)
+	}
+	queryID := runSQLWithQueryID(t, srv, "SELECT sum(a) FROM qs")
+	if queryID == "" {
+		t.Fatal("statement documents carried no queryId")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/query/" + queryID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status: %d", resp.StatusCode)
+	}
+	var st coordinator.QueryStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != queryID {
+		t.Errorf("id = %q, want %q", st.ID, queryID)
+	}
+	if st.RowsRead != 3 {
+		t.Errorf("rowsRead = %d, want 3", st.RowsRead)
+	}
+	if st.SplitsTotal == 0 || st.SplitsDone != int(st.SplitsTotal) {
+		t.Errorf("splits done/total = %d/%d, want all done", st.SplitsDone, st.SplitsTotal)
+	}
+	if len(st.Stages) == 0 {
+		t.Fatal("no stages in rollup")
+	}
+	names := map[string]bool{}
+	for _, sg := range st.Stages {
+		for _, pl := range sg.Pipelines {
+			for _, op := range pl.Operators {
+				names[op.Name] = true
+			}
+		}
+	}
+	if !names["TableScan"] || !names["HashAggregation"] {
+		t.Errorf("operator names = %v, want TableScan and HashAggregation", names)
+	}
+
+	// Unknown query id is a 404.
+	resp2, err := http.Get(srv.URL + "/v1/query/nope/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown query status: %d", resp2.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	if _, errStr := runSQL(t, srv, "SELECT 1 + 2"); errStr != "" {
+		t.Fatal(errStr)
+	}
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status: %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`presto_executor_utilization{worker="0"}`,
+		`presto_executor_threads{worker="0"} 2`,
+		`presto_mlfq_level_runnable{level="0",worker="0"}`,
+		`presto_shuffle_buffer_utilization{worker="0"}`,
+		`presto_memory_general_limit_bytes{worker="0"}`,
+		`presto_memory_reserved_limit_bytes{worker="0"}`,
+		"presto_queries_running ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
 	}
 }
 

@@ -155,12 +155,14 @@ func (q *QueryContext) UserBytes() int64 { return q.userTotal.Load() }
 func (q *QueryContext) TotalBytes() int64 { return q.userTotal.Load() + q.sysTotal.Load() }
 
 // LocalContext is an operator-scoped tracker that simplifies delta
-// accounting against a query context.
+// accounting against a query context. `held` is atomic because revocation
+// (spill) may reset an operator's reservation from another query's thread
+// while the owning driver samples or adjusts it.
 type LocalContext struct {
 	Q    *QueryContext
 	Node int
 	Kind Kind
-	held int64
+	held atomic.Int64
 }
 
 // NewLocalContext creates an operator-local tracker.
@@ -170,7 +172,7 @@ func NewLocalContext(q *QueryContext, node int, kind Kind) *LocalContext {
 
 // SetBytes adjusts the reservation to the new absolute value.
 func (l *LocalContext) SetBytes(n int64) error {
-	delta := n - l.held
+	delta := n - l.held.Load()
 	if delta > 0 {
 		if err := l.Q.Reserve(l.Node, l.Kind, delta); err != nil {
 			return err
@@ -178,18 +180,17 @@ func (l *LocalContext) SetBytes(n int64) error {
 	} else if delta < 0 {
 		l.Q.Release(l.Node, l.Kind, -delta)
 	}
-	l.held = n
+	l.held.Store(n)
 	return nil
 }
 
 // Held returns the current reservation.
-func (l *LocalContext) Held() int64 { return l.held }
+func (l *LocalContext) Held() int64 { return l.held.Load() }
 
 // Close releases everything held.
 func (l *LocalContext) Close() {
-	if l.held > 0 {
-		l.Q.Release(l.Node, l.Kind, l.held)
-		l.held = 0
+	if held := l.held.Swap(0); held > 0 {
+		l.Q.Release(l.Node, l.Kind, held)
 	}
 }
 

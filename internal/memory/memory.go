@@ -87,6 +87,19 @@ func (p *NodePool) GeneralUsed() int64 {
 	return p.generalUsed
 }
 
+// GeneralLimit returns the general pool's capacity in bytes.
+func (p *NodePool) GeneralLimit() int64 { return p.generalLimit }
+
+// ReservedUsed returns bytes reserved in the reserved pool.
+func (p *NodePool) ReservedUsed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reservedUsed
+}
+
+// ReservedLimit returns the reserved pool's capacity in bytes.
+func (p *NodePool) ReservedLimit() int64 { return p.reservedLimit }
+
 // QueryBytes returns (user, system) bytes held by a query on this node.
 func (p *NodePool) QueryBytes(query string) (int64, int64) {
 	p.mu.Lock()

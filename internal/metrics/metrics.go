@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -74,7 +75,10 @@ func (h *Histogram) Count() int {
 	return len(h.samples)
 }
 
-// Quantile returns the q-quantile (0..1) of recorded samples.
+// Quantile returns the q-quantile (0..1) of recorded samples using the
+// nearest-rank method: the smallest sample such that at least q·n samples
+// are ≤ it. Truncating the index (the previous behaviour) biases tail
+// quantiles low — p99 of 10 samples must be the maximum, not the 9th value.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -83,8 +87,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	sorted := append([]time.Duration{}, h.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return sorted[nearestRankIndex(q, len(sorted))]
+}
+
+// nearestRankIndex maps quantile q over n sorted samples to the
+// nearest-rank index ceil(q·n)-1, clamped to [0, n-1].
+func nearestRankIndex(q float64, n int) int {
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
 }
 
 // CDF returns (latency, cumulative fraction) points at the given percentile
@@ -138,4 +154,27 @@ func (h *Histogram) FractionBelow(d time.Duration) float64 {
 		}
 	}
 	return float64(n) / float64(len(h.samples))
+}
+
+// PromGauge writes one gauge sample in the Prometheus text exposition
+// format: `name{k1="v1",k2="v2"} value`. Label keys are emitted in sorted
+// order so output is deterministic. Used by the /v1/metrics endpoint.
+func PromGauge(w io.Writer, name string, labels map[string]string, value float64) {
+	fmt.Fprint(w, name)
+	if len(labels) > 0 {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "{")
+		for i, k := range keys {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", k, labels[k])
+		}
+		fmt.Fprint(w, "}")
+	}
+	fmt.Fprintf(w, " %g\n", value)
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -21,6 +22,52 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 	if q := h.Quantile(1); q != 100*time.Millisecond {
 		t.Errorf("max: %s", q)
+	}
+}
+
+// Regression test for the truncation bias: nearest-rank quantiles. With 10
+// samples, p99 must be the maximum — int(0.99·10) = 9 used to select the
+// 9th-smallest sample and under-report tail latency.
+func TestQuantileNearestRank(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 10; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.05, 1 * time.Millisecond},
+		{0.10, 1 * time.Millisecond},
+		{0.25, 3 * time.Millisecond},
+		{0.50, 5 * time.Millisecond},
+		{0.90, 9 * time.Millisecond},
+		{0.95, 10 * time.Millisecond},
+		{0.99, 10 * time.Millisecond}, // truncation gave 9ms here
+		{1, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	single := &Histogram{}
+	single.Record(7 * time.Millisecond)
+	if got := single.Quantile(0.5); got != 7*time.Millisecond {
+		t.Errorf("single-sample median = %v", got)
+	}
+}
+
+func TestPromGauge(t *testing.T) {
+	var sb strings.Builder
+	PromGauge(&sb, "up", nil, 1)
+	PromGauge(&sb, "mem_bytes", map[string]string{"worker": "3", "kind": "general"}, 2048)
+	got := sb.String()
+	want := "up 1\nmem_bytes{kind=\"general\",worker=\"3\"} 2048\n"
+	if got != want {
+		t.Errorf("prom output:\n%q\nwant:\n%q", got, want)
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"os"
 	"sync"
-	"time"
 
 	"repro/internal/block"
 	"repro/internal/expr"
@@ -59,7 +58,6 @@ type HashAggregationOperator struct {
 
 	spillFiles []string
 	spillable  bool
-	startNanos int64
 
 	finished bool
 	out      []*block.Page
@@ -79,14 +77,13 @@ func NewHashAggregation(ctx *OpContext, groupCols []int, groupTs []types.Type, a
 		pageSize = 4096
 	}
 	return &HashAggregationOperator{
-		ctx:        ctx,
-		groupCols:  groupCols,
-		groupTs:    groupTs,
-		aggs:       aggs,
-		groups:     make(map[string]*groupEntry),
-		spillable:  spillable,
-		startNanos: time.Now().UnixNano(),
-		pageSize:   pageSize,
+		ctx:       ctx,
+		groupCols: groupCols,
+		groupTs:   groupTs,
+		aggs:      aggs,
+		groups:    make(map[string]*groupEntry),
+		spillable: spillable,
+		pageSize:  pageSize,
 	}
 }
 
@@ -371,9 +368,15 @@ func (o *HashAggregationOperator) RevocableBytes() int64 {
 	return o.bytes
 }
 
-// ExecutionNanos implements memory.Revocable.
+// ExecutionNanos implements memory.Revocable. It reports time actually
+// spent executing the operator (driver-attributed CPU time), not lifetime
+// wall-clock: the §IV-F2 spill-victim heuristic orders candidates by work
+// done, and a long-lived idle aggregation must not look expensive.
 func (o *HashAggregationOperator) ExecutionNanos() int64 {
-	return time.Now().UnixNano() - o.startNanos
+	if o.ctx != nil && o.ctx.Stats != nil {
+		return o.ctx.Stats.CPUNanos()
+	}
+	return 0
 }
 
 // Revoke spills the hash table to a temp file and clears it.

@@ -7,6 +7,8 @@
 package operators
 
 import (
+	"sync/atomic"
+
 	"repro/internal/block"
 	"repro/internal/memory"
 )
@@ -40,12 +42,114 @@ type OpContext struct {
 	Stats *OpStats
 }
 
-// OpStats counts operator work for EXPLAIN ANALYZE and the experiments.
+// OpStats counts operator work for EXPLAIN ANALYZE, the live stats
+// endpoints, and the experiments (paper §VII, "effortless instrumentation").
+// One OpStats is shared by every driver of a pipeline, so the fields are
+// atomics: driver threads write while stats endpoints read concurrently.
+// Timing is attributed by the driver loop at iterate-pass granularity, not
+// per page, to keep clock sampling off the hot path.
 type OpStats struct {
-	PagesIn  int64
-	RowsIn   int64
-	PagesOut int64
-	RowsOut  int64
+	Name string // operator name, fixed at pipeline compile time
+
+	pagesIn  atomic.Int64
+	rowsIn   atomic.Int64
+	bytesIn  atomic.Int64
+	pagesOut atomic.Int64
+	rowsOut  atomic.Int64
+	bytesOut atomic.Int64
+
+	wallNanos    atomic.Int64 // sum of owning-driver lifetimes
+	cpuNanos     atomic.Int64 // iterate-pass time attributed to this operator
+	blockedNanos atomic.Int64 // parked time while this operator was the blocker
+
+	memCur  atomic.Int64 // sampled current reservation across drivers
+	memPeak atomic.Int64 // high-water mark of memCur
+}
+
+// AddCPU attributes n nanoseconds of driver execution to the operator.
+func (s *OpStats) AddCPU(n int64) { s.cpuNanos.Add(n) }
+
+// AddBlocked attributes n nanoseconds of parked time to the operator.
+func (s *OpStats) AddBlocked(n int64) { s.blockedNanos.Add(n) }
+
+// AddWall adds one driver's lifetime to the operator's wall clock.
+func (s *OpStats) AddWall(n int64) { s.wallNanos.Add(n) }
+
+// CPUNanos returns execution time attributed so far.
+func (s *OpStats) CPUNanos() int64 { return s.cpuNanos.Load() }
+
+// AdjustMem applies a sampled change in the operator's memory reservation
+// and maintains the peak.
+func (s *OpStats) AdjustMem(delta int64) {
+	cur := s.memCur.Add(delta)
+	for {
+		peak := s.memPeak.Load()
+		if cur <= peak || s.memPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// RowsOut returns rows produced so far (live counter for scan progress).
+func (s *OpStats) RowsOut() int64 { return s.rowsOut.Load() }
+
+// BytesOut returns bytes produced so far.
+func (s *OpStats) BytesOut() int64 { return s.bytesOut.Load() }
+
+// OpStatsSnapshot is a point-in-time copy of OpStats, safe to aggregate and
+// serialize.
+type OpStatsSnapshot struct {
+	Name         string `json:"name"`
+	PagesIn      int64  `json:"pagesIn"`
+	RowsIn       int64  `json:"rowsIn"`
+	BytesIn      int64  `json:"bytesIn"`
+	PagesOut     int64  `json:"pagesOut"`
+	RowsOut      int64  `json:"rowsOut"`
+	BytesOut     int64  `json:"bytesOut"`
+	WallNanos    int64  `json:"wallNanos"`
+	CPUNanos     int64  `json:"cpuNanos"`
+	BlockedNanos int64  `json:"blockedNanos"`
+	MemBytes     int64  `json:"memBytes"`
+	PeakMemBytes int64  `json:"peakMemBytes"`
+}
+
+// Snapshot copies the counters.
+func (s *OpStats) Snapshot() OpStatsSnapshot {
+	return OpStatsSnapshot{
+		Name:         s.Name,
+		PagesIn:      s.pagesIn.Load(),
+		RowsIn:       s.rowsIn.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		PagesOut:     s.pagesOut.Load(),
+		RowsOut:      s.rowsOut.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		WallNanos:    s.wallNanos.Load(),
+		CPUNanos:     s.cpuNanos.Load(),
+		BlockedNanos: s.blockedNanos.Load(),
+		MemBytes:     s.memCur.Load(),
+		PeakMemBytes: s.memPeak.Load(),
+	}
+}
+
+// Merge adds o's counters into the snapshot (element-wise rollup across the
+// tasks of a stage). Peaks are summed: tasks run concurrently on different
+// nodes, so the cluster-wide peak is approximated by the sum of per-task
+// peaks.
+func (s *OpStatsSnapshot) Merge(o OpStatsSnapshot) {
+	if s.Name == "" {
+		s.Name = o.Name
+	}
+	s.PagesIn += o.PagesIn
+	s.RowsIn += o.RowsIn
+	s.BytesIn += o.BytesIn
+	s.PagesOut += o.PagesOut
+	s.RowsOut += o.RowsOut
+	s.BytesOut += o.BytesOut
+	s.WallNanos += o.WallNanos
+	s.CPUNanos += o.CPUNanos
+	s.BlockedNanos += o.BlockedNanos
+	s.MemBytes += o.MemBytes
+	s.PeakMemBytes += o.PeakMemBytes
 }
 
 // NopContext returns a context with no memory accounting, for tests.
@@ -56,14 +160,16 @@ func NopContext() *OpContext {
 
 func (c *OpContext) recordIn(p *block.Page) {
 	if c != nil && c.Stats != nil && p != nil {
-		c.Stats.PagesIn++
-		c.Stats.RowsIn += int64(p.RowCount())
+		c.Stats.pagesIn.Add(1)
+		c.Stats.rowsIn.Add(int64(p.RowCount()))
+		c.Stats.bytesIn.Add(p.SizeBytes())
 	}
 }
 
 func (c *OpContext) recordOut(p *block.Page) {
 	if c != nil && c.Stats != nil && p != nil {
-		c.Stats.PagesOut++
-		c.Stats.RowsOut += int64(p.RowCount())
+		c.Stats.pagesOut.Add(1)
+		c.Stats.rowsOut.Add(int64(p.RowCount()))
+		c.Stats.bytesOut.Add(p.SizeBytes())
 	}
 }

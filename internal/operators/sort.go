@@ -124,6 +124,7 @@ type TopNOperator struct {
 	keys     []sortKey
 	n        int
 	h        *topHeap
+	seq      int64 // arrival order for heap stability, per operator
 	finished bool
 	emitted  bool
 }
@@ -165,17 +166,15 @@ func (h *topHeap) Pop() interface{} {
 	return last
 }
 
-var seqCounter int64
-
 func (o *TopNOperator) NeedsInput() bool { return !o.finished }
 
 func (o *TopNOperator) AddInput(p *block.Page) error {
 	o.ctx.recordIn(p)
 	p = p.DecodeAll()
 	for r := 0; r < p.RowCount(); r++ {
-		seqCounter++
+		o.seq++
 		if o.h.Len() < o.n {
-			heap.Push(o.h, heapRow{page: p, row: r, seq: seqCounter})
+			heap.Push(o.h, heapRow{page: p, row: r, seq: o.seq})
 			continue
 		}
 		if o.n == 0 {
@@ -183,7 +182,7 @@ func (o *TopNOperator) AddInput(p *block.Page) error {
 		}
 		worst := o.h.rows[0]
 		if compareRows(p, r, worst.page, worst.row, o.keys) < 0 {
-			o.h.rows[0] = heapRow{page: p, row: r, seq: seqCounter}
+			o.h.rows[0] = heapRow{page: p, row: r, seq: o.seq}
 			heap.Fix(o.h, 0)
 		}
 	}

@@ -69,6 +69,71 @@ func TestOutputBufferBackpressure(t *testing.T) {
 	}
 }
 
+// Re-fetching with an unadvanced token must return the identical pages in
+// the identical order — the idempotency that lets a consumer retry a lost
+// response without duplicating or reordering rows (§IV-E2: the server keeps
+// data until the client requests the next segment).
+func TestPartitionBufferRefetchIdempotent(t *testing.T) {
+	b := NewOutputBuffer(1, 1<<20)
+	b.Add(0, page(1, 2))
+	b.Add(0, page(3))
+
+	first, next1, _ := b.Partition(0).Fetch(0, 0, 10*time.Millisecond)
+	second, next2, _ := b.Partition(0).Fetch(0, 0, 10*time.Millisecond)
+	if next1 != next2 {
+		t.Errorf("re-fetch advanced the token: %d vs %d", next1, next2)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("re-fetch page counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("re-fetch page %d is a different page", i)
+		}
+		if first[i].Col(0).Long(0) != second[i].Col(0).Long(0) {
+			t.Errorf("re-fetch page %d content differs", i)
+		}
+	}
+}
+
+// Acknowledging (advancing the token) must free buffer capacity and unblock
+// a producer stalled on backpressure.
+func TestAckFreesCapacityUnblocksProducer(t *testing.T) {
+	b := NewOutputBuffer(1, 100) // tiny capacity
+	b.Add(0, page(make([]int64, 64)...))
+	if b.CanAdd() {
+		t.Fatal("full buffer should refuse more")
+	}
+
+	// A producer parked on CanAdd, the way drivers block on the output sink.
+	unblocked := make(chan struct{})
+	go func() {
+		for !b.CanAdd() {
+			time.Sleep(time.Millisecond)
+		}
+		b.Add(0, page(9))
+		close(unblocked)
+	}()
+
+	// Fetch without ack: data is retained, so capacity must NOT free yet.
+	_, next, _ := b.Partition(0).Fetch(0, 0, 10*time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	if b.CanAdd() {
+		t.Error("unacknowledged fetch must not free capacity")
+	}
+
+	// Advancing the token acknowledges and frees the space.
+	b.Partition(0).Fetch(next, 0, 10*time.Millisecond)
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after ack freed capacity")
+	}
+	if !b.CanAdd() {
+		t.Error("buffer should accept pages again after ack")
+	}
+}
+
 func TestOutputBufferDestroy(t *testing.T) {
 	b := NewOutputBuffer(2, 1<<20)
 	b.Add(0, page(1))

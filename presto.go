@@ -48,6 +48,8 @@ type (
 	Session = coordinator.Session
 	// QueryInfo reports query state and statistics.
 	QueryInfo = coordinator.QueryInfo
+	// QueryStats is the live per-operator statistics rollup.
+	QueryStats = coordinator.QueryStats
 	// QueuePolicy bounds a resource group's admission.
 	QueuePolicy = queue.Policy
 )
@@ -231,6 +233,19 @@ func (c *Cluster) Explain(sql string) (string, error) {
 
 // Workers exposes worker nodes (for experiments and tests).
 func (c *Cluster) Workers() []*exec.Worker { return c.workers }
+
+// QueryStats snapshots a query's live statistics rollup: splits done/total,
+// rows/bytes read, and per-stage operator timing and memory. The id comes
+// from Result.QueryID; it remains valid after the query finishes.
+func (c *Cluster) QueryStats(id string) (QueryStats, bool) {
+	return c.Coordinator.QueryStats(id)
+}
+
+// FormatOperatorTable renders QueryStats as the per-operator text table used
+// by EXPLAIN ANALYZE and presto-cli --stats.
+func FormatOperatorTable(st QueryStats) string {
+	return coordinator.FormatOperatorTable(st)
+}
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() {

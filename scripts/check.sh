@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository check: build, vet, and run the full test suite under the race
+# detector. Run from the repository root before sending changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"

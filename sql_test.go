@@ -515,7 +515,10 @@ func TestSQLExplainAnalyze(t *testing.T) {
 	for _, r := range rows {
 		text += r[0].S + "\n"
 	}
-	for _, want := range []string{"Fragment", "wall:", "task CPU:", "output rows: 3"} {
+	for _, want := range []string{"Fragment", "wall:", "task CPU:", "output rows: 3",
+		// Per-operator breakdown appended from the stats rollup.
+		"Operator stats:", "TableScan", "HashAggregation", "pipeline", "drivers",
+		"cpu ", "blocked ", "peak mem"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("explain analyze missing %q:\n%s", want, text)
 		}
