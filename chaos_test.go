@@ -1,0 +1,397 @@
+package presto
+
+// Chaos suite: runs TPC-H queries under randomized injected faults at the
+// engine's I/O seams (split enumeration, shuffle fetches, task creation) and
+// asserts the failure model of DESIGN.md — transient faults are masked by
+// retry/re-admission and produce bit-identical results; fatal faults fail the
+// query cleanly, leaking no goroutines, tasks, or memory-pool bytes.
+//
+// The suite is deterministic: CHAOS_SEED pins the injector seed (default 7)
+// so a failing run replays exactly; CHAOS_FULL=1 widens the randomized-mix
+// test to more seeds. scripts/check.sh runs the suite under -race.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+// chaosSeed is the injector seed: CHAOS_SEED overrides the default so a
+// failure is replayable from its log line.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 7
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+	}
+	return v
+}
+
+// chaosQueries exercise the shapes that stress each seam: a single-stage
+// aggregate, multi-stage grouped aggregates (shuffle-heavy), and a
+// repartitioned join.
+var chaosQueries = []string{
+	"SELECT count(*) FROM tpch.lineitem",
+	"SELECT l_returnflag, l_shipmode, sum(l_quantity), count(*) FROM tpch.lineitem GROUP BY l_returnflag, l_shipmode ORDER BY l_returnflag, l_shipmode",
+	"SELECT o_orderpriority, count(*) FROM tpch.orders GROUP BY o_orderpriority ORDER BY o_orderpriority",
+	"SELECT c_mktsegment, count(*) FROM tpch.orders JOIN tpch.customer ON o_custkey = c_custkey GROUP BY c_mktsegment ORDER BY c_mktsegment",
+}
+
+const chaosScale = 0.05
+
+func chaosCluster(t *testing.T, inj *faultinject.Injector) *Cluster {
+	t.Helper()
+	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2, FaultInjector: inj})
+	t.Cleanup(c.Close)
+	c.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+	return c
+}
+
+// chaosBaseline caches the fault-free answers, computed once per test binary.
+var chaosBaseline struct {
+	once sync.Once
+	rows map[string][]string
+	err  error
+}
+
+func baselineRows(t *testing.T) map[string][]string {
+	t.Helper()
+	chaosBaseline.once.Do(func() {
+		c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+		defer c.Close()
+		c.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+		m := map[string][]string{}
+		for _, q := range chaosQueries {
+			rows, err := c.Query(q)
+			if err != nil {
+				chaosBaseline.err = fmt.Errorf("baseline %q: %w", q, err)
+				return
+			}
+			m[q] = stringifyRows(rows)
+		}
+		chaosBaseline.rows = m
+	})
+	if chaosBaseline.err != nil {
+		t.Fatal(chaosBaseline.err)
+	}
+	return chaosBaseline.rows
+}
+
+// stringifyRows renders rows sorted so comparisons ignore row order (fault
+// retries can reorder page arrival without changing the result set).
+func stringifyRows(rows [][]Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertRows(t *testing.T, query string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", query, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d = %q, want %q", query, i, got[i], want[i])
+		}
+	}
+}
+
+// checkNoLeaks polls until every worker's general pool is drained and the
+// goroutine count is back near the pre-query baseline; queries wind down
+// asynchronously after a failure, so give them a grace window.
+func checkNoLeaks(t *testing.T, c *Cluster, goroutineBaseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var pooled int64
+		for _, w := range c.Workers() {
+			pooled += w.Pool.GeneralUsed()
+		}
+		g := runtime.NumGoroutine()
+		if pooled == 0 && g <= goroutineBaseline+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after failure: %d pool bytes, %d goroutines (baseline %d)",
+				pooled, g, goroutineBaseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosShuffleErrorsMasked injects a 10% transient error rate on every
+// shuffle fetch; the exchange-client retry protocol must mask all of it.
+func TestChaosShuffleErrorsMasked(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t), faultinject.Rule{
+		Site: faultinject.SiteShuffleFetch, Kind: faultinject.KindError, Rate: 0.10, Transient: true,
+	})
+	c := chaosCluster(t, inj)
+	base := baselineRows(t)
+	for _, q := range chaosQueries {
+		rows, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s under 10%% shuffle faults: %v", q, err)
+		}
+		assertRows(t, q, stringifyRows(rows), base[q])
+	}
+	if inj.Count(faultinject.SiteShuffleFetch) == 0 {
+		t.Fatal("no shuffle faults fired; the test exercised nothing")
+	}
+}
+
+// TestChaosShufflePartialPagesMasked injects partial-delivery faults (a fetch
+// returns only a prefix of the available pages); the token protocol must
+// re-deliver the remainder with no loss, duplication, or reordering.
+func TestChaosShufflePartialPagesMasked(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t), faultinject.Rule{
+		Site: faultinject.SiteShuffleFetch, Kind: faultinject.KindPartial, Rate: 0.3,
+	})
+	c := chaosCluster(t, inj)
+	base := baselineRows(t)
+	for _, q := range chaosQueries {
+		rows, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s under partial-page faults: %v", q, err)
+		}
+		assertRows(t, q, stringifyRows(rows), base[q])
+	}
+	if inj.Count(faultinject.SiteShuffleFetch) == 0 {
+		t.Fatal("no partial faults fired")
+	}
+}
+
+// TestChaosConnectorFaultsMasked hits split enumeration with transient errors
+// and fetches with delay faults; bounded inline retry must absorb both.
+func TestChaosConnectorFaultsMasked(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t),
+		faultinject.Rule{Site: faultinject.SiteConnectorSplits, Kind: faultinject.KindError, Rate: 0.3, Transient: true},
+		faultinject.Rule{Site: faultinject.SiteConnectorNextBatch, Kind: faultinject.KindError, Rate: 0.2, Transient: true},
+		faultinject.Rule{Site: faultinject.SiteShuffleFetch, Kind: faultinject.KindDelay, Rate: 0.05, Delay: 2 * time.Millisecond},
+	)
+	c := chaosCluster(t, inj)
+	base := baselineRows(t)
+	for _, q := range chaosQueries {
+		rows, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s under connector faults: %v", q, err)
+		}
+		assertRows(t, q, stringifyRows(rows), base[q])
+	}
+	if inj.Count(faultinject.SiteConnectorSplits) == 0 && inj.Count(faultinject.SiteConnectorNextBatch) == 0 {
+		t.Fatal("no connector faults fired")
+	}
+}
+
+// TestChaosTaskCreateFatalFailsClean makes every task creation fail fatally:
+// the query must fail with the injected error, and the abort path must drain
+// every reservation and goroutine it started.
+func TestChaosTaskCreateFatalFailsClean(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t), faultinject.Rule{
+		Site: faultinject.SiteTaskCreate, Kind: faultinject.KindError, Rate: 1,
+	})
+	c := chaosCluster(t, inj)
+	goroutines := runtime.NumGoroutine()
+	_, err := c.Query(chaosQueries[1])
+	if err == nil {
+		t.Fatal("query should fail when task creation is poisoned")
+	}
+	if !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("error should surface the injected fault: %v", err)
+	}
+	checkNoLeaks(t, c, goroutines)
+}
+
+// TestChaosTaskCreateTransientReadmitted injects exactly two transient
+// task-creation faults; with the default two re-admission retries the query
+// must succeed on its third scheduling attempt.
+func TestChaosTaskCreateTransientReadmitted(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t), faultinject.Rule{
+		Site: faultinject.SiteTaskCreate, Kind: faultinject.KindError, Rate: 1, Transient: true, MaxFaults: 2,
+	})
+	c := chaosCluster(t, inj)
+	base := baselineRows(t)
+	q := chaosQueries[3]
+	rows, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("query should survive two transient scheduling faults: %v", err)
+	}
+	assertRows(t, q, stringifyRows(rows), base[q])
+	if got := inj.Count(faultinject.SiteTaskCreate); got != 2 {
+		t.Errorf("task-create faults fired = %d, want 2", got)
+	}
+}
+
+// TestChaosMidStageAbort fails the third task creation of a multi-task query:
+// the two tasks already placed hold drivers and memory, and the abort path
+// must drain them before the error propagates. The same query then succeeds
+// (the single fault is spent), proving the cluster is undamaged.
+func TestChaosMidStageAbort(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t), faultinject.Rule{
+		Site: faultinject.SiteTaskCreate, Kind: faultinject.KindError, Rate: 1, After: 2, MaxFaults: 1,
+	})
+	c := chaosCluster(t, inj)
+	base := baselineRows(t)
+	goroutines := runtime.NumGoroutine()
+	q := chaosQueries[1] // leaf + intermediate + output stages: >2 tasks
+	_, err := c.Query(q)
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("mid-stage task failure should fail the query: %v", err)
+	}
+	checkNoLeaks(t, c, goroutines)
+	rows, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("cluster unhealthy after mid-stage abort: %v", err)
+	}
+	assertRows(t, q, stringifyRows(rows), base[q])
+}
+
+// TestChaosRandomizedMix runs every query under simultaneous low-rate faults
+// at all four seams. Each query must either produce exactly the fault-free
+// answer or fail cleanly; either way nothing may leak. CHAOS_FULL=1 widens
+// the sweep to more seeds.
+func TestChaosRandomizedMix(t *testing.T) {
+	seeds := []int64{chaosSeed(t)}
+	if os.Getenv("CHAOS_FULL") != "" {
+		for i := int64(1); i < 5; i++ {
+			seeds = append(seeds, seeds[0]+i)
+		}
+	}
+	base := baselineRows(t)
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inj := faultinject.New(seed,
+				faultinject.Rule{Site: faultinject.SiteShuffleFetch, Kind: faultinject.KindError, Rate: 0.05, Transient: true},
+				faultinject.Rule{Site: faultinject.SiteShuffleFetch, Kind: faultinject.KindPartial, Rate: 0.10},
+				faultinject.Rule{Site: faultinject.SiteConnectorSplits, Kind: faultinject.KindError, Rate: 0.10, Transient: true},
+				faultinject.Rule{Site: faultinject.SiteConnectorNextBatch, Kind: faultinject.KindError, Rate: 0.05, Transient: true},
+				faultinject.Rule{Site: faultinject.SiteTaskCreate, Kind: faultinject.KindError, Rate: 0.05, Transient: true},
+			)
+			c := chaosCluster(t, inj)
+			goroutines := runtime.NumGoroutine()
+			for _, q := range chaosQueries {
+				rows, err := c.Query(q)
+				if err != nil {
+					// A clean failure is acceptable under chaos — but it must
+					// be the injected fault (possibly retry-wrapped), not a
+					// correctness bug, and nothing may leak.
+					if !strings.Contains(err.Error(), "injected") {
+						t.Fatalf("%s: unexpected failure: %v", q, err)
+					}
+					continue
+				}
+				assertRows(t, q, stringifyRows(rows), base[q])
+			}
+			checkNoLeaks(t, c, goroutines)
+		})
+	}
+}
+
+// TestChaosQueuedQueryContextCancel holds the only admission slot and cancels
+// a queued query's context: the waiter must leave the queue with the context
+// error, and the slot must remain usable.
+func TestChaosQueuedQueryContextCancel(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Workers:          1,
+		ThreadsPerWorker: 2,
+		QueuePolicies:    []QueuePolicy{{Name: "", MaxConcurrent: 1, MaxQueued: 10}},
+	})
+	defer c.Close()
+	c.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+
+	res, err := c.Execute("SELECT l_orderkey FROM tpch.lineitem") // undrained: holds the slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.ExecuteCtx(ctx, "SELECT 1", Session{})
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the second query join the queue
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("queued query should fail with the context error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled queued query never returned")
+	}
+	// A pre-cancelled context never enters the queue.
+	if _, err := c.ExecuteCtx(ctx, "SELECT 1", Session{}); err == nil {
+		t.Fatal("pre-cancelled context should be rejected")
+	}
+	// The slot the cancelled waiter almost took is still usable.
+	res.Close()
+	if _, err := c.Query("SELECT count(*) FROM tpch.nation"); err != nil {
+		t.Fatalf("cluster unhealthy after queued-query cancellation: %v", err)
+	}
+}
+
+// TestChaosCoordinatorCancelQueued cancels a queued query by id through the
+// coordinator (the path behind DELETE /v1/query/{id}).
+func TestChaosCoordinatorCancelQueued(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Workers:          1,
+		ThreadsPerWorker: 2,
+		QueuePolicies:    []QueuePolicy{{Name: "", MaxConcurrent: 1, MaxQueued: 10}},
+	})
+	defer c.Close()
+	c.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+
+	res, err := c.Execute("SELECT l_orderkey FROM tpch.lineitem") // q1: holds the slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Execute("SELECT count(*) FROM tpch.nation") // q2: queued
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if !c.Cancel("q2") {
+		t.Fatal("Cancel(q2) should find the queued query")
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("cancelled queued query should fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled queued query never returned")
+	}
+	if c.Cancel("nope") {
+		t.Fatal("Cancel of an unknown query should be false")
+	}
+	res.Close()
+	if c.Cancel("q1") {
+		t.Fatal("Cancel of a finished query should be false")
+	}
+	if _, err := c.Query("SELECT count(*) FROM tpch.nation"); err != nil {
+		t.Fatalf("cluster unhealthy after cancellation: %v", err)
+	}
+}

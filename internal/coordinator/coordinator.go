@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -38,6 +40,13 @@ type Config struct {
 	// Topology maps worker node ids to rack names for rack-local split
 	// placement (§IV-D2); empty disables topology awareness.
 	Topology map[int]string
+	// FaultInject, when non-nil, injects deterministic faults at the
+	// engine's I/O seams (split enumeration, shuffle fetches, task
+	// creation) for chaos testing; see internal/faultinject.
+	FaultInject *faultinject.Injector
+	// MaxScheduleRetries bounds full-query re-admission after a transient
+	// scheduling failure (default 2 retries; negative disables).
+	MaxScheduleRetries int
 }
 
 // Session carries per-query client settings.
@@ -97,6 +106,7 @@ type Coordinator struct {
 // Query is a running or finished query.
 type Query struct {
 	Info   QueryInfo
+	cancel context.CancelFunc // cancels admission (set before registration)
 	mu     sync.Mutex
 	tasks  []*exec.Task
 	qmem   *memory.QueryContext
@@ -119,6 +129,11 @@ func New(catalog *CatalogManager, workers []*exec.Worker, cfg Config) *Coordinat
 	if cfg.DefaultCatalog == "" {
 		cfg.DefaultCatalog = "memory"
 	}
+	if cfg.MaxScheduleRetries == 0 {
+		cfg.MaxScheduleRetries = 2
+	} else if cfg.MaxScheduleRetries < 0 {
+		cfg.MaxScheduleRetries = 0
+	}
 	pools := map[int]*memory.NodePool{}
 	for _, w := range workers {
 		pools[w.ID] = w.Pool
@@ -139,6 +154,16 @@ func (c *Coordinator) Workers() []*exec.Worker { return c.workers }
 // Execute runs a SQL statement to a streaming result. DDL statements
 // (CREATE TABLE without AS, DROP TABLE, SHOW TABLES) execute immediately.
 func (c *Coordinator) Execute(sql string, session Session) (*Result, error) {
+	return c.ExecuteCtx(context.Background(), sql, session)
+}
+
+// ExecuteCtx is Execute with a context governing the query's queued phase:
+// cancelling ctx while the query waits for admission removes it from the
+// queue and fails it. Once the query is running, cancellation goes through
+// Cancel (or abandoning the Result), not ctx — the context typically belongs
+// to the HTTP request that submitted the statement, which completes long
+// before the streaming result is drained.
+func (c *Coordinator) ExecuteCtx(ctx context.Context, sql string, session Session) (*Result, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, fmt.Errorf("parse error: %w", err)
@@ -149,7 +174,7 @@ func (c *Coordinator) Execute(sql string, session Session) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.Explain:
 		if s.Analyze {
-			return c.explainAnalyze(s, sql, session)
+			return c.explainAnalyze(ctx, s, sql, session)
 		}
 		return c.explain(s, session)
 	case *sqlparser.ShowTables:
@@ -173,9 +198,9 @@ func (c *Coordinator) Execute(sql string, session Session) (*Result, error) {
 		if err := c.createTableFor(s, session); err != nil {
 			return nil, err
 		}
-		return c.run(stmt, sql, session)
+		return c.run(ctx, stmt, sql, session)
 	default:
-		return c.run(stmt, sql, session)
+		return c.run(ctx, stmt, sql, session)
 	}
 }
 
@@ -204,24 +229,30 @@ func (c *Coordinator) planStatement(stmt sqlparser.Statement, session Session) (
 }
 
 // run executes a plannable statement through the cluster.
-func (c *Coordinator) run(stmt sqlparser.Statement, sql string, session Session) (*Result, error) {
-	res, _, err := c.runTracked(stmt, sql, session)
+func (c *Coordinator) run(ctx context.Context, stmt sqlparser.Statement, sql string, session Session) (*Result, error) {
+	res, _, err := c.runTracked(ctx, stmt, sql, session)
 	return res, err
 }
 
 // runTracked is run exposing the query record (EXPLAIN ANALYZE reads its
-// statistics after draining the result).
-func (c *Coordinator) runTracked(stmt sqlparser.Statement, sql string, session Session) (*Result, *Query, error) {
+// statistics after draining the result). Scheduling failures classified as
+// transient (injected chaos faults, dropped connections) are recovered by
+// bounded full-query re-admission: the slot is released, the query rejoins
+// the admission queue, and scheduling restarts from scratch — the paper's
+// client-driven retry model (§III) applied one layer down.
+func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, sql string, session Session) (*Result, *Query, error) {
 	id := fmt.Sprintf("q%d", c.nextID.Add(1))
-	q := &Query{coord: c}
+	qctx, cancel := context.WithCancel(ctx)
+	q := &Query{coord: c, cancel: cancel}
 	q.Info = QueryInfo{ID: id, SQL: sql, State: StateQueued, Queued: time.Now()}
 	c.mu.Lock()
 	c.queries = lazyInit(c.queries)
 	c.queries[id] = q
 	c.mu.Unlock()
 
-	release, err := c.queue.Acquire(session.Source)
+	release, err := c.queue.Acquire(qctx, session.Source)
 	if err != nil {
+		cancel()
 		q.fail(err)
 		return nil, nil, err
 	}
@@ -230,6 +261,7 @@ func (c *Coordinator) runTracked(stmt sqlparser.Statement, sql string, session S
 	_, dp, err := c.planStatement(stmt, session)
 	if err != nil {
 		release()
+		cancel()
 		q.fail(err)
 		return nil, nil, err
 	}
@@ -242,12 +274,36 @@ func (c *Coordinator) runTracked(stmt sqlparser.Statement, sql string, session S
 
 	q.setState(StateRunning)
 	q.Info.Started = time.Now()
-	result, err := c.schedule(q, dp)
-	if err != nil {
+	maxRetries := c.cfg.MaxScheduleRetries
+	var result *Result
+	for attempt := 0; ; attempt++ {
+		result, err = c.schedule(q, dp)
+		if err == nil {
+			break
+		}
+		// schedule aborted and drained its created tasks before returning.
+		if !faultinject.IsTransient(err) || attempt >= maxRetries || qctx.Err() != nil {
+			release()
+			cancel()
+			q.abort()
+			q.fail(err)
+			qmem.Close()
+			c.arbiter.Clear(id)
+			return nil, nil, err
+		}
+		// Transient failure: re-admit through the queue and retry.
+		q.clearTasks()
+		q.setState(StateQueued)
 		release()
-		q.abort()
-		q.fail(err)
-		return nil, nil, err
+		release, err = c.queue.Acquire(qctx, session.Source)
+		if err != nil {
+			cancel()
+			q.fail(err)
+			qmem.Close()
+			c.arbiter.Clear(id)
+			return nil, nil, err
+		}
+		q.setState(StateRunning)
 	}
 	q.result = result
 	result.QueryID = id
@@ -261,8 +317,42 @@ func (c *Coordinator) runTracked(stmt sqlparser.Statement, sql string, session S
 		qmem.Close()
 		c.arbiter.Clear(id)
 		release()
+		cancel()
 	}
 	return result, q, nil
+}
+
+// clearTasks forgets aborted tasks from a failed scheduling attempt so a
+// re-admission retry starts clean (stats and CPU rollups would otherwise
+// double-count them).
+func (q *Query) clearTasks() {
+	q.mu.Lock()
+	q.tasks = nil
+	q.mu.Unlock()
+}
+
+// Cancel cancels a query by id: a queued query is removed from the admission
+// queue; a running query has its tasks aborted, which surfaces as a failure
+// to the client draining the result. Returns false for unknown or already
+// finished queries.
+func (c *Coordinator) Cancel(id string) bool {
+	c.mu.Lock()
+	q, ok := c.queries[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	q.mu.Lock()
+	st := q.Info.State
+	q.mu.Unlock()
+	if st == StateFinished || st == StateFailed {
+		return false
+	}
+	if q.cancel != nil {
+		q.cancel()
+	}
+	q.abort()
+	return true
 }
 
 func lazyInit(m map[string]*Query) map[string]*Query {
@@ -466,13 +556,13 @@ func (c *Coordinator) describe(s *sqlparser.Describe, session Session) (*Result,
 
 // explainAnalyze executes the statement and reports the plan annotated with
 // run statistics (wall time, aggregate task CPU, peak memory, output rows).
-func (c *Coordinator) explainAnalyze(s *sqlparser.Explain, sql string, session Session) (*Result, error) {
+func (c *Coordinator) explainAnalyze(ctx context.Context, s *sqlparser.Explain, sql string, session Session) (*Result, error) {
 	logical, dp, err := c.planStatement(s.Stmt, session)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, q, err := c.runTracked(s.Stmt, sql, session)
+	res, q, err := c.runTracked(ctx, s.Stmt, sql, session)
 	if err != nil {
 		return nil, err
 	}

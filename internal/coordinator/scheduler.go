@@ -2,9 +2,11 @@ package coordinator
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/connector"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/shuffle"
 )
@@ -49,8 +51,12 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 	}
 
 	// Create tasks in fragment-id order: the fragmenter numbers producers
-	// before consumers.
+	// before consumers. A mid-stage failure must not strand tasks already
+	// created on other workers — they hold executor drivers and memory
+	// reservations — so every created task is tracked and aborted (and
+	// drained) before the error propagates.
 	tasks := make([][]*exec.Task, len(dp.Fragments))
+	var created []*exec.Task
 	singleRR := 0
 	for _, f := range dp.Fragments {
 		n := counts[f.ID]
@@ -76,17 +82,20 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 				}
 				for _, pid := range rs.SourceFragments {
 					for _, pt := range tasks[pid] {
-						sources[pid] = append(sources[pid], &shuffle.LocalFetcher{Buf: pt.Output().Partition(i)})
+						sources[pid] = append(sources[pid],
+							faultinject.WrapFetcher(c.cfg.FaultInject, &shuffle.LocalFetcher{Buf: pt.Output().Partition(i)}))
 					}
 				}
 			})
 			cfg := c.cfg.Task
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
-			t, err := w.CreateTask(id, f, q.qmem, outParts[f.ID], sources, &cfg)
+			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {
+				abortAndDrain(created)
 				return nil, fmt.Errorf("creating task %s: %w", id, err)
 			}
 			tasks[f.ID][i] = t
+			created = append(created, t)
 			q.mu.Lock()
 			q.tasks = append(q.tasks, t)
 			q.mu.Unlock()
@@ -121,6 +130,85 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 		}
 	}
 	return res, nil
+}
+
+// createTask places one task, with the fault-injection hook in front of the
+// worker call (the seam where a real deployment would see an RPC failure).
+func createTask(inj *faultinject.Injector, w *exec.Worker, id exec.TaskID, f *plan.Fragment,
+	q *Query, outParts int, sources map[int][]shuffle.Fetcher, cfg *exec.TaskConfig) (*exec.Task, error) {
+	if err := inj.Err(faultinject.SiteTaskCreate); err != nil {
+		return nil, err
+	}
+	return w.CreateTask(id, f, q.qmem, outParts, sources, cfg)
+}
+
+// abortAndDrain aborts the given tasks and waits for each to finish, so
+// their drivers have exited and their memory reservations are released
+// before the caller fails or re-admits the query.
+func abortAndDrain(tasks []*exec.Task) {
+	for _, t := range tasks {
+		t.Abort()
+	}
+	for _, t := range tasks {
+		select {
+		case <-t.Done():
+		case <-time.After(10 * time.Second):
+			return // a wedged task; don't block the error path forever
+		}
+	}
+}
+
+// splitRetryLimit bounds inline retries of transient split-enumeration
+// failures (metastore hiccups are routine in production deployments).
+const splitRetryLimit = 4
+
+// openSplitSource opens split enumeration with bounded retry of transient
+// failures, and threads the fault injector into the returned source.
+func (c *Coordinator) openSplitSource(conn connector.Connector, scan *plan.Scan) (connector.SplitSource, error) {
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= splitRetryLimit; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err := c.cfg.FaultInject.Err(faultinject.SiteConnectorSplits)
+		if err == nil {
+			var src connector.SplitSource
+			src, err = conn.Splits(scan.Handle)
+			if err == nil {
+				return faultinject.WrapSplitSource(c.cfg.FaultInject, src), nil
+			}
+		}
+		if !faultinject.IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("split enumeration failed after %d attempts: %w", splitRetryLimit+1, lastErr)
+}
+
+// nextBatch pulls one split batch, retrying transient failures. The injected
+// wrapper faults before touching enumeration state, so a retry observes the
+// same batch.
+func (c *Coordinator) nextBatch(src connector.SplitSource) (connector.SplitBatch, error) {
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= splitRetryLimit; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		batch, err := src.NextBatch(c.cfg.SplitBatchSize)
+		if err == nil {
+			return batch, nil
+		}
+		if !faultinject.IsTransient(err) {
+			return connector.SplitBatch{}, err
+		}
+		lastErr = err
+	}
+	return connector.SplitBatch{}, fmt.Errorf("split batch failed after %d attempts: %w", splitRetryLimit+1, lastErr)
 }
 
 // partitioningOf infers the scheduling class of a fragment (§IV-D2):
@@ -177,7 +265,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 		q.abort()
 		return
 	}
-	src, err := conn.Splits(scan.Handle)
+	src, err := c.openSplitSource(conn, scan)
 	if err != nil {
 		res.setFailure(err)
 		q.abort()
@@ -191,7 +279,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 	}
 
 	for {
-		batch, err := src.NextBatch(c.cfg.SplitBatchSize)
+		batch, err := c.nextBatch(src)
 		if err != nil {
 			res.setFailure(err)
 			q.abort()

@@ -46,6 +46,9 @@ type TaskConfig struct {
 	// (stage scheduling policy, §IV-D1), trading wall-clock time for peak
 	// memory. All-at-once (false) is the latency-optimized default.
 	Phased bool
+	// FetchRetry configures exchange-fetch recovery (backoff, per-fetch
+	// timeouts); the zero value selects the shuffle package defaults.
+	FetchRetry shuffle.RetryPolicy
 	// WriteDelay simulates remote-storage write latency (benchmarks).
 	WriteDelay func()
 }
@@ -148,6 +151,7 @@ func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg Connecto
 			fetchers = append(fetchers, exchangeSources[fid]...)
 		}
 		client := shuffle.NewExchangeClient(fetchers, cfg.OutputBufferBytes)
+		client.Retry = cfg.FetchRetry
 		t.exchangeClients = append(t.exchangeClients, client)
 		p.exchangeClient = client
 	}

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/shuffle"
+)
+
+func TestDeterministicDecisions(t *testing.T) {
+	mk := func() *Injector {
+		return New(42, Rule{Site: SiteShuffleFetch, Kind: KindError, Rate: 0.3, Transient: true})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ea, eb := a.Err(SiteShuffleFetch), b.Err(SiteShuffleFetch)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("call %d diverged: %v vs %v", i, ea, eb)
+		}
+	}
+	if a.Count(SiteShuffleFetch) == 0 {
+		t.Error("rate 0.3 over 200 calls should fire at least once")
+	}
+	if a.Count(SiteShuffleFetch) != b.Count(SiteShuffleFetch) {
+		t.Errorf("counts diverged: %d vs %d", a.Count(SiteShuffleFetch), b.Count(SiteShuffleFetch))
+	}
+}
+
+func TestSiteIndependence(t *testing.T) {
+	// The decision sequence at one site must not shift when another site is
+	// also being exercised (per-site generators).
+	solo := New(7, Rule{Site: SiteShuffleFetch, Kind: KindError, Rate: 0.5})
+	mixed := New(7,
+		Rule{Site: SiteShuffleFetch, Kind: KindError, Rate: 0.5},
+		Rule{Site: SiteTaskCreate, Kind: KindError, Rate: 0.5})
+	for i := 0; i < 100; i++ {
+		mixed.Err(SiteTaskCreate) // interleave calls at the other site
+		es, em := solo.Err(SiteShuffleFetch), mixed.Err(SiteShuffleFetch)
+		if (es == nil) != (em == nil) {
+			t.Fatalf("call %d: site decisions depend on other sites", i)
+		}
+	}
+}
+
+func TestAfterAndMaxFaults(t *testing.T) {
+	inj := New(1, Rule{Site: SiteTaskCreate, Kind: KindError, Rate: 1, After: 2, MaxFaults: 1})
+	var errs []error
+	for i := 0; i < 5; i++ {
+		errs = append(errs, inj.Err(SiteTaskCreate))
+	}
+	for i, e := range errs {
+		want := i == 2 // only the third call faults
+		if (e != nil) != want {
+			t.Errorf("call %d: err=%v want fault=%v", i, e, want)
+		}
+	}
+	if got := inj.Count(SiteTaskCreate); got != 1 {
+		t.Errorf("count: %d", got)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	inj := New(1,
+		Rule{Site: SiteShuffleFetch, Kind: KindError, Rate: 1, Transient: true},
+		Rule{Site: SiteTaskCreate, Kind: KindError, Rate: 1})
+	if err := inj.Err(SiteShuffleFetch); !IsTransient(err) {
+		t.Errorf("transient rule produced non-transient error: %v", err)
+	}
+	err := inj.Err(SiteTaskCreate)
+	if IsTransient(err) {
+		t.Errorf("fatal rule produced transient error: %v", err)
+	}
+	// Classification must survive wrapping.
+	wrapped := fmt.Errorf("creating task: %w", inj.Err(SiteShuffleFetch))
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient error lost its classification")
+	}
+	if IsTransient(errors.New("plain")) || IsTransient(nil) {
+		t.Error("plain errors must not classify as transient")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Err(SiteShuffleFetch); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Count(SiteShuffleFetch) != 0 || inj.Total() != 0 {
+		t.Error("nil injector should count nothing")
+	}
+	b := shuffle.NewOutputBuffer(1, 1<<20)
+	if f := WrapFetcher(nil, &shuffle.LocalFetcher{Buf: b.Partition(0)}); f == nil {
+		t.Error("nil-injector wrap should pass through")
+	}
+}
+
+func TestPartialFetchTruncatesWithoutLosingPages(t *testing.T) {
+	b := shuffle.NewOutputBuffer(1, 1<<20)
+	for i := int64(0); i < 4; i++ {
+		b.Add(0, block.NewPage(block.NewLongBlock([]int64{i}, nil)))
+	}
+	b.SetNoMorePages()
+	inj := New(1, Rule{Site: SiteShuffleFetch, Kind: KindPartial, Rate: 1})
+	f := WrapFetcher(inj, &shuffle.LocalFetcher{Buf: b.Partition(0)})
+
+	var got []int64
+	var token int64
+	for {
+		pages, next, done, err := f.Fetch(token, 0, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pages {
+			got = append(got, p.Col(0).Long(0))
+		}
+		token = next
+		if done {
+			break
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("rows lost or duplicated under partial faults: %v", got)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Errorf("row %d: got %d (order broken)", i, v)
+		}
+	}
+	if inj.Count(SiteShuffleFetch) < 2 {
+		t.Errorf("partial faults fired only %d times", inj.Count(SiteShuffleFetch))
+	}
+}
+
+func TestDelayFaultStalls(t *testing.T) {
+	inj := New(1, Rule{Site: SiteConnectorNextBatch, Kind: KindDelay, Rate: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Err(SiteConnectorNextBatch); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("delay fault returned after %v", elapsed)
+	}
+}

@@ -55,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/catalogs", s.handleCatalogs)
 	mux.HandleFunc("GET /v1/query/{id}", s.handleQueryInfo)
+	mux.HandleFunc("DELETE /v1/query/{id}", s.handleQueryCancel)
 	mux.HandleFunc("GET /v1/query/{id}/stats", s.handleQueryStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
@@ -85,7 +86,10 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		Source:  r.Header.Get("X-Presto-Source"),
 		User:    r.Header.Get("X-Presto-User"),
 	}
-	res, err := s.Coord.Execute(sql.String(), session)
+	// The request context cancels admission: a client that disconnects
+	// while its statement is queued is removed from the queue instead of
+	// leaking a parked waiter.
+	res, err := s.Coord.ExecuteCtx(r.Context(), sql.String(), session)
 	if err != nil {
 		writeJSON(w, StatementResponse{State: "FAILED", Error: err.Error()})
 		return
@@ -189,6 +193,18 @@ func (s *Server) handleQueryInfo(w http.ResponseWriter, r *http.Request) {
 		doc["error"] = info.Err.Error()
 	}
 	writeJSON(w, doc)
+}
+
+// handleQueryCancel cancels a query by query id (as opposed to statement
+// id): queued queries leave the admission queue, running queries abort their
+// tasks and fail at the client.
+func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Coord.Cancel(id) {
+		http.Error(w, "unknown or finished query "+id, http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleQueryStats serves the live per-operator rollup: splits done/total,

@@ -242,6 +242,45 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+func TestQueryCancelEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// A statement whose first document still carries a nextUri leaves the
+	// query in the running state, so it is cancellable by query id.
+	resp, err := http.Post(srv.URL+"/v1/statement", "text/plain",
+		strings.NewReader("SELECT * FROM (VALUES (1),(2),(3)) t (a)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc StatementResponse
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if doc.QueryID == "" {
+		t.Fatal("statement document carried no queryId")
+	}
+	if doc.NextURI == "" {
+		t.Skip("query finished in one document; nothing left to cancel")
+	}
+	req, _ := http.NewRequest("DELETE", srv.URL+"/v1/query/"+doc.QueryID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Errorf("cancel status: %d", dresp.StatusCode)
+	}
+
+	req, _ = http.NewRequest("DELETE", srv.URL+"/v1/query/nope", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown query cancel status: %d", dresp.StatusCode)
+	}
+}
+
 func TestCancel(t *testing.T) {
 	srv := testServer(t)
 	resp, err := http.Post(srv.URL+"/v1/statement", "text/plain",

@@ -6,6 +6,7 @@
 package queue
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -47,8 +48,14 @@ func NewManager(policies ...Policy) *Manager {
 }
 
 // Acquire blocks until the query may run in the named group (falling back to
-// the default group), or returns an error when the queue is full.
-func (m *Manager) Acquire(groupName string) (release func(), err error) {
+// the default group), the queue is found full (an error), or ctx is
+// cancelled. A cancelled waiter is removed from the queue; if cancellation
+// races with the slot hand-off, the slot is passed to the next waiter rather
+// than leaked, so an abandoned queued query never occupies a running slot.
+func (m *Manager) Acquire(ctx context.Context, groupName string) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	g, ok := m.groups[groupName]
 	if !ok {
@@ -66,8 +73,25 @@ func (m *Manager) Acquire(groupName string) (release func(), err error) {
 	ch := make(chan struct{})
 	g.waiting = append(g.waiting, ch)
 	m.mu.Unlock()
-	<-ch
-	return func() { m.release(g) }, nil
+	select {
+	case <-ch:
+		return func() { m.release(g) }, nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for i, w := range g.waiting {
+			if w == ch {
+				g.waiting = append(g.waiting[:i], g.waiting[i+1:]...)
+				m.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		m.mu.Unlock()
+		// Not in the wait list: release already granted us the slot (or is
+		// about to close ch). Accept it and hand it straight onward.
+		<-ch
+		m.release(g)
+		return nil, ctx.Err()
+	}
 }
 
 func (m *Manager) release(g *group) {

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,7 @@ import (
 func TestAcquireReleaseUnlimited(t *testing.T) {
 	m := NewManager()
 	for i := 0; i < 10; i++ {
-		rel, err := m.Acquire("")
+		rel, err := m.Acquire(context.Background(), "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -26,7 +27,7 @@ func TestConcurrencyBound(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rel, err := m.Acquire("g")
+			rel, err := m.Acquire(context.Background(), "g")
 			if err != nil {
 				t.Error(err)
 				return
@@ -51,14 +52,14 @@ func TestConcurrencyBound(t *testing.T) {
 
 func TestQueueFullRejects(t *testing.T) {
 	m := NewManager(Policy{Name: "g", MaxConcurrent: 1, MaxQueued: 1})
-	rel1, err := m.Acquire("g")
+	rel1, err := m.Acquire(context.Background(), "g")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// One waiter is allowed.
 	done := make(chan struct{})
 	go func() {
-		rel2, err := m.Acquire("g")
+		rel2, err := m.Acquire(context.Background(), "g")
 		if err == nil {
 			rel2()
 		}
@@ -66,7 +67,7 @@ func TestQueueFullRejects(t *testing.T) {
 	}()
 	time.Sleep(10 * time.Millisecond)
 	// The queue is now full: a further acquire must be rejected.
-	if _, err := m.Acquire("g"); err == nil {
+	if _, err := m.Acquire(context.Background(), "g"); err == nil {
 		t.Error("full queue should reject")
 	}
 	rel1()
@@ -75,7 +76,7 @@ func TestQueueFullRejects(t *testing.T) {
 
 func TestUnknownGroupFallsBackToDefault(t *testing.T) {
 	m := NewManager(Policy{Name: "", MaxConcurrent: 1})
-	rel, err := m.Acquire("unknown-group")
+	rel, err := m.Acquire(context.Background(), "unknown-group")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestUnknownGroupFallsBackToDefault(t *testing.T) {
 
 func TestHandoffPreservesFIFO(t *testing.T) {
 	m := NewManager(Policy{Name: "g", MaxConcurrent: 1, MaxQueued: 10})
-	rel, _ := m.Acquire("g")
+	rel, _ := m.Acquire(context.Background(), "g")
 	order := make(chan int, 3)
 	var wg sync.WaitGroup
 	for i := 1; i <= 3; i++ {
@@ -96,7 +97,7 @@ func TestHandoffPreservesFIFO(t *testing.T) {
 		i := i
 		go func() {
 			defer wg.Done()
-			r, err := m.Acquire("g")
+			r, err := m.Acquire(context.Background(), "g")
 			if err != nil {
 				t.Error(err)
 				return
@@ -116,5 +117,106 @@ func TestHandoffPreservesFIFO(t *testing.T) {
 			t.Errorf("out of FIFO order: %d after %d", got, prev)
 		}
 		prev = got
+	}
+}
+
+// Regression for the parked-waiter leak: a cancelled queued query must be
+// removed from the wait list instead of leaking its goroutine forever.
+func TestAcquireCancelRemovesWaiter(t *testing.T) {
+	m := NewManager(Policy{Name: "g", MaxConcurrent: 1, MaxQueued: 5})
+	rel, err := m.Acquire(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(ctx, "g")
+		errCh <- err
+	}()
+	waitForQueued(t, m, "g", 1)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Errorf("cancelled acquire returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still parked")
+	}
+	if _, q := m.Stats("g"); q != 0 {
+		t.Errorf("cancelled waiter still queued: %d", q)
+	}
+	rel()
+	// The slot must be free again for a fresh query.
+	rel2, err := m.Acquire(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+// Regression for the granted-slot leak: if cancellation races with the slot
+// hand-off, the slot must pass to the next waiter, never stay occupied by
+// the abandoned query.
+func TestAcquireCancelDuringHandoffFreesSlot(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		m := NewManager(Policy{Name: "g", MaxConcurrent: 1, MaxQueued: 5})
+		rel, err := m.Acquire(context.Background(), "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r, err := m.Acquire(ctx, "g")
+			if err == nil {
+				r() // won the race: behave like a normal query
+			}
+		}()
+		waitForQueued(t, m, "g", 1)
+		// Race the hand-off (release) against cancellation.
+		go cancel()
+		rel()
+		<-done
+		// Whatever the race outcome, the slot must be acquirable again.
+		ok := make(chan struct{})
+		go func() {
+			r, err := m.Acquire(context.Background(), "g")
+			if err == nil {
+				r()
+			}
+			close(ok)
+		}()
+		select {
+		case <-ok:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: slot leaked by cancelled waiter", i)
+		}
+	}
+}
+
+func TestAcquirePreCancelledContext(t *testing.T) {
+	m := NewManager()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Acquire(ctx, ""); err != context.Canceled {
+		t.Errorf("pre-cancelled acquire returned %v", err)
+	}
+}
+
+func waitForQueued(t *testing.T, m *Manager, group string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := m.Stats(group); q == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, q := m.Stats(group)
+			t.Fatalf("queued count never reached %d (at %d)", want, q)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

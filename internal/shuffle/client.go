@@ -1,6 +1,7 @@
 package shuffle
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -24,24 +25,81 @@ func (f *LocalFetcher) Fetch(token int64, maxBytes int64, wait time.Duration) ([
 	return pages, next, done, nil
 }
 
+// fetchWait is the long-poll window passed to each Fetch attempt.
+const fetchWait = 200 * time.Millisecond
+
+// RetryPolicy controls how the exchange client recovers from failed fetches.
+// The token protocol is idempotent — the producer retains pages until the
+// consumer advances the token — so a failed or timed-out request can be
+// reissued with the same token without duplicating or reordering rows. This
+// is the client-visible half of the paper's failure model (§III): Presto
+// 0.211 has no mid-query fault recovery, so transient transport errors must
+// be absorbed at the fetch layer or surface as query failure.
+type RetryPolicy struct {
+	// MaxRetries bounds consecutive failed attempts for one token before
+	// the stream is declared failed (0 = default 8, negative = no retries).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; subsequent retries
+	// double it (0 = default 5ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = default 250ms).
+	MaxBackoff time.Duration
+	// FetchTimeout bounds one fetch attempt; an attempt exceeding it counts
+	// as a failed attempt and is retried with the same token (0 = default
+	// 2s, negative = disabled).
+	FetchTimeout time.Duration
+}
+
+// normalized fills defaults, mapping the zero policy to sane production
+// values and negative knobs to "off".
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 8
+	} else if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.FetchTimeout == 0 {
+		p.FetchTimeout = 2 * time.Second
+	} else if p.FetchTimeout < 0 {
+		p.FetchTimeout = 0
+	}
+	return p
+}
+
 // ExchangeClient pulls pages from the producing tasks of upstream stages
-// into a bounded local queue. It monitors the moving average of data
-// received per request to size request concurrency, and stops fetching while
-// its input buffer is full — propagating backpressure upstream (§IV-E2).
+// into a bounded local queue. Request concurrency is sized from the moving
+// average of data received per request (§IV-E2): enough parallel requests in
+// flight to fill the input buffer, never more than one per source. Fetching
+// stops while the input buffer is full — propagating backpressure upstream —
+// and failed fetches are retried with capped exponential backoff and
+// per-attempt timeouts under the idempotent token protocol.
 type ExchangeClient struct {
+	// Retry configures fetch recovery; set before Start (the zero value
+	// selects defaults).
+	Retry RetryPolicy
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	queue     []*block.Page
 	bytes     int64
 	capacity  int64
 	remaining int // sources still open
+	inflight  int // fetches currently issued
 	err       error
 	started   bool
 	sources   []Fetcher
 	closed    bool
+	closedCh  chan struct{}
+	retry     RetryPolicy // normalized copy, fixed at Start
 
-	// avgBytesPerFetch is the moving average used to compute target
-	// concurrency; exposed for tests.
+	// avgBytesPerFetch is the moving average of bytes per response, the
+	// §IV-E2 concurrency signal; exposed for tests.
 	avgBytesPerFetch float64
 }
 
@@ -51,12 +109,18 @@ func NewExchangeClient(sources []Fetcher, capacityBytes int64) *ExchangeClient {
 	if capacityBytes <= 0 {
 		capacityBytes = 16 << 20
 	}
-	c := &ExchangeClient{capacity: capacityBytes, sources: sources, remaining: len(sources)}
+	c := &ExchangeClient{
+		capacity:  capacityBytes,
+		sources:   sources,
+		remaining: len(sources),
+		closedCh:  make(chan struct{}),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
-// Start launches one fetch loop per source.
+// Start launches one fetch loop per source; the concurrency gate decides how
+// many may have a request in flight at once.
 func (c *ExchangeClient) Start() {
 	c.mu.Lock()
 	if c.started {
@@ -64,37 +128,77 @@ func (c *ExchangeClient) Start() {
 		return
 	}
 	c.started = true
+	c.retry = c.Retry.normalized()
 	c.mu.Unlock()
 	for _, s := range c.sources {
 		go c.fetchLoop(s)
 	}
 }
 
+// targetConcurrencyLocked sizes request concurrency from the moving average
+// (§IV-E2): with avg bytes arriving per response, capacity/avg concurrent
+// requests keep the input buffer full without overshooting it. Before any
+// data has arrived (avg < 1) every source may fetch.
+func (c *ExchangeClient) targetConcurrencyLocked() int {
+	if c.avgBytesPerFetch < 1 {
+		return len(c.sources)
+	}
+	t := int(float64(c.capacity) / c.avgBytesPerFetch)
+	if t < 1 {
+		t = 1
+	}
+	if t > len(c.sources) {
+		t = len(c.sources)
+	}
+	return t
+}
+
+// TargetConcurrency reports the current concurrency target (for tests and
+// metrics).
+func (c *ExchangeClient) TargetConcurrency() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.targetConcurrencyLocked()
+}
+
 func (c *ExchangeClient) fetchLoop(src Fetcher) {
 	var token int64
+	failures := 0
 	for {
-		// Backpressure: wait while the input buffer is full.
+		// Backpressure and concurrency gate: wait for input-buffer space
+		// and an in-flight slot.
 		c.mu.Lock()
-		for c.bytes >= c.capacity && c.err == nil && !c.closed {
-			waitCond(c.cond, 50*time.Millisecond)
+		for (c.bytes >= c.capacity || c.inflight >= c.targetConcurrencyLocked()) &&
+			c.err == nil && !c.closed {
+			waitCond(c.cond, 20*time.Millisecond)
 		}
-		stop := c.err != nil || c.closed
-		c.mu.Unlock()
-		if stop {
-			return
-		}
-
-		pages, next, done, err := src.Fetch(token, c.capacity/4, 200*time.Millisecond)
-		c.mu.Lock()
-		if err != nil {
-			if c.err == nil {
-				c.err = err
-			}
-			c.remaining--
-			c.cond.Broadcast()
+		if c.err != nil || c.closed {
 			c.mu.Unlock()
 			return
 		}
+		c.inflight++
+		c.mu.Unlock()
+
+		pages, next, done, err := c.fetchOnce(src, token)
+
+		c.mu.Lock()
+		c.inflight--
+		if err != nil {
+			c.cond.Broadcast() // free the slot for other sources
+			c.mu.Unlock()
+			failures++
+			if failures > c.retry.MaxRetries {
+				c.fail(fmt.Errorf("exchange fetch failed after %d attempts: %w", failures, err))
+				return
+			}
+			// The token was not advanced, so the retry re-requests the
+			// same pages — safe under the idempotent protocol.
+			if !c.sleepBackoff(failures) {
+				return // closed while backing off
+			}
+			continue
+		}
+		failures = 0
 		var got int64
 		for _, p := range pages {
 			c.queue = append(c.queue, p)
@@ -109,11 +213,70 @@ func (c *ExchangeClient) fetchLoop(src Fetcher) {
 			c.mu.Unlock()
 			return
 		}
-		if len(pages) > 0 {
-			c.cond.Broadcast()
-		}
+		c.cond.Broadcast()
 		c.mu.Unlock()
 	}
+}
+
+// fetchOnce issues one fetch attempt, bounded by the per-attempt timeout. On
+// timeout the attempt counts as failed; the in-flight request's eventual
+// response is discarded (its goroutine exits once the underlying fetch
+// returns, which the long-poll wait bounds).
+func (c *ExchangeClient) fetchOnce(src Fetcher, token int64) ([]*block.Page, int64, bool, error) {
+	maxBytes := c.capacity / 4
+	if c.retry.FetchTimeout <= 0 {
+		return src.Fetch(token, maxBytes, fetchWait)
+	}
+	type result struct {
+		pages []*block.Page
+		next  int64
+		done  bool
+		err   error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		pages, next, done, err := src.Fetch(token, maxBytes, fetchWait)
+		ch <- result{pages, next, done, err}
+	}()
+	timer := time.NewTimer(c.retry.FetchTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.pages, r.next, r.done, r.err
+	case <-timer.C:
+		return nil, token, false, fmt.Errorf("fetch timed out after %v", c.retry.FetchTimeout)
+	}
+}
+
+// sleepBackoff waits the capped exponential backoff for the given failure
+// count; false means the client closed while waiting.
+func (c *ExchangeClient) sleepBackoff(failures int) bool {
+	d := c.retry.BaseBackoff
+	for i := 1; i < failures && d < c.retry.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// fail records a terminal stream failure.
+func (c *ExchangeClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.remaining--
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
 // Poll returns the next page without blocking; ok=false means none is
@@ -137,7 +300,10 @@ func (c *ExchangeClient) Poll() (p *block.Page, ok bool, done bool, err error) {
 // Close stops fetching and drops buffered pages.
 func (c *ExchangeClient) Close() {
 	c.mu.Lock()
-	c.closed = true
+	if !c.closed {
+		c.closed = true
+		close(c.closedCh)
+	}
 	c.queue = nil
 	c.bytes = 0
 	c.cond.Broadcast()

@@ -18,6 +18,7 @@
 package presto
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,9 +26,11 @@ import (
 	"repro/internal/connectors/memconn"
 	"repro/internal/coordinator"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/optimizer"
 	"repro/internal/queue"
+	"repro/internal/shuffle"
 	"repro/internal/types"
 )
 
@@ -113,6 +116,16 @@ type ClusterConfig struct {
 	// WriteDelay simulates remote-storage write latency per page (used by
 	// the adaptive-writers experiment).
 	WriteDelay func()
+	// FaultInjector, when non-nil, injects deterministic faults at the
+	// cluster's I/O seams (split enumeration, page fetch, shuffle fetch, task
+	// creation) — see internal/faultinject. Nil means no faults.
+	FaultInjector *faultinject.Injector
+	// FetchRetry tunes exchange-client retry/backoff/timeout behaviour; the
+	// zero value picks sensible defaults.
+	FetchRetry shuffle.RetryPolicy
+	// MaxScheduleRetries bounds full-query re-admission after transient
+	// scheduling failures (default 2; negative disables).
+	MaxScheduleRetries int
 }
 
 // Cluster is an in-process Presto-style cluster: one coordinator and N
@@ -146,6 +159,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Phased:                 cfg.Phased,
 		MaxWriters:             cfg.MaxWriters,
 		WriteDelay:             cfg.WriteDelay,
+		FetchRetry:             cfg.FetchRetry,
 	}
 	workers := make([]*exec.Worker, cfg.Workers)
 	for i := range workers {
@@ -170,7 +184,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			GlobalUser:  cfg.QueryMemoryBytes,
 			PerNodeUser: cfg.PerNodeQueryMemoryBytes,
 		},
-		QueuePolicies: cfg.QueuePolicies,
+		QueuePolicies:      cfg.QueuePolicies,
+		FaultInject:        cfg.FaultInjector,
+		MaxScheduleRetries: cfg.MaxScheduleRetries,
 	})
 	return &Cluster{Coordinator: coord, workers: workers, catalog: catalog}
 }
@@ -188,6 +204,18 @@ func (c *Cluster) Execute(sql string) (*Result, error) {
 func (c *Cluster) ExecuteSession(sql string, s Session) (*Result, error) {
 	return c.Coordinator.Execute(sql, s)
 }
+
+// ExecuteCtx runs a SQL statement; ctx cancellation abandons the query while
+// it is queued for admission (a running query keeps going — use Cancel or
+// Result.Close to stop it).
+func (c *Cluster) ExecuteCtx(ctx context.Context, sql string, s Session) (*Result, error) {
+	return c.Coordinator.ExecuteCtx(ctx, sql, s)
+}
+
+// Cancel cancels a query by its id (Result.QueryID): a queued query leaves
+// the admission queue, a running one aborts its tasks. Returns false for an
+// unknown or already-finished query.
+func (c *Cluster) Cancel(id string) bool { return c.Coordinator.Cancel(id) }
 
 // Query runs a statement and collects all rows (convenience).
 func (c *Cluster) Query(sql string) ([][]Value, error) {

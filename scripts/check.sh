@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
 # Repository check: build, vet, and run the full test suite under the race
-# detector. Run from the repository root before sending changes.
+# detector, plus a fixed-seed chaos smoke (fault-injected TPC-H queries).
+# Run from the repository root before sending changes.
+#
+#   scripts/check.sh          # build + vet + race tests + chaos smoke
+#   scripts/check.sh -chaos   # additionally sweep the chaos suite over more
+#                             # seeds (CHAOS_FULL), verbose
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+chaos_full=0
+for arg in "$@"; do
+  case "$arg" in
+    -chaos) chaos_full=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> go build ./..."
 go build ./...
@@ -12,5 +25,13 @@ go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> chaos smoke (seed 7)"
+CHAOS_SEED=7 go test -race -count=1 -run 'TestChaos' .
+
+if [ "$chaos_full" = 1 ]; then
+  echo "==> chaos full sweep"
+  CHAOS_SEED=7 CHAOS_FULL=1 go test -race -count=1 -v -run 'TestChaos' .
+fi
 
 echo "OK"
