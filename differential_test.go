@@ -4,12 +4,79 @@ package presto
 // distributed engine are checked against a straightforward in-Go reference
 // evaluation over the same data. This catches whole-pipeline bugs (planning,
 // pushdown, shuffles, partial aggregation) that unit tests miss.
+//
+// Every query runs twice — cold and warm — through diffQuery: the runs must
+// agree row-for-row (the page cache may never change results), and the warm
+// run's leaf scans must have served at least one split from the cache.
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
 )
+
+// diffQuery runs sql twice and cross-checks the cache: identical rows both
+// times, and the second (warm) run hits the page cache on its scans. Returns
+// the warm rows in arrival order.
+func diffQuery(t *testing.T, c *Cluster, sql string) [][]Value {
+	t.Helper()
+	coldRows, _ := runTrackedQuery(t, c, sql)
+	warmRows, warmID := runTrackedQuery(t, c, sql)
+	coldStr, warmStr := stringifyRows(coldRows), stringifyRows(warmRows)
+	if len(coldStr) != len(warmStr) {
+		t.Fatalf("%s: cold %d rows, warm %d rows", sql, len(coldStr), len(warmStr))
+	}
+	for i := range coldStr {
+		if coldStr[i] != warmStr[i] {
+			t.Fatalf("%s: cold/warm diverge at row %d: %q vs %q", sql, i, coldStr[i], warmStr[i])
+		}
+	}
+	if hits := scanCacheHits(t, c, warmID); hits == 0 {
+		t.Errorf("%s: warm run recorded no page-cache hits on its scans", sql)
+	}
+	return warmRows
+}
+
+// diffQueryRow is diffQuery for single-row results.
+func diffQueryRow(t *testing.T, c *Cluster, sql string) []Value {
+	t.Helper()
+	rows := diffQuery(t, c, sql)
+	if len(rows) != 1 {
+		t.Fatalf("%s: expected 1 row, got %d", sql, len(rows))
+	}
+	return rows[0]
+}
+
+func runTrackedQuery(t *testing.T, c *Cluster, sql string) ([][]Value, string) {
+	t.Helper()
+	res, err := c.Execute(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return rows, res.QueryID
+}
+
+// scanCacheHits sums page-cache hits across a finished query's operators.
+func scanCacheHits(t *testing.T, c *Cluster, id string) int64 {
+	t.Helper()
+	st, ok := c.QueryStats(id)
+	if !ok {
+		t.Fatalf("no stats for query %s", id)
+	}
+	var hits int64
+	for _, sg := range st.Stages {
+		for _, pl := range sg.Pipelines {
+			for _, op := range pl.Operators {
+				hits += op.CacheHits
+			}
+		}
+	}
+	return hits
+}
 
 // refTable mirrors the engine table in plain Go.
 type refRow struct {
@@ -70,10 +137,7 @@ func TestDifferentialFilters(t *testing.T) {
 		sql := fmt.Sprintf(
 			"SELECT count(*) FROM d WHERE k BETWEEN %d AND %d AND (v > %d OR s = '%s')",
 			lo, hi, vcut, s)
-		got, err := c.QueryRow(sql)
-		if err != nil {
-			t.Fatalf("%s: %v", sql, err)
-		}
+		got := diffQueryRow(t, c, sql)
 		var want int64
 		for _, row := range rows {
 			if row.k < lo || row.k > hi {
@@ -98,10 +162,7 @@ func TestDifferentialAggregates(t *testing.T) {
 	rows := randomRows(r, 300)
 	c := buildDifferentialCluster(t, rows)
 
-	got, err := c.Query("SELECT s, count(*), count(v), sum(v), min(v), max(v) FROM d GROUP BY s")
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := diffQuery(t, c, "SELECT s, count(*), count(v), sum(v), min(v), max(v) FROM d GROUP BY s")
 	type agg struct {
 		cnt, cntV, sum, min, max int64
 		has                      bool
@@ -165,10 +226,7 @@ func TestDifferentialJoins(t *testing.T) {
 	mustExec(t, c, sql+")")
 
 	// Inner join on k.
-	got, err := c.QueryRow("SELECT count(*) FROM d JOIN e ON d.k = e.k")
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := diffQueryRow(t, c, "SELECT count(*) FROM d JOIN e ON d.k = e.k")
 	var inner int64
 	for _, l := range left {
 		for _, rr := range right {
@@ -182,10 +240,7 @@ func TestDifferentialJoins(t *testing.T) {
 	}
 
 	// Left join preserves every left row.
-	got, err = c.QueryRow("SELECT count(*) FROM d LEFT JOIN e ON d.k = e.k AND e.v > 0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	got = diffQueryRow(t, c, "SELECT count(*) FROM d LEFT JOIN e ON d.k = e.k AND e.v > 0")
 	var leftCount int64
 	for _, l := range left {
 		matches := int64(0)
@@ -204,10 +259,7 @@ func TestDifferentialJoins(t *testing.T) {
 	}
 
 	// Semi join via IN.
-	got, err = c.QueryRow("SELECT count(*) FROM d WHERE k IN (SELECT k FROM e WHERE v > 0)")
-	if err != nil {
-		t.Fatal(err)
-	}
+	got = diffQueryRow(t, c, "SELECT count(*) FROM d WHERE k IN (SELECT k FROM e WHERE v > 0)")
 	keys := map[int64]bool{}
 	for _, rr := range right {
 		if !rr.null && rr.v > 0 {
@@ -230,10 +282,7 @@ func TestDifferentialOrderLimit(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	rows := randomRows(r, 150)
 	c := buildDifferentialCluster(t, rows)
-	got, err := c.Query("SELECT v FROM d WHERE v IS NOT NULL ORDER BY v DESC LIMIT 10")
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := diffQuery(t, c, "SELECT v FROM d WHERE v IS NOT NULL ORDER BY v DESC LIMIT 10")
 	var vals []int64
 	for _, row := range rows {
 		if !row.null {

@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"repro/internal/block"
+	"repro/internal/connector"
+)
+
+// OpenThrough opens a scan's PageSource through the cache: a hit replays the
+// cached pages without touching the connector; a miss opens the real source
+// and transparently accumulates its pages, admitting them when the scan
+// drains cleanly. The bool reports whether this open was a hit.
+func (c *PageCache) OpenThrough(key string, open func() (connector.PageSource, error)) (connector.PageSource, bool, error) {
+	if pages, ok := c.Get(key); ok {
+		return &cachedSource{pages: pages}, true, nil
+	}
+	src, err := open()
+	if err != nil {
+		return nil, false, err
+	}
+	return &fillingSource{cache: c, key: key, inner: src, limit: c.maxEntry}, false, nil
+}
+
+// cachedSource replays an immutable page run. BytesRead is zero: a hit
+// performs no physical fetch (the scan operator still counts logical rows
+// and bytes).
+type cachedSource struct {
+	pages []*block.Page
+	pos   int
+}
+
+func (s *cachedSource) NextPage() (*block.Page, error) {
+	if s.pos >= len(s.pages) {
+		return nil, nil
+	}
+	p := s.pages[s.pos]
+	s.pos++
+	return p, nil
+}
+
+func (s *cachedSource) BytesRead() int64 { return 0 }
+func (s *cachedSource) Close()           {}
+
+// fillingSource wraps a real PageSource on a miss, accumulating materialized
+// pages as they stream past. Only a clean drain (NextPage returning nil with
+// no prior error) admits the run: a partial read — an early Close from a
+// LIMIT, or an error — would cache a truncated result.
+type fillingSource struct {
+	cache *PageCache
+	key   string
+	inner connector.PageSource
+
+	collected []*block.Page
+	size      int64
+	limit     int64
+	abandoned bool
+	done      bool
+}
+
+func (s *fillingSource) NextPage() (*block.Page, error) {
+	p, err := s.inner.NextPage()
+	if err != nil {
+		s.abandoned = true
+		return p, err
+	}
+	if p == nil {
+		if !s.abandoned && !s.done {
+			s.done = true
+			s.cache.Put(s.key, s.collected)
+		}
+		return nil, nil
+	}
+	// Materialize lazy columns (they hold closures over reader state that
+	// does not outlive this source) while keeping dictionary/RLE encodings.
+	p = p.LoadLazy()
+	if !s.abandoned {
+		s.collected = append(s.collected, p)
+		s.size += p.SizeBytes()
+		if s.size > s.limit {
+			// Too large to admit; stop accumulating but keep streaming.
+			s.abandoned = true
+			s.collected = nil
+		}
+	}
+	return p, nil
+}
+
+func (s *fillingSource) BytesRead() int64 { return s.inner.BytesRead() }
+
+func (s *fillingSource) Close() {
+	if !s.done {
+		s.abandoned = true
+	}
+	s.inner.Close()
+}

@@ -2,5 +2,10 @@ package hive
 
 import "time"
 
-// nowNanos returns a monotonic-ish nanosecond clock for simulated latency.
-func nowNanos() int64 { return time.Now().UnixNano() }
+// Clock supplies nanosecond timestamps. It is injectable (Config.Clock) so
+// simulated read latency and metadata-cache TTL expiry are testable without
+// wall-clock sleeps.
+type Clock func() int64
+
+// wallClock is the production clock.
+func wallClock() int64 { return time.Now().UnixNano() }

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/block"
+	"repro/internal/cache"
 	"repro/internal/connector"
 	"repro/internal/orcish"
 	"repro/internal/plan"
@@ -37,12 +39,23 @@ type Config struct {
 	ReadDelayPerByte int
 	// StripeRows sizes written stripes.
 	StripeRows int
+	// Clock overrides the wall clock (simulated latency and metadata-cache
+	// TTL); nil uses time.Now.
+	Clock Clock
+	// MetadataTTL bounds staleness of cached file footers (default 1m;
+	// negative disables footer caching).
+	MetadataTTL time.Duration
 }
 
 // Connector is a directory-lake catalog.
 type Connector struct {
-	name string
-	cfg  Config
+	name  string
+	cfg   Config
+	clock Clock
+	// meta caches decoded file footers keyed by path+mtime+size, fixing the
+	// per-query footer re-decode (every PageSource open and every stats
+	// refresh used to re-read the footer from disk).
+	meta *cache.MetaCache
 
 	mu     sync.RWMutex
 	tables map[string]*tableInfo
@@ -63,12 +76,49 @@ func New(name string, cfg Config) (*Connector, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	c := &Connector{name: name, cfg: cfg, tables: map[string]*tableInfo{}}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = wallClock
+	}
+	c := &Connector{name: name, cfg: cfg, clock: clock, tables: map[string]*tableInfo{}}
+	ttl := cfg.MetadataTTL
+	if ttl == 0 {
+		ttl = time.Minute
+	}
+	if ttl > 0 {
+		c.meta = cache.NewMetaCache(ttl, cache.Clock(clock))
+	}
 	if err := c.rescan(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
+
+// footer returns a file's decoded footer through the metadata cache. The key
+// includes mtime and size, so a rewritten file misses naturally; the TTL
+// bounds staleness for changes that do not tick the mtime.
+func (c *Connector) footer(path string) (*orcish.Footer, error) {
+	if c.meta == nil {
+		return orcish.ReadFooter(path)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("footer/%s@%d:%d", path, fi.ModTime().UnixNano(), fi.Size())
+	if v, ok := c.meta.Get(key); ok {
+		return v.(*orcish.Footer), nil
+	}
+	f, err := orcish.ReadFooter(path)
+	if err != nil {
+		return nil, err
+	}
+	c.meta.Put(key, f)
+	return f, nil
+}
+
+// MetaStats exposes the footer-cache counters (tests and metrics).
+func (c *Connector) MetaStats() cache.MetaStats { return c.meta.Stats() }
 
 // rescan discovers tables from the directory structure.
 func (c *Connector) rescan() error {
@@ -102,7 +152,7 @@ func (c *Connector) loadTableInfo(table string) (*tableInfo, error) {
 	if err != nil || len(files) == 0 {
 		return nil, err
 	}
-	footer, err := orcish.ReadFooter(files[0])
+	footer, err := c.footer(files[0])
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +176,7 @@ func (c *Connector) loadTableInfo(table string) (*tableInfo, error) {
 func (c *Connector) computeStats(files []string) connector.TableStats {
 	stats := connector.TableStats{ColumnNDV: map[string]int64{}}
 	for _, f := range files {
-		footer, err := orcish.ReadFooter(f)
+		footer, err := c.footer(f)
 		if err != nil {
 			continue
 		}
@@ -340,7 +390,11 @@ func (c *Connector) PageSource(sp connector.Split, columns []string, handle plan
 			fileCols = append(fileCols, col)
 		}
 	}
-	r, err := orcish.OpenReader(hs.path, fileCols, handle.Constraint, c.cfg.LazyReads)
+	footer, err := c.footer(hs.path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := orcish.OpenReaderWithFooter(hs.path, footer, fileCols, handle.Constraint, c.cfg.LazyReads)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +425,7 @@ func (p *pageSource) NextPage() (*block.Page, error) {
 		// Simulated remote-storage latency proportional to bytes fetched.
 		delta := p.reader.BytesRead() - p.last
 		p.last = p.reader.BytesRead()
-		busyWait(delta * int64(p.c.cfg.ReadDelayPerByte))
+		busyWait(p.c.clock, delta*int64(p.c.cfg.ReadDelayPerByte))
 	}
 	if len(p.parts) == 0 {
 		return inner, nil
@@ -394,9 +448,9 @@ func (p *pageSource) Close()           { p.reader.Close() }
 // Reader exposes the underlying orcish reader (experiment instrumentation).
 func (p *pageSource) Reader() *orcish.Reader { return p.reader }
 
-// busyWait spins for roughly d nanoseconds (std sleep granularity is too
-// coarse for per-page delays).
-func busyWait(nanos int64) {
+// busyWait spins for roughly d nanoseconds on the given clock (std sleep
+// granularity is too coarse for per-page delays).
+func busyWait(clock Clock, nanos int64) {
 	if nanos <= 0 {
 		return
 	}
@@ -404,9 +458,34 @@ func busyWait(nanos int64) {
 	if nanos > 5e7 {
 		nanos = 5e7
 	}
-	start := nowNanos()
-	for nowNanos()-start < nanos {
+	start := clock()
+	for clock()-start < nanos {
 	}
+}
+
+// PageCacheKey implements connector.PageCacheable. Lazy reads are not
+// cacheable (their blocks hold closures over an open file), so ok=false
+// falls back to a plain read. File identity is path+mtime+size — a rewrite
+// changes the key — and the pushed-down constraint is part of the key
+// because stripe skipping filters during the scan.
+func (c *Connector) PageCacheKey(sp connector.Split, columns []string, handle plan.TableHandle) (string, bool) {
+	if c.cfg.LazyReads {
+		return "", false
+	}
+	hs, ok := sp.(*split)
+	if !ok {
+		return "", false
+	}
+	fi, err := os.Stat(hs.path)
+	if err != nil {
+		return "", false
+	}
+	dom := ""
+	if handle.Constraint != nil && !handle.Constraint.All() {
+		dom = handle.Constraint.String()
+	}
+	return fmt.Sprintf("hive/%s/%s@%d:%d|%s|%s",
+		c.name, hs.path, fi.ModTime().UnixNano(), fi.Size(), strings.Join(columns, ","), dom), true
 }
 
 // CreateTable registers an empty table by writing a schema-only marker file.
@@ -445,6 +524,7 @@ func (c *Connector) DropTable(name string) error {
 	c.mu.Lock()
 	delete(c.tables, name)
 	c.mu.Unlock()
+	c.meta.Invalidate("footer/" + filepath.Join(c.cfg.Dir, name))
 	return os.RemoveAll(filepath.Join(c.cfg.Dir, name))
 }
 
@@ -489,6 +569,9 @@ func (s *pageSink) Finish() (int64, error) {
 	if err := s.f.Close(); err != nil {
 		return 0, err
 	}
+	// The new file gets a fresh mtime-versioned footer key, but drop the
+	// table's footer entries anyway so the cache does not hold dead files.
+	s.c.meta.Invalidate("footer/" + filepath.Join(s.c.cfg.Dir, s.table))
 	// Refresh statistics.
 	s.c.mu.Lock()
 	if info, ok := s.c.tables[s.table]; ok && s.c.cfg.CollectStats {

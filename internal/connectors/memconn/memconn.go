@@ -5,6 +5,7 @@ package memconn
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/block"
@@ -19,6 +20,9 @@ type Connector struct {
 
 	mu     sync.RWMutex
 	tables map[string]*table
+	// versions counts mutations per table; it is part of every page-cache
+	// key, so a write invalidates cached pages by changing their key.
+	versions map[string]int64
 	// SplitsPerTable controls how many splits a scan enumerates (default 4).
 	SplitsPerTable int
 }
@@ -31,7 +35,7 @@ type table struct {
 
 // New creates an empty in-memory catalog with the given name.
 func New(name string) *Connector {
-	return &Connector{name: name, tables: map[string]*table{}, SplitsPerTable: 4}
+	return &Connector{name: name, tables: map[string]*table{}, versions: map[string]int64{}, SplitsPerTable: 4}
 }
 
 // Name implements connector.Connector.
@@ -82,6 +86,7 @@ func (c *Connector) CreateTable(name string, columns []connector.Column) error {
 		meta:  connector.TableMeta{Name: name, Columns: columns},
 		stats: connector.TableStats{RowCount: 0, ColumnNDV: map[string]int64{}},
 	}
+	c.versions[name]++
 	return nil
 }
 
@@ -93,6 +98,7 @@ func (c *Connector) DropTable(name string) error {
 		return fmt.Errorf("table %s.%s does not exist", c.name, name)
 	}
 	delete(c.tables, name)
+	c.versions[name]++
 	return nil
 }
 
@@ -103,6 +109,7 @@ func (c *Connector) LoadTable(name string, columns []connector.Column, pages []*
 	t := &table{meta: connector.TableMeta{Name: name, Columns: columns}, pages: pages}
 	t.stats = computeStats(columns, pages)
 	c.tables[name] = t
+	c.versions[name]++
 }
 
 // AppendRows adds boxed rows to an existing table (used by examples).
@@ -123,6 +130,7 @@ func (c *Connector) AppendRows(name string, rows [][]types.Value) error {
 	}
 	t.pages = append(t.pages, b.Build())
 	t.stats = computeStats(t.meta.Columns, t.pages)
+	c.versions[name]++
 	return nil
 }
 
@@ -212,6 +220,25 @@ func (s *sliceSplitSource) NextBatch(max int) (connector.SplitBatch, error) {
 
 func (s *sliceSplitSource) Close() {}
 
+// PageCacheKey implements connector.PageCacheable. The per-table version
+// counter makes every mutation change the key; the constraint is omitted
+// because memconn never filters during the scan.
+func (c *Connector) PageCacheKey(s connector.Split, columns []string, handle plan.TableHandle) (string, bool) {
+	ms, ok := s.(*split)
+	if !ok {
+		return "", false
+	}
+	c.mu.RLock()
+	_, exists := c.tables[ms.table]
+	ver := c.versions[ms.table]
+	c.mu.RUnlock()
+	if !exists {
+		return "", false
+	}
+	return fmt.Sprintf("mem/%s/%s/%d-%d@v%d|%s",
+		c.name, ms.table, ms.from, ms.to, ver, strings.Join(columns, ",")), true
+}
+
 // pageSource replays the split's pages with the requested columns.
 type pageSource struct {
 	pages []*block.Page
@@ -300,6 +327,7 @@ func (s *pageSink) Finish() (int64, error) {
 	}
 	t.pages = append(t.pages, s.pages...)
 	t.stats = computeStats(t.meta.Columns, t.pages)
+	s.c.versions[s.table]++
 	return s.rows, nil
 }
 

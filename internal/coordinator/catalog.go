@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/connector"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -20,6 +21,18 @@ import (
 type CatalogManager struct {
 	mu         sync.RWMutex
 	connectors map[string]connector.Connector
+	// meta, when non-nil, memoizes successful Resolve lookups under
+	// "meta/<catalog>.<table>" with the coordinator's TTL and write
+	// invalidation.
+	meta *cache.MetaCache
+}
+
+// SetMetaCache installs the coordinator's metadata cache (nil disables
+// memoization). Called once during coordinator construction.
+func (c *CatalogManager) SetMetaCache(m *cache.MetaCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.meta = m
 }
 
 // NewCatalogManager creates an empty manager.
@@ -73,7 +86,9 @@ func (c *CatalogManager) Resolve(name sqlparser.QualifiedName, defaultCatalog st
 	default:
 		return "", nil, fmt.Errorf("invalid table name %q", name)
 	}
-	conn, ok := c.connectors[strings.ToLower(catalog)]
+	catalog = strings.ToLower(catalog)
+	table = strings.ToLower(table)
+	conn, ok := c.connectors[catalog]
 	if !ok {
 		// An unqualified name whose first part is a catalog? Try that too.
 		if len(name.Parts) == 1 {
@@ -81,11 +96,16 @@ func (c *CatalogManager) Resolve(name sqlparser.QualifiedName, defaultCatalog st
 		}
 		return "", nil, fmt.Errorf("catalog %q does not exist", catalog)
 	}
-	meta := conn.Table(strings.ToLower(table))
+	key := "meta/" + catalog + "." + table
+	if v, ok := c.meta.Get(key); ok {
+		return catalog, v.(*connector.TableMeta), nil
+	}
+	meta := conn.Table(table)
 	if meta == nil {
 		return "", nil, fmt.Errorf("table %s.%s does not exist", catalog, table)
 	}
-	return strings.ToLower(catalog), meta, nil
+	c.meta.Put(key, meta)
+	return catalog, meta, nil
 }
 
 // Stats implements optimizer.Metadata.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/analyzer"
+	"repro/internal/cache"
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/memory"
@@ -47,6 +48,9 @@ type Config struct {
 	// MaxScheduleRetries bounds full-query re-admission after a transient
 	// scheduling failure (default 2 retries; negative disables).
 	MaxScheduleRetries int
+	// MetadataTTL bounds staleness of the coordinator metadata/split cache
+	// (default 30s; negative disables metadata caching).
+	MetadataTTL time.Duration
 }
 
 // Session carries per-query client settings.
@@ -56,6 +60,9 @@ type Session struct {
 	Source string
 	// User identifies the client (informational).
 	User string
+	// DisableCache bypasses the page and split caches for this query
+	// (the A/B toggle; X-Presto-Disable-Cache over HTTP).
+	DisableCache bool
 }
 
 // QueryState tracks lifecycle.
@@ -97,6 +104,10 @@ type Coordinator struct {
 	queue   *queue.Manager
 	arbiter *memory.Arbiter
 	pools   map[int]*memory.NodePool
+	// meta memoizes split enumeration ("splits/<handle>") and table
+	// metadata ("meta/<catalog>.<table>") with TTL + invalidation on write
+	// (nil when disabled).
+	meta *cache.MetaCache
 
 	mu      sync.Mutex
 	queries map[string]*Query
@@ -105,13 +116,14 @@ type Coordinator struct {
 
 // Query is a running or finished query.
 type Query struct {
-	Info   QueryInfo
-	cancel context.CancelFunc // cancels admission (set before registration)
-	mu     sync.Mutex
-	tasks  []*exec.Task
-	qmem   *memory.QueryContext
-	result *Result
-	coord  *Coordinator
+	Info    QueryInfo
+	session Session            // client settings captured at admission
+	cancel  context.CancelFunc // cancels admission (set before registration)
+	mu      sync.Mutex
+	tasks   []*exec.Task
+	qmem    *memory.QueryContext
+	result  *Result
+	coord   *Coordinator
 
 	// splitsTotal counts splits enumerated so far (live progress counter;
 	// final total once enumeration completes).
@@ -138,6 +150,15 @@ func New(catalog *CatalogManager, workers []*exec.Worker, cfg Config) *Coordinat
 	for _, w := range workers {
 		pools[w.ID] = w.Pool
 	}
+	ttl := cfg.MetadataTTL
+	if ttl == 0 {
+		ttl = 30 * time.Second
+	}
+	var meta *cache.MetaCache
+	if ttl > 0 {
+		meta = cache.NewMetaCache(ttl, nil)
+	}
+	catalog.SetMetaCache(meta)
 	return &Coordinator{
 		Catalog: catalog,
 		workers: workers,
@@ -145,7 +166,44 @@ func New(catalog *CatalogManager, workers []*exec.Worker, cfg Config) *Coordinat
 		queue:   queue.NewManager(cfg.QueuePolicies...),
 		arbiter: memory.NewArbiter(pools),
 		pools:   pools,
+		meta:    meta,
 	}
+}
+
+// MetaCacheStats snapshots the coordinator metadata/split cache counters
+// (zero when metadata caching is disabled).
+func (c *Coordinator) MetaCacheStats() cache.MetaStats {
+	return c.meta.Stats()
+}
+
+// invalidateMeta drops cached splits and table metadata for one table. Called
+// on DDL and before/after any plan that writes the table, so readers observe
+// their own cluster's writes immediately rather than after TTL expiry.
+func (c *Coordinator) invalidateMeta(catalog, table string) {
+	if c.meta == nil {
+		return
+	}
+	c.meta.Invalidate("splits/" + catalog + "." + table)
+	c.meta.Invalidate("meta/" + catalog + "." + table)
+}
+
+// writeTargets collects the (catalog, table) pairs a plan writes to.
+func writeTargets(n plan.Node) [][2]string {
+	var out [][2]string
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		if n == nil {
+			return
+		}
+		if w, ok := n.(*plan.TableWrite); ok {
+			out = append(out, [2]string{w.Catalog, w.Table})
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(n)
+	return out
 }
 
 // Workers exposes the cluster's workers (used by experiments).
@@ -243,7 +301,7 @@ func (c *Coordinator) run(ctx context.Context, stmt sqlparser.Statement, sql str
 func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, sql string, session Session) (*Result, *Query, error) {
 	id := fmt.Sprintf("q%d", c.nextID.Add(1))
 	qctx, cancel := context.WithCancel(ctx)
-	q := &Query{coord: c, cancel: cancel}
+	q := &Query{coord: c, cancel: cancel, session: session}
 	q.Info = QueryInfo{ID: id, SQL: sql, State: StateQueued, Queued: time.Now()}
 	c.mu.Lock()
 	c.queries = lazyInit(c.queries)
@@ -258,12 +316,19 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 	}
 
 	q.setState(StatePlanning)
-	_, dp, err := c.planStatement(stmt, session)
+	logical, dp, err := c.planStatement(stmt, session)
 	if err != nil {
 		release()
 		cancel()
 		q.fail(err)
 		return nil, nil, err
+	}
+	// Drop cached splits/metadata for tables this plan writes, both up front
+	// (so the write plan itself resolves fresh state) and again when the
+	// result drains successfully (so subsequent reads see the new rows).
+	targets := writeTargets(logical)
+	for _, t := range targets {
+		c.invalidateMeta(t[0], t[1])
 	}
 
 	limits := c.cfg.MemoryLimits
@@ -313,6 +378,9 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 			q.fail(resErr)
 		} else {
 			q.finish()
+			for _, t := range targets {
+				c.invalidateMeta(t[0], t[1])
+			}
 		}
 		qmem.Close()
 		c.arbiter.Clear(id)
@@ -475,6 +543,7 @@ func (c *Coordinator) createTable(s *sqlparser.CreateTable, session Session) (*R
 	if err := conn.CreateTable(table, toConnectorCols(cols)); err != nil {
 		return nil, err
 	}
+	c.invalidateMeta(catalog, table)
 	return literalResult([]string{"result"}, [][]types.Value{{types.VarcharValue("OK")}}), nil
 }
 
@@ -502,7 +571,11 @@ func (c *Coordinator) createTableFor(s *sqlparser.CreateTable, session Session) 
 	for _, f := range out.Schema() {
 		cols = append(cols, connectorColumn{Name: strings.ToLower(f.Name), T: f.T})
 	}
-	return conn.CreateTable(table, toConnectorCols(cols))
+	if err := conn.CreateTable(table, toConnectorCols(cols)); err != nil {
+		return err
+	}
+	c.invalidateMeta(catalog, table)
+	return nil
 }
 
 func (c *Coordinator) dropTable(s *sqlparser.DropTable, session Session) (*Result, error) {
@@ -520,6 +593,7 @@ func (c *Coordinator) dropTable(s *sqlparser.DropTable, session Session) (*Resul
 	if err := conn.DropTable(table); err != nil {
 		return nil, err
 	}
+	c.invalidateMeta(catalog, table)
 	return literalResult([]string{"result"}, [][]types.Value{{types.VarcharValue("OK")}}), nil
 }
 

@@ -88,6 +88,9 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 				}
 			})
 			cfg := c.cfg.Task
+			if q.session.DisableCache {
+				cfg.CacheDisabled = true
+			}
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
 			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {
@@ -257,8 +260,41 @@ func outputNames(f *plan.Fragment) []string {
 // enumerateSplits lazily pulls split batches from the connector and assigns
 // them: bucketed splits go to task (bucket mod tasks) so co-located tables
 // align; node-local splits go to their owning worker; everything else goes
-// to the task with the shortest split queue.
+// to the task with the shortest split queue. Complete enumerations are
+// memoized in the coordinator metadata cache keyed by the table handle
+// (layout and pushed-down constraint included), so repeated scans of an
+// unchanged table skip the connector round-trips entirely.
 func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task, scanID int, scan *plan.Scan) {
+	nodeTask := map[int]*exec.Task{}
+	for i, t := range stage {
+		nodeTask[c.workers[i%len(c.workers)].ID] = t
+	}
+	assign := func(s connector.Split) error {
+		t := c.pickTask(stage, nodeTask, scanID, s)
+		q.splitsTotal.Add(1)
+		return t.AddSplit(scanID, s)
+	}
+
+	cacheKey := ""
+	if c.meta != nil && !q.session.DisableCache {
+		// Handle.String() leads with catalog.table, so write invalidation by
+		// table-name prefix clears every layout/constraint variant at once.
+		cacheKey = "splits/" + scan.Handle.String()
+		if v, ok := c.meta.Get(cacheKey); ok {
+			for _, s := range v.([]connector.Split) {
+				if err := assign(s); err != nil {
+					res.setFailure(err)
+					q.abort()
+					return
+				}
+			}
+			for _, t := range stage {
+				t.NoMoreSplits(scanID)
+			}
+			return
+		}
+	}
+
 	conn, err := c.Catalog.Connector(scan.Handle.Catalog)
 	if err != nil {
 		res.setFailure(err)
@@ -273,11 +309,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 	}
 	defer src.Close()
 
-	nodeTask := map[int]*exec.Task{}
-	for i, t := range stage {
-		nodeTask[c.workers[i%len(c.workers)].ID] = t
-	}
-
+	var collected []connector.Split
 	for {
 		batch, err := c.nextBatch(src)
 		if err != nil {
@@ -286,9 +318,10 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 			return
 		}
 		for _, s := range batch.Splits {
-			t := c.pickTask(stage, nodeTask, scanID, s)
-			q.splitsTotal.Add(1)
-			if err := t.AddSplit(scanID, s); err != nil {
+			if cacheKey != "" {
+				collected = append(collected, s)
+			}
+			if err := assign(s); err != nil {
 				res.setFailure(err)
 				q.abort()
 				return
@@ -297,6 +330,10 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 		if batch.Done {
 			break
 		}
+	}
+	// Only clean, complete enumerations are admitted to the cache.
+	if cacheKey != "" {
+		c.meta.Put(cacheKey, collected)
 	}
 	for _, t := range stage {
 		t.NoMoreSplits(scanID)

@@ -160,12 +160,16 @@ func FormatOperatorTable(st QueryStats) string {
 		for _, pl := range sg.Pipelines {
 			fmt.Fprintf(&sb, "  pipeline %d (%d drivers):\n", pl.Pipeline, pl.Drivers)
 			for _, op := range pl.Operators {
-				fmt.Fprintf(&sb, "    %-20s rows %d/%d  wall %s  cpu %s  blocked %s  peak mem %d B\n",
+				fmt.Fprintf(&sb, "    %-20s rows %d/%d  wall %s  cpu %s  blocked %s  peak mem %d B",
 					op.Name, op.RowsIn, op.RowsOut,
 					time.Duration(op.WallNanos).Round(10*time.Microsecond),
 					time.Duration(op.CPUNanos).Round(10*time.Microsecond),
 					time.Duration(op.BlockedNanos).Round(10*time.Microsecond),
 					op.PeakMemBytes)
+				if total := op.CacheHits + op.CacheMisses; total > 0 {
+					fmt.Fprintf(&sb, "  cache %d/%d", op.CacheHits, total)
+				}
+				sb.WriteByte('\n')
 			}
 		}
 	}

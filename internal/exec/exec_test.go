@@ -164,7 +164,7 @@ func TestTaskScanEndToEnd(t *testing.T) {
 	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: pool})
 
 	task, err := NewTask(TaskID{QueryID: "q", Fragment: 0}, buildScanFragment("mem"), 0,
-		ex, reg, qmem, pool, 1, nil, TaskConfig{})
+		ex, reg, qmem, pool, nil, 1, nil, TaskConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestTaskAbort(t *testing.T) {
 	pool := memory.NewNodePool(1<<30, 0)
 	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: pool})
 	task, err := NewTask(TaskID{QueryID: "q", Fragment: 0}, buildScanFragment("mem"), 0,
-		ex, reg, qmem, pool, 1, nil, TaskConfig{})
+		ex, reg, qmem, pool, nil, 1, nil, TaskConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestTaskExchangePipeline(t *testing.T) {
 	pool := memory.NewNodePool(1<<30, 0)
 	qmem := memory.NewQueryContext("q", memory.QueryLimits{}, map[int]*memory.NodePool{0: pool})
 	task, err := NewTask(TaskID{QueryID: "q", Fragment: 0}, frag, 0, ex,
-		&testRegistry{conn: memconn.New("mem")}, qmem, pool, 1,
+		&testRegistry{conn: memconn.New("mem")}, qmem, pool, nil, 1,
 		map[int][]shuffle.Fetcher{1: {&shuffle.LocalFetcher{Buf: producer.Partition(0)}}},
 		TaskConfig{})
 	if err != nil {

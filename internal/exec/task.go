@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/connector"
 	"repro/internal/expr"
 	"repro/internal/memory"
@@ -51,6 +52,9 @@ type TaskConfig struct {
 	FetchRetry shuffle.RetryPolicy
 	// WriteDelay simulates remote-storage write latency (benchmarks).
 	WriteDelay func()
+	// CacheDisabled bypasses the worker page cache for this task's scans
+	// (the per-query session toggle for A/B runs).
+	CacheDisabled bool
 }
 
 // Task executes one plan fragment on a worker: it owns the fragment's
@@ -64,6 +68,7 @@ type Task struct {
 	connectors   ConnectorRegistry
 	queryMem     *memory.QueryContext
 	nodePool     *memory.NodePool
+	pageCache    *cache.PageCache
 	output       *shuffle.OutputBuffer
 	handle       *TaskHandle
 	cfg          TaskConfig
@@ -99,8 +104,8 @@ type scalablePipe struct {
 // NewTask compiles a fragment and prepares (but does not start) execution.
 // exchangeSources maps upstream fragment ids to this task's page fetchers.
 func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg ConnectorRegistry,
-	qmem *memory.QueryContext, pool *memory.NodePool, outPartitions int,
-	exchangeSources map[int][]shuffle.Fetcher, cfg TaskConfig) (*Task, error) {
+	qmem *memory.QueryContext, pool *memory.NodePool, pageCache *cache.PageCache,
+	outPartitions int, exchangeSources map[int][]shuffle.Fetcher, cfg TaskConfig) (*Task, error) {
 
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = 1024
@@ -118,6 +123,7 @@ func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg Connecto
 		connectors:    reg,
 		queryMem:      qmem,
 		nodePool:      pool,
+		pageCache:     pageCache,
 		output:        shuffle.NewOutputBuffer(outPartitions, cfg.OutputBufferBytes),
 		handle:        NewTaskHandle(id.QueryID),
 		cfg:           cfg,
@@ -323,11 +329,11 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 		if err != nil {
 			return err
 		}
-		srcReader, err := conn.PageSource(s, p.scanCols, p.scanHandle)
+		sctx := t.sourceCtx(p)
+		srcReader, err := t.openPageSource(conn, s, p, sctx.Stats)
 		if err != nil {
 			return err
 		}
-		sctx := t.sourceCtx(p)
 		src := operators.NewTableScan(sctx, srcReader)
 		if err := t.startDriverLocked(p, src, sctx); err != nil {
 			return err
@@ -335,6 +341,30 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 		t.runningSplits[scanID]++
 	}
 	return nil
+}
+
+// openPageSource opens a split's PageSource, routing through the worker page
+// cache when the connector supports cache keys for this read and the task's
+// session has not disabled caching. Each cached open records a hit or miss
+// on the scan operator's stats (surfaced by EXPLAIN ANALYZE).
+func (t *Task) openPageSource(conn connector.Connector, s connector.Split,
+	p *pipelineSpec, stats *operators.OpStats) (connector.PageSource, error) {
+
+	if t.pageCache != nil && !t.cfg.CacheDisabled {
+		if pc, ok := conn.(connector.PageCacheable); ok {
+			if key, ok := pc.PageCacheKey(s, p.scanCols, p.scanHandle); ok {
+				src, hit, err := t.pageCache.OpenThrough(key, func() (connector.PageSource, error) {
+					return conn.PageSource(s, p.scanCols, p.scanHandle)
+				})
+				if err != nil {
+					return nil, err
+				}
+				stats.RecordCacheAccess(hit)
+				return src, nil
+			}
+		}
+	}
+	return conn.PageSource(s, p.scanCols, p.scanHandle)
 }
 
 // driverDone is called by the executor when a driver completes.

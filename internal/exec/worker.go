@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/plan"
 	"repro/internal/shuffle"
@@ -18,6 +20,11 @@ type Worker struct {
 	ID   int
 	Exec *Executor
 	Pool *memory.NodePool
+	// Cache is the worker's page cache (nil when disabled). Its bytes are
+	// charged to Pool as system memory under the cache.PoolOwner
+	// pseudo-query and registered as a cache revocable, so memory pressure
+	// evicts cached pages before any query fails.
+	Cache *cache.PageCache
 
 	connectors ConnectorRegistry
 	cfg        TaskConfig
@@ -36,7 +43,12 @@ type WorkerConfig struct {
 	FIFO              bool
 	GeneralPoolBytes  int64
 	ReservedPoolBytes int64
-	Task              TaskConfig
+	// CacheBytes sizes the worker page cache: 0 defaults to
+	// min(64 MiB, GeneralPoolBytes/4), negative disables caching.
+	CacheBytes int64
+	// FaultInject threads the cluster's injector into the cache seams.
+	FaultInject *faultinject.Injector
+	Task        TaskConfig
 }
 
 // NewWorker creates and starts a worker node.
@@ -47,6 +59,12 @@ func NewWorker(id int, reg ConnectorRegistry, cfg WorkerConfig) *Worker {
 	if cfg.ReservedPoolBytes <= 0 {
 		cfg.ReservedPoolBytes = 256 << 20
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = cfg.GeneralPoolBytes / 4
+		if cfg.CacheBytes > 64<<20 {
+			cfg.CacheBytes = 64 << 20
+		}
+	}
 	w := &Worker{
 		ID:          id,
 		Exec:        NewExecutor(ExecutorConfig{Threads: cfg.Threads, Quanta: cfg.Quanta, FIFO: cfg.FIFO}),
@@ -56,8 +74,41 @@ func NewWorker(id int, reg ConnectorRegistry, cfg WorkerConfig) *Worker {
 		tasks:       map[TaskID]*Task{},
 		stopMonitor: make(chan struct{}),
 	}
+	if cfg.CacheBytes > 0 {
+		w.Cache = cache.NewPageCache(cache.Config{
+			Capacity:   cfg.CacheBytes,
+			Accountant: poolAccountant{w.Pool},
+			Inject:     cfg.FaultInject,
+		})
+		w.Pool.RegisterCacheRevocable(w.Cache)
+	}
 	go w.monitor()
 	return w
+}
+
+// poolAccountant charges page-cache bytes to the node pool as system memory
+// under the cache.PoolOwner pseudo-query. Spilling stays disabled on the
+// reservation: under pressure the pool evicts cache bytes (including this
+// cache's own LRU tail), never asks a query to spill on the cache's behalf.
+type poolAccountant struct {
+	pool *memory.NodePool
+}
+
+func (a poolAccountant) Reserve(n int64) error {
+	return a.pool.Reserve(cache.PoolOwner, memory.System, n, false)
+}
+
+func (a poolAccountant) Release(n int64) {
+	a.pool.Release(cache.PoolOwner, memory.System, n)
+}
+
+// CacheStats snapshots the worker's page-cache counters (zero when caching
+// is disabled).
+func (w *Worker) CacheStats() cache.Stats {
+	if w.Cache == nil {
+		return cache.Stats{}
+	}
+	return w.Cache.Stats()
 }
 
 // monitor periodically drives adaptive behaviours that need a clock: writer
@@ -92,7 +143,7 @@ func (w *Worker) CreateTask(id TaskID, f *plan.Fragment, qmem *memory.QueryConte
 	if overrides != nil {
 		cfg = *overrides
 	}
-	t, err := NewTask(id, f, w.ID, w.Exec, w.connectors, qmem, w.Pool, outPartitions, exchangeSources, cfg)
+	t, err := NewTask(id, f, w.ID, w.Exec, w.connectors, qmem, w.Pool, w.Cache, outPartitions, exchangeSources, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -162,9 +213,12 @@ func (w *Worker) AbortQuery(queryID string) {
 	}
 }
 
-// Close stops the worker.
+// Close stops the worker, releasing cached pages back to the pool.
 func (w *Worker) Close() {
 	w.monitorOnce.Do(func() { close(w.stopMonitor) })
+	if w.Cache != nil {
+		w.Cache.Clear()
+	}
 	w.Exec.Close()
 }
 

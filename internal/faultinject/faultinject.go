@@ -40,6 +40,13 @@ const (
 	SiteShuffleFetch = "shuffle.fetch"
 	// SiteTaskCreate guards Worker.CreateTask in the scheduler.
 	SiteTaskCreate = "scheduler.createtask"
+	// SiteCacheCorrupt guards page-cache lookups: a fault flips the stored
+	// entry checksum, so verification rejects the entry and the lookup
+	// degrades to a miss (re-read from the connector).
+	SiteCacheCorrupt = "cache.corrupt"
+	// SiteCacheEvict guards page-cache inserts: a fault triggers a full
+	// eviction storm (every cached entry dropped) before the insert.
+	SiteCacheEvict = "cache.evict"
 )
 
 // Kind selects what an injected fault does.

@@ -82,9 +82,10 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	session := coordinator.Session{
-		Catalog: r.Header.Get("X-Presto-Catalog"),
-		Source:  r.Header.Get("X-Presto-Source"),
-		User:    r.Header.Get("X-Presto-User"),
+		Catalog:      r.Header.Get("X-Presto-Catalog"),
+		Source:       r.Header.Get("X-Presto-Source"),
+		User:         r.Header.Get("X-Presto-User"),
+		DisableCache: r.Header.Get("X-Presto-Disable-Cache") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of
@@ -242,7 +243,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.PromGauge(w, "presto_memory_general_limit_bytes", lbl, float64(wk.Pool.GeneralLimit()))
 		metrics.PromGauge(w, "presto_memory_reserved_used_bytes", lbl, float64(wk.Pool.ReservedUsed()))
 		metrics.PromGauge(w, "presto_memory_reserved_limit_bytes", lbl, float64(wk.Pool.ReservedLimit()))
+		cs := wk.CacheStats()
+		metrics.PromGauge(w, "presto_cache_hits_total", lbl, float64(cs.Hits))
+		metrics.PromGauge(w, "presto_cache_misses_total", lbl, float64(cs.Misses))
+		metrics.PromGauge(w, "presto_cache_evictions_total", lbl, float64(cs.Evictions))
+		metrics.PromGauge(w, "presto_cache_corruptions_total", lbl, float64(cs.Corruptions))
+		metrics.PromGauge(w, "presto_cache_bytes", lbl, float64(cs.Bytes))
+		metrics.PromGauge(w, "presto_cache_entries", lbl, float64(cs.Entries))
+		metrics.PromGauge(w, "presto_cache_capacity_bytes", lbl, float64(cs.Capacity))
 	}
+	ms := s.Coord.MetaCacheStats()
+	metrics.PromGauge(w, "presto_metadata_cache_hits_total", nil, float64(ms.Hits))
+	metrics.PromGauge(w, "presto_metadata_cache_misses_total", nil, float64(ms.Misses))
+	metrics.PromGauge(w, "presto_metadata_cache_invalidations_total", nil, float64(ms.Invalidations))
+	metrics.PromGauge(w, "presto_metadata_cache_entries", nil, float64(ms.Entries))
 	metrics.PromGauge(w, "presto_queries_running", nil, float64(s.Coord.RunningQueries()))
 }
 

@@ -234,6 +234,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`presto_shuffle_buffer_utilization{worker="0"}`,
 		`presto_memory_general_limit_bytes{worker="0"}`,
 		`presto_memory_reserved_limit_bytes{worker="0"}`,
+		`presto_cache_hits_total{worker="0"}`,
+		`presto_cache_bytes{worker="0"}`,
+		`presto_cache_capacity_bytes{worker="0"}`,
+		"presto_metadata_cache_hits_total ",
+		"presto_metadata_cache_entries ",
 		"presto_queries_running ",
 	} {
 		if !strings.Contains(text, want) {

@@ -64,6 +64,11 @@ type OpStats struct {
 
 	memCur  atomic.Int64 // sampled current reservation across drivers
 	memPeak atomic.Int64 // high-water mark of memCur
+
+	// Page-cache lookups made on behalf of this operator's source (leaf
+	// scans only; zero elsewhere).
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // AddCPU attributes n nanoseconds of driver execution to the operator.
@@ -90,6 +95,22 @@ func (s *OpStats) AdjustMem(delta int64) {
 	}
 }
 
+// RecordCacheAccess counts one page-cache lookup (per split open) made on
+// behalf of this operator's source.
+func (s *OpStats) RecordCacheAccess(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+}
+
+// CacheHits returns page-cache hits recorded so far.
+func (s *OpStats) CacheHits() int64 { return s.cacheHits.Load() }
+
 // RowsOut returns rows produced so far (live counter for scan progress).
 func (s *OpStats) RowsOut() int64 { return s.rowsOut.Load() }
 
@@ -111,6 +132,8 @@ type OpStatsSnapshot struct {
 	BlockedNanos int64  `json:"blockedNanos"`
 	MemBytes     int64  `json:"memBytes"`
 	PeakMemBytes int64  `json:"peakMemBytes"`
+	CacheHits    int64  `json:"cacheHits,omitempty"`
+	CacheMisses  int64  `json:"cacheMisses,omitempty"`
 }
 
 // Snapshot copies the counters.
@@ -128,6 +151,8 @@ func (s *OpStats) Snapshot() OpStatsSnapshot {
 		BlockedNanos: s.blockedNanos.Load(),
 		MemBytes:     s.memCur.Load(),
 		PeakMemBytes: s.memPeak.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
 	}
 }
 
@@ -150,6 +175,8 @@ func (s *OpStatsSnapshot) Merge(o OpStatsSnapshot) {
 	s.BlockedNanos += o.BlockedNanos
 	s.MemBytes += o.MemBytes
 	s.PeakMemBytes += o.PeakMemBytes
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // NopContext returns a context with no memory accounting, for tests.

@@ -39,6 +39,14 @@ func OpenReader(path string, columns []string, domain *plan.Domain, lazy bool) (
 	if err != nil {
 		return nil, err
 	}
+	return OpenReaderWithFooter(path, footer, columns, domain, lazy)
+}
+
+// OpenReaderWithFooter is OpenReader with an already-decoded footer (from
+// the hive connector's metadata cache), skipping the per-open footer read.
+// The footer is never mutated by the reader, so callers may share one
+// decoded footer across concurrent readers.
+func OpenReaderWithFooter(path string, footer *Footer, columns []string, domain *plan.Domain, lazy bool) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

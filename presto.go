@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/connector"
 	"repro/internal/connectors/memconn"
 	"repro/internal/coordinator"
@@ -126,6 +127,12 @@ type ClusterConfig struct {
 	// MaxScheduleRetries bounds full-query re-admission after transient
 	// scheduling failures (default 2; negative disables).
 	MaxScheduleRetries int
+	// PageCacheBytes sizes each worker's page cache: 0 defaults to
+	// min(64 MiB, NodeMemoryBytes/4); negative disables page caching.
+	PageCacheBytes int64
+	// MetadataCacheTTL bounds staleness of the coordinator metadata/split
+	// cache (default 30s; negative disables metadata caching).
+	MetadataCacheTTL time.Duration
 }
 
 // Cluster is an in-process Presto-style cluster: one coordinator and N
@@ -168,6 +175,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Quanta:           cfg.Quanta,
 			FIFO:             cfg.FIFOScheduler,
 			GeneralPoolBytes: cfg.NodeMemoryBytes,
+			CacheBytes:       cfg.PageCacheBytes,
+			FaultInject:      cfg.FaultInjector,
 			Task:             taskCfg,
 		})
 	}
@@ -187,6 +196,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		QueuePolicies:      cfg.QueuePolicies,
 		FaultInject:        cfg.FaultInjector,
 		MaxScheduleRetries: cfg.MaxScheduleRetries,
+		MetadataTTL:        cfg.MetadataCacheTTL,
 	})
 	return &Cluster{Coordinator: coord, workers: workers, catalog: catalog}
 }
@@ -261,6 +271,40 @@ func (c *Cluster) Explain(sql string) (string, error) {
 
 // Workers exposes worker nodes (for experiments and tests).
 func (c *Cluster) Workers() []*exec.Worker { return c.workers }
+
+// CacheStats snapshots a worker page cache's counters.
+type CacheStats = cache.Stats
+
+// PageCacheStats sums page-cache counters across the cluster's workers.
+func (c *Cluster) PageCacheStats() CacheStats {
+	var total CacheStats
+	for _, w := range c.workers {
+		s := w.CacheStats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Evictions += s.Evictions
+		total.Corruptions += s.Corruptions
+		total.Entries += s.Entries
+		total.Bytes += s.Bytes
+		total.Capacity += s.Capacity
+	}
+	return total
+}
+
+// ClearPageCaches drops every worker's cached pages (cold-start for
+// benchmarks and A/B runs), releasing their bytes back to the node pools.
+func (c *Cluster) ClearPageCaches() {
+	for _, w := range c.workers {
+		if w.Cache != nil {
+			w.Cache.Clear()
+		}
+	}
+}
+
+// MetaCacheStats snapshots the coordinator metadata/split cache counters.
+func (c *Cluster) MetaCacheStats() cache.MetaStats {
+	return c.Coordinator.MetaCacheStats()
+}
 
 // QueryStats snapshots a query's live statistics rollup: splits done/total,
 // rows/bytes read, and per-stage operator timing and memory. The id comes

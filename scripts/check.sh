@@ -26,6 +26,12 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> cache unit tests"
+go test -race -count=1 ./internal/cache/
+
+echo "==> cold/warm cache smoke"
+go test -race -count=1 -run 'TestCacheColdWarmSmoke|TestCacheBytesShrinkUnderRevocation|TestCacheSessionToggle|TestMetadataCacheInvalidatedOnWrite' .
+
 echo "==> chaos smoke (seed 7)"
 CHAOS_SEED=7 go test -race -count=1 -run 'TestChaos' .
 
