@@ -1,0 +1,386 @@
+package presto
+
+// Distributed-mode tests: a coordinator with zero local workers drives real
+// worker processes over loopback HTTP — serialized fragments, encoded split
+// batches, and the binary-page shuffle protocol (paper §III, §IV-E2). The
+// suite is differential: every query must return exactly what the embedded
+// in-process engine returns, cold and warm, with and without injected
+// transport faults.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/connectors/memconn"
+	"repro/internal/coordinator"
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/httpapi"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// distCluster is a multi-node deployment inside one test binary: N
+// exec.Workers served by httptest servers behind the worker task API, and a
+// coordinator that knows them only by URL. The catalog manager is shared
+// across nodes, standing in for the shared external storage a real
+// deployment reads.
+type distCluster struct {
+	Coord   *coordinator.Coordinator
+	catalog *coordinator.CatalogManager
+	workers []*exec.Worker
+	servers []*httpapi.WorkerServer
+	// transport is shared by coordinator and workers so tests can drop idle
+	// connections when counting goroutines.
+	transport *http.Transport
+}
+
+func newDistCluster(t *testing.T, n int, inj *faultinject.Injector) *distCluster {
+	t.Helper()
+	catalog := coordinator.NewCatalogManager()
+	catalog.Register(memconn.New("memory"))
+	reg := coordinator.NewWorkerRegistry()
+	reg.TTL = time.Hour // registration at construction stands in for heartbeats
+
+	d := &distCluster{catalog: catalog, transport: &http.Transport{}}
+	client := &http.Client{Transport: d.transport}
+	for i := 0; i < n; i++ {
+		w := exec.NewWorker(i, catalog, exec.WorkerConfig{Threads: 2})
+		ws := httpapi.NewWorkerServer(w, catalog)
+		ws.Inject = inj
+		ws.Client = client
+		ts := httptest.NewServer(ws.Handler())
+		reg.Register(ts.URL)
+		d.workers = append(d.workers, w)
+		d.servers = append(d.servers, ws)
+		t.Cleanup(func() { ts.Close(); ws.Close(); w.Close() })
+	}
+	d.Coord = coordinator.New(catalog, nil, coordinator.Config{
+		Optimizer:    optimizer.DefaultConfig(),
+		Registry:     reg,
+		WorkerClient: client,
+	})
+	return d
+}
+
+func (d *distCluster) Query(sql string) ([][]Value, error) {
+	res, err := d.Coord.Execute(sql, Session{})
+	if err != nil {
+		return nil, err
+	}
+	return res.All()
+}
+
+func (d *distCluster) mustQuery(t *testing.T, sql string) [][]Value {
+	t.Helper()
+	rows, err := d.Query(sql)
+	if err != nil {
+		t.Fatalf("distributed %q: %v", sql, err)
+	}
+	return rows
+}
+
+func (d *distCluster) cacheHits() int64 {
+	var hits int64
+	for _, w := range d.workers {
+		hits += w.CacheStats().Hits
+	}
+	return hits
+}
+
+// tableDDL builds the CREATE + INSERT statements for a refRow table, so the
+// reference and distributed clusters load byte-identical data.
+func tableDDL(table string, rows []refRow) []string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "INSERT INTO %s SELECT * FROM (VALUES ", table)
+	for i, r := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		v := fmt.Sprint(r.v)
+		if r.null {
+			v = "NULL"
+		}
+		fmt.Fprintf(&sb, "(%d, %s, '%s')", r.k, v, r.s)
+	}
+	sb.WriteString(")")
+	return []string{
+		fmt.Sprintf("CREATE TABLE %s (k BIGINT, v BIGINT, s VARCHAR)", table),
+		sb.String(),
+	}
+}
+
+// stringifyOrdered is stringifyRows without the sort, for ORDER BY results.
+func stringifyOrdered(rows [][]Value) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+// distDiffQueries cover the fragment shapes the wire codec and HTTP shuffle
+// must carry: filtered scans, multi-stage grouped aggregation, repartitioned
+// and semi joins, distinct, union, windows, and global sorts.
+var distDiffQueries = []struct {
+	sql     string
+	ordered bool
+}{
+	{"SELECT count(*) FROM d WHERE k BETWEEN 3 AND 12 AND (v > 0 OR s = 'aa')", false},
+	{"SELECT s, count(*), count(v), sum(v), min(v), max(v) FROM d GROUP BY s", false},
+	{"SELECT count(*) FROM d JOIN e ON d.k = e.k", false},
+	{"SELECT d.s, count(*), sum(e.v) FROM d JOIN e ON d.k = e.k GROUP BY d.s", false},
+	{"SELECT count(*) FROM d WHERE k IN (SELECT k FROM e WHERE v > 0)", false},
+	{"SELECT DISTINCT s FROM d", false},
+	{"SELECT count(*) FROM (SELECT k FROM d UNION ALL SELECT k FROM e)", false},
+	{"SELECT s, v, row_number() OVER (PARTITION BY s ORDER BY v, k) FROM d WHERE v IS NOT NULL", false},
+	{"SELECT v FROM d WHERE v IS NOT NULL ORDER BY v DESC, k LIMIT 10", true},
+}
+
+// TestDistributedDifferential runs every query through the in-process engine
+// and through the HTTP-distributed cluster, cold and warm; all four row sets
+// must agree, and the warm distributed runs must have hit the worker page
+// caches.
+func TestDistributedDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	left := randomRows(r, 200)
+	right := randomRows(r, 80)
+
+	ref := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	t.Cleanup(ref.Close)
+	d := newDistCluster(t, 2, nil)
+	for _, ddl := range append(tableDDL("d", left), tableDDL("e", right)...) {
+		mustExec(t, ref, ddl)
+		// The distributed cluster takes the same writes through serialized
+		// TableWrite fragments on remote workers.
+		d.mustQuery(t, ddl)
+	}
+
+	for _, q := range distDiffQueries {
+		want := stringifyRows(mustExec(t, ref, q.sql))
+		cold := d.mustQuery(t, q.sql)
+		warm := d.mustQuery(t, q.sql)
+		if q.ordered {
+			assertRows(t, q.sql+" [cold]", stringifyOrdered(cold), stringifyOrdered(mustExec(t, ref, q.sql)))
+			assertRows(t, q.sql+" [warm]", stringifyOrdered(warm), stringifyOrdered(cold))
+			continue
+		}
+		assertRows(t, q.sql+" [cold]", stringifyRows(cold), want)
+		assertRows(t, q.sql+" [warm]", stringifyRows(warm), want)
+	}
+	if hits := d.cacheHits(); hits == 0 {
+		t.Errorf("warm distributed runs recorded no worker page-cache hits")
+	}
+}
+
+// TestDistributedTPCHSmoke cross-checks the TPC-H chaos queries between the
+// embedded baseline and a two-worker distributed cluster (the smoke run
+// wired into scripts/check.sh).
+func TestDistributedTPCHSmoke(t *testing.T) {
+	d := newDistCluster(t, 2, nil)
+	d.catalog.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+	base := baselineRows(t)
+	for _, q := range chaosQueries {
+		assertRows(t, q, stringifyRows(d.mustQuery(t, q)), base[q])
+	}
+}
+
+// TestDistributedMetricsAggregation checks that one coordinator scrape
+// covers the cluster: /v1/metrics must proxy every registered worker's
+// gauges alongside the coordinator's own.
+func TestDistributedMetricsAggregation(t *testing.T) {
+	d := newDistCluster(t, 2, nil)
+	d.catalog.Register(workload.LoadTPCHMemory("tpch", 0.01))
+	d.mustQuery(t, "SELECT count(*) FROM tpch.region")
+
+	srv := httptest.NewServer(httpapi.NewServer(d.Coord).Handler())
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`presto_executor_utilization{worker="0"}`,
+		`presto_executor_utilization{worker="1"}`,
+		"presto_metadata_cache_hits_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics scrape missing %s", want)
+		}
+	}
+}
+
+// TestChaosHTTPTransportFaultsMasked injects dropped connections, truncated
+// responses, and stalls into every worker HTTP response; the retry protocol
+// (idempotent task creation, sequenced split delivery, token-acknowledged
+// fetches) must mask all of it and return exactly the baseline rows.
+func TestChaosHTTPTransportFaultsMasked(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t),
+		faultinject.Rule{Site: faultinject.SiteHTTPDrop, Kind: faultinject.KindError, Rate: 0.03, Transient: true},
+		faultinject.Rule{Site: faultinject.SiteHTTPTruncate, Kind: faultinject.KindError, Rate: 0.03, Transient: true},
+		faultinject.Rule{Site: faultinject.SiteHTTPDelay, Kind: faultinject.KindDelay, Rate: 0.05, Delay: 2 * time.Millisecond},
+	)
+	d := newDistCluster(t, 2, inj)
+	d.catalog.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+	base := baselineRows(t)
+	for _, q := range chaosQueries {
+		rows, err := d.Query(q)
+		if err != nil {
+			t.Fatalf("%s under transport faults: %v", q, err)
+		}
+		assertRows(t, q, stringifyRows(rows), base[q])
+	}
+}
+
+// TestChaosHTTPHardFaultAborts turns the network off mid-query (every
+// request dropped after the first 10, which is enough for the leaf task
+// creates to land): the query must fail with a clear error, and
+// coordinator-side goroutines and worker-side resources must wind down — no
+// leaked pollers, pumps, or buffered pages.
+func TestChaosHTTPHardFaultAborts(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t),
+		faultinject.Rule{Site: faultinject.SiteHTTPDrop, Kind: faultinject.KindError, Rate: 1, After: 10})
+	d := newDistCluster(t, 2, inj)
+	d.catalog.Register(workload.LoadTPCHMemory("tpch", chaosScale))
+	goroutines := runtime.NumGoroutine()
+
+	_, err := d.Query(chaosQueries[3])
+	if err == nil {
+		t.Fatal("query survived a dead network")
+	}
+
+	// The coordinator's DELETEs were dropped with everything else, so the
+	// worker maps still hold orphaned tasks — scan tasks parked waiting for
+	// split batches that never arrived. Close (the worker-shutdown path)
+	// aborts them; after that, every goroutine on both sides of the wire
+	// must exit (idle HTTP connections are closed explicitly so their read
+	// loops don't count).
+	var orphaned []string
+	for _, ws := range d.servers {
+		orphaned = append(orphaned, ws.TaskIDs()...)
+		ws.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d.transport.CloseIdleConnections()
+		if g := runtime.NumGoroutine(); g <= goroutines+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			var live []int
+			for _, w := range d.workers {
+				live = append(live, w.TaskCount())
+			}
+			t.Fatalf("goroutines leaked after hard fault: %d (baseline %d); orphaned=%v live=%v",
+				runtime.NumGoroutine(), goroutines, orphaned, live)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Abort must also have released every buffered page back to the pools.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var pooled int64
+		for _, w := range d.workers {
+			pooled += w.Pool.GeneralUsed() - w.CacheStats().Bytes
+		}
+		if pooled <= 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker pools hold %d bytes after abort", pooled)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStatementCancelRacesLongPoll is the regression test for the Close
+// deadlock: DELETE /v1/statement/{id} while a request is blocked inside
+// Result.NextPage's long-poll must cancel promptly, not wait for the fetch
+// to produce data. The connector is stalled so the first page is 1.5s away;
+// the DELETE must return in a fraction of that, and the blocked request must
+// then fail with the cancellation error.
+func TestStatementCancelRacesLongPoll(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteConnectorNextBatch, Kind: faultinject.KindDelay,
+		Rate: 1, Delay: 1500 * time.Millisecond,
+	})
+	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2, FaultInjector: inj})
+	t.Cleanup(c.Close)
+	c.Register(workload.LoadTPCHMemory("tpch", 0.01))
+	srv := httptest.NewServer(httpapi.NewServer(c.Coordinator).Handler())
+	t.Cleanup(srv.Close)
+
+	// POST blocks in the first NextPage (the aggregate needs the stalled
+	// scan); statement ids are deterministic, so the DELETE below can race
+	// it without waiting for the response document.
+	type postResult struct {
+		doc     httpapi.StatementResponse
+		elapsed time.Duration
+	}
+	postDone := make(chan postResult, 1)
+	start := time.Now()
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/statement", "text/plain",
+			strings.NewReader("SELECT count(*) FROM tpch.lineitem"))
+		var pr postResult
+		pr.elapsed = time.Since(start)
+		if err == nil {
+			if err := json.NewDecoder(resp.Body).Decode(&pr.doc); err != nil {
+				t.Errorf("decode statement response: %v", err)
+			}
+			resp.Body.Close()
+		} else {
+			t.Errorf("POST /v1/statement: %v", err)
+		}
+		postDone <- pr
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/statement/s1", nil)
+	delStart := time.Now()
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	delResp.Body.Close()
+	if d := time.Since(delStart); d > 600*time.Millisecond {
+		t.Errorf("DELETE blocked %v behind the in-flight long-poll", d)
+	}
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE status %d", delResp.StatusCode)
+	}
+
+	pr := <-postDone
+	if pr.doc.State != "FAILED" || !strings.Contains(pr.doc.Error, "cancelled") {
+		t.Errorf("racing statement finished as %q (%q), want FAILED/cancelled",
+			pr.doc.State, pr.doc.Error)
+	}
+	if pr.elapsed > time.Second {
+		t.Errorf("statement unblocked after %v; cancellation did not interrupt the fetch", pr.elapsed)
+	}
+
+	// The id is gone: the next poll must 404 rather than resurrect it.
+	getResp, err := http.Get(srv.URL + "/v1/statement/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after DELETE: status %d, want 404", getResp.StatusCode)
+	}
+}

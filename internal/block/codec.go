@@ -1,0 +1,694 @@
+package block
+
+// Binary page codec: the serialized form of a Page shipped between workers on
+// the shuffle wire (paper §IV-E2) and usable by spill/cache paths. The format
+// is length-prefixed and self-checking so a receiver can frame pages out of a
+// byte stream and reject corruption:
+//
+//	frame  := "PPG1" flags(1) storedLen(u32le) rawLen(u32le) crc32c(u32le) stored
+//	payload (stored, flate-compressed when flags&1):
+//	         uvarint(rows) uvarint(ncols) block*
+//	block  := 0x00 type(1) uvarint(n) nulls data     -- flat
+//	        | 0x01 uvarint(count) block              -- run-length (1-row value)
+//	        | 0x02 uvarint(nIdx) uvarint(idx)* block -- dictionary
+//	nulls  := 0x00 | 0x01 bitmap(ceil(n/8))          -- LSB-first, 1 = NULL
+//
+// Flat data by type: BIGINT/DATE/DOUBLE are 8-byte little-endian; BOOLEAN is
+// an LSB-first bitmap; VARCHAR is uvarint length + bytes per value; ARRAY is
+// a boxed value list per row. The encodings of §IV-D (RLE, dictionary) travel
+// as-is — the wire never expands them. Decoding arbitrary bytes must never
+// panic: every count is bounded by the remaining input before allocation.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+const (
+	codecMagic     = "PPG1"
+	flagCompressed = 1 << 0
+
+	frameHeaderLen = 4 + 1 + 4 + 4 + 4
+
+	blockFlat = 0x00
+	blockRLE  = 0x01
+	blockDict = 0x02
+
+	// maxFramePayload bounds both stored and decompressed payload sizes;
+	// frames claiming more are rejected before any allocation.
+	maxFramePayload = 64 << 20
+	// maxCodecRows bounds row/run counts (RLE runs allocate nothing, but a
+	// bound keeps downstream arithmetic in int range).
+	maxCodecRows = 1 << 27
+	// maxBlockDepth bounds RLE/dictionary nesting.
+	maxBlockDepth = 8
+	// maxValueDepth bounds array nesting inside boxed values.
+	maxValueDepth = 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptPage reports a frame that failed structural or checksum
+// validation; all decode errors wrap it.
+var ErrCorruptPage = errors.New("corrupt page frame")
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorruptPage, fmt.Sprintf(format, args...))
+}
+
+// EncodePage serializes one page into a self-delimiting frame. Lazy blocks
+// are materialized; RLE and dictionary encodings are preserved. When compress
+// is set the payload is flate-compressed if that actually shrinks it.
+func EncodePage(p *Page, compress bool) ([]byte, error) {
+	p = p.LoadLazy()
+	var payload bytes.Buffer
+	putUvarint(&payload, uint64(p.rows))
+	putUvarint(&payload, uint64(len(p.Cols)))
+	for _, b := range p.Cols {
+		if err := encodeBlock(&payload, b, 0); err != nil {
+			return nil, err
+		}
+	}
+	raw := payload.Bytes()
+	stored := raw
+	flags := byte(0)
+	if compress && len(raw) > 128 {
+		var cb bytes.Buffer
+		zw, err := flate.NewWriter(&cb, flate.BestSpeed)
+		if err == nil {
+			if _, err = zw.Write(raw); err == nil && zw.Close() == nil && cb.Len() < len(raw) {
+				stored = cb.Bytes()
+				flags = flagCompressed
+			}
+		}
+	}
+	if len(raw) > maxFramePayload {
+		return nil, fmt.Errorf("page payload %d bytes exceeds frame limit", len(raw))
+	}
+	out := make([]byte, 0, frameHeaderLen+len(stored))
+	out = append(out, codecMagic...)
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(stored)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(raw)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(stored, crcTable))
+	out = append(out, stored...)
+	return out, nil
+}
+
+// DecodePage parses one frame from the front of data, returning the page and
+// the number of bytes consumed. It never panics on arbitrary input.
+func DecodePage(data []byte) (*Page, int, error) {
+	if len(data) < frameHeaderLen {
+		return nil, 0, corruptf("frame header truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != codecMagic {
+		return nil, 0, corruptf("bad magic %q", data[:4])
+	}
+	flags := data[4]
+	if flags&^byte(flagCompressed) != 0 {
+		return nil, 0, corruptf("unknown flags 0x%x", flags)
+	}
+	storedLen := binary.LittleEndian.Uint32(data[5:9])
+	rawLen := binary.LittleEndian.Uint32(data[9:13])
+	crc := binary.LittleEndian.Uint32(data[13:17])
+	if storedLen > maxFramePayload || rawLen > maxFramePayload {
+		return nil, 0, corruptf("payload length %d/%d exceeds limit", storedLen, rawLen)
+	}
+	if uint64(len(data)-frameHeaderLen) < uint64(storedLen) {
+		return nil, 0, corruptf("frame body truncated: want %d bytes, have %d", storedLen, len(data)-frameHeaderLen)
+	}
+	stored := data[frameHeaderLen : frameHeaderLen+int(storedLen)]
+	p, err := decodeFrame(flags, rawLen, crc, stored)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, frameHeaderLen + int(storedLen), nil
+}
+
+func decodeFrame(flags byte, rawLen, crc uint32, stored []byte) (*Page, error) {
+	if crc32.Checksum(stored, crcTable) != crc {
+		return nil, corruptf("checksum mismatch")
+	}
+	raw := stored
+	if flags&flagCompressed != 0 {
+		zr := flate.NewReader(bytes.NewReader(stored))
+		buf := make([]byte, rawLen)
+		if _, err := io.ReadFull(zr, buf); err != nil {
+			return nil, corruptf("decompress: %v", err)
+		}
+		// The stream must end exactly at rawLen.
+		var one [1]byte
+		if n, _ := zr.Read(one[:]); n != 0 {
+			return nil, corruptf("decompressed payload longer than declared %d", rawLen)
+		}
+		raw = buf
+	} else if uint32(len(stored)) != rawLen {
+		return nil, corruptf("raw length %d disagrees with stored length %d", rawLen, len(stored))
+	}
+	return decodePayload(raw)
+}
+
+func decodePayload(raw []byte) (*Page, error) {
+	r := &byteReader{data: raw}
+	rows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rows > maxCodecRows {
+		return nil, corruptf("row count %d exceeds limit", rows)
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every block costs at least 2 wire bytes, so a huge column count on a
+	// short payload is rejected before any decode work.
+	if ncols > uint64(r.remaining())/2+1 {
+		return nil, corruptf("column count %d exceeds payload", ncols)
+	}
+	var cols []Block
+	for i := uint64(0); i < ncols; i++ {
+		b, err := decodeBlock(r, 0)
+		if err != nil {
+			return nil, fmt.Errorf("column %d: %w", i, err)
+		}
+		if uint64(b.Len()) != rows {
+			return nil, corruptf("column %d has %d rows, page declares %d", i, b.Len(), rows)
+		}
+		cols = append(cols, b)
+	}
+	if r.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes after page payload", r.remaining())
+	}
+	return &Page{Cols: cols, rows: int(rows)}, nil
+}
+
+// WritePage appends one encoded frame to w.
+func WritePage(w io.Writer, p *Page, compress bool) error {
+	frame, err := EncodePage(p, compress)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// PageReader frames pages out of a byte stream written by WritePage.
+type PageReader struct {
+	r   io.Reader
+	hdr [frameHeaderLen]byte
+	buf []byte
+}
+
+// NewPageReader wraps a stream of page frames.
+func NewPageReader(r io.Reader) *PageReader { return &PageReader{r: r} }
+
+// Next returns the next page, or io.EOF when the stream ends cleanly on a
+// frame boundary. A stream truncated mid-frame yields io.ErrUnexpectedEOF.
+func (pr *PageReader) Next() (*Page, error) {
+	if _, err := io.ReadFull(pr.r, pr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if string(pr.hdr[:4]) != codecMagic {
+		return nil, corruptf("bad magic %q", pr.hdr[:4])
+	}
+	storedLen := binary.LittleEndian.Uint32(pr.hdr[5:9])
+	if storedLen > maxFramePayload {
+		return nil, corruptf("payload length %d exceeds limit", storedLen)
+	}
+	if uint64(cap(pr.buf)) < uint64(storedLen) {
+		pr.buf = make([]byte, storedLen)
+	}
+	pr.buf = pr.buf[:storedLen]
+	if _, err := io.ReadFull(pr.r, pr.buf); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	flags := pr.hdr[4]
+	if flags&^byte(flagCompressed) != 0 {
+		return nil, corruptf("unknown flags 0x%x", flags)
+	}
+	rawLen := binary.LittleEndian.Uint32(pr.hdr[9:13])
+	if rawLen > maxFramePayload {
+		return nil, corruptf("payload length %d exceeds limit", rawLen)
+	}
+	crc := binary.LittleEndian.Uint32(pr.hdr[13:17])
+	return decodeFrame(flags, rawLen, crc, pr.buf)
+}
+
+// --- block encode ---
+
+func encodeBlock(w *bytes.Buffer, b Block, depth int) error {
+	if depth > maxBlockDepth {
+		return fmt.Errorf("block nesting exceeds %d", maxBlockDepth)
+	}
+	switch x := b.(type) {
+	case *LazyBlock:
+		return encodeBlock(w, x.Load(), depth)
+	case *RLEBlock:
+		w.WriteByte(blockRLE)
+		putUvarint(w, uint64(x.Count))
+		return encodeBlock(w, x.Val, depth+1)
+	case *DictionaryBlock:
+		w.WriteByte(blockDict)
+		putUvarint(w, uint64(len(x.Indices)))
+		for _, ix := range x.Indices {
+			putUvarint(w, uint64(uint32(ix)))
+		}
+		return encodeBlock(w, x.Dict, depth+1)
+	case *LongBlock:
+		writeFlatHeader(w, x.T, len(x.Vals), x.Nulls)
+		var tmp [8]byte
+		for _, v := range x.Vals {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+			w.Write(tmp[:])
+		}
+		return nil
+	case *DoubleBlock:
+		writeFlatHeader(w, types.Double, len(x.Vals), x.Nulls)
+		var tmp [8]byte
+		for _, v := range x.Vals {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+			w.Write(tmp[:])
+		}
+		return nil
+	case *BoolBlock:
+		writeFlatHeader(w, types.Boolean, len(x.Vals), x.Nulls)
+		w.Write(packBits(x.Vals))
+		return nil
+	case *VarcharBlock:
+		writeFlatHeader(w, types.Varchar, len(x.Vals), x.Nulls)
+		for _, s := range x.Vals {
+			putUvarint(w, uint64(len(s)))
+			w.WriteString(s)
+		}
+		return nil
+	case *ArrayBlock:
+		writeFlatHeader(w, types.Array, len(x.Vals), x.Nulls)
+		for _, arr := range x.Vals {
+			putUvarint(w, uint64(len(arr)))
+			for _, v := range arr {
+				if err := encodeValue(w, v, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		// Unknown block implementation: box the values into a flat block.
+		vals := make([]types.Value, b.Len())
+		for i := range vals {
+			vals[i] = b.Value(i)
+		}
+		return encodeBlock(w, BuildBlock(b.Type(), vals), depth)
+	}
+}
+
+// writeFlatHeader emits kind, type, length, and the canonical null bitmap:
+// the bitmap is present only when at least one row is NULL, so an all-false
+// Nulls slice encodes identically to a nil one.
+func writeFlatHeader(w *bytes.Buffer, t types.Type, n int, nulls []bool) {
+	w.WriteByte(blockFlat)
+	w.WriteByte(byte(t))
+	putUvarint(w, uint64(n))
+	has := false
+	for _, v := range nulls {
+		if v {
+			has = true
+			break
+		}
+	}
+	if !has {
+		w.WriteByte(0)
+		return
+	}
+	w.WriteByte(1)
+	bitmap := make([]byte, (n+7)/8)
+	for i := 0; i < n && i < len(nulls); i++ {
+		if nulls[i] {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	w.Write(bitmap)
+}
+
+func packBits(vals []bool) []byte {
+	out := make([]byte, (len(vals)+7)/8)
+	for i, v := range vals {
+		if v {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+func encodeValue(w *bytes.Buffer, v types.Value, depth int) error {
+	if depth > maxValueDepth {
+		return fmt.Errorf("array value nesting exceeds %d", maxValueDepth)
+	}
+	w.WriteByte(byte(v.T))
+	if v.Null {
+		w.WriteByte(1)
+		return nil
+	}
+	w.WriteByte(0)
+	switch v.T {
+	case types.Bigint, types.Date:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+		w.Write(tmp[:])
+	case types.Double:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+		w.Write(tmp[:])
+	case types.Boolean:
+		if v.B {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+	case types.Varchar:
+		putUvarint(w, uint64(len(v.S)))
+		w.WriteString(v.S)
+	case types.Array:
+		putUvarint(w, uint64(len(v.A)))
+		for _, e := range v.A {
+			if err := encodeValue(w, e, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func putUvarint(w *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.Write(tmp[:n])
+}
+
+// --- block decode ---
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) remaining() int { return len(r.data) - r.pos }
+
+func (r *byteReader) u8() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, corruptf("truncated input")
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, corruptf("bad varint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, corruptf("truncated input: want %d bytes, have %d", n, r.remaining())
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func decodeBlock(r *byteReader, depth int) (Block, error) {
+	if depth > maxBlockDepth {
+		return nil, corruptf("block nesting exceeds %d", maxBlockDepth)
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case blockFlat:
+		return decodeFlatBlock(r)
+	case blockRLE:
+		count, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > maxCodecRows {
+			return nil, corruptf("RLE run %d exceeds limit", count)
+		}
+		val, err := decodeBlock(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if val.Len() != 1 {
+			return nil, corruptf("RLE value block has %d rows", val.Len())
+		}
+		return &RLEBlock{Val: val, Count: int(count)}, nil
+	case blockDict:
+		nIdx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Each index costs at least one wire byte.
+		if nIdx > uint64(r.remaining()) {
+			return nil, corruptf("dictionary index count %d exceeds payload", nIdx)
+		}
+		indices := make([]int32, nIdx)
+		for i := range indices {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v > math.MaxInt32 {
+				return nil, corruptf("dictionary index %d out of range", v)
+			}
+			indices[i] = int32(v)
+		}
+		dict, err := decodeBlock(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		n := dict.Len()
+		for _, ix := range indices {
+			if int(ix) >= n {
+				return nil, corruptf("dictionary index %d out of range (dict has %d rows)", ix, n)
+			}
+		}
+		return &DictionaryBlock{Dict: dict, Indices: indices}, nil
+	default:
+		return nil, corruptf("unknown block kind 0x%x", kind)
+	}
+}
+
+func decodeFlatBlock(r *byteReader) (Block, error) {
+	tb, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	t := types.Type(tb)
+	if t > types.Array {
+		return nil, corruptf("unknown type code 0x%x", tb)
+	}
+	n64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > maxCodecRows {
+		return nil, corruptf("block length %d exceeds limit", n64)
+	}
+	n := int(n64)
+	hasNulls, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if hasNulls > 1 {
+		return nil, corruptf("bad null-bitmap marker 0x%x", hasNulls)
+	}
+	var nulls []bool
+	if hasNulls == 1 {
+		bitmap, err := r.bytes((n + 7) / 8)
+		if err != nil {
+			return nil, err
+		}
+		nulls = unpackBits(bitmap, n)
+	}
+	switch t {
+	case types.Bigint, types.Date:
+		data, err := r.bytes(n * 8)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return &LongBlock{T: t, Vals: vals, Nulls: nulls}, nil
+	case types.Double:
+		data, err := r.bytes(n * 8)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return &DoubleBlock{Vals: vals, Nulls: nulls}, nil
+	case types.Boolean:
+		bitmap, err := r.bytes((n + 7) / 8)
+		if err != nil {
+			return nil, err
+		}
+		return &BoolBlock{Vals: unpackBits(bitmap, n), Nulls: nulls}, nil
+	case types.Varchar:
+		// Each value costs at least one wire byte (its length varint).
+		if n > r.remaining() {
+			return nil, corruptf("varchar block length %d exceeds payload", n)
+		}
+		vals := make([]string, n)
+		for i := range vals {
+			l, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if l > uint64(r.remaining()) {
+				return nil, corruptf("varchar value length %d exceeds payload", l)
+			}
+			b, err := r.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = string(b)
+		}
+		return &VarcharBlock{Vals: vals, Nulls: nulls}, nil
+	case types.Array:
+		if n > r.remaining() {
+			return nil, corruptf("array block length %d exceeds payload", n)
+		}
+		vals := make([][]types.Value, n)
+		for i := range vals {
+			arr, err := decodeValueList(r, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = arr
+		}
+		return &ArrayBlock{Vals: vals, Nulls: nulls}, nil
+	default:
+		return nil, corruptf("flat block of unsupported type %v", t)
+	}
+}
+
+func decodeValueList(r *byteReader, depth int) ([]types.Value, error) {
+	m, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each boxed value costs at least two wire bytes (type + null marker).
+	if m > uint64(r.remaining()/2)+1 {
+		return nil, corruptf("array length %d exceeds payload", m)
+	}
+	out := make([]types.Value, m)
+	for i := range out {
+		v, err := decodeValue(r, depth)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func decodeValue(r *byteReader, depth int) (types.Value, error) {
+	if depth > maxValueDepth {
+		return types.Value{}, corruptf("array value nesting exceeds %d", maxValueDepth)
+	}
+	tb, err := r.u8()
+	if err != nil {
+		return types.Value{}, err
+	}
+	t := types.Type(tb)
+	if t > types.Array {
+		return types.Value{}, corruptf("unknown value type code 0x%x", tb)
+	}
+	isNull, err := r.u8()
+	if err != nil {
+		return types.Value{}, err
+	}
+	if isNull > 1 {
+		return types.Value{}, corruptf("bad null marker 0x%x", isNull)
+	}
+	v := types.Value{T: t}
+	if isNull == 1 {
+		v.Null = true
+		return v, nil
+	}
+	switch t {
+	case types.Bigint, types.Date:
+		data, err := r.bytes(8)
+		if err != nil {
+			return types.Value{}, err
+		}
+		v.I = int64(binary.LittleEndian.Uint64(data))
+	case types.Double:
+		data, err := r.bytes(8)
+		if err != nil {
+			return types.Value{}, err
+		}
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	case types.Boolean:
+		b, err := r.u8()
+		if err != nil {
+			return types.Value{}, err
+		}
+		if b > 1 {
+			return types.Value{}, corruptf("bad boolean value 0x%x", b)
+		}
+		v.B = b == 1
+	case types.Varchar:
+		l, err := r.uvarint()
+		if err != nil {
+			return types.Value{}, err
+		}
+		if l > uint64(r.remaining()) {
+			return types.Value{}, corruptf("varchar value length %d exceeds payload", l)
+		}
+		b, err := r.bytes(int(l))
+		if err != nil {
+			return types.Value{}, err
+		}
+		v.S = string(b)
+	case types.Array:
+		arr, err := decodeValueList(r, depth+1)
+		if err != nil {
+			return types.Value{}, err
+		}
+		v.A = arr
+	}
+	return v, nil
+}
+
+func unpackBits(bitmap []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			out[i] = true
+		}
+	}
+	return out
+}

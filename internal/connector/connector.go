@@ -222,3 +222,15 @@ type PageCacheable interface {
 	// example lazy reads whose blocks reference open file handles).
 	PageCacheKey(s Split, columns []string, handle plan.TableHandle) (key string, ok bool)
 }
+
+// SplitCodec is implemented by connectors whose splits can cross process
+// boundaries. The coordinator encodes each split before POSTing it to a
+// remote worker, which decodes it through its own instance of the same
+// connector. Connectors without a SplitCodec can only run in embedded mode;
+// remote scheduling rejects their scans with a clear error.
+type SplitCodec interface {
+	// EncodeSplit serializes a split this connector produced.
+	EncodeSplit(s Split) ([]byte, error)
+	// DecodeSplit reverses EncodeSplit.
+	DecodeSplit(data []byte) (Split, error)
+}

@@ -4,6 +4,7 @@
 package memconn
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -332,3 +333,33 @@ func (s *pageSink) Finish() (int64, error) {
 }
 
 func (s *pageSink) Abort() { s.pages = nil }
+
+// wireSplit is the JSON wire form of a split for cross-process scheduling.
+type wireSplit struct {
+	Table string `json:"table"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Rows  int64  `json:"rows"`
+}
+
+// EncodeSplit implements connector.SplitCodec.
+func (c *Connector) EncodeSplit(s connector.Split) ([]byte, error) {
+	ms, ok := s.(*split)
+	if !ok {
+		return nil, fmt.Errorf("memconn: cannot encode split %T", s)
+	}
+	return json.Marshal(wireSplit{Table: ms.table, From: ms.from, To: ms.to, Rows: ms.rows})
+}
+
+// DecodeSplit implements connector.SplitCodec. The catalog is stamped with
+// this connector's name so a decoded split routes like a local one.
+func (c *Connector) DecodeSplit(data []byte) (connector.Split, error) {
+	var ws wireSplit
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("memconn: decode split: %w", err)
+	}
+	if ws.From < 0 || ws.To < ws.From {
+		return nil, fmt.Errorf("memconn: decode split: bad page range [%d,%d)", ws.From, ws.To)
+	}
+	return &split{catalog: c.name, table: ws.Table, from: ws.From, to: ws.To, rows: ws.Rows}, nil
+}

@@ -3,6 +3,7 @@ package coordinator
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -51,6 +52,13 @@ type Config struct {
 	// MetadataTTL bounds staleness of the coordinator metadata/split cache
 	// (default 30s; negative disables metadata caching).
 	MetadataTTL time.Duration
+	// Registry tracks worker processes registered over HTTP. When set and
+	// the coordinator has no in-process workers, queries are scheduled onto
+	// registered workers through the task API (distributed mode).
+	Registry *WorkerRegistry
+	// WorkerClient issues coordinator-to-worker HTTP requests in
+	// distributed mode (nil = http.DefaultClient).
+	WorkerClient *http.Client
 }
 
 // Session carries per-query client settings.
@@ -128,6 +136,32 @@ type Query struct {
 	// splitsTotal counts splits enumerated so far (live progress counter;
 	// final total once enumeration completes).
 	splitsTotal atomic.Int64
+
+	// remoteCleanup releases distributed-mode resources (pollers, exchange
+	// client, remote tasks); set by scheduleRemote, run exactly once from
+	// abort or from the result's close hook.
+	remoteMu      sync.Mutex
+	remoteOnce    *sync.Once
+	remoteCleanup func()
+}
+
+// setRemoteCleanup registers the query's distributed-mode teardown.
+func (q *Query) setRemoteCleanup(fn func()) {
+	q.remoteMu.Lock()
+	q.remoteOnce = &sync.Once{}
+	q.remoteCleanup = fn
+	q.remoteMu.Unlock()
+}
+
+// runRemoteCleanup runs the registered teardown at most once; safe to call
+// from any path, including queries that never went remote.
+func (q *Query) runRemoteCleanup() {
+	q.remoteMu.Lock()
+	once, fn := q.remoteOnce, q.remoteCleanup
+	q.remoteMu.Unlock()
+	if once != nil && fn != nil {
+		once.Do(fn)
+	}
 }
 
 // New creates a coordinator over the given workers.
@@ -208,6 +242,9 @@ func writeTargets(n plan.Node) [][2]string {
 
 // Workers exposes the cluster's workers (used by experiments).
 func (c *Coordinator) Workers() []*exec.Worker { return c.workers }
+
+// Registry exposes the remote worker registry (nil in embedded mode).
+func (c *Coordinator) Registry() *WorkerRegistry { return c.cfg.Registry }
 
 // Execute runs a SQL statement to a streaming result. DDL statements
 // (CREATE TABLE without AS, DROP TABLE, SHOW TABLES) execute immediately.
@@ -378,6 +415,7 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 			q.fail(resErr)
 		} else {
 			q.finish()
+			q.runRemoteCleanup()
 			for _, t := range targets {
 				c.invalidateMeta(t[0], t[1])
 			}
@@ -491,6 +529,7 @@ func (q *Query) abort() {
 	for _, t := range tasks {
 		t.Abort()
 	}
+	q.runRemoteCleanup()
 }
 
 // QueryInfo returns a snapshot of a query's state.

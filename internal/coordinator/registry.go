@@ -1,0 +1,73 @@
+package coordinator
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RemoteWorker is one registered worker process.
+type RemoteWorker struct {
+	ID  int
+	URI string
+}
+
+// WorkerRegistry tracks worker processes that registered over HTTP
+// (paper §III: the coordinator monitors worker liveness through periodic
+// heartbeats). Registration is idempotent by URI; a worker whose heartbeat
+// lapses past the TTL drops out of Alive and stops receiving tasks.
+type WorkerRegistry struct {
+	// TTL is how long a registration stays alive without a heartbeat
+	// (0 = default 10s).
+	TTL time.Duration
+
+	mu      sync.Mutex
+	nextID  int
+	entries map[string]*registration // by URI
+}
+
+type registration struct {
+	id       int
+	uri      string
+	lastSeen time.Time
+}
+
+// NewWorkerRegistry creates an empty registry.
+func NewWorkerRegistry() *WorkerRegistry {
+	return &WorkerRegistry{entries: map[string]*registration{}}
+}
+
+// Register adds or refreshes a worker by URI and returns its node id. The
+// same URI always maps to the same id, so heartbeats are plain re-registers.
+func (r *WorkerRegistry) Register(uri string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[uri]; ok {
+		e.lastSeen = time.Now()
+		return e.id
+	}
+	e := &registration{id: r.nextID, uri: uri, lastSeen: time.Now()}
+	r.nextID++
+	r.entries[uri] = e
+	return e.id
+}
+
+// Alive returns the workers whose heartbeat is within the TTL, ordered by
+// node id so task placement is deterministic for a fixed membership.
+func (r *WorkerRegistry) Alive() []RemoteWorker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ttl := r.TTL
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	cutoff := time.Now().Add(-ttl)
+	var out []RemoteWorker
+	for _, e := range r.entries {
+		if e.lastSeen.After(cutoff) {
+			out = append(out, RemoteWorker{ID: e.id, URI: e.uri})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -117,8 +117,16 @@ func (r *Result) finishLocked() {
 	}
 }
 
-// Close abandons the result (cancelling the query if still running).
+// Close abandons the result (cancelling the query if still running). A
+// concurrent NextPage may hold r.mu through its 100ms long-poll loop for the
+// life of the query, so Close first posts the cancellation on the failure
+// channel — which NextPage checks between polls — and only then takes r.mu.
+// Without that, DELETE /v1/statement/{id} would block behind an in-flight
+// fetch until the query produced data or finished.
 func (r *Result) Close() {
+	if r.buf != nil {
+		r.setFailure(ErrCancelled)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.closed && !r.done && r.err == nil && r.buf != nil {

@@ -21,6 +21,9 @@ import (
 func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, error) {
 	nWorkers := len(c.workers)
 	if nWorkers == 0 {
+		if c.cfg.Registry != nil {
+			return c.scheduleRemote(q, dp)
+		}
 		return nil, fmt.Errorf("cluster has no workers")
 	}
 

@@ -1,0 +1,34 @@
+package exec
+
+import "repro/internal/plan"
+
+// ScanOrder returns the scans under root in the order the pipeline compiler
+// assigns scan IDs, which is compile order, not plan pre-order: a hash join
+// compiles its build side (Right) before its probe side (Left), and an index
+// join never compiles its right-side scan at all (the scan is driven by probe
+// keys through the connector index). The coordinator uses this to address
+// split POSTs to the correct scan ID on remote tasks; keep it in lockstep
+// with (*compiler).compile.
+func ScanOrder(root plan.Node) []*plan.Scan {
+	var scans []*plan.Scan
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Scan:
+			scans = append(scans, x)
+		case *plan.Join:
+			if x.Strategy == plan.StrategyIndex {
+				walk(x.Left)
+				return
+			}
+			walk(x.Right)
+			walk(x.Left)
+		default:
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return scans
+}

@@ -384,9 +384,30 @@ func (t *Task) driverDone(p *pipelineSpec, err error) {
 	}
 	if err != nil && t.failed == nil {
 		t.failed = err
+		t.cancelPipelinesLocked()
 	}
 	t.maybeFinishLocked()
 	t.mu.Unlock()
+}
+
+// cancelPipelinesLocked releases drivers parked on inter-pipeline handoffs so
+// a failing or aborted task can wind down: join bridges are forced built (a
+// dead build driver never drains the builder count, so probes would otherwise
+// park forever) and local exchanges report done. Released drivers may run
+// against partial state, but the task is already failed, so nothing they
+// produce is ever surfaced as a result.
+func (t *Task) cancelPipelinesLocked() {
+	for _, p := range t.compiled {
+		if p.buildBridge != nil {
+			p.buildBridge.Cancel()
+		}
+		for _, b := range p.probeBridges {
+			b.Cancel()
+		}
+		if p.localEx != nil {
+			p.localEx.Cancel()
+		}
+	}
 }
 
 // maybeFinishLocked finalizes the task when all drivers are done and no
@@ -430,6 +451,7 @@ func (t *Task) Abort() {
 	if t.failed == nil {
 		t.failed = fmt.Errorf("task %s aborted", t.ID)
 	}
+	t.cancelPipelinesLocked()
 	t.output.Destroy()
 	for _, c := range t.exchangeClients {
 		c.Close()

@@ -1,0 +1,73 @@
+package faultinject
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP transport injection sites, evaluated per request by WrapHTTPHandler.
+const (
+	// SiteHTTPDrop kills the connection before any response bytes.
+	SiteHTTPDrop = "http.drop"
+	// SiteHTTPTruncate sends the response headers and roughly half the body,
+	// then kills the connection.
+	SiteHTTPTruncate = "http.truncate"
+	// SiteHTTPDelay stalls the request by the rule's Delay before serving it.
+	SiteHTTPDelay = "http.delay"
+)
+
+// WrapHTTPHandler interposes transport faults on an HTTP handler: dropped
+// connections, truncated responses, and delayed responses — the failure
+// modes a worker-to-worker shuffle must mask (paper §III: the engine treats
+// transient transport errors as routine). With a nil injector the handler is
+// returned unchanged. Drop and truncate abort the connection via
+// http.ErrAbortHandler, which net/http turns into a closed socket, so
+// clients observe a real transport error rather than an HTTP status.
+func WrapHTTPHandler(inj *Injector, h http.Handler) http.Handler {
+	if inj == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f := inj.decide(SiteHTTPDelay); f != nil && f.kind == KindDelay {
+			time.Sleep(f.delay)
+		}
+		if f := inj.decide(SiteHTTPDrop); f != nil {
+			panic(http.ErrAbortHandler)
+		}
+		if f := inj.decide(SiteHTTPTruncate); f != nil {
+			rec := &recordedResponse{status: http.StatusOK, header: http.Header{}}
+			h.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			// Declare the full length, deliver half: the client sees an
+			// unexpected EOF mid-body.
+			w.Header().Set("Content-Length", strconv.Itoa(rec.body.Len()))
+			w.WriteHeader(rec.status)
+			w.Write(rec.body.Bytes()[:rec.body.Len()/2])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// recordedResponse buffers a handler's response so the truncate fault can
+// replay a prefix of it.
+type recordedResponse struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *recordedResponse) Header() http.Header { return r.header }
+
+func (r *recordedResponse) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+func (r *recordedResponse) WriteHeader(status int) { r.status = status }

@@ -6,14 +6,16 @@
 // see rows before the query completes. The server also exposes cluster and
 // query introspection endpoints.
 //
-// The paper's multi-node deployment runs this protocol between coordinator
-// and workers too; in this reproduction the worker fabric is in-process
-// (see DESIGN.md's substitution table) and HTTP carries the client surface.
+// The paper's multi-node deployment runs HTTP between coordinator and
+// workers too: this package also serves the worker-side task API (see
+// taskapi.go) and the coordinator's /v1/node registration endpoint used by
+// the multi-process mode (prestod -coordinator / -worker).
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/coordinator"
 	"repro/internal/metrics"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // Server serves the client protocol for one coordinator.
@@ -58,7 +61,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/query/{id}", s.handleQueryCancel)
 	mux.HandleFunc("GET /v1/query/{id}/stats", s.handleQueryStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/node", s.handleRegisterNode)
 	return mux
+}
+
+// handleRegisterNode registers (or heartbeats) a worker process in
+// distributed mode.
+func (s *Server) handleRegisterNode(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	reg := s.Coord.Registry()
+	if reg == nil {
+		http.Error(w, "coordinator does not accept remote workers", http.StatusNotFound)
+		return
+	}
+	var req wire.RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "decode registration: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.URI == "" {
+		http.Error(w, "registration without uri", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, wire.RegisterResponse{ID: reg.Register(strings.TrimSuffix(req.URI, "/"))})
 }
 
 // StatementResponse is one protocol document.
@@ -227,30 +252,23 @@ func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, wk := range s.Coord.Workers() {
-		lbl := map[string]string{"worker": fmt.Sprintf("%d", wk.ID)}
-		metrics.PromGauge(w, "presto_executor_utilization", lbl, wk.Exec.Utilization())
-		metrics.PromGauge(w, "presto_executor_busy_nanos_total", lbl, float64(wk.Exec.BusyNanos()))
-		metrics.PromGauge(w, "presto_executor_threads", lbl, float64(wk.Exec.Threads()))
-		levels, blocked := wk.Exec.LevelOccupancy()
-		for lvl, n := range levels {
-			metrics.PromGauge(w, "presto_mlfq_level_runnable",
-				map[string]string{"worker": lbl["worker"], "level": fmt.Sprintf("%d", lvl)}, float64(n))
+		writeWorkerGauges(w, wk)
+	}
+	// In distributed mode the workers are remote processes: proxy each
+	// registered worker's gauges so one scrape covers the cluster. The
+	// Prometheus text format concatenates safely — every line already
+	// carries its worker label.
+	if reg := s.Coord.Registry(); reg != nil {
+		for _, rw := range reg.Alive() {
+			resp, err := http.Get(rw.URI + "/v1/worker/metrics")
+			if err != nil {
+				metrics.PromGauge(w, "presto_worker_scrape_failed",
+					map[string]string{"worker": fmt.Sprintf("%d", rw.ID)}, 1)
+				continue
+			}
+			io.Copy(w, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
 		}
-		metrics.PromGauge(w, "presto_mlfq_blocked", lbl, float64(blocked))
-		metrics.PromGauge(w, "presto_shuffle_buffer_utilization", lbl, wk.OutputBufferUtilization())
-		metrics.PromGauge(w, "presto_worker_tasks", lbl, float64(wk.TaskCount()))
-		metrics.PromGauge(w, "presto_memory_general_used_bytes", lbl, float64(wk.Pool.GeneralUsed()))
-		metrics.PromGauge(w, "presto_memory_general_limit_bytes", lbl, float64(wk.Pool.GeneralLimit()))
-		metrics.PromGauge(w, "presto_memory_reserved_used_bytes", lbl, float64(wk.Pool.ReservedUsed()))
-		metrics.PromGauge(w, "presto_memory_reserved_limit_bytes", lbl, float64(wk.Pool.ReservedLimit()))
-		cs := wk.CacheStats()
-		metrics.PromGauge(w, "presto_cache_hits_total", lbl, float64(cs.Hits))
-		metrics.PromGauge(w, "presto_cache_misses_total", lbl, float64(cs.Misses))
-		metrics.PromGauge(w, "presto_cache_evictions_total", lbl, float64(cs.Evictions))
-		metrics.PromGauge(w, "presto_cache_corruptions_total", lbl, float64(cs.Corruptions))
-		metrics.PromGauge(w, "presto_cache_bytes", lbl, float64(cs.Bytes))
-		metrics.PromGauge(w, "presto_cache_entries", lbl, float64(cs.Entries))
-		metrics.PromGauge(w, "presto_cache_capacity_bytes", lbl, float64(cs.Capacity))
 	}
 	ms := s.Coord.MetaCacheStats()
 	metrics.PromGauge(w, "presto_metadata_cache_hits_total", nil, float64(ms.Hits))

@@ -297,6 +297,10 @@ func (l *LocalExchange) full() bool {
 	return false
 }
 
+// Cancel marks the exchange done so consumers drain the queue and exit
+// during task teardown, regardless of producer state.
+func (l *LocalExchange) Cancel() { l.finish() }
+
 func (l *LocalExchange) finish() {
 	l.mu.Lock()
 	l.done = true

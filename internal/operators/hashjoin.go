@@ -51,6 +51,21 @@ func (b *JoinBridge) BuilderFinished() {
 	b.mu.Unlock()
 }
 
+// Cancel force-completes the bridge during task failure or abort. A build
+// driver that died never reports BuilderFinished, so waiting for the builder
+// count to drain would park probe drivers forever; marking the bridge built
+// releases them against whatever partial table exists. No wrong rows escape:
+// the task is already failed and its output buffer destroyed or about to be.
+func (b *JoinBridge) Cancel() {
+	b.mu.Lock()
+	b.built = true
+	b.noMoreBuilders = true
+	b.noMoreProbes = true
+	b.probesActive = 0 // dead probe drivers never call ProbeFinished
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
 // NoMoreBuilders declares that every build driver has been created.
 func (b *JoinBridge) NoMoreBuilders() {
 	b.mu.Lock()

@@ -294,6 +294,12 @@ func (c *ExchangeClient) Poll() (p *block.Page, ok bool, done bool, err error) {
 		c.cond.Broadcast()
 		return p, true, false, nil
 	}
+	// A closed client reports done: the task is winding down, and drivers
+	// draining this source must exit rather than wait for pages that will
+	// never arrive (the fetch loop has stopped and the queue is dropped).
+	if c.closed {
+		return nil, false, true, nil
+	}
 	return nil, false, c.remaining == 0, nil
 }
 

@@ -1,0 +1,39 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParser throws arbitrary strings at the parser: it must either return a
+// statement or an error, never panic or hang. Malformed SQL arrives verbatim
+// over POST /v1/statement, so the parser is a direct network-input surface.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT count(*) FROM t WHERE k BETWEEN 1 AND 5",
+		"SELECT s, sum(v) FROM d GROUP BY s HAVING sum(v) > 0 ORDER BY s DESC LIMIT 3",
+		"SELECT a.k FROM d a JOIN e b ON a.k = b.k WHERE a.s LIKE '%x%'",
+		"SELECT k, row_number() OVER (PARTITION BY s ORDER BY v) FROM d",
+		"SELECT CASE WHEN v > 0 THEN 'p' ELSE 'n' END FROM d",
+		"SELECT transform(ARRAY[1,2,3], x -> x + 1)",
+		"INSERT INTO d SELECT * FROM (VALUES (1, NULL, 'x'))",
+		"CREATE TABLE t (k BIGINT, v DOUBLE, s VARCHAR)",
+		"CREATE TABLE t AS SELECT * FROM d",
+		"DROP TABLE IF EXISTS t",
+		"SHOW TABLES FROM hive",
+		"DESCRIBE d",
+		"EXPLAIN ANALYZE SELECT 1",
+		"SELECT * FROM (VALUES (1, ((",
+		"SELECT 'unterminated",
+		"SELECT /* comment",
+		"((((((((((",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", sql)
+		}
+	})
+}

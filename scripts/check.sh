@@ -6,13 +6,17 @@
 #   scripts/check.sh          # build + vet + race tests + chaos smoke
 #   scripts/check.sh -chaos   # additionally sweep the chaos suite over more
 #                             # seeds (CHAOS_FULL), verbose
+#   scripts/check.sh -fuzz    # additionally run 10s fuzz smokes over the
+#                             # page codec and the SQL parser
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 chaos_full=0
+fuzz=0
 for arg in "$@"; do
   case "$arg" in
     -chaos) chaos_full=1 ;;
+    -fuzz) fuzz=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -35,9 +39,21 @@ go test -race -count=1 -run 'TestCacheColdWarmSmoke|TestCacheBytesShrinkUnderRev
 echo "==> chaos smoke (seed 7)"
 CHAOS_SEED=7 go test -race -count=1 -run 'TestChaos' .
 
+echo "==> distributed smoke (HTTP workers)"
+go test -race -count=1 -run 'TestDistributedTPCHSmoke|TestDistributedDifferential' .
+
 if [ "$chaos_full" = 1 ]; then
   echo "==> chaos full sweep"
   CHAOS_SEED=7 CHAOS_FULL=1 go test -race -count=1 -v -run 'TestChaos' .
+fi
+
+if [ "$fuzz" = 1 ]; then
+  echo "==> fuzz smoke: page codec decode (10s)"
+  go test -fuzz '^FuzzPageCodecDecode$' -fuzztime 10s ./internal/block/
+  echo "==> fuzz smoke: page codec round trip (10s)"
+  go test -fuzz '^FuzzPageCodecRoundTrip$' -fuzztime 10s ./internal/block/
+  echo "==> fuzz smoke: SQL parser (10s)"
+  go test -fuzz '^FuzzParser$' -fuzztime 10s ./internal/sqlparser/
 fi
 
 echo "OK"
