@@ -10,11 +10,17 @@ package presto_test
 // sized for a laptop; cmd/prestobench exposes knobs for larger runs.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro"
+	"repro/internal/block"
 	"repro/internal/connectors/hive"
 	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -295,5 +301,220 @@ func BenchmarkScanWarm(b *testing.B) {
 	b.StopTimer()
 	if st := c.PageCacheStats(); st.Hits == 0 {
 		b.Fatal("warm benchmark served no pages from the cache")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernel micro-benchmarks (§V-B/§V-E): each benchmark runs the
+// same workload on the vectorized hot path and on the legacy per-row
+// encoded-key/closure path (the DisableVectorKernels ablation), as vec/legacy
+// sub-benchmarks. scripts/bench.sh records the pairs in BENCH_5.json.
+// ---------------------------------------------------------------------------
+
+// kernelCtx returns an operator context for the chosen path.
+func kernelCtx(vec bool) *operators.OpContext {
+	ctx := operators.NopContext()
+	ctx.DisableVecKernels = !vec
+	return ctx
+}
+
+// benchKeyPages builds pages of (key BIGINT, val BIGINT) rows with nGroups
+// distinct keys.
+func benchKeyPages(nRows, nGroups, pageRows int) []*block.Page {
+	var pages []*block.Page
+	for start := 0; start < nRows; start += pageRows {
+		n := pageRows
+		if nRows-start < n {
+			n = nRows - start
+		}
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		for i := 0; i < n; i++ {
+			r := start + i
+			keys[i] = int64(r*2654435761) % int64(nGroups)
+			vals[i] = int64(r)
+		}
+		pages = append(pages, block.NewPage(block.NewLongBlock(keys, nil), block.NewLongBlock(vals, nil)))
+	}
+	return pages
+}
+
+func drainOperator(b *testing.B, op operators.Operator) int {
+	rows := 0
+	for {
+		p, err := op.Output()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p == nil {
+			if op.IsFinished() {
+				return rows
+			}
+			continue
+		}
+		rows += p.RowCount()
+	}
+}
+
+// BenchmarkHashAggBigintKey measures single-BIGINT-key grouped aggregation:
+// the batch-hash + open-addressing table fast path vs the per-row
+// encodeRowKey + map path.
+func BenchmarkHashAggBigintKey(b *testing.B) {
+	const nRows, nGroups = 1 << 17, 1 << 13
+	pages := benchKeyPages(nRows, nGroups, 8192)
+	specs := []operators.AggSpec{{Func: plan.AggSum, ArgCol: 1, Out: types.Bigint}}
+	for _, mode := range []struct {
+		name string
+		vec  bool
+	}{{"vec", true}, {"legacy", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(nRows * 16))
+			for i := 0; i < b.N; i++ {
+				op := operators.NewHashAggregation(kernelCtx(mode.vec), []int{0},
+					[]types.Type{types.Bigint}, specs, false, 0)
+				for _, p := range pages {
+					if err := op.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				op.Finish()
+				if got := drainOperator(b, op); got != nGroups {
+					b.Fatalf("groups: got %d, want %d", got, nGroups)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashAggVarcharKey measures the byte-arena fallback layout on a
+// VARCHAR group key: the vectorized path must not regress versus the legacy
+// map even when keys need canonical byte encodings.
+func BenchmarkHashAggVarcharKey(b *testing.B) {
+	const nRows, nGroups = 1 << 17, 1 << 13
+	var pages []*block.Page
+	for start := 0; start < nRows; start += 8192 {
+		keys := make([]string, 8192)
+		vals := make([]int64, 8192)
+		for i := range keys {
+			r := start + i
+			keys[i] = fmt.Sprintf("group-%06d", (r*2654435761)%nGroups)
+			vals[i] = int64(r)
+		}
+		pages = append(pages, block.NewPage(block.NewVarcharBlock(keys, nil), block.NewLongBlock(vals, nil)))
+	}
+	specs := []operators.AggSpec{{Func: plan.AggSum, ArgCol: 1, Out: types.Bigint}}
+	for _, mode := range []struct {
+		name string
+		vec  bool
+	}{{"vec", true}, {"legacy", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(nRows * 20))
+			for i := 0; i < b.N; i++ {
+				op := operators.NewHashAggregation(kernelCtx(mode.vec), []int{0},
+					[]types.Type{types.Varchar}, specs, false, 0)
+				for _, p := range pages {
+					if err := op.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				op.Finish()
+				if got := drainOperator(b, op); got != nGroups {
+					b.Fatalf("groups: got %d, want %d", got, nGroups)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashJoinBuildProbe measures a BIGINT-key hash join build + probe:
+// vectorized batch hashing and open-addressing lookups vs the per-row
+// encoded-key map.
+func BenchmarkHashJoinBuildProbe(b *testing.B) {
+	const nBuild, nProbe = 1 << 14, 1 << 17
+	buildPages := benchKeyPages(nBuild, nBuild, 8192)
+	probePages := benchKeyPages(nProbe, nBuild, 8192)
+	for _, mode := range []struct {
+		name string
+		vec  bool
+	}{{"vec", true}, {"legacy", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64((nBuild + nProbe) * 16))
+			for i := 0; i < b.N; i++ {
+				ctx := kernelCtx(mode.vec)
+				bridge := operators.NewJoinBridge()
+				bridge.SetVectorized(mode.vec)
+				bridge.AddBuilder()
+				hb := operators.NewHashBuild(ctx, bridge, []int{0}, []types.Type{types.Bigint})
+				for _, p := range buildPages {
+					if err := hb.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bridge.NoMoreBuilders()
+				hb.Finish()
+				bridge.AddProbe()
+				join := operators.NewLookupJoin(ctx, bridge, plan.InnerJoin, []int{0}, nil,
+					[]types.Type{types.Bigint, presto.Bigint},
+					[]types.Type{types.Bigint, presto.Bigint}, 0)
+				rows := 0
+				for _, p := range probePages {
+					if err := join.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+					for {
+						out, err := join.Output()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if out == nil {
+							break
+						}
+						rows += out.RowCount()
+					}
+				}
+				join.Finish()
+				rows += drainOperator(b, join)
+				if rows != nProbe {
+					b.Fatalf("join rows: got %d, want %d", rows, nProbe)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFilterSelectivity measures a flat-column comparison filter at 1%,
+// 50%, and 99% selectivity: the columnar selection kernel vs the per-row
+// compiled closure.
+func BenchmarkFilterSelectivity(b *testing.B) {
+	const nRows = 8192
+	vals := make([]int64, nRows)
+	ids := make([]int64, nRows)
+	for i := range vals {
+		vals[i] = int64(i * 2654435761 % 100)
+		ids[i] = int64(i)
+	}
+	page := block.NewPage(block.NewLongBlock(vals, nil), block.NewLongBlock(ids, nil))
+	proj := []expr.Expr{&expr.ColumnRef{Index: 1, T: types.Bigint}}
+	for _, sel := range []struct {
+		name  string
+		bound int64
+	}{{"sel1", 1}, {"sel50", 50}, {"sel99", 99}} {
+		pred := &expr.Compare{Op: expr.CmpLt,
+			L: &expr.ColumnRef{Index: 0, T: types.Bigint},
+			R: expr.NewConst(types.BigintValue(sel.bound))}
+		for _, mode := range []string{"vec", "legacy"} {
+			b.Run(sel.name+"/"+mode, func(b *testing.B) {
+				pp := expr.NewPageProcessor(pred, proj)
+				if mode == "legacy" {
+					pp.DisableVectorizedFilter()
+				}
+				b.SetBytes(nRows * 8)
+				for i := 0; i < b.N; i++ {
+					if _, err := pp.Process(page); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -71,6 +71,10 @@ type Session struct {
 	// DisableCache bypasses the page and split caches for this query
 	// (the A/B toggle; X-Presto-Disable-Cache over HTTP).
 	DisableCache bool
+	// DisableVectorKernels runs this query on the legacy per-row hash and
+	// filter paths instead of the vectorized kernels (the A/B toggle;
+	// X-Presto-Disable-Vector-Kernels over HTTP).
+	DisableVectorKernels bool
 }
 
 // QueryState tracks lifecycle.

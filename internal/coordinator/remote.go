@@ -122,6 +122,9 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	if q.session.DisableCache {
 		cfg.CacheDisabled = true
 	}
+	if q.session.DisableVectorKernels {
+		cfg.VectorKernelsDisabled = true
+	}
 	wireCfg := wire.EncodeTaskConfig(cfg)
 
 	singleRR := 0

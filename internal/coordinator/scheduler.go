@@ -94,6 +94,9 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			if q.session.DisableCache {
 				cfg.CacheDisabled = true
 			}
+			if q.session.DisableVectorKernels {
+				cfg.VectorKernelsDisabled = true
+			}
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
 			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {

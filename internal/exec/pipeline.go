@@ -107,8 +107,9 @@ func (d *driverCtx) opCtx(kind memory.Kind) *operators.OpContext {
 		st = &operators.OpStats{}
 	}
 	c := &operators.OpContext{
-		Mem:   memory.NewLocalContext(d.task.queryMem, d.task.nodeID, kind),
-		Stats: st,
+		Mem:               memory.NewLocalContext(d.task.queryMem, d.task.nodeID, kind),
+		Stats:             st,
+		DisableVecKernels: d.task.cfg.VectorKernelsDisabled,
 	}
 	d.last = c
 	return c
@@ -288,9 +289,9 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		if err := c.compile(x.Input, pb); err != nil {
 			return err
 		}
-		ncols := len(x.Schema())
+		ts := x.Schema().Types()
 		pb.append("Distinct", func(ctx *driverCtx) (operators.Operator, error) {
-			return operators.NewDistinct(ctx.opCtx(memory.User), ncols), nil
+			return operators.NewDistinct(ctx.opCtx(memory.User), ts), nil
 		})
 		return nil
 
@@ -410,19 +411,25 @@ func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
 	}
 	// Build side: its own pipeline ending in HashBuild.
 	bridge := operators.NewJoinBridge()
+	if c.task.cfg.VectorKernelsDisabled {
+		bridge.SetVectorized(false)
+	}
 	build := c.newPipeline()
 	if err := c.compile(j.Right, build); err != nil {
 		return err
 	}
 	buildKeys := make([]int, len(j.Equi))
 	probeKeys := make([]int, len(j.Equi))
+	rightTs := j.Right.Schema().Types()
+	buildKeyTs := make([]types.Type, len(j.Equi))
 	for i, eq := range j.Equi {
 		buildKeys[i] = eq.Right
 		probeKeys[i] = eq.Left
+		buildKeyTs[i] = rightTs[eq.Right]
 	}
 	build.append("HashBuild", func(ctx *driverCtx) (operators.Operator, error) {
 		bridge.AddBuilder()
-		return operators.NewHashBuild(ctx.opCtx(memory.User), bridge, buildKeys), nil
+		return operators.NewHashBuild(ctx.opCtx(memory.User), bridge, buildKeys, buildKeyTs), nil
 	})
 	build.seal()
 	build.spec.buildBridge = bridge

@@ -55,6 +55,10 @@ type TaskConfig struct {
 	// CacheDisabled bypasses the worker page cache for this task's scans
 	// (the per-query session toggle for A/B runs).
 	CacheDisabled bool
+	// VectorKernelsDisabled switches the hash-agg/join/distinct/filter hot
+	// paths back to the per-row closure and encoded-key map implementations
+	// (the vectorized-kernels ablation; Session.DisableVectorKernels).
+	VectorKernelsDisabled bool
 }
 
 // Task executes one plan fragment on a worker: it owns the fragment's
@@ -229,7 +233,11 @@ func (t *Task) newProcessor(pred expr.Expr, proj []expr.Expr) *expr.PageProcesso
 	if t.cfg.Interpreted {
 		return expr.NewInterpretedPageProcessor(pred, proj)
 	}
-	return expr.NewPageProcessor(pred, proj)
+	pp := expr.NewPageProcessor(pred, proj)
+	if t.cfg.VectorKernelsDisabled {
+		pp.DisableVectorizedFilter()
+	}
+	return pp
 }
 
 func (t *Task) registerRevocable(r memory.Revocable) {

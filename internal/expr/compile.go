@@ -24,6 +24,10 @@ type Evaluator struct {
 	eval func(p *block.Page) (block.Block, error)
 	// rowBool is set for BOOLEAN evaluators and is used by filters.
 	rowBool boolFn
+	// sel is set for compiled BOOLEAN evaluators: a columnar selection
+	// kernel producing the filter's passing rows directly (§V-E). Nil for
+	// interpreted evaluators, which serve as the ablation baseline.
+	sel selFn
 	// identCol is >= 0 when the expression is a bare column reference,
 	// letting the page processor pass the input block through unchanged.
 	identCol int
@@ -122,7 +126,7 @@ func compile(e Expr) *Evaluator {
 		if !ok {
 			return interpEvaluator(e)
 		}
-		return &Evaluator{T: t, identCol: -1, rowBool: f, eval: func(p *block.Page) (block.Block, error) {
+		ev := &Evaluator{T: t, identCol: -1, rowBool: f, eval: func(p *block.Page) (block.Block, error) {
 			n := p.RowCount()
 			vals := make([]bool, n)
 			var nulls []bool
@@ -139,6 +143,10 @@ func compile(e Expr) *Evaluator {
 			}
 			return block.NewBoolBlock(vals, nulls), nil
 		}}
+		if s, ok := compileSel(e, false); ok {
+			ev.sel = s
+		}
+		return ev
 	default:
 		return interpEvaluator(e)
 	}

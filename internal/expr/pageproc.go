@@ -13,8 +13,15 @@ import (
 // retained and reused; RLE inputs are evaluated once per run.
 type PageProcessor struct {
 	filter      *Evaluator // nil means no filter
+	filterCols  []int      // column indices referenced by the filter
 	projections []*Evaluator
 	projInputs  [][]int // referenced column indices per projection
+
+	// vecDisabled turns off the columnar selection kernels, forcing the
+	// row-closure path (Session.DisableVectorKernels ablation).
+	vecDisabled bool
+	selIn       []int // identity row vector, grown monotonically
+	selOut      []int // selection output buffer, reused across pages
 
 	// Per-dictionary projection cache: maps the identity of an input
 	// dictionary block to the projected dictionary, emulating Presto's
@@ -41,6 +48,7 @@ func NewPageProcessor(filter Expr, projections []Expr) *PageProcessor {
 	pp := &PageProcessor{dictCache: make(map[block.Block]block.Block)}
 	if filter != nil {
 		pp.filter = Compile(filter)
+		pp.filterCols = Columns(filter)
 	}
 	for _, e := range projections {
 		pp.projections = append(pp.projections, Compile(e))
@@ -49,12 +57,17 @@ func NewPageProcessor(filter Expr, projections []Expr) *PageProcessor {
 	return pp
 }
 
+// DisableVectorizedFilter forces the per-row closure filter path; the
+// ablation/escape hatch behind Session.DisableVectorKernels.
+func (pp *PageProcessor) DisableVectorizedFilter() { pp.vecDisabled = true }
+
 // NewInterpretedPageProcessor builds a processor that uses only the
 // interpreter — the baseline side of the codegen ablation.
 func NewInterpretedPageProcessor(filter Expr, projections []Expr) *PageProcessor {
 	pp := &PageProcessor{dictCache: make(map[block.Block]block.Block)}
 	if filter != nil {
 		pp.filter = InterpretOnly(filter)
+		pp.filterCols = Columns(filter)
 	}
 	for _, e := range projections {
 		pp.projections = append(pp.projections, InterpretOnly(e))
@@ -107,30 +120,36 @@ func (pp *PageProcessor) Process(p *block.Page) (*block.Page, error) {
 
 func (pp *PageProcessor) evalFilter(p *block.Page) ([]int, error) {
 	n := p.RowCount()
-	// RLE fast path: if every referenced column is RLE the result is
-	// all-or-nothing; evaluate the first row only.
-	if pp.filter.rowBool != nil {
+	// RLE fast path: if every column the filter references is RLE the result
+	// is all-or-nothing; evaluate the first row only.
+	if pp.filter.rowBool != nil && n > 0 && pp.allFilterInputsRLE(p) {
 		v, null := pp.filter.rowBool(p, 0)
-		if n > 0 && pp.allFilterInputsRLE(p) {
-			if null || !v {
-				return nil, nil
-			}
-			all := make([]int, n)
-			for i := range all {
-				all[i] = i
-			}
-			return all, nil
+		if null || !v {
+			return nil, nil
 		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	// Vectorized path: run the compiled selection kernels, which scan the
+	// typed column slices directly and emit the selection vector.
+	if pp.filter.sel != nil && !pp.vecDisabled {
+		for i := len(pp.selIn); i < n; i++ {
+			pp.selIn = append(pp.selIn, i)
+		}
+		rows := pp.filter.sel(p, pp.selIn[:n], pp.selOut[:0])
+		pp.selOut = rows // retain capacity; consumed before the next page
+		pp.Stats.CellsProcessed += int64(n)
+		return rows, nil
+	}
+	if pp.filter.rowBool != nil {
 		rows := make([]int, 0, n/4+1)
-		if n > 0 {
+		for i := 0; i < n; i++ {
+			v, null := pp.filter.rowBool(p, i)
 			if !null && v {
-				rows = append(rows, 0)
-			}
-			for i := 1; i < n; i++ {
-				v, null := pp.filter.rowBool(p, i)
-				if !null && v {
-					rows = append(rows, i)
-				}
+				rows = append(rows, i)
 			}
 		}
 		pp.Stats.CellsProcessed += int64(n)
@@ -151,16 +170,20 @@ func (pp *PageProcessor) evalFilter(p *block.Page) ([]int, error) {
 	return rows, nil
 }
 
+// allFilterInputsRLE reports whether every column the filter actually
+// references is run-length encoded. Only referenced columns matter: a flat
+// payload column elsewhere in the page must not defeat the fast path, and a
+// const-only filter (no referenced columns) gets no fast path.
 func (pp *PageProcessor) allFilterInputsRLE(p *block.Page) bool {
-	found := false
-	for c := 0; c < p.ColCount(); c++ {
-		if _, ok := p.Col(c).(*block.RLEBlock); ok {
-			found = true
-		} else {
+	if len(pp.filterCols) == 0 {
+		return false
+	}
+	for _, c := range pp.filterCols {
+		if _, ok := p.Col(c).(*block.RLEBlock); !ok {
 			return false
 		}
 	}
-	return found
+	return true
 }
 
 // project computes projection i over the selected rows of p.

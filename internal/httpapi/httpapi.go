@@ -107,10 +107,11 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	session := coordinator.Session{
-		Catalog:      r.Header.Get("X-Presto-Catalog"),
-		Source:       r.Header.Get("X-Presto-Source"),
-		User:         r.Header.Get("X-Presto-User"),
-		DisableCache: r.Header.Get("X-Presto-Disable-Cache") != "",
+		Catalog:              r.Header.Get("X-Presto-Catalog"),
+		Source:               r.Header.Get("X-Presto-Source"),
+		User:                 r.Header.Get("X-Presto-User"),
+		DisableCache:         r.Header.Get("X-Presto-Disable-Cache") != "",
+		DisableVectorKernels: r.Header.Get("X-Presto-Disable-Vector-Kernels") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of

@@ -18,6 +18,7 @@ type PartitionedOutputOperator struct {
 	hashCols []int // empty = single/round-robin/broadcast
 	mode     OutputMode
 	rr       int
+	parts    []int // per-row partition scratch, reused across pages
 	finished bool
 }
 
@@ -62,10 +63,10 @@ func (o *PartitionedOutputOperator) AddInput(p *block.Page) error {
 		o.buf.Add(o.rr%n, p)
 		o.rr++
 	default: // OutputHash
-		// Split the page by target partition.
+		// Split the page by target partition, batch-hashing the key columns.
+		o.parts = HashPartitionPage(p, o.hashCols, n, o.parts)
 		targets := make([][]int, n)
-		for r := 0; r < p.RowCount(); r++ {
-			t := HashPartition(p, r, o.hashCols, n)
+		for r, t := range o.parts {
 			targets[t] = append(targets[t], r)
 		}
 		for t, rows := range targets {
@@ -161,6 +162,7 @@ type LocalExchange struct {
 	queue [][]*block.Page
 	done  bool
 	hash  []int
+	parts []int // per-row partition scratch, reused across pages
 	rr    int
 	cap   int
 }
@@ -251,9 +253,9 @@ func (l *LocalExchange) add(p *block.Page) {
 	defer l.mu.Unlock()
 	n := len(l.queue)
 	if len(l.hash) > 0 && n > 1 {
+		l.parts = HashPartitionPage(p, l.hash, n, l.parts)
 		targets := make([][]int, n)
-		for r := 0; r < p.RowCount(); r++ {
-			t := HashPartition(p, r, l.hash, n)
+		for r, t := range l.parts {
 			targets[t] = append(targets[t], r)
 		}
 		for t, rows := range targets {

@@ -31,8 +31,10 @@ type aggState struct {
 	SumF   float64
 	HasVal bool
 	MinMax types.Value
-	// distinct values for DISTINCT aggregates (not spillable).
-	distinct map[string]struct{}
+	// distinct values for DISTINCT aggregates (not spillable; unexported
+	// fields are invisible to gob, and DISTINCT disables spilling anyway).
+	distinct map[string]struct{} // legacy path
+	dset     *keyTable           // vectorized path
 }
 
 // groupEntry is one hash-table entry: the group's key values plus one state
@@ -44,17 +46,36 @@ type groupEntry struct {
 
 // HashAggregationOperator implements GROUP BY aggregation with a flat hash
 // table, memory accounting, and optional spill-to-disk revocation (§IV-F2).
+//
+// Group lookup runs on one of two interchangeable indexes over the shared
+// entries slice: an open-addressing keyTable fed by the batch hashing kernels
+// (the default), or the legacy encodeRowKey+map path kept as the ablation
+// baseline (OpContext.DisableVecKernels).
 type HashAggregationOperator struct {
 	ctx       *OpContext
 	groupCols []int
 	groupTs   []types.Type
 	aggs      []AggSpec
+	vec       bool
+	fixedKeys bool
 
-	// mu guards groups/bytes/spillFiles: the pool's revocation path may
+	// mu guards the table state and bytes: the pool's revocation path may
 	// call Revoke from another query's thread (§IV-F2).
-	mu     sync.Mutex
-	groups map[string]*groupEntry
-	bytes  int64
+	mu      sync.Mutex
+	entries []*groupEntry
+	table   *keyTable      // vectorized lookup index
+	legacy  map[string]int // ablation lookup index (entry position)
+	batch   batchKeys
+	ids     []int32 // per-page row→group id vector (vectorized fixed-key path)
+	bytes   int64
+
+	// Chunked arenas for fresh-group materialization on the vectorized path:
+	// groups are allocated groupChunk at a time instead of three small objects
+	// per group. Chunks are never reallocated once handed out (a full chunk is
+	// replaced, not grown), so interior pointers stay valid.
+	entryArena []groupEntry
+	stateArena []aggState
+	keyArena   []types.Value
 
 	spillFiles []string
 	spillable  bool
@@ -76,15 +97,68 @@ func NewHashAggregation(ctx *OpContext, groupCols []int, groupTs []types.Type, a
 	if pageSize <= 0 {
 		pageSize = 4096
 	}
-	return &HashAggregationOperator{
+	o := &HashAggregationOperator{
 		ctx:       ctx,
 		groupCols: groupCols,
 		groupTs:   groupTs,
 		aggs:      aggs,
-		groups:    make(map[string]*groupEntry),
 		spillable: spillable,
 		pageSize:  pageSize,
+		vec:       ctx == nil || !ctx.DisableVecKernels,
 	}
+	o.fixedKeys = true
+	for _, t := range groupTs {
+		if !fixedWidthKey(t) {
+			o.fixedKeys = false
+			break
+		}
+	}
+	o.resetTableLocked()
+	return o
+}
+
+// resetTableLocked installs a fresh, empty lookup index.
+func (o *HashAggregationOperator) resetTableLocked() {
+	o.entries = nil
+	o.entryArena, o.stateArena, o.keyArena = nil, nil, nil
+	if o.vec {
+		o.table = newKeyTable(o.fixedKeys, len(o.groupCols))
+	} else {
+		o.legacy = make(map[string]int)
+	}
+}
+
+// groupChunk is how many groups each arena chunk holds.
+const groupChunk = 256
+
+// newGroupLocked materializes a fresh group entry from chunked arenas. The
+// returned entry's Key is zeroed and len(o.groupCols) long; States is zeroed
+// and len(o.aggs) long.
+func (o *HashAggregationOperator) newGroupLocked() *groupEntry {
+	nk, na := len(o.groupCols), len(o.aggs)
+	if len(o.entryArena) == cap(o.entryArena) {
+		o.entryArena = make([]groupEntry, 0, groupChunk)
+	}
+	var key []types.Value
+	if nk > 0 {
+		if len(o.keyArena)+nk > cap(o.keyArena) {
+			o.keyArena = make([]types.Value, 0, groupChunk*nk)
+		}
+		n0 := len(o.keyArena)
+		o.keyArena = o.keyArena[:n0+nk]
+		key = o.keyArena[n0 : n0+nk : n0+nk]
+	}
+	var states []aggState
+	if na > 0 {
+		if len(o.stateArena)+na > cap(o.stateArena) {
+			o.stateArena = make([]aggState, 0, groupChunk*na)
+		}
+		n0 := len(o.stateArena)
+		o.stateArena = o.stateArena[:n0+na]
+		states = o.stateArena[n0 : n0+na : n0+na]
+	}
+	o.entryArena = append(o.entryArena, groupEntry{Key: key, States: states})
+	return &o.entryArena[len(o.entryArena)-1]
 }
 
 func (o *HashAggregationOperator) NeedsInput() bool { return !o.finished }
@@ -92,30 +166,20 @@ func (o *HashAggregationOperator) NeedsInput() bool { return !o.finished }
 func (o *HashAggregationOperator) AddInput(p *block.Page) error {
 	o.ctx.recordIn(p)
 	o.mu.Lock()
-	var buf []byte
-	for r := 0; r < p.RowCount(); r++ {
-		buf = encodeRowKey(buf[:0], p, r, o.groupCols)
-		k := string(buf)
-		g, ok := o.groups[k]
-		if !ok {
-			key := make([]types.Value, len(o.groupCols))
-			for i, c := range o.groupCols {
-				key[i] = p.Col(c).Value(r)
-			}
-			g = &groupEntry{Key: key, States: make([]aggState, len(o.aggs))}
-			o.groups[k] = g
-			o.bytes += int64(len(k)) + int64(64*len(o.aggs)) + 48
-		}
-		for i := range o.aggs {
-			if err := o.accumulate(&g.States[i], &o.aggs[i], p, r); err != nil {
-				o.mu.Unlock()
-				return err
-			}
-		}
+	n := p.RowCount()
+	var err error
+	if o.vec && o.fixedKeys {
+		err = o.addInputVecFixed(p, n)
+	} else {
+		err = o.addInputRows(p, n)
+	}
+	if err != nil {
+		o.mu.Unlock()
+		return err
 	}
 	bytes := o.bytes
 	o.mu.Unlock()
-	err := o.ctx.Mem.SetBytes(bytes)
+	err = o.ctx.Mem.SetBytes(bytes)
 	if err != nil && o.spillable && errors.Is(err, memory.ErrExceededLimit) {
 		// Self-spill: the page is fully accumulated, so the table can be
 		// written out and the reservation retried at (near) zero (§IV-F2).
@@ -130,6 +194,232 @@ func (o *HashAggregationOperator) AddInput(p *block.Page) error {
 	return err
 }
 
+// addInputVecFixed is the vectorized fixed-cell path: one tight probe pass
+// resolves every row to a dense group id, then each aggregate runs as a
+// columnar update loop over the id vector (§V-B). Caller holds o.mu.
+func (o *HashAggregationOperator) addInputVecFixed(p *block.Page, n int) error {
+	o.batch.reset(p, o.groupCols, true)
+	if cap(o.ids) < n {
+		o.ids = make([]int32, n)
+	}
+	ids := o.ids[:n]
+	nk, na := len(o.groupCols), len(o.aggs)
+	freshBytes := int64(9*nk) + int64(64*na) + 48
+	if nk == 1 {
+		// Single-key fast path: probe on scalars, no per-row slicing.
+		cells, tags, hashes := o.batch.cells, o.batch.tags, o.batch.hashes
+		c0 := o.groupCols[0]
+		for r := 0; r < n; r++ {
+			id, fresh := o.table.getOrInsertFixed1(hashes[r], cells[r], tags[r])
+			if fresh {
+				g := o.newGroupLocked()
+				g.Key[0] = p.Col(c0).Value(r)
+				o.entries = append(o.entries, g)
+				o.bytes += freshBytes
+			}
+			ids[r] = int32(id)
+		}
+	} else {
+		for r := 0; r < n; r++ {
+			cells, tags := o.batch.row(r)
+			id, fresh := o.table.getOrInsertFixed(o.batch.hashes[r], cells, tags)
+			if fresh {
+				g := o.newGroupLocked()
+				for i, c := range o.groupCols {
+					g.Key[i] = p.Col(c).Value(r)
+				}
+				o.entries = append(o.entries, g)
+				o.bytes += freshBytes
+			}
+			ids[r] = int32(id)
+		}
+	}
+	for i := range o.aggs {
+		if o.accumulateVec(&o.aggs[i], i, ids, p) {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			if err := o.accumulate(&o.entries[ids[r]].States[i], &o.aggs[i], p, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addInputRows is the row-at-a-time path: vectorized byte-layout keys and the
+// legacy map ablation baseline. Caller holds o.mu.
+func (o *HashAggregationOperator) addInputRows(p *block.Page, n int) error {
+	if o.vec {
+		o.batch.reset(p, o.groupCols, false)
+	}
+	var buf []byte
+	for r := 0; r < n; r++ {
+		var id int
+		var fresh bool
+		if o.vec {
+			o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.groupCols)
+			id, fresh = o.table.getOrInsertBytes(o.batch.hashes[r], o.batch.buf)
+			if fresh {
+				o.bytes += int64(len(o.batch.buf))
+			}
+		} else {
+			buf = encodeRowKey(buf[:0], p, r, o.groupCols)
+			var ok bool
+			id, ok = o.legacy[string(buf)]
+			if !ok {
+				id = len(o.entries)
+				o.legacy[string(buf)] = id
+				fresh = true
+				o.bytes += int64(len(buf))
+			}
+		}
+		if fresh {
+			key := make([]types.Value, len(o.groupCols))
+			for i, c := range o.groupCols {
+				key[i] = p.Col(c).Value(r)
+			}
+			o.entries = append(o.entries, &groupEntry{Key: key, States: make([]aggState, len(o.aggs))})
+			o.bytes += int64(64*len(o.aggs)) + 48
+		}
+		g := o.entries[id]
+		for i := range o.aggs {
+			if err := o.accumulate(&g.States[i], &o.aggs[i], p, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// accumulateVec runs one aggregate as a columnar loop over the row→group id
+// vector when the argument column has a specialized flat kernel. It returns
+// false to fall back to the per-row accumulate path (DISTINCT aggregates,
+// varchar/bool arguments, RLE/dictionary encodings). Each kernel mirrors
+// accumulate's semantics exactly: NULL arguments are skipped, sums track both
+// integer and float forms, and min/max comparisons match Value.Compare for
+// the block's type.
+func (o *HashAggregationOperator) accumulateVec(spec *AggSpec, si int, ids []int32, p *block.Page) bool {
+	if spec.Distinct {
+		return false
+	}
+	entries := o.entries
+	if spec.Func == plan.AggCountAll {
+		for _, id := range ids {
+			entries[id].States[si].Count++
+		}
+		return true
+	}
+	col := p.Col(spec.ArgCol)
+	if lz, ok := col.(*block.LazyBlock); ok {
+		col = lz.Load()
+	}
+	switch src := col.(type) {
+	case *block.LongBlock:
+		vals, nulls := src.Vals, src.Nulls
+		switch spec.Func {
+		case plan.AggCount:
+			countNonNull(entries, si, ids, nulls)
+		case plan.AggSum, plan.AggAvg:
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st := &entries[id].States[si]
+				v := vals[r]
+				st.Count++
+				st.HasVal = true
+				st.SumI += v
+				st.SumF += float64(v)
+			}
+		case plan.AggMin:
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st := &entries[id].States[si]
+				if v := vals[r]; !st.HasVal || v < st.MinMax.I {
+					st.MinMax = types.Value{T: src.T, I: v}
+					st.HasVal = true
+				}
+			}
+		case plan.AggMax:
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st := &entries[id].States[si]
+				if v := vals[r]; !st.HasVal || v > st.MinMax.I {
+					st.MinMax = types.Value{T: src.T, I: v}
+					st.HasVal = true
+				}
+			}
+		default:
+			return false
+		}
+		return true
+	case *block.DoubleBlock:
+		vals, nulls := src.Vals, src.Nulls
+		switch spec.Func {
+		case plan.AggCount:
+			countNonNull(entries, si, ids, nulls)
+		case plan.AggSum, plan.AggAvg:
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st := &entries[id].States[si]
+				st.Count++
+				st.HasVal = true
+				st.SumF += vals[r]
+			}
+		case plan.AggMin:
+			// v < cur matches compareFloat: NaN compares equal, so an
+			// incumbent is never displaced by NaN and vice versa.
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st := &entries[id].States[si]
+				if v := vals[r]; !st.HasVal || v < st.MinMax.F {
+					st.MinMax = types.DoubleValue(v)
+					st.HasVal = true
+				}
+			}
+		case plan.AggMax:
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				st := &entries[id].States[si]
+				if v := vals[r]; !st.HasVal || v > st.MinMax.F {
+					st.MinMax = types.DoubleValue(v)
+					st.HasVal = true
+				}
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// countNonNull is the shared COUNT(col) kernel over a flat null mask.
+func countNonNull(entries []*groupEntry, si int, ids []int32, nulls []bool) {
+	if nulls == nil {
+		for _, id := range ids {
+			entries[id].States[si].Count++
+		}
+		return
+	}
+	for r, id := range ids {
+		if !nulls[r] {
+			entries[id].States[si].Count++
+		}
+	}
+}
+
 func (o *HashAggregationOperator) accumulate(st *aggState, spec *AggSpec, p *block.Page, r int) error {
 	if spec.Func == plan.AggCountAll {
 		st.Count++
@@ -140,17 +430,29 @@ func (o *HashAggregationOperator) accumulate(st *aggState, spec *AggSpec, p *blo
 		return nil
 	}
 	if spec.Distinct {
-		if st.distinct == nil {
-			st.distinct = make(map[string]struct{})
+		if o.vec {
+			if st.dset == nil {
+				st.dset = newKeyTable(false, 1)
+			}
+			o.batch.buf = appendCellKey(o.batch.buf[:0], col, r)
+			_, fresh := st.dset.getOrInsertBytes(hashRowKey(o.batch.buf), o.batch.buf)
+			if !fresh {
+				return nil
+			}
+			o.bytes += int64(len(o.batch.buf) + 16)
+		} else {
+			if st.distinct == nil {
+				st.distinct = make(map[string]struct{})
+			}
+			var kb []byte
+			kb = encodeRowKey(kb, p, r, []int{spec.ArgCol})
+			k := string(kb)
+			if _, seen := st.distinct[k]; seen {
+				return nil
+			}
+			st.distinct[k] = struct{}{}
+			o.bytes += int64(len(k) + 16)
 		}
-		var kb []byte
-		kb = encodeRowKey(kb, p, r, []int{spec.ArgCol})
-		k := string(kb)
-		if _, seen := st.distinct[k]; seen {
-			return nil
-		}
-		st.distinct[k] = struct{}{}
-		o.bytes += int64(len(k) + 16)
 	}
 	switch spec.Func {
 	case plan.AggCount:
@@ -223,8 +525,8 @@ func (o *HashAggregationOperator) prepareOutput() error {
 	}
 	o.prepared = true
 	// Global aggregation with no groups: one row even for empty input.
-	if len(o.groupCols) == 0 && len(o.groups) == 0 && len(o.spillFiles) == 0 {
-		o.groups[""] = &groupEntry{Key: nil, States: make([]aggState, len(o.aggs))}
+	if len(o.groupCols) == 0 && len(o.entries) == 0 && len(o.spillFiles) == 0 {
+		o.entries = append(o.entries, &groupEntry{Key: nil, States: make([]aggState, len(o.aggs))})
 	}
 	outTypes := make([]types.Type, 0, len(o.groupTs)+len(o.aggs))
 	outTypes = append(outTypes, o.groupTs...)
@@ -232,14 +534,14 @@ func (o *HashAggregationOperator) prepareOutput() error {
 		outTypes = append(outTypes, a.Out)
 	}
 	if len(o.spillFiles) == 0 {
-		o.emitGroups(o.groups, outTypes)
-		o.groups = nil
+		o.emitGroups(o.entries, outTypes)
+		o.entries = nil
 		return nil
 	}
 	// Spilled: flush the in-memory tail too, then merge one hash partition
 	// at a time so peak memory stays ~1/spillPartitions of the table.
 	o.mu.Lock()
-	if len(o.groups) > 0 {
+	if len(o.entries) > 0 {
 		if _, err := o.revokeLocked(); err != nil {
 			o.mu.Unlock()
 			return err
@@ -253,32 +555,106 @@ func (o *HashAggregationOperator) prepareOutput() error {
 				return err
 			}
 		}
-		o.emitGroups(merged, outTypes)
+		groups := make([]*groupEntry, 0, len(merged))
+		for _, g := range merged {
+			groups = append(groups, g)
+		}
+		o.emitGroups(groups, outTypes)
 	}
 	for _, name := range o.spillFiles {
 		os.Remove(name)
 	}
 	o.spillFiles = nil
-	o.groups = nil
+	o.entries = nil
 	return nil
 }
 
-// emitGroups renders a group map into output pages.
-func (o *HashAggregationOperator) emitGroups(groups map[string]*groupEntry, outTypes []types.Type) {
-	b := block.NewPageBuilder(outTypes)
-	row := make([]types.Value, len(outTypes))
-	for _, g := range groups {
-		copy(row, g.Key)
-		for i := range o.aggs {
-			row[len(o.groupTs)+i] = o.aggs[i].result(&g.States[i])
+// emitGroups renders group entries into output pages column-at-a-time: each
+// output column unboxes straight into its typed slice, skipping the boxed
+// row builder's per-row value copies. Field extraction matches BuildBlock
+// exactly (raw field reads, no coercion).
+func (o *HashAggregationOperator) emitGroups(groups []*groupEntry, outTypes []types.Type) {
+	nkeys := len(o.groupTs)
+	for start := 0; start < len(groups); start += o.pageSize {
+		end := start + o.pageSize
+		if end > len(groups) {
+			end = len(groups)
 		}
-		b.AppendRow(row)
-		if b.RowCount() >= o.pageSize {
-			o.out = append(o.out, b.Build())
+		chunk := groups[start:end]
+		cols := make([]block.Block, len(outTypes))
+		for c, t := range outTypes {
+			ci := c
+			get := func(g *groupEntry) types.Value { return g.Key[ci] }
+			if c >= nkeys {
+				spec := &o.aggs[c-nkeys]
+				si := c - nkeys
+				get = func(g *groupEntry) types.Value { return spec.result(&g.States[si]) }
+			}
+			cols[c] = buildGroupCol(t, chunk, get)
 		}
+		o.out = append(o.out, block.NewPage(cols...))
 	}
-	if b.RowCount() > 0 {
-		o.out = append(o.out, b.Build())
+}
+
+// buildGroupCol builds one typed output column from a chunk of groups.
+func buildGroupCol(t types.Type, groups []*groupEntry, get func(*groupEntry) types.Value) block.Block {
+	n := len(groups)
+	var nulls []bool
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
+		}
+		nulls[i] = true
+	}
+	switch t {
+	case types.Bigint, types.Date:
+		vals := make([]int64, n)
+		for i, g := range groups {
+			v := get(g)
+			if v.Null {
+				setNull(i)
+			}
+			vals[i] = v.I
+		}
+		return &block.LongBlock{T: t, Vals: vals, Nulls: nulls}
+	case types.Double:
+		vals := make([]float64, n)
+		for i, g := range groups {
+			v := get(g)
+			if v.Null {
+				setNull(i)
+			}
+			vals[i] = v.F
+		}
+		return &block.DoubleBlock{Vals: vals, Nulls: nulls}
+	case types.Varchar:
+		vals := make([]string, n)
+		for i, g := range groups {
+			v := get(g)
+			if v.Null {
+				setNull(i)
+			}
+			vals[i] = v.S
+		}
+		return &block.VarcharBlock{Vals: vals, Nulls: nulls}
+	case types.Boolean:
+		vals := make([]bool, n)
+		for i, g := range groups {
+			v := get(g)
+			if v.Null {
+				setNull(i)
+			}
+			vals[i] = v.B
+		}
+		return &block.BoolBlock{Vals: vals, Nulls: nulls}
+	default:
+		// Array keys and untyped NULL-literal columns: box through the
+		// generic builder, mirroring BuildBlock's handling.
+		vals := make([]types.Value, n)
+		for i, g := range groups {
+			vals[i] = get(g)
+		}
+		return block.BuildBlock(t, vals)
 	}
 }
 
@@ -338,7 +714,7 @@ func (o *HashAggregationOperator) Close() error {
 	for _, f := range o.spillFiles {
 		os.Remove(f)
 	}
-	o.groups, o.out = nil, nil
+	o.entries, o.table, o.legacy, o.out = nil, nil, nil, nil
 	o.ctx.Mem.Close()
 	return nil
 }
@@ -387,7 +763,7 @@ func (o *HashAggregationOperator) Revoke() (int64, error) {
 }
 
 func (o *HashAggregationOperator) revokeLocked() (int64, error) {
-	if len(o.groups) == 0 {
+	if len(o.entries) == 0 {
 		return 0, nil
 	}
 	f, err := os.CreateTemp("", "presto-agg-spill-*.gob")
@@ -395,12 +771,17 @@ func (o *HashAggregationOperator) revokeLocked() (int64, error) {
 		return 0, err
 	}
 	enc := gob.NewEncoder(f)
-	for k, g := range o.groups {
-		if err := enc.Encode(k); err != nil {
+	var kb []byte
+	for _, g := range o.entries {
+		// The spill key is the canonical encoding of the boxed group key —
+		// the same bytes the legacy map used — so spill files written by the
+		// vectorized and legacy paths merge interchangeably.
+		kb = encodeValueKey(kb[:0], g.Key)
+		if err := enc.Encode(string(kb)); err != nil {
 			f.Close()
 			return 0, err
 		}
-		sg := spilledGroup{Key: g.Key, States: g.States, Part: int(hashRowKey([]byte(k)) % spillPartitions)}
+		sg := spilledGroup{Key: g.Key, States: g.States, Part: int(hashRowKey(kb) % spillPartitions)}
 		if err := enc.Encode(sg); err != nil {
 			f.Close()
 			return 0, err
@@ -411,7 +792,7 @@ func (o *HashAggregationOperator) revokeLocked() (int64, error) {
 	}
 	o.spillFiles = append(o.spillFiles, f.Name())
 	freed := o.bytes
-	o.groups = make(map[string]*groupEntry)
+	o.resetTableLocked()
 	o.bytes = 0
 	if err := o.ctx.Mem.SetBytes(0); err != nil {
 		return 0, err

@@ -17,7 +17,15 @@ type JoinBridge struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	table   map[string][]bridgeRow
+	// vec selects the vectorized lookup index (keyTable + batch hashing,
+	// the default); when false the legacy encoded-key map is used instead.
+	// Set via SetVectorized before any build input arrives.
+	vec   bool
+	ktab  *keyTable     // vectorized index; layout chosen on first build page
+	krows [][]bridgeRow // build rows per ktab entry id
+	batch batchKeys     // build-side scratch (guarded by mu)
+
+	table   map[string][]bridgeRow // legacy index
 	pages   []*block.Page
 	matched [][]bool // per page, per row: matched flags for RIGHT/FULL joins
 	built   bool
@@ -128,9 +136,18 @@ type bridgeRow struct {
 
 // NewJoinBridge creates an empty bridge.
 func NewJoinBridge() *JoinBridge {
-	b := &JoinBridge{table: make(map[string][]bridgeRow)}
+	b := &JoinBridge{vec: true}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// SetVectorized selects between the vectorized keyTable index and the legacy
+// encoded-key map. Must be called before the build side starts (pipeline
+// compile time).
+func (b *JoinBridge) SetVectorized(v bool) {
+	b.mu.Lock()
+	b.vec = v
+	b.mu.Unlock()
 }
 
 // Built reports whether the build side has completed.
@@ -153,13 +170,16 @@ type HashBuildOperator struct {
 	ctx      *OpContext
 	bridge   *JoinBridge
 	keyCols  []int
+	keyTs    []types.Type
 	bytes    int64
 	finished bool
 }
 
-// NewHashBuild creates the build-side sink for a join.
-func NewHashBuild(ctx *OpContext, bridge *JoinBridge, keyCols []int) *HashBuildOperator {
-	return &HashBuildOperator{ctx: ctx, bridge: bridge, keyCols: keyCols}
+// NewHashBuild creates the build-side sink for a join. keyTs are the planner
+// types of the key columns, aligned with keyCols: they, not input block
+// types, decide the shared key table's layout (see fixedWidthKeys).
+func NewHashBuild(ctx *OpContext, bridge *JoinBridge, keyCols []int, keyTs []types.Type) *HashBuildOperator {
+	return &HashBuildOperator{ctx: ctx, bridge: bridge, keyCols: keyCols, keyTs: keyTs}
 }
 
 func (o *HashBuildOperator) NeedsInput() bool { return !o.finished }
@@ -172,26 +192,65 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 	pageIdx := len(b.pages)
 	b.pages = append(b.pages, p)
 	b.matched = append(b.matched, make([]bool, p.RowCount()))
-	var buf []byte
-	for r := 0; r < p.RowCount(); r++ {
-		// Rows with NULL keys never match an equi-join.
-		null := false
-		for _, c := range o.keyCols {
-			if p.Col(c).IsNull(r) {
-				null = true
-				break
+	nk := len(o.keyCols)
+	if b.vec {
+		if b.ktab == nil {
+			b.ktab = newKeyTable(fixedWidthKeys(o.keyTs), nk)
+		}
+		b.batch.reset(p, o.keyCols, b.ktab.fixed)
+		for r := 0; r < p.RowCount(); r++ {
+			b.rows++
+			// Rows with NULL keys never match an equi-join.
+			if nk > 0 {
+				if b.ktab.fixed {
+					if b.batch.nullKey(r) {
+						continue
+					}
+				} else if rowKeyNull(p, r, o.keyCols) {
+					continue
+				}
 			}
+			var id int
+			var fresh bool
+			if b.ktab.fixed {
+				cells, tags := b.batch.row(r)
+				id, fresh = b.ktab.getOrInsertFixed(b.batch.hashes[r], cells, tags)
+			} else {
+				b.batch.buf = encodeRowKey(b.batch.buf[:0], p, r, o.keyCols)
+				id, fresh = b.ktab.getOrInsertBytes(b.batch.hashes[r], b.batch.buf)
+			}
+			if fresh {
+				b.krows = append(b.krows, nil)
+			}
+			b.krows[id] = append(b.krows[id], bridgeRow{pageIdx, r})
 		}
-		b.rows++
-		if null && len(o.keyCols) > 0 {
-			continue
+	} else {
+		if b.table == nil {
+			b.table = make(map[string][]bridgeRow)
 		}
-		buf = encodeRowKey(buf[:0], p, r, o.keyCols)
-		b.table[string(buf)] = append(b.table[string(buf)], bridgeRow{pageIdx, r})
+		var buf []byte
+		for r := 0; r < p.RowCount(); r++ {
+			b.rows++
+			if nk > 0 && rowKeyNull(p, r, o.keyCols) {
+				continue
+			}
+			buf = encodeRowKey(buf[:0], p, r, o.keyCols)
+			b.table[string(buf)] = append(b.table[string(buf)], bridgeRow{pageIdx, r})
+		}
 	}
 	b.mu.Unlock()
 	o.bytes += p.SizeBytes() + int64(p.RowCount()*32)
 	return o.ctx.Mem.SetBytes(o.bytes)
+}
+
+// rowKeyNull reports whether any key column of row r is NULL.
+func rowKeyNull(p *block.Page, r int, cols []int) bool {
+	for _, c := range cols {
+		if p.Col(c).IsNull(r) {
+			return true
+		}
+	}
+	return false
 }
 
 func (o *HashBuildOperator) Finish() {
@@ -219,6 +278,7 @@ type LookupJoinOperator struct {
 	residual  *expr.Evaluator // over concatenated (probe ++ build) schema
 	probeTs   []types.Type
 	buildTs   []types.Type
+	batch     batchKeys // probe-side scratch
 
 	pending      []*block.Page
 	outPos       int
@@ -283,21 +343,51 @@ func (o *LookupJoinOperator) AddInput(p *block.Page) error {
 		}
 	}
 
+	// Vectorized probing: hash the whole page's probe keys up front. A
+	// probe whose key layout cannot match the build table's (e.g. varchar
+	// keys against a fixed-width table) never matches any build row — the
+	// canonical encodings differ in their tag bytes.
+	useVec := b.vec && len(o.probeKeys) > 0 && o.jt != plan.CrossJoin
+	kindMismatch := false
+	if useVec && b.ktab != nil {
+		if b.ktab.fixed {
+			for _, c := range o.probeKeys {
+				if !fixedWidthKey(p.Col(c).Type()) {
+					kindMismatch = true
+					break
+				}
+			}
+		}
+		if !kindMismatch {
+			o.batch.reset(p, o.probeKeys, b.ktab.fixed)
+		}
+	}
+
 	for r := 0; r < p.RowCount(); r++ {
 		var matches []bridgeRow
 		switch {
 		case o.jt == plan.CrossJoin || len(o.probeKeys) == 0:
 			// Cross join / keyless semi: all build rows are candidates.
 			matches = allBuildRows(b)
-		default:
-			nullKey := false
-			for _, c := range o.probeKeys {
-				if p.Col(c).IsNull(r) {
-					nullKey = true
-					break
+		case useVec:
+			if b.ktab == nil || kindMismatch {
+				break // empty or incompatible build side: no match
+			}
+			if b.ktab.fixed {
+				if !o.batch.nullKey(r) {
+					cells, tags := o.batch.row(r)
+					if id := b.ktab.lookupFixed(o.batch.hashes[r], cells, tags); id >= 0 {
+						matches = b.krows[id]
+					}
+				}
+			} else if !rowKeyNull(p, r, o.probeKeys) {
+				o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.probeKeys)
+				if id := b.ktab.lookupBytes(o.batch.hashes[r], o.batch.buf); id >= 0 {
+					matches = b.krows[id]
 				}
 			}
-			if !nullKey {
+		default:
+			if !rowKeyNull(p, r, o.probeKeys) {
 				buf = encodeRowKey(buf[:0], p, r, o.probeKeys)
 				matches = b.table[string(buf)]
 			}

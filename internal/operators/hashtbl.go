@@ -1,0 +1,178 @@
+package operators
+
+import "bytes"
+
+// keyTable is an open-addressing, linear-probing hash table mapping group/join
+// keys to dense entry ids [0, Len). It replaces the map[string]-of-encoded-key
+// tables on the aggregation, distinct, join-build, and distinct-accumulator
+// hot paths (paper §V-B): probes compare a stored uint64 hash first and verify
+// the key without materializing byte strings.
+//
+// Two key layouts:
+//   - fixed: nk normalized (tag, payload) cells per entry — single BIGINT/DATE
+//     keys and fixed-width multi-keys never touch a byte encoding at all;
+//   - bytes: canonical encodeRowKey encodings packed into one arena — the
+//     fallback for varchar/array/mixed keys, which still avoids the per-insert
+//     string allocation of the map-based tables.
+//
+// Entry ids are dense and insertion-ordered, so callers keep per-entry payload
+// (agg states, build rows) in plain slices parallel to the table.
+type keyTable struct {
+	fixed bool
+	nk    int // key cells per entry (fixed layout)
+
+	slots []int32 // entry id + 1; 0 = empty
+	mask  uint64
+
+	hashes []uint64 // per-entry key hash
+
+	// fixed layout: row-major normalized cells, nk per entry.
+	cells []uint64
+	tags  []byte
+
+	// bytes layout: canonical key encodings, entry e at arena[offs[e]:offs[e+1]].
+	arena []byte
+	offs  []uint32
+}
+
+// newKeyTable creates an empty table with the given key layout.
+func newKeyTable(fixed bool, nk int) *keyTable {
+	t := &keyTable{fixed: fixed, nk: nk, slots: make([]int32, 16), mask: 15}
+	if !fixed {
+		t.offs = append(t.offs, 0)
+	}
+	return t
+}
+
+// Len returns the number of distinct keys inserted.
+func (t *keyTable) Len() int { return len(t.hashes) }
+
+// memBytes estimates retained memory, for operator memory accounting.
+func (t *keyTable) memBytes() int64 {
+	return int64(4*len(t.slots)) + int64(8*len(t.hashes)) +
+		int64(8*len(t.cells)) + int64(len(t.tags)) +
+		int64(len(t.arena)) + int64(4*len(t.offs))
+}
+
+// grow doubles the slot array and redistributes entries from stored hashes.
+func (t *keyTable) grow() {
+	ns := make([]int32, 2*len(t.slots))
+	mask := uint64(len(ns) - 1)
+	for _, id := range t.slots {
+		if id == 0 {
+			continue
+		}
+		i := t.hashes[id-1] & mask
+		for ns[i] != 0 {
+			i = (i + 1) & mask
+		}
+		ns[i] = id
+	}
+	t.slots, t.mask = ns, mask
+}
+
+// maybeGrow keeps the load factor under 3/4 ahead of one insertion.
+func (t *keyTable) maybeGrow() {
+	if uint64(len(t.hashes)+1)*4 > uint64(len(t.slots))*3 {
+		t.grow()
+	}
+}
+
+func (t *keyTable) eqFixed(e int, cells []uint64, tags []byte) bool {
+	base := e * t.nk
+	for k := 0; k < t.nk; k++ {
+		if t.cells[base+k] != cells[k] || t.tags[base+k] != tags[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// getOrInsertFixed returns the entry id of the normalized key, inserting a
+// new entry when absent (fresh=true).
+func (t *keyTable) getOrInsertFixed(h uint64, cells []uint64, tags []byte) (id int, fresh bool) {
+	t.maybeGrow()
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			t.slots[i] = int32(len(t.hashes) + 1)
+			t.hashes = append(t.hashes, h)
+			t.cells = append(t.cells, cells...)
+			t.tags = append(t.tags, tags...)
+			return len(t.hashes) - 1, true
+		}
+		if t.hashes[s-1] == h && t.eqFixed(int(s-1), cells, tags) {
+			return int(s - 1), false
+		}
+	}
+}
+
+// getOrInsertFixed1 is the nk==1 specialization of getOrInsertFixed: the key
+// is a single (cell, tag) pair passed by value, so the probe loop touches no
+// slices beyond the table's own and inlines into the caller's per-row loop.
+func (t *keyTable) getOrInsertFixed1(h uint64, cell uint64, tag byte) (id int, fresh bool) {
+	t.maybeGrow()
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			t.slots[i] = int32(len(t.hashes) + 1)
+			t.hashes = append(t.hashes, h)
+			t.cells = append(t.cells, cell)
+			t.tags = append(t.tags, tag)
+			return len(t.hashes) - 1, true
+		}
+		e := int(s - 1)
+		if t.hashes[e] == h && t.cells[e] == cell && t.tags[e] == tag {
+			return e, false
+		}
+	}
+}
+
+// lookupFixed returns the entry id of the normalized key, or -1.
+func (t *keyTable) lookupFixed(h uint64, cells []uint64, tags []byte) int {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if t.hashes[s-1] == h && t.eqFixed(int(s-1), cells, tags) {
+			return int(s - 1)
+		}
+	}
+}
+
+func (t *keyTable) entryBytes(e int) []byte {
+	return t.arena[t.offs[e]:t.offs[e+1]]
+}
+
+// getOrInsertBytes returns the entry id of the canonical key encoding,
+// inserting a new entry when absent (fresh=true).
+func (t *keyTable) getOrInsertBytes(h uint64, key []byte) (id int, fresh bool) {
+	t.maybeGrow()
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			t.slots[i] = int32(len(t.hashes) + 1)
+			t.hashes = append(t.hashes, h)
+			t.arena = append(t.arena, key...)
+			t.offs = append(t.offs, uint32(len(t.arena)))
+			return len(t.hashes) - 1, true
+		}
+		if t.hashes[s-1] == h && bytes.Equal(t.entryBytes(int(s-1)), key) {
+			return int(s - 1), false
+		}
+	}
+}
+
+// lookupBytes returns the entry id of the canonical key encoding, or -1.
+func (t *keyTable) lookupBytes(h uint64, key []byte) int {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if t.hashes[s-1] == h && bytes.Equal(t.entryBytes(int(s-1)), key) {
+			return int(s - 1)
+		}
+	}
+}

@@ -84,7 +84,7 @@ func TestLimitWithOffset(t *testing.T) {
 }
 
 func TestDistinctOperator(t *testing.T) {
-	op := NewDistinct(NopContext(), 1)
+	op := NewDistinct(NopContext(), []types.Type{types.Bigint})
 	got := col0Values(drain(t, op, longPage(1, 2, 1), longPage(2, 3)))
 	if len(got) != 3 {
 		t.Errorf("distinct: %v", got)
@@ -216,7 +216,11 @@ func buildBridge(t *testing.T, keys []int, pages ...*block.Page) *JoinBridge {
 	t.Helper()
 	bridge := NewJoinBridge()
 	bridge.AddBuilder()
-	hb := NewHashBuild(NopContext(), bridge, keys)
+	keyTs := make([]types.Type, len(keys))
+	for i, c := range keys {
+		keyTs[i] = pages[0].Col(c).Type()
+	}
+	hb := NewHashBuild(NopContext(), bridge, keys, keyTs)
 	for _, p := range pages {
 		if err := hb.AddInput(p); err != nil {
 			t.Fatal(err)

@@ -3,53 +3,98 @@ package operators
 import (
 	"encoding/binary"
 	"math"
+	"strings"
 
 	"repro/internal/block"
 	"repro/internal/types"
 )
+
+// appendCellKey appends the canonical binary encoding of one cell (column col,
+// row r). It is the single definition of the engine's key encoding: the batch
+// hashing kernels (batchhash.go) fold exactly these bytes, so vectorized and
+// fallback paths always agree.
+func appendCellKey(buf []byte, col block.Block, r int) []byte {
+	if col.IsNull(r) {
+		return append(buf, 0)
+	}
+	switch col.Type() {
+	case types.Bigint, types.Date:
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(col.Long(r)))
+	case types.Double:
+		buf = append(buf, 2)
+		// Encode doubles that equal an integer identically to the
+		// integer so cross-type joins group correctly.
+		f := col.Double(r)
+		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			buf[len(buf)-1] = 1
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(f)))
+		} else {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+	case types.Varchar:
+		buf = append(buf, 3)
+		s := col.Str(r)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	case types.Boolean:
+		if col.Bool(r) {
+			buf = append(buf, 4, 1)
+		} else {
+			buf = append(buf, 4, 0)
+		}
+	default:
+		buf = append(buf, 5)
+		s := col.Value(r).String()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// appendValueKey appends the canonical encoding of one boxed value — the same
+// bytes appendCellKey produces for the cell the value was read from.
+func appendValueKey(buf []byte, v types.Value) []byte {
+	if v.Null {
+		return append(buf, 0)
+	}
+	switch v.T {
+	case types.Bigint, types.Date:
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	case types.Double:
+		buf = append(buf, 2)
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			buf[len(buf)-1] = 1
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v.F)))
+		} else {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		}
+	case types.Varchar:
+		buf = append(buf, 3)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.S)))
+		buf = append(buf, v.S...)
+	case types.Boolean:
+		if v.B {
+			buf = append(buf, 4, 1)
+		} else {
+			buf = append(buf, 4, 0)
+		}
+	default:
+		buf = append(buf, 5)
+		s := v.String()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
 
 // encodeRowKey appends a canonical binary encoding of the given columns of
 // row r to buf. It is the hashing primitive for aggregations, joins,
 // distinct, and hash partitioning: equal rows encode identically.
 func encodeRowKey(buf []byte, p *block.Page, r int, cols []int) []byte {
 	for _, c := range cols {
-		col := p.Col(c)
-		if col.IsNull(r) {
-			buf = append(buf, 0)
-			continue
-		}
-		switch col.Type() {
-		case types.Bigint, types.Date:
-			buf = append(buf, 1)
-			buf = binary.LittleEndian.AppendUint64(buf, uint64(col.Long(r)))
-		case types.Double:
-			buf = append(buf, 2)
-			// Encode doubles that equal an integer identically to the
-			// integer so cross-type joins group correctly.
-			f := col.Double(r)
-			if f == math.Trunc(f) && math.Abs(f) < 1e15 {
-				buf[len(buf)-1] = 1
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(f)))
-			} else {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
-			}
-		case types.Varchar:
-			buf = append(buf, 3)
-			s := col.Str(r)
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
-			buf = append(buf, s...)
-		case types.Boolean:
-			if col.Bool(r) {
-				buf = append(buf, 4, 1)
-			} else {
-				buf = append(buf, 4, 0)
-			}
-		default:
-			buf = append(buf, 5)
-			s := col.Value(r).String()
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
-			buf = append(buf, s...)
-		}
+		buf = appendCellKey(buf, p.Col(c), r)
 	}
 	return buf
 }
@@ -65,7 +110,8 @@ func hashRowKey(key []byte) uint64 {
 }
 
 // HashPartition computes the target partition of row r given the hash
-// columns; it is used by partitioned outputs and local exchanges.
+// columns; it is used by partitioned outputs and local exchanges. Page-level
+// callers should prefer HashPartitionPage, which batches the hashing.
 func HashPartition(p *block.Page, r int, cols []int, parts int) int {
 	if parts <= 1 {
 		return 0
@@ -76,6 +122,9 @@ func HashPartition(p *block.Page, r int, cols []int, parts int) int {
 }
 
 // compareRows orders row a of pa against row b of pb on the sort keys.
+// Numeric, varchar, and boolean keys compare through the typed block
+// accessors; other types fall back to boxed Value.Compare. Ordering is
+// identical to Value.Compare, with NULLS LAST.
 func compareRows(pa *block.Page, a int, pb *block.Page, b int, keys []sortKey) int {
 	for _, k := range keys {
 		ca, cb := pa.Col(k.col), pb.Col(k.col)
@@ -89,7 +138,7 @@ func compareRows(pa *block.Page, a int, pb *block.Page, b int, keys []sortKey) i
 		case bn:
 			c = -1
 		default:
-			c = ca.Value(a).Compare(cb.Value(b))
+			c = compareCells(ca, a, cb, b)
 		}
 		if k.desc {
 			c = -c
@@ -99,6 +148,47 @@ func compareRows(pa *block.Page, a int, pb *block.Page, b int, keys []sortKey) i
 		}
 	}
 	return 0
+}
+
+// compareCells compares two non-null cells without boxing when both sides
+// have a typed fast path; mixed numeric pairs compare as doubles, matching
+// Value.Compare.
+func compareCells(ca block.Block, a int, cb block.Block, b int) int {
+	ta, tb := ca.Type(), cb.Type()
+	switch {
+	case (ta == types.Bigint || ta == types.Date) && (tb == types.Bigint || tb == types.Date):
+		x, y := ca.Long(a), cb.Long(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case (ta == types.Double || ta == types.Bigint || ta == types.Date) &&
+		(tb == types.Double || tb == types.Bigint || tb == types.Date):
+		x, y := ca.Double(a), cb.Double(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case ta == types.Varchar && tb == types.Varchar:
+		return strings.Compare(ca.Str(a), cb.Str(b))
+	case ta == types.Boolean && tb == types.Boolean:
+		x, y := ca.Bool(a), cb.Bool(b)
+		switch {
+		case x == y:
+			return 0
+		case y:
+			return -1
+		}
+		return 1
+	default:
+		return ca.Value(a).Compare(cb.Value(b))
+	}
 }
 
 type sortKey struct {

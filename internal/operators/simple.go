@@ -146,23 +146,37 @@ func (o *LimitOperator) IsFinished() bool {
 func (o *LimitOperator) IsBlocked() bool { return false }
 func (o *LimitOperator) Close() error    { return nil }
 
-// DistinctOperator removes duplicate rows using a hash set of encoded keys.
+// DistinctOperator removes duplicate rows using a hash set of row keys: an
+// open-addressing keyTable fed by the batch hashing kernels by default, or
+// the legacy encoded-key map when vectorized kernels are disabled.
 type DistinctOperator struct {
 	ctx      *OpContext
-	seen     map[string]struct{}
+	vec      bool
+	table    *keyTable // vectorized path; layout chosen on first page
+	batch    batchKeys
+	seen     map[string]struct{} // legacy path
 	keyCols  []int
 	pending  *block.Page
 	finished bool
 	bytes    int64
 }
 
-// NewDistinct builds a distinct operator over all columns.
-func NewDistinct(ctx *OpContext, ncols int) *DistinctOperator {
-	cols := make([]int, ncols)
+// NewDistinct builds a distinct operator over all columns. ts are the
+// planner column types: the key-table layout (fixed cells vs byte arena) is
+// decided here, up front, because input block types can under-report (an
+// all-NULL literal column arrives as an untyped block).
+func NewDistinct(ctx *OpContext, ts []types.Type) *DistinctOperator {
+	cols := make([]int, len(ts))
 	for i := range cols {
 		cols[i] = i
 	}
-	return &DistinctOperator{ctx: ctx, seen: make(map[string]struct{}), keyCols: cols}
+	o := &DistinctOperator{ctx: ctx, keyCols: cols, vec: ctx == nil || !ctx.DisableVecKernels}
+	if o.vec {
+		o.table = newKeyTable(fixedWidthKeys(ts), len(cols))
+	} else {
+		o.seen = make(map[string]struct{})
+	}
+	return o
 }
 
 func (o *DistinctOperator) NeedsInput() bool { return !o.finished && o.pending == nil }
@@ -170,14 +184,37 @@ func (o *DistinctOperator) NeedsInput() bool { return !o.finished && o.pending =
 func (o *DistinctOperator) AddInput(p *block.Page) error {
 	o.ctx.recordIn(p)
 	var keep []int
-	var buf []byte
-	for r := 0; r < p.RowCount(); r++ {
-		buf = encodeRowKey(buf[:0], p, r, o.keyCols)
-		k := string(buf)
-		if _, ok := o.seen[k]; !ok {
-			o.seen[k] = struct{}{}
-			o.bytes += int64(len(k) + 16)
-			keep = append(keep, r)
+	if o.vec {
+		o.batch.reset(p, o.keyCols, o.table.fixed)
+		for r := 0; r < p.RowCount(); r++ {
+			var fresh bool
+			if o.table.fixed {
+				cells, tags := o.batch.row(r)
+				_, fresh = o.table.getOrInsertFixed(o.batch.hashes[r], cells, tags)
+				if fresh {
+					o.bytes += int64(9*len(o.keyCols) + 16)
+				}
+			} else {
+				o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.keyCols)
+				_, fresh = o.table.getOrInsertBytes(o.batch.hashes[r], o.batch.buf)
+				if fresh {
+					o.bytes += int64(len(o.batch.buf) + 16)
+				}
+			}
+			if fresh {
+				keep = append(keep, r)
+			}
+		}
+	} else {
+		var buf []byte
+		for r := 0; r < p.RowCount(); r++ {
+			buf = encodeRowKey(buf[:0], p, r, o.keyCols)
+			k := string(buf)
+			if _, ok := o.seen[k]; !ok {
+				o.seen[k] = struct{}{}
+				o.bytes += int64(len(k) + 16)
+				keep = append(keep, r)
+			}
 		}
 	}
 	if err := o.ctx.Mem.SetBytes(o.bytes); err != nil {
@@ -200,7 +237,7 @@ func (o *DistinctOperator) Finish()          { o.finished = true }
 func (o *DistinctOperator) IsFinished() bool { return o.finished && o.pending == nil }
 func (o *DistinctOperator) IsBlocked() bool  { return false }
 func (o *DistinctOperator) Close() error {
-	o.seen = nil
+	o.seen, o.table = nil, nil
 	o.ctx.Mem.Close()
 	return nil
 }

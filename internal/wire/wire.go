@@ -57,6 +57,7 @@ type TaskConfig struct {
 	Interpreted            bool  `json:"interpreted,omitempty"`
 	Phased                 bool  `json:"phased,omitempty"`
 	CacheDisabled          bool  `json:"cacheDisabled,omitempty"`
+	VectorKernelsDisabled  bool  `json:"vectorKernelsDisabled,omitempty"`
 
 	FetchMaxRetries    int   `json:"fetchMaxRetries,omitempty"`
 	FetchBaseBackoffNs int64 `json:"fetchBaseBackoffNs,omitempty"`
@@ -75,6 +76,7 @@ func EncodeTaskConfig(c exec.TaskConfig) TaskConfig {
 		Interpreted:            c.Interpreted,
 		Phased:                 c.Phased,
 		CacheDisabled:          c.CacheDisabled,
+		VectorKernelsDisabled:  c.VectorKernelsDisabled,
 		FetchMaxRetries:        c.FetchRetry.MaxRetries,
 		FetchBaseBackoffNs:     int64(c.FetchRetry.BaseBackoff),
 		FetchMaxBackoffNs:      int64(c.FetchRetry.MaxBackoff),
@@ -93,6 +95,7 @@ func (c TaskConfig) Decode() exec.TaskConfig {
 		Interpreted:            c.Interpreted,
 		Phased:                 c.Phased,
 		CacheDisabled:          c.CacheDisabled,
+		VectorKernelsDisabled:  c.VectorKernelsDisabled,
 		FetchRetry: shuffle.RetryPolicy{
 			MaxRetries:   c.FetchMaxRetries,
 			BaseBackoff:  time.Duration(c.FetchBaseBackoffNs),

@@ -101,6 +101,10 @@ type ClusterConfig struct {
 	// Interpreted forces interpreted expression evaluation (the codegen
 	// ablation, §V-B).
 	Interpreted bool
+	// DisableVectorKernels forces the legacy per-row hash and filter paths
+	// cluster-wide (the vectorized-kernels ablation; per-query via
+	// Session.DisableVectorKernels).
+	DisableVectorKernels bool
 	// Phased enables phased stage scheduling (§IV-D1); default is
 	// all-at-once.
 	Phased bool
@@ -163,6 +167,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		TargetSplitConcurrency: cfg.TargetSplitConcurrency,
 		SpillEnabled:           cfg.SpillEnabled,
 		Interpreted:            cfg.Interpreted,
+		VectorKernelsDisabled:  cfg.DisableVectorKernels,
 		Phased:                 cfg.Phased,
 		MaxWriters:             cfg.MaxWriters,
 		WriteDelay:             cfg.WriteDelay,

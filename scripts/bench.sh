@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Kernel benchmarks (PR 5): vectorized vs legacy hash aggregation, hash join
+# build+probe, and filter selection kernels. Each benchmark runs the same
+# workload through the vectorized kernels and through the per-row ablation
+# baseline (DisableVecKernels), so the ratio is the kernels' speedup. Writes
+# machine-readable results to BENCH_5.json at the repository root.
+#
+#   scripts/bench.sh                 # 2s per benchmark (~1 min total)
+#   BENCHTIME=500ms scripts/bench.sh # quicker, noisier
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2s}"
+out="BENCH_5.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> go test -bench (benchtime $benchtime)"
+go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashJoinBuildProbe|FilterSelectivity' \
+  -benchtime "$benchtime" -benchmem . | tee "$tmp"
+
+{
+  echo '{'
+  echo '  "bench": "vectorized hash and filter kernels, vec vs legacy ablation",'
+  echo "  \"benchtime\": \"$benchtime\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo '  "results": ['
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+      row = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, $3)
+      for (i = 4; i < NF; i++) {
+        if ($(i+1) == "MB/s")      row = row sprintf(", \"mb_per_s\": %s", $i)
+        if ($(i+1) == "B/op")      row = row sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") row = row sprintf(", \"allocs_per_op\": %s", $i)
+      }
+      rows[n++] = row "}"
+    }
+    END { for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "") }
+  ' "$tmp"
+  echo '  ],'
+  echo '  "speedups": ['
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+      base = name
+      if (sub(/\/vec$/, "", base)) variant = "vec"
+      else if (sub(/\/legacy$/, "", base)) variant = "legacy"
+      else next
+      if (!(base in idx)) { order[m++] = base; idx[base] = 1 }
+      ns[base "." variant] = $3
+    }
+    END {
+      first = 1
+      for (i = 0; i < m; i++) {
+        b = order[i]; v = ns[b ".vec"]; l = ns[b ".legacy"]
+        if (v > 0 && l > 0) {
+          if (!first) printf ",\n"
+          first = 0
+          printf "    {\"name\": \"%s\", \"vec_ns_per_op\": %s, \"legacy_ns_per_op\": %s, \"speedup\": %.2f}", b, v, l, l / v
+        }
+      }
+      printf "\n"
+    }
+  ' "$tmp"
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "==> wrote $out"

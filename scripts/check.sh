@@ -42,6 +42,12 @@ CHAOS_SEED=7 go test -race -count=1 -run 'TestChaos' .
 echo "==> distributed smoke (HTTP workers)"
 go test -race -count=1 -run 'TestDistributedTPCHSmoke|TestDistributedDifferential' .
 
+echo "==> vector kernel differential smoke"
+go test -race -count=1 -run 'TestVecKernelsDifferential' .
+
+echo "==> kernel bench smoke (1 iteration per benchmark)"
+go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashJoinBuildProbe|FilterSelectivity' -benchtime 1x . > /dev/null
+
 if [ "$chaos_full" = 1 ]; then
   echo "==> chaos full sweep"
   CHAOS_SEED=7 CHAOS_FULL=1 go test -race -count=1 -v -run 'TestChaos' .
