@@ -15,7 +15,9 @@ import (
 
 	"repro"
 	"repro/internal/block"
+	"repro/internal/connector"
 	"repro/internal/connectors/hive"
+	"repro/internal/connectors/memconn"
 	"repro/internal/experiments"
 	"repro/internal/expr"
 	"repro/internal/operators"
@@ -516,5 +518,232 @@ func BenchmarkFilterSelectivity(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoded-block kernels and morsel scheduling (§V-C, §IV-F): dictionary and
+// RLE inputs on the decode-free fast paths vs the legacy per-row decode, and
+// morsel-driven vs static split scheduling on a skewed table. scripts/bench.sh
+// records the pairs in BENCH_6.json.
+// ---------------------------------------------------------------------------
+
+// benchDictPages builds pages whose varchar key column is dictionary-encoded
+// over nGroups shared entries, with a flat bigint value column.
+func benchDictPages(nRows, nGroups, pageRows int) []*block.Page {
+	dict := make([]string, nGroups)
+	for i := range dict {
+		dict[i] = fmt.Sprintf("group-%06d", i)
+	}
+	dictBlk := block.NewVarcharBlock(dict, nil)
+	var pages []*block.Page
+	for start := 0; start < nRows; start += pageRows {
+		n := pageRows
+		if nRows-start < n {
+			n = nRows - start
+		}
+		idx := make([]int32, n)
+		vals := make([]int64, n)
+		for i := range idx {
+			r := start + i
+			idx[i] = int32((r * 2654435761) % nGroups)
+			vals[i] = int64(r)
+		}
+		pages = append(pages, block.NewPage(block.NewDictionaryBlock(dictBlk, idx), block.NewLongBlock(vals, nil)))
+	}
+	return pages
+}
+
+// BenchmarkHashAggDictVarcharKey measures grouped aggregation on a
+// dictionary-encoded VARCHAR key: the vectorized path hashes dictionary ids
+// (one encode per distinct entry per page) while the legacy path decodes and
+// re-encodes the string on every row.
+func BenchmarkHashAggDictVarcharKey(b *testing.B) {
+	const nRows, nGroups = 1 << 17, 1 << 10
+	pages := benchDictPages(nRows, nGroups, 8192)
+	specs := []operators.AggSpec{{Func: plan.AggSum, ArgCol: 1, Out: types.Bigint}}
+	for _, mode := range []struct {
+		name string
+		vec  bool
+	}{{"vec", true}, {"legacy", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(nRows * 12))
+			for i := 0; i < b.N; i++ {
+				op := operators.NewHashAggregation(kernelCtx(mode.vec), []int{0},
+					[]types.Type{types.Varchar}, specs, false, 0)
+				for _, p := range pages {
+					if err := op.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				op.Finish()
+				if got := drainOperator(b, op); got != nGroups {
+					b.Fatalf("groups: got %d, want %d", got, nGroups)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashAggRLEKey measures grouped aggregation where the key column
+// arrives as RLE runs: the vectorized path applies each run's rows to one
+// group slot in a single step.
+func BenchmarkHashAggRLEKey(b *testing.B) {
+	const pageRows, nPages, nGroups = 8192, 16, 16
+	var pages []*block.Page
+	for p := 0; p < nPages; p++ {
+		vals := make([]int64, pageRows)
+		for i := range vals {
+			vals[i] = int64(p*pageRows + i)
+		}
+		pages = append(pages, block.NewPage(
+			block.NewRLEBlock(types.VarcharValue(fmt.Sprintf("run-%02d", p%nGroups)), pageRows),
+			block.NewLongBlock(vals, nil)))
+	}
+	specs := []operators.AggSpec{{Func: plan.AggSum, ArgCol: 1, Out: types.Bigint}}
+	for _, mode := range []struct {
+		name string
+		vec  bool
+	}{{"vec", true}, {"legacy", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(nPages * pageRows * 16))
+			for i := 0; i < b.N; i++ {
+				op := operators.NewHashAggregation(kernelCtx(mode.vec), []int{0},
+					[]types.Type{types.Varchar}, specs, false, 0)
+				for _, p := range pages {
+					if err := op.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				op.Finish()
+				if got := drainOperator(b, op); got != nGroups {
+					b.Fatalf("groups: got %d, want %d", got, nGroups)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashJoinDictKey measures a VARCHAR-key hash join whose probe side
+// is dictionary-encoded and whose build side is flat — the layout-mismatch
+// shape. The vectorized path hashes probe dictionary ids once per entry; the
+// legacy path re-encodes every probe row.
+func BenchmarkHashJoinDictKey(b *testing.B) {
+	const nBuild, nProbe = 1 << 10, 1 << 17
+	buildKeys := make([]string, nBuild)
+	buildVals := make([]int64, nBuild)
+	for i := range buildKeys {
+		buildKeys[i] = fmt.Sprintf("group-%06d", i)
+		buildVals[i] = int64(i)
+	}
+	var buildPages []*block.Page
+	for start := 0; start < nBuild; start += 4096 {
+		end := start + 4096
+		if end > nBuild {
+			end = nBuild
+		}
+		buildPages = append(buildPages, block.NewPage(
+			block.NewVarcharBlock(buildKeys[start:end], nil),
+			block.NewLongBlock(buildVals[start:end], nil)))
+	}
+	probePages := benchDictPages(nProbe, nBuild, 8192)
+	for _, mode := range []struct {
+		name string
+		vec  bool
+	}{{"vec", true}, {"legacy", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64((nBuild + nProbe) * 12))
+			for i := 0; i < b.N; i++ {
+				ctx := kernelCtx(mode.vec)
+				bridge := operators.NewJoinBridge()
+				bridge.SetVectorized(mode.vec)
+				bridge.AddBuilder()
+				hb := operators.NewHashBuild(ctx, bridge, []int{0}, []types.Type{types.Varchar})
+				for _, p := range buildPages {
+					if err := hb.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bridge.NoMoreBuilders()
+				hb.Finish()
+				bridge.AddProbe()
+				join := operators.NewLookupJoin(ctx, bridge, plan.InnerJoin, []int{0}, nil,
+					[]types.Type{types.Varchar, types.Bigint},
+					[]types.Type{types.Varchar, types.Bigint}, 0)
+				rows := 0
+				for _, p := range probePages {
+					if err := join.AddInput(p); err != nil {
+						b.Fatal(err)
+					}
+					for {
+						out, err := join.Output()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if out == nil {
+							break
+						}
+						rows += out.RowCount()
+					}
+				}
+				join.Finish()
+				rows += drainOperator(b, join)
+				if rows != nProbe {
+					b.Fatalf("join rows: got %d, want %d", rows, nProbe)
+				}
+			}
+		})
+	}
+}
+
+// newSkewBenchCluster loads a table whose split sizes are pathologically
+// skewed — one split holds ~97% of the rows, the other three are tiny — the
+// shape where static split-per-driver assignment leaves most drivers idle and
+// the morsel queue keeps them fed (§IV-F).
+func newSkewBenchCluster(b *testing.B) *presto.Cluster {
+	b.Helper()
+	const giantRows, tinyRows = 1 << 19, 2048
+	conn := memconn.New("skew")
+	cols := []connector.Column{{Name: "k", T: types.Bigint}, {Name: "v", T: types.Bigint}}
+	// memconn chunks pages contiguously into four splits, so four pages give
+	// one page per split: the first split holds one 512k-row page (sliced
+	// into ~64k-row morsels at scan time), the other three hold 2k rows each.
+	pages := benchKeyPages(giantRows, 64, giantRows)
+	for i := 0; i < 3; i++ {
+		pages = append(pages, benchKeyPages(tinyRows, 64, tinyRows)...)
+	}
+	conn.LoadTable("facts", cols, pages)
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 1, ThreadsPerWorker: 8, TargetSplitConcurrency: 8})
+	c.Register(conn)
+	return c
+}
+
+// BenchmarkMorselSkewScan runs a grouped aggregation over the skewed table
+// end to end, morsel-driven vs static split assignment. The morsel run should
+// approach the all-drivers-busy runtime; the static run is bounded by the one
+// driver that owns the giant split.
+func BenchmarkMorselSkewScan(b *testing.B) {
+	c := newSkewBenchCluster(b)
+	defer c.Close()
+	const q = "SELECT k, count(*), sum(v) FROM skew.facts GROUP BY k"
+	for _, mode := range []struct {
+		name string
+		s    presto.Session
+	}{{"morsel", presto.Session{}}, {"static", presto.Session{DisableMorsels: true}}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := c.ExecuteSession(q, mode.s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows, err := res.All()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 64 {
+					b.Fatalf("groups: got %d, want 64", len(rows))
+				}
+			}
+		})
 	}
 }

@@ -346,16 +346,43 @@ func CopyPositions(b Block, rows []int) Block {
 	}
 }
 
-// Slice returns rows [from, to) of b as a new block.
+// Slice returns rows [from, to) of b as a new block. Plain and encoded
+// blocks slice as zero-copy views over the parent's arrays (blocks are
+// immutable, so sharing is safe); this keeps repeated slicing of one large
+// page — the morsel queue carving a giant scan page into ~64k-row morsels —
+// O(1) per slice instead of copying the shrinking remainder each time.
 func Slice(b Block, from, to int) Block {
 	if from == 0 && to == b.Len() {
 		return b
+	}
+	switch src := b.(type) {
+	case *LongBlock:
+		return &LongBlock{T: src.T, Vals: src.Vals[from:to], Nulls: sliceNulls(src.Nulls, from, to)}
+	case *DoubleBlock:
+		return &DoubleBlock{Vals: src.Vals[from:to], Nulls: sliceNulls(src.Nulls, from, to)}
+	case *VarcharBlock:
+		return &VarcharBlock{Vals: src.Vals[from:to], Nulls: sliceNulls(src.Nulls, from, to)}
+	case *BoolBlock:
+		return &BoolBlock{Vals: src.Vals[from:to], Nulls: sliceNulls(src.Nulls, from, to)}
+	case *DictionaryBlock:
+		return &DictionaryBlock{Dict: src.Dict, Indices: src.Indices[from:to]}
+	case *RLEBlock:
+		return &RLEBlock{Val: src.Val, Count: to - from}
+	case *LazyBlock:
+		return Slice(src.Load(), from, to)
 	}
 	rows := make([]int, to-from)
 	for i := range rows {
 		rows[i] = from + i
 	}
 	return CopyPositions(b, rows)
+}
+
+func sliceNulls(nulls []bool, from, to int) []bool {
+	if nulls == nil {
+		return nil
+	}
+	return nulls[from:to]
 }
 
 // Decode returns a fully materialized plain block: lazy blocks are loaded and

@@ -116,7 +116,7 @@ func TestRackLocalPlacement(t *testing.T) {
 	stage := []*exec.Task{t0, t1}
 	nodeTask := map[int]*exec.Task{0: t0, 1: t1}
 
-	got := c.pickTask(stage, nodeTask, 0, rackSplit{})
+	got := c.pickTask(stage, nodeTask, 0, rackSplit{}, "")
 	if got != t1 {
 		t.Errorf("rack-located split should land on the r1 worker's task")
 	}

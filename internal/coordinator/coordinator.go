@@ -75,6 +75,10 @@ type Session struct {
 	// filter paths instead of the vectorized kernels (the A/B toggle;
 	// X-Presto-Disable-Vector-Kernels over HTTP).
 	DisableVectorKernels bool
+	// DisableMorsels runs this query's leaf pipelines with static
+	// split-per-driver assignment instead of the shared morsel queue (the
+	// A/B toggle; X-Presto-Disable-Morsels over HTTP).
+	DisableMorsels bool
 }
 
 // QueryState tracks lifecycle.

@@ -125,6 +125,9 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	if q.session.DisableVectorKernels {
 		cfg.VectorKernelsDisabled = true
 	}
+	if q.session.DisableMorsels {
+		cfg.MorselsDisabled = true
+	}
 	wireCfg := wire.EncodeTaskConfig(cfg)
 
 	singleRR := 0
@@ -188,6 +191,25 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	rootRef := placed[root.ID][0]
 	out := shuffle.NewOutputBuffer(1, c.cfg.Task.OutputBufferBytes)
 	res := &Result{Columns: outputNames(root), buf: out.Partition(0)}
+	// Mirror of the embedded scheduler's completion check: when the stream
+	// ends, take one final status sweep so a task failure that raced the
+	// last fetch is not reported as an empty success.
+	res.waitDone = func() error {
+		for _, rt := range created {
+			st, err := fetchTaskStatus(client, rt)
+			if err != nil {
+				continue // liveness poller handles persistent unreachability
+			}
+			if st.State == "failed" {
+				err := errors.New(st.Error)
+				if st.Transient {
+					return &transientTaskError{err}
+				}
+				return err
+			}
+		}
+		return nil
+	}
 
 	fetcher := faultinject.WrapFetcher(c.cfg.FaultInject,
 		&shuffle.HTTPFetcher{Client: client, URL: rootRef.resultsURI(0)})

@@ -37,6 +37,13 @@ type Result struct {
 	// failCh learns about task failures from the query monitor.
 	failMu  sync.Mutex
 	failure error
+
+	// waitDone, when set, resolves the query's final verdict once the
+	// output stream reports complete. A failing task destroys its output
+	// buffer, which a consumer cannot tell apart from normal completion —
+	// and the asynchronous failure monitor may not have published the error
+	// yet when the last fetch returns. Consulted exactly once.
+	waitDone func() error
 }
 
 // literalResult wraps immediate (DDL/EXPLAIN) output.
@@ -91,6 +98,13 @@ func (r *Result) NextPage() (*block.Page, error) {
 			return p, nil
 		}
 		if r.done {
+			if wd := r.waitDone; wd != nil {
+				r.waitDone = nil
+				if err := wd(); err != nil {
+					r.setFailure(err)
+					continue
+				}
+			}
 			r.finishLocked()
 			return nil, nil
 		}

@@ -2,6 +2,7 @@ package coordinator
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"repro/internal/connector"
@@ -97,6 +98,9 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			if q.session.DisableVectorKernels {
 				cfg.VectorKernelsDisabled = true
 			}
+			if q.session.DisableMorsels {
+				cfg.MorselsDisabled = true
+			}
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
 			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {
@@ -129,6 +133,22 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			}
 		}
 	}()
+	// The monitor publishes failures asynchronously; a consumer that sees
+	// the output stream complete (a failed task destroys its buffer, which
+	// looks like end-of-stream) re-checks every task's verdict here before
+	// declaring success. At that point the tasks are finished or aborting,
+	// so the waits are short.
+	res.waitDone = func() error {
+		for _, ft := range tasks {
+			for _, t := range ft {
+				<-t.Done()
+				if err := t.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 
 	// Split scheduling (§IV-D3): one enumerator per scan of each leaf stage.
 	for _, f := range dp.Fragments {
@@ -275,8 +295,9 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 	for i, t := range stage {
 		nodeTask[c.workers[i%len(c.workers)].ID] = t
 	}
+	affinity := c.affinityFn(q, scan)
 	assign := func(s connector.Split) error {
-		t := c.pickTask(stage, nodeTask, scanID, s)
+		t := c.pickTask(stage, nodeTask, scanID, s, affinity(s))
 		q.splitsTotal.Add(1)
 		return t.AddSplit(scanID, s)
 	}
@@ -346,7 +367,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 	}
 }
 
-func (c *Coordinator) pickTask(stage []*exec.Task, nodeTask map[int]*exec.Task, scanID int, s connector.Split) *exec.Task {
+func (c *Coordinator) pickTask(stage []*exec.Task, nodeTask map[int]*exec.Task, scanID int, s connector.Split, affinity string) *exec.Task {
 	if b, ok := s.(connector.Bucketed); ok {
 		return stage[b.Bucket()%len(stage)]
 	}
@@ -370,7 +391,7 @@ func (c *Coordinator) pickTask(stage []*exec.Task, nodeTask map[int]*exec.Task, 
 			if !prefRacks[c.cfg.Topology[node]] {
 				continue
 			}
-			if l := t.SplitQueueLength(scanID); best == nil || l < bestLen {
+			if l := taskLoad(t, scanID); best == nil || l < bestLen {
 				best, bestLen = t, l
 			}
 		}
@@ -379,11 +400,76 @@ func (c *Coordinator) pickTask(stage []*exec.Task, nodeTask map[int]*exec.Task, 
 		}
 	}
 	best := stage[0]
-	bestLen := best.SplitQueueLength(scanID)
+	bestLen := taskLoad(best, scanID)
 	for _, t := range stage[1:] {
-		if l := t.SplitQueueLength(scanID); l < bestLen {
+		if l := taskLoad(t, scanID); l < bestLen {
 			best, bestLen = t, l
 		}
 	}
+	// Soft cache affinity (§IV-D3): cacheable splits hash to a stable
+	// preferred task so repeated scans land on the worker already holding
+	// their pages. The preference yields only when that worker's split
+	// backlog is meaningfully deeper than the stage minimum — cache hits are
+	// worth a short wait, not a hotspot. The comparison deliberately uses
+	// split-queue depth alone: executor runnable depth swings by whole
+	// driver fan-outs in morsel mode, which would make the yield decision a
+	// race against driver ramp-up instead of a measure of split backlog.
+	if affinity != "" {
+		pref := stage[affinityHash(affinity)%uint32(len(stage))]
+		minSplits := stage[0].SplitQueueLength(scanID)
+		for _, t := range stage[1:] {
+			if l := t.SplitQueueLength(scanID); l < minSplits {
+				minSplits = l
+			}
+		}
+		if pref.SplitQueueLength(scanID) <= minSplits+affinitySlack {
+			return pref
+		}
+	}
 	return best
+}
+
+// affinitySlack is how much deeper a split's affinity-preferred worker queue
+// may be (vs the stage minimum) before placement falls back to shortest-queue.
+const affinitySlack = 8
+
+func affinityHash(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// affinityFn returns a per-split affinity key function for a scan: the page
+// cache key when the connector caches this read (so placement follows cache
+// residency), "" otherwise. Sessions that disable caching get no affinity —
+// there is nothing resident to return to.
+func (c *Coordinator) affinityFn(q *Query, scan *plan.Scan) func(connector.Split) string {
+	none := func(connector.Split) string { return "" }
+	if q.session.DisableCache {
+		return none
+	}
+	conn, err := c.Catalog.Connector(scan.Handle.Catalog)
+	if err != nil {
+		return none
+	}
+	pc, ok := conn.(connector.PageCacheable)
+	if !ok {
+		return none
+	}
+	return func(s connector.Split) string {
+		key, ok := pc.PageCacheKey(s, scan.Columns, scan.Handle)
+		if !ok {
+			return ""
+		}
+		return key
+	}
+}
+
+// taskLoad is the shortest-queue placement metric: splits queued for this
+// scan plus the runnable-driver depth of the hosting executor. Runnable depth
+// (not total queue length) matters — blocked and finished-but-unreaped
+// drivers occupy no thread, and counting them steered splits away from
+// workers running blocking-heavy plans that actually had idle capacity.
+func taskLoad(t *exec.Task, scanID int) int {
+	return t.SplitQueueLength(scanID) + t.ExecutorRunnable()
 }

@@ -50,6 +50,12 @@ type ExecutorConfig struct {
 	// provably blocked stays parked before re-admission (default 1ms). It
 	// bounds the busy-spin of pipelines starved behind a slow upstream.
 	StarvedPark time.Duration
+	// BlockedPoll is the fallback re-scan interval for parked blocked
+	// drivers (default 20ms). Unblock sources wake the executor eagerly via
+	// Kick, so this only bounds wakeup latency for blocking conditions with
+	// no notification hook; it is configurable so the wakeup-latency
+	// regression test can make a missed notification obvious.
+	BlockedPoll time.Duration
 	// LevelThresholds override the cumulative task-CPU boundaries between
 	// levels (defaults scale the paper's 1s quanta world down 10x).
 	LevelThresholds [nLevels]time.Duration
@@ -104,6 +110,9 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 	}
 	if cfg.StarvedPark <= 0 {
 		cfg.StarvedPark = time.Millisecond
+	}
+	if cfg.BlockedPoll <= 0 {
+		cfg.BlockedPoll = 20 * time.Millisecond
 	}
 	zero := [nLevels]time.Duration{}
 	if cfg.LevelThresholds == zero {
@@ -199,8 +208,28 @@ func (e *Executor) run() {
 			if r != nil {
 				break
 			}
-			// Nothing runnable: wait briefly (blocked drivers are polled).
-			waitTimeout(e.cond, time.Millisecond)
+			// Nothing runnable. With no parked drivers the thread sleeps
+			// until Enqueue, Kick, or Close signals; with parked drivers it
+			// wakes at the earliest park deadline (capped at BlockedPoll as
+			// a safety net for blocking conditions without a Kick hook)
+			// instead of busy-polling the blocked list every millisecond.
+			if len(e.blocked) == 0 {
+				e.cond.Wait()
+				continue
+			}
+			wait := e.cfg.BlockedPoll
+			now := time.Now()
+			for _, br := range e.blocked {
+				if br.parkedUntil.IsZero() {
+					continue
+				}
+				if d := br.parkedUntil.Sub(now); d < wait {
+					wait = d
+				}
+			}
+			if wait > 0 {
+				waitTimeout(e.cond, wait)
+			}
 		}
 		e.mu.Unlock()
 
@@ -274,16 +303,38 @@ func (e *Executor) Utilization() float64 {
 // BusyNanos returns total thread-nanoseconds spent running drivers.
 func (e *Executor) BusyNanos() int64 { return e.busyNanos.Load() }
 
-// QueueLength reports runnable+blocked drivers (for the scheduler's
-// shortest-queue split placement).
-func (e *Executor) QueueLength() int {
+// Kick wakes the scheduling loop: an external event (bridge built, exchange
+// data arrived, buffer space freed, morsel queued) may have unblocked a
+// parked driver. Called by unblock sources instead of relying on the
+// BlockedPoll fallback, so wakeup latency is bounded by notification
+// delivery, not by a poll interval.
+func (e *Executor) Kick() {
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// QueueLengths reports runnable and blocked driver depths separately.
+// Runnable excludes finished-but-not-reaped drivers (queued only so their
+// done callback fires) and parked blocked/starved drivers — counting either
+// as load skewed the scheduler's shortest-queue placement toward workers
+// busy with blocking-heavy plans.
+func (e *Executor) QueueLengths() (runnable, blocked int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	n := len(e.blocked)
 	for _, l := range e.levels {
-		n += len(l)
+		for _, r := range l {
+			if !r.driver.Finished() {
+				runnable++
+			}
+		}
 	}
-	return n
+	for _, r := range e.blocked {
+		if !r.driver.Finished() {
+			blocked++
+		}
+	}
+	return runnable, blocked
 }
 
 // Threads returns the number of driver slots.

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+)
+
+// fakePageSource replays a fixed page list.
+type fakePageSource struct {
+	pages  []*block.Page
+	pos    int
+	closed bool
+}
+
+func (f *fakePageSource) NextPage() (*block.Page, error) {
+	if f.pos >= len(f.pages) {
+		return nil, nil
+	}
+	p := f.pages[f.pos]
+	f.pos++
+	return p, nil
+}
+func (f *fakePageSource) BytesRead() int64 { return 0 }
+func (f *fakePageSource) Close()           { f.closed = true }
+
+// fakeSplit is a minimal split carrying an id into the open function.
+type fakeSplit struct{ id int }
+
+func (fakeSplit) Connector() string     { return "mem" }
+func (fakeSplit) PreferredNodes() []int { return nil }
+func (fakeSplit) EstimatedRows() int64  { return 1 }
+
+func longPage(n int, base int64) *block.Page {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = base + int64(i)
+	}
+	return block.NewPage(block.NewLongBlock(vals, nil))
+}
+
+// drainStripe pulls morsels for one stripe until the queue drains, returning
+// the total row count seen and the morsel sizes.
+func drainStripe(t *testing.T, q *morselQueue, stripe int) (rows int, sizes []int) {
+	t.Helper()
+	for {
+		p, err := q.next(stripe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == nil {
+			if q.drained() {
+				return rows, sizes
+			}
+			if q.starved() {
+				t.Fatal("queue starved with a single consumer: nothing can unblock it")
+			}
+			continue
+		}
+		rows += p.RowCount()
+		sizes = append(sizes, p.RowCount())
+	}
+}
+
+// TestMorselQueueStealsSiblingSplits deals splits across two stripes and
+// drains everything from stripe 0: the splits dealt to stripe 1 must be
+// stolen, and split completion must be counted at source exhaustion.
+func TestMorselQueueStealsSiblingSplits(t *testing.T) {
+	opened := 0
+	q := newMorselQueue(2, 1024, func(s connector.Split) (connector.PageSource, error) {
+		opened++
+		return &fakePageSource{pages: []*block.Page{longPage(100, int64(s.(fakeSplit).id)*1000)}}, nil
+	})
+	for i := 0; i < 4; i++ {
+		q.addSplit(fakeSplit{id: i})
+	}
+	q.noMoreSplits()
+
+	rows, _ := drainStripe(t, q, 0)
+	if rows != 400 {
+		t.Errorf("rows = %d, want 400 (stripe 0 must steal stripe 1's splits)", rows)
+	}
+	if opened != 4 {
+		t.Errorf("opened %d sources, want 4", opened)
+	}
+	if _, _, done := q.splitStats(); done != 4 {
+		t.Errorf("done splits = %d, want 4", done)
+	}
+	if !q.drained() {
+		t.Error("queue should be drained")
+	}
+}
+
+// TestMorselQueueSlicesOversizedPages feeds one split whose single page far
+// exceeds the morsel size: the queue must hand it out in morsel-sized runs.
+func TestMorselQueueSlicesOversizedPages(t *testing.T) {
+	q := newMorselQueue(1, 10, func(connector.Split) (connector.PageSource, error) {
+		return &fakePageSource{pages: []*block.Page{longPage(35, 0)}}, nil
+	})
+	q.addSplit(fakeSplit{})
+	q.noMoreSplits()
+
+	rows, sizes := drainStripe(t, q, 0)
+	if rows != 35 {
+		t.Errorf("rows = %d, want 35", rows)
+	}
+	if len(sizes) != 4 {
+		t.Errorf("morsels = %v, want 4 slices of an oversized page", sizes)
+	}
+	for _, s := range sizes {
+		if s > 10 {
+			t.Errorf("morsel of %d rows exceeds the 10-row cap", s)
+		}
+	}
+}
+
+// TestMorselQueueSharesGiantSplit runs two concurrent consumers against a
+// single split of many pages: both stripes must receive work (the whole point
+// of morsel scheduling — one oversized split fans out across drivers).
+func TestMorselQueueSharesGiantSplit(t *testing.T) {
+	var pages []*block.Page
+	for i := 0; i < 64; i++ {
+		pages = append(pages, longPage(50, int64(i)*100))
+	}
+	q := newMorselQueue(2, 1024, func(connector.Split) (connector.PageSource, error) {
+		return &fakePageSource{pages: pages}, nil
+	})
+	q.addSplit(fakeSplit{})
+	q.noMoreSplits()
+
+	// Alternate pulls between the two stripes from one thread, so the
+	// interleaving is deterministic: every stripe must be served pages of
+	// the single shared split.
+	perStripe := map[int]int{}
+	for st := 0; !q.drained(); st = 1 - st {
+		p, err := q.next(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			perStripe[st] += p.RowCount()
+		}
+	}
+	if total := perStripe[0] + perStripe[1]; total != 64*50 {
+		t.Fatalf("total rows = %d, want %d", total, 64*50)
+	}
+	if perStripe[0] == 0 || perStripe[1] == 0 {
+		t.Errorf("one stripe starved on a shared split: %v", perStripe)
+	}
+}
+
+// TestMorselQueueCancelClosesSources checks cancellation: open sources are
+// closed, pending splits dropped, and consumers observe the drained state.
+func TestMorselQueueCancelClosesSources(t *testing.T) {
+	src := &fakePageSource{pages: []*block.Page{longPage(10, 0), longPage(10, 10)}}
+	q := newMorselQueue(1, 1024, func(connector.Split) (connector.PageSource, error) {
+		return src, nil
+	})
+	q.addSplit(fakeSplit{})
+	q.addSplit(fakeSplit{id: 1})
+
+	// Pull one morsel so the first split's source is open.
+	p, err := q.next(0)
+	if err != nil || p == nil {
+		t.Fatalf("first morsel: %v %v", p, err)
+	}
+	q.cancel()
+	if !src.closed {
+		t.Error("cancel should close open sources")
+	}
+	if !q.drained() {
+		t.Error("canceled queue should report drained")
+	}
+	if p, err := q.next(0); p != nil || err != nil {
+		t.Errorf("next after cancel = (%v, %v), want (nil, nil)", p, err)
+	}
+}
+
+// TestMorselQueueOpenErrorPropagates surfaces split-open failures to the
+// pulling driver rather than wedging the queue.
+func TestMorselQueueOpenErrorPropagates(t *testing.T) {
+	q := newMorselQueue(1, 1024, func(connector.Split) (connector.PageSource, error) {
+		return nil, errors.New("open failed")
+	})
+	q.addSplit(fakeSplit{})
+	q.noMoreSplits()
+	if _, err := q.next(0); err == nil {
+		t.Fatal("open error should propagate to the consumer")
+	}
+}

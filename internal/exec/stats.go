@@ -43,10 +43,19 @@ func (t *Task) Stats() TaskStats {
 	for _, splits := range t.pendingSplits {
 		st.SplitsQueued += len(splits)
 	}
-	for _, n := range t.runningSplits {
+	for id, n := range t.runningSplits {
+		if _, ok := t.morsels[id]; ok {
+			continue // morsel-mode: n counts drivers, not splits
+		}
 		st.SplitsRunning += n
 	}
 	st.SplitsDone = t.splitsDone
+	for _, q := range t.morsels {
+		queued, running, done := q.splitStats()
+		st.SplitsQueued += queued
+		st.SplitsRunning += running
+		st.SplitsDone += done
+	}
 	st.ActiveDrivers = t.activeDrivers
 	for _, p := range t.compiled {
 		ps := PipelineStats{

@@ -59,6 +59,14 @@ type TaskConfig struct {
 	// paths back to the per-row closure and encoded-key map implementations
 	// (the vectorized-kernels ablation; Session.DisableVectorKernels).
 	VectorKernelsDisabled bool
+	// MorselsDisabled reverts leaf pipelines to static split-per-driver
+	// assignment (the morsel-execution ablation; Session.DisableMorsels).
+	// By default scan drivers pull ~64k-row morsels from a shared per-scan
+	// queue and steal from sibling stripes, so skewed split sizes no longer
+	// serialize a pipeline on one driver.
+	MorselsDisabled bool
+	// MorselRows overrides the target morsel size (tests; 0 = default).
+	MorselRows int
 }
 
 // Task executes one plan fragment on a worker: it owns the fragment's
@@ -85,7 +93,8 @@ type Task struct {
 
 	mu            sync.Mutex
 	activeDrivers int
-	pendingSplits map[int][]connector.Split // scanID → queued splits
+	pendingSplits map[int][]connector.Split // scanID → queued splits (static mode)
+	morsels       map[int]*morselQueue      // scanID → shared work queue (morsel mode)
 	runningSplits map[int]int               // scanID → running drivers
 	noMoreSplits  map[int]bool
 	splitsDone    int // completed split drivers across all scans
@@ -134,6 +143,7 @@ func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg Connecto
 		spillEnabled:  cfg.SpillEnabled,
 		writeDelay:    cfg.WriteDelay,
 		pendingSplits: map[int][]connector.Split{},
+		morsels:       map[int]*morselQueue{},
 		runningSplits: map[int]int{},
 		noMoreSplits:  map[int]bool{},
 		doneCh:        make(chan struct{}),
@@ -164,6 +174,23 @@ func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg Connecto
 		client.Retry = cfg.FetchRetry
 		t.exchangeClients = append(t.exchangeClients, client)
 		p.exchangeClient = client
+	}
+
+	// Unblock notifications: every structure a driver can park on kicks the
+	// executor when its state changes, so parked drivers resume on the event
+	// instead of the executor's fallback poll (§IV-F1 adaptation).
+	kick := ex.Kick
+	t.output.SetNotify(kick)
+	for _, client := range t.exchangeClients {
+		client.SetNotify(kick)
+	}
+	for _, p := range t.compiled {
+		if p.buildBridge != nil {
+			p.buildBridge.SetNotify(kick)
+		}
+		if p.localEx != nil {
+			p.localEx.SetNotify(kick)
+		}
 	}
 	return t, nil
 }
@@ -282,7 +309,9 @@ func (t *Task) declareNoMoreDriversLocked(p *pipelineSpec) {
 	}
 }
 
-// AddSplit queues a split for the scan pipeline scanID.
+// AddSplit queues a split for the scan pipeline scanID. In morsel mode
+// (default) the split joins the scan's shared work queue; in the static
+// ablation it is owned end-to-end by one driver.
 func (t *Task) AddSplit(scanID int, s connector.Split) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -292,8 +321,40 @@ func (t *Task) AddSplit(scanID int, s connector.Split) error {
 	if _, ok := t.scanPipes[scanID]; !ok {
 		return fmt.Errorf("task %s has no scan pipeline %d", t.ID, scanID)
 	}
-	t.pendingSplits[scanID] = append(t.pendingSplits[scanID], s)
+	if !t.cfg.MorselsDisabled {
+		q, err := t.morselQueueLocked(scanID)
+		if err != nil {
+			return err
+		}
+		q.addSplit(s)
+	} else {
+		t.pendingSplits[scanID] = append(t.pendingSplits[scanID], s)
+	}
 	return t.maybeStartSplitsLocked(scanID)
+}
+
+// morselQueueLocked returns (creating on first use) the shared work queue of
+// a scan pipeline. The open function routes through the worker page cache
+// exactly like the static path, and completed opens record cache hits on the
+// pipeline's shared source stats.
+func (t *Task) morselQueueLocked(scanID int) (*morselQueue, error) {
+	if q, ok := t.morsels[scanID]; ok {
+		return q, nil
+	}
+	p := t.scanPipes[scanID]
+	conn, err := t.connectors.Connector(p.scanHandle.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	pipe := p
+	stats := p.opStats[0]
+	q := newMorselQueue(t.cfg.TargetSplitConcurrency, t.cfg.MorselRows,
+		func(s connector.Split) (connector.PageSource, error) {
+			return t.openPageSource(conn, s, pipe, stats)
+		})
+	q.onReady = t.executor.Kick
+	t.morsels[scanID] = q
+	return q, nil
 }
 
 // NoMoreSplits declares split enumeration complete for a scan.
@@ -301,15 +362,26 @@ func (t *Task) NoMoreSplits(scanID int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.noMoreSplits[scanID] = true
+	if q, ok := t.morsels[scanID]; ok {
+		q.noMoreSplits()
+	}
 	t.maybeDeclareScanDoneLocked(scanID)
 	t.maybeFinishLocked()
 }
 
 func (t *Task) maybeDeclareScanDoneLocked(scanID int) {
-	if t.noMoreSplits[scanID] && len(t.pendingSplits[scanID]) == 0 && t.runningSplits[scanID] == 0 {
-		if p, ok := t.scanPipes[scanID]; ok {
-			t.declareNoMoreDriversLocked(p)
+	if !t.noMoreSplits[scanID] || t.runningSplits[scanID] != 0 {
+		return
+	}
+	if q, ok := t.morsels[scanID]; ok {
+		if !q.drained() {
+			return
 		}
+	} else if len(t.pendingSplits[scanID]) > 0 {
+		return
+	}
+	if p, ok := t.scanPipes[scanID]; ok {
+		t.declareNoMoreDriversLocked(p)
 	}
 }
 
@@ -329,6 +401,23 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 	target := t.cfg.TargetSplitConcurrency
 	if t.output.Utilization() > 0.5 {
 		target = 1 // buffers full: lower effective concurrency
+	}
+	if q, ok := t.morsels[scanID]; ok {
+		// Morsel mode: drivers are not tied to splits — start pullers up to
+		// the adaptive target while the shared queue has any work at all, so
+		// even a single oversized split fans out across every driver.
+		if p.noMoreDrivers {
+			return nil
+		}
+		for t.runningSplits[scanID] < target && q.hasWork() {
+			sctx := t.sourceCtx(p)
+			src := operators.NewMorselScan(sctx, &morselStripe{q: q, stripe: q.claimStripe()})
+			if err := t.startDriverLocked(p, src, sctx); err != nil {
+				return err
+			}
+			t.runningSplits[scanID]++
+		}
+		return nil
 	}
 	for t.runningSplits[scanID] < target && len(t.pendingSplits[scanID]) > 0 {
 		s := t.pendingSplits[scanID][0]
@@ -382,7 +471,11 @@ func (t *Task) driverDone(p *pipelineSpec, err error) {
 	p.driversDone++
 	if p.source == srcScan {
 		t.runningSplits[p.scanID]--
-		t.splitsDone++
+		if _, morsel := t.morsels[p.scanID]; !morsel {
+			// Morsel-mode split completion is counted by the queue at source
+			// exhaustion; a scan driver there is not one split.
+			t.splitsDone++
+		}
 		if err == nil && !t.aborted {
 			if serr := t.maybeStartSplitsLocked(p.scanID); serr != nil && t.failed == nil {
 				t.failed = serr
@@ -416,6 +509,9 @@ func (t *Task) cancelPipelinesLocked() {
 			p.localEx.Cancel()
 		}
 	}
+	for _, q := range t.morsels {
+		q.cancel()
+	}
 }
 
 // maybeFinishLocked finalizes the task when all drivers are done and no
@@ -424,9 +520,11 @@ func (t *Task) maybeFinishLocked() {
 	if t.activeDrivers > 0 {
 		return
 	}
-	for id, p := range t.scanPipes {
-		_ = p
+	for id := range t.scanPipes {
 		if !t.noMoreSplits[id] || len(t.pendingSplits[id]) > 0 {
+			return
+		}
+		if q, ok := t.morsels[id]; ok && !q.drained() {
 			return
 		}
 	}
@@ -537,11 +635,26 @@ func (t *Task) WriterCount() int {
 }
 
 // SplitQueueLength reports queued plus running splits for a scan, used for
-// the coordinator's shortest-queue split assignment (§IV-D3).
+// the coordinator's shortest-queue split assignment (§IV-D3). In morsel mode
+// the queue's outstanding count already covers both pending and open splits;
+// runningSplits there counts the driver fan-out (many drivers share one
+// split), which would double-count a single split's work.
 func (t *Task) SplitQueueLength(scanID int) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if q, ok := t.morsels[scanID]; ok {
+		return q.outstanding()
+	}
 	return len(t.pendingSplits[scanID]) + t.runningSplits[scanID]
+}
+
+// ExecutorRunnable reports the runnable-driver depth of the executor hosting
+// this task. The coordinator's split placement adds it to the per-scan split
+// queue so load comparisons reflect drivers actually competing for threads,
+// not drivers parked on blocking conditions.
+func (t *Task) ExecutorRunnable() int {
+	runnable, _ := t.executor.QueueLengths()
+	return runnable
 }
 
 // CPUNanos reports task CPU time.

@@ -112,6 +112,7 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		User:                 r.Header.Get("X-Presto-User"),
 		DisableCache:         r.Header.Get("X-Presto-Disable-Cache") != "",
 		DisableVectorKernels: r.Header.Get("X-Presto-Disable-Vector-Kernels") != "",
+		DisableMorsels:       r.Header.Get("X-Presto-Disable-Morsels") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of

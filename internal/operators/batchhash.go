@@ -299,6 +299,28 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// fixed1Hash is the table hash of a single normalized fixed-width key cell —
+// the nk==1 case of batchKeys.reset's fused pass. Single-cell fast paths
+// (dictionary/RLE memoization in join build/probe and aggregation) must use
+// this exact function so their hashes agree with rows inserted via reset.
+func fixed1Hash(cell uint64, tag byte) uint64 {
+	return mix64(cell ^ uint64(tag)*0x9e3779b97f4a7c15)
+}
+
+// bytes1Hash is the table hash of a single canonically-encoded key cell — the
+// single-column case of the bytes-layout fold in batchKeys.reset.
+func bytes1Hash(enc []byte) uint64 {
+	return fnvBytes(fnvOffset, enc)
+}
+
+// loadCol unwraps a lazy block so encoding type-switches see the real block.
+func loadCol(b block.Block) block.Block {
+	if lz, ok := b.(*block.LazyBlock); ok {
+		return lz.Load()
+	}
+	return b
+}
+
 // reset recomputes the hash vector (and normalized cells in fixed mode) for
 // the key columns of p. fixed must match the owning table's layout; callers
 // derive it from the key column types, which are constant per operator.
@@ -319,7 +341,7 @@ func (bk *batchKeys) reset(p *block.Page, cols []int, fixed bool) {
 		nk := bk.nk
 		if nk == 1 {
 			for i := 0; i < n; i++ {
-				bk.hashes[i] = mix64(bk.cells[i] ^ uint64(bk.tags[i])*0x9e3779b97f4a7c15)
+				bk.hashes[i] = fixed1Hash(bk.cells[i], bk.tags[i])
 			}
 		} else {
 			for i := 0; i < n; i++ {

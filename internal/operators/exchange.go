@@ -165,6 +165,26 @@ type LocalExchange struct {
 	parts []int // per-row partition scratch, reused across pages
 	rr    int
 	cap   int
+
+	// notify fires (outside mu) when pages arrive, space frees, or the
+	// exchange finishes — the transitions that can unblock a parked sink or
+	// source driver. The executor registers its Kick here.
+	notify func()
+}
+
+// SetNotify installs the unblock callback; set before drivers start.
+func (l *LocalExchange) SetNotify(fn func()) {
+	l.mu.Lock()
+	l.notify = fn
+	l.mu.Unlock()
+}
+
+// notifyLocked returns the callback to run after the caller releases mu.
+func (l *LocalExchange) notifyLocked() func() {
+	if l.notify == nil {
+		return func() {}
+	}
+	return l.notify
 }
 
 // NewLocalExchange creates a ways-way in-task exchange.
@@ -250,7 +270,11 @@ func (o *LocalExchangeSource) Close() error     { return nil }
 
 func (l *LocalExchange) add(p *block.Page) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	defer func() {
+		notify := l.notifyLocked()
+		l.mu.Unlock()
+		notify()
+	}()
 	n := len(l.queue)
 	if len(l.hash) > 0 && n > 1 {
 		l.parts = HashPartitionPage(p, l.hash, n, l.parts)
@@ -272,14 +296,18 @@ func (l *LocalExchange) add(p *block.Page) {
 
 func (l *LocalExchange) poll(i int) (*block.Page, bool) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if len(l.queue[i]) > 0 {
 		p := l.queue[i][0]
 		l.queue[i] = l.queue[i][1:]
 		l.cond.Broadcast()
+		notify := l.notifyLocked()
+		l.mu.Unlock()
+		notify() // space freed: a sink blocked on full() may resume
 		return p, false
 	}
-	return nil, l.done
+	done := l.done
+	l.mu.Unlock()
+	return nil, done
 }
 
 func (l *LocalExchange) empty(i int) bool {
@@ -307,5 +335,7 @@ func (l *LocalExchange) finish() {
 	l.mu.Lock()
 	l.done = true
 	l.cond.Broadcast()
+	notify := l.notifyLocked()
 	l.mu.Unlock()
+	notify()
 }

@@ -168,9 +168,12 @@ func (o *HashAggregationOperator) AddInput(p *block.Page) error {
 	o.mu.Lock()
 	n := p.RowCount()
 	var err error
-	if o.vec && o.fixedKeys {
+	switch {
+	case o.vec && o.fixedKeys:
 		err = o.addInputVecFixed(p, n)
-	} else {
+	case o.vec:
+		err = o.addInputVecBytes(p, n)
+	default:
 		err = o.addInputRows(p, n)
 	}
 	if err != nil {
@@ -198,43 +201,156 @@ func (o *HashAggregationOperator) AddInput(p *block.Page) error {
 // resolves every row to a dense group id, then each aggregate runs as a
 // columnar update loop over the id vector (§V-B). Caller holds o.mu.
 func (o *HashAggregationOperator) addInputVecFixed(p *block.Page, n int) error {
-	o.batch.reset(p, o.groupCols, true)
 	if cap(o.ids) < n {
 		o.ids = make([]int32, n)
 	}
 	ids := o.ids[:n]
 	nk, na := len(o.groupCols), len(o.aggs)
 	freshBytes := int64(9*nk) + int64(64*na) + 48
+	runID := int32(-1)
+	resolved := false
 	if nk == 1 {
-		// Single-key fast path: probe on scalars, no per-row slicing.
-		cells, tags, hashes := o.batch.cells, o.batch.tags, o.batch.hashes
-		c0 := o.groupCols[0]
-		for r := 0; r < n; r++ {
-			id, fresh := o.table.getOrInsertFixed1(hashes[r], cells[r], tags[r])
-			if fresh {
-				g := o.newGroupLocked()
-				g.Key[0] = p.Col(c0).Value(r)
-				o.entries = append(o.entries, g)
-				o.bytes += freshBytes
+		runID, resolved = o.resolveEncodedSingle(p, ids, n)
+	}
+	if !resolved {
+		o.batch.reset(p, o.groupCols, true)
+		if nk == 1 {
+			// Single-key fast path: probe on scalars, no per-row slicing.
+			cells, tags, hashes := o.batch.cells, o.batch.tags, o.batch.hashes
+			c0 := o.groupCols[0]
+			for r := 0; r < n; r++ {
+				id, fresh := o.table.getOrInsertFixed1(hashes[r], cells[r], tags[r])
+				if fresh {
+					g := o.newGroupLocked()
+					g.Key[0] = p.Col(c0).Value(r)
+					o.entries = append(o.entries, g)
+					o.bytes += freshBytes
+				}
+				ids[r] = int32(id)
 			}
-			ids[r] = int32(id)
+		} else {
+			for r := 0; r < n; r++ {
+				cells, tags := o.batch.row(r)
+				id, fresh := o.table.getOrInsertFixed(o.batch.hashes[r], cells, tags)
+				if fresh {
+					g := o.newGroupLocked()
+					for i, c := range o.groupCols {
+						g.Key[i] = p.Col(c).Value(r)
+					}
+					o.entries = append(o.entries, g)
+					o.bytes += freshBytes
+				}
+				ids[r] = int32(id)
+			}
 		}
-	} else {
+	}
+	return o.accumulatePage(ids, runID, p, n)
+}
+
+// addInputVecBytes is the vectorized byte-layout path (varchar/array/mixed
+// group keys): one pass resolves every row to a dense group id — probing the
+// table once per dictionary entry or RLE run instead of materializing a
+// canonical key encoding per row — then each aggregate runs over the id
+// vector with the same columnar kernels as the fixed path (§V-B). Caller
+// holds o.mu.
+func (o *HashAggregationOperator) addInputVecBytes(p *block.Page, n int) error {
+	if cap(o.ids) < n {
+		o.ids = make([]int32, n)
+	}
+	ids := o.ids[:n]
+	runID := int32(-1)
+	resolved := false
+	if len(o.groupCols) == 1 {
+		runID, resolved = o.resolveEncodedSingle(p, ids, n)
+	}
+	if !resolved {
+		o.batch.reset(p, o.groupCols, false)
+		na := len(o.aggs)
 		for r := 0; r < n; r++ {
-			cells, tags := o.batch.row(r)
-			id, fresh := o.table.getOrInsertFixed(o.batch.hashes[r], cells, tags)
+			o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.groupCols)
+			id, fresh := o.table.getOrInsertBytes(o.batch.hashes[r], o.batch.buf)
 			if fresh {
 				g := o.newGroupLocked()
 				for i, c := range o.groupCols {
 					g.Key[i] = p.Col(c).Value(r)
 				}
 				o.entries = append(o.entries, g)
-				o.bytes += freshBytes
+				o.bytes += int64(len(o.batch.buf)) + int64(64*na) + 48
 			}
 			ids[r] = int32(id)
 		}
 	}
+	return o.accumulatePage(ids, runID, p, n)
+}
+
+// resolveEncodedSingle resolves dictionary/RLE-encoded single-column group
+// keys by distinct entry: the key table is probed once per referenced
+// dictionary id (or once per page for RLE) and rows gather their group ids
+// through the index vector. A runID >= 0 marks a page whose rows all fall in
+// one group, letting aggregates fold whole RLE runs in a single step.
+// resolved=false means the key column is flat and the caller should run the
+// batch path. Caller holds o.mu.
+func (o *HashAggregationOperator) resolveEncodedSingle(p *block.Page, ids []int32, n int) (runID int32, resolved bool) {
+	switch kc := loadCol(p.Col(o.groupCols[0])).(type) {
+	case *block.RLEBlock:
+		id := o.groupIDForCell(kc.Val, 0)
+		for i := range ids {
+			ids[i] = id
+		}
+		return id, true
+	case *block.DictionaryBlock:
+		memo := make([]int32, kc.Dict.Len())
+		for j := range memo {
+			memo[j] = -1 // unresolved: unreferenced ids never create groups
+		}
+		for r := 0; r < n; r++ {
+			j := kc.Indices[r]
+			if memo[j] < 0 {
+				memo[j] = o.groupIDForCell(kc.Dict, int(j))
+			}
+			ids[r] = memo[j]
+		}
+		return -1, true
+	}
+	return -1, false
+}
+
+// groupIDForCell returns the dense group id of the single key cell blk[j],
+// materializing a fresh group when absent. NULL is a valid group key in
+// aggregation (unlike joins). Caller holds o.mu.
+func (o *HashAggregationOperator) groupIDForCell(blk block.Block, j int) int32 {
+	na := len(o.aggs)
+	var id int
+	var fresh bool
+	if o.table.fixed {
+		tag, cell := normValue(blk.Value(j))
+		id, fresh = o.table.getOrInsertFixed1(fixed1Hash(cell, tag), cell, tag)
+		if fresh {
+			o.bytes += int64(9 + 64*na + 48)
+		}
+	} else {
+		o.batch.buf = appendCellKey(o.batch.buf[:0], blk, j)
+		id, fresh = o.table.getOrInsertBytes(bytes1Hash(o.batch.buf), o.batch.buf)
+		if fresh {
+			o.bytes += int64(len(o.batch.buf)) + int64(64*na) + 48
+		}
+	}
+	if fresh {
+		g := o.newGroupLocked()
+		g.Key[0] = blk.Value(j)
+		o.entries = append(o.entries, g)
+	}
+	return int32(id)
+}
+
+// accumulatePage runs every aggregate over the resolved id vector: the O(1)
+// whole-run kernel when the page is a single group's RLE run, else the
+// columnar kernels, else the per-row fallback. Caller holds o.mu.
+func (o *HashAggregationOperator) accumulatePage(ids []int32, runID int32, p *block.Page, n int) error {
 	for i := range o.aggs {
+		if runID >= 0 && o.accumulateRun(&o.aggs[i], i, runID, p, n) {
+			continue
+		}
 		if o.accumulateVec(&o.aggs[i], i, ids, p) {
 			continue
 		}
@@ -247,32 +363,67 @@ func (o *HashAggregationOperator) addInputVecFixed(p *block.Page, n int) error {
 	return nil
 }
 
-// addInputRows is the row-at-a-time path: vectorized byte-layout keys and the
-// legacy map ablation baseline. Caller holds o.mu.
-func (o *HashAggregationOperator) addInputRows(p *block.Page, n int) error {
-	if o.vec {
-		o.batch.reset(p, o.groupCols, false)
+// accumulateRun folds an entire page into one group in a single step: when
+// every row falls in the same group (RLE group key) and the argument is also
+// RLE-encoded (or COUNT(*)), the run's contribution is computed arithmetically
+// instead of n accumulator updates. Returns false to fall back to the
+// columnar/per-row kernels. Caller holds o.mu.
+func (o *HashAggregationOperator) accumulateRun(spec *AggSpec, si int, id int32, p *block.Page, n int) bool {
+	if spec.Distinct {
+		return false
 	}
+	st := &o.entries[id].States[si]
+	if spec.Func == plan.AggCountAll {
+		st.Count += int64(n)
+		return true
+	}
+	rle, ok := loadCol(p.Col(spec.ArgCol)).(*block.RLEBlock)
+	if !ok {
+		return false
+	}
+	if rle.Val.IsNull(0) {
+		return true // NULL argument: every aggregate skips it
+	}
+	v := rle.Val.Value(0)
+	switch spec.Func {
+	case plan.AggCount:
+		st.Count += int64(n)
+	case plan.AggSum, plan.AggAvg:
+		st.Count += int64(n)
+		st.HasVal = true
+		if v.T == types.Double {
+			st.SumF += v.F * float64(n)
+		} else {
+			st.SumI += v.I * int64(n)
+			st.SumF += float64(v.I) * float64(n)
+		}
+	case plan.AggMin:
+		if !st.HasVal || v.Compare(st.MinMax) < 0 {
+			st.MinMax, st.HasVal = v, true
+		}
+	case plan.AggMax:
+		if !st.HasVal || v.Compare(st.MinMax) > 0 {
+			st.MinMax, st.HasVal = v, true
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// addInputRows is the legacy row-at-a-time map path, kept as the ablation
+// baseline (OpContext.DisableVecKernels). Caller holds o.mu.
+func (o *HashAggregationOperator) addInputRows(p *block.Page, n int) error {
 	var buf []byte
 	for r := 0; r < n; r++ {
-		var id int
-		var fresh bool
-		if o.vec {
-			o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.groupCols)
-			id, fresh = o.table.getOrInsertBytes(o.batch.hashes[r], o.batch.buf)
-			if fresh {
-				o.bytes += int64(len(o.batch.buf))
-			}
-		} else {
-			buf = encodeRowKey(buf[:0], p, r, o.groupCols)
-			var ok bool
-			id, ok = o.legacy[string(buf)]
-			if !ok {
-				id = len(o.entries)
-				o.legacy[string(buf)] = id
-				fresh = true
-				o.bytes += int64(len(buf))
-			}
+		buf = encodeRowKey(buf[:0], p, r, o.groupCols)
+		id, ok := o.legacy[string(buf)]
+		fresh := false
+		if !ok {
+			id = len(o.entries)
+			o.legacy[string(buf)] = id
+			fresh = true
+			o.bytes += int64(len(buf))
 		}
 		if fresh {
 			key := make([]types.Value, len(o.groupCols))

@@ -41,6 +41,27 @@ type JoinBridge struct {
 	probesActive   int
 	noMoreProbes   bool
 	outerClaimed   bool
+
+	// notify fires (outside mu) on every transition that can unblock a
+	// parked probe driver: the table becoming built, cancellation, and the
+	// last probe finishing (which releases RIGHT/FULL outer emission). The
+	// executor registers its Kick here.
+	notify func()
+}
+
+// SetNotify installs the unblock callback; set before drivers start.
+func (b *JoinBridge) SetNotify(fn func()) {
+	b.mu.Lock()
+	b.notify = fn
+	b.mu.Unlock()
+}
+
+// notifyLocked returns the callback to run after the caller releases mu.
+func (b *JoinBridge) notifyLocked() func() {
+	if b.notify == nil {
+		return func() {}
+	}
+	return b.notify
 }
 
 // AddBuilder registers a build-side driver (called at driver creation).
@@ -56,7 +77,9 @@ func (b *JoinBridge) BuilderFinished() {
 	b.mu.Lock()
 	b.buildersActive--
 	b.maybeBuiltLocked()
+	notify := b.notifyLocked()
 	b.mu.Unlock()
+	notify()
 }
 
 // Cancel force-completes the bridge during task failure or abort. A build
@@ -71,7 +94,9 @@ func (b *JoinBridge) Cancel() {
 	b.noMoreProbes = true
 	b.probesActive = 0 // dead probe drivers never call ProbeFinished
 	b.cond.Broadcast()
+	notify := b.notifyLocked()
 	b.mu.Unlock()
+	notify()
 }
 
 // NoMoreBuilders declares that every build driver has been created.
@@ -79,7 +104,9 @@ func (b *JoinBridge) NoMoreBuilders() {
 	b.mu.Lock()
 	b.noMoreBuilders = true
 	b.maybeBuiltLocked()
+	notify := b.notifyLocked()
 	b.mu.Unlock()
+	notify()
 }
 
 func (b *JoinBridge) maybeBuiltLocked() {
@@ -100,14 +127,18 @@ func (b *JoinBridge) AddProbe() {
 func (b *JoinBridge) ProbeFinished() {
 	b.mu.Lock()
 	b.probesActive--
+	notify := b.notifyLocked()
 	b.mu.Unlock()
+	notify()
 }
 
 // NoMoreProbes declares that every probe driver has been created.
 func (b *JoinBridge) NoMoreProbes() {
 	b.mu.Lock()
 	b.noMoreProbes = true
+	notify := b.notifyLocked()
 	b.mu.Unlock()
+	notify()
 }
 
 // AllProbesFinished reports that no probe will record further matches, so
@@ -186,7 +217,10 @@ func (o *HashBuildOperator) NeedsInput() bool { return !o.finished }
 
 func (o *HashBuildOperator) AddInput(p *block.Page) error {
 	o.ctx.recordIn(p)
-	p = p.DecodeAll()
+	// Bridge pages outlive this driver (probes read them from other
+	// threads), so lazy columns are loaded here; dictionary and RLE
+	// encodings are kept and indexed without expansion (§V-B).
+	p = p.LoadLazy()
 	b := o.bridge
 	b.mu.Lock()
 	pageIdx := len(b.pages)
@@ -197,32 +231,8 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 		if b.ktab == nil {
 			b.ktab = newKeyTable(fixedWidthKeys(o.keyTs), nk)
 		}
-		b.batch.reset(p, o.keyCols, b.ktab.fixed)
-		for r := 0; r < p.RowCount(); r++ {
-			b.rows++
-			// Rows with NULL keys never match an equi-join.
-			if nk > 0 {
-				if b.ktab.fixed {
-					if b.batch.nullKey(r) {
-						continue
-					}
-				} else if rowKeyNull(p, r, o.keyCols) {
-					continue
-				}
-			}
-			var id int
-			var fresh bool
-			if b.ktab.fixed {
-				cells, tags := b.batch.row(r)
-				id, fresh = b.ktab.getOrInsertFixed(b.batch.hashes[r], cells, tags)
-			} else {
-				b.batch.buf = encodeRowKey(b.batch.buf[:0], p, r, o.keyCols)
-				id, fresh = b.ktab.getOrInsertBytes(b.batch.hashes[r], b.batch.buf)
-			}
-			if fresh {
-				b.krows = append(b.krows, nil)
-			}
-			b.krows[id] = append(b.krows[id], bridgeRow{pageIdx, r})
+		if nk != 1 || !o.addEncodedLocked(p, pageIdx) {
+			o.addBatchLocked(p, pageIdx, nk)
 		}
 	} else {
 		if b.table == nil {
@@ -241,6 +251,105 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 	b.mu.Unlock()
 	o.bytes += p.SizeBytes() + int64(p.RowCount()*32)
 	return o.ctx.Mem.SetBytes(o.bytes)
+}
+
+// addBatchLocked is the general vectorized build path: batch-hash the page's
+// key columns, then insert row by row. Caller holds the bridge lock.
+func (o *HashBuildOperator) addBatchLocked(p *block.Page, pageIdx, nk int) {
+	b := o.bridge
+	b.batch.reset(p, o.keyCols, b.ktab.fixed)
+	for r := 0; r < p.RowCount(); r++ {
+		b.rows++
+		// Rows with NULL keys never match an equi-join.
+		if nk > 0 {
+			if b.ktab.fixed {
+				if b.batch.nullKey(r) {
+					continue
+				}
+			} else if rowKeyNull(p, r, o.keyCols) {
+				continue
+			}
+		}
+		var id int
+		var fresh bool
+		if b.ktab.fixed {
+			cells, tags := b.batch.row(r)
+			id, fresh = b.ktab.getOrInsertFixed(b.batch.hashes[r], cells, tags)
+		} else {
+			b.batch.buf = encodeRowKey(b.batch.buf[:0], p, r, o.keyCols)
+			id, fresh = b.ktab.getOrInsertBytes(b.batch.hashes[r], b.batch.buf)
+		}
+		if fresh {
+			b.krows = append(b.krows, nil)
+		}
+		b.krows[id] = append(b.krows[id], bridgeRow{pageIdx, r})
+	}
+}
+
+// addEncodedLocked indexes a dictionary- or RLE-encoded single-key build page
+// by distinct entry instead of per row: each referenced dictionary id (or the
+// one RLE value) hits the key table once, and rows map onto entry ids through
+// the index vector. Unreferenced dictionary ids are never inserted. Returns
+// false for flat key columns (the caller runs the batch path). Caller holds
+// the bridge lock.
+func (o *HashBuildOperator) addEncodedLocked(p *block.Page, pageIdx int) bool {
+	b := o.bridge
+	n := p.RowCount()
+	switch kc := loadCol(p.Col(o.keyCols[0])).(type) {
+	case *block.RLEBlock:
+		b.rows += int64(n)
+		id := o.insertKeyCell(kc.Val, 0)
+		if id < 0 {
+			return true // NULL key: no row of this page can match
+		}
+		rows := b.krows[id]
+		for r := 0; r < n; r++ {
+			rows = append(rows, bridgeRow{pageIdx, r})
+		}
+		b.krows[id] = rows
+		return true
+	case *block.DictionaryBlock:
+		memo := make([]int32, kc.Dict.Len())
+		for j := range memo {
+			memo[j] = -2 // unresolved
+		}
+		for r := 0; r < n; r++ {
+			b.rows++
+			j := kc.Indices[r]
+			id := memo[j]
+			if id == -2 {
+				id = int32(o.insertKeyCell(kc.Dict, int(j)))
+				memo[j] = id
+			}
+			if id >= 0 {
+				b.krows[id] = append(b.krows[id], bridgeRow{pageIdx, r})
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// insertKeyCell inserts the single key cell blk[j] into the bridge's table,
+// returning its entry id, or -1 for NULL (equi-join keys never match NULL).
+func (o *HashBuildOperator) insertKeyCell(blk block.Block, j int) int {
+	b := o.bridge
+	if blk.IsNull(j) {
+		return -1
+	}
+	var id int
+	var fresh bool
+	if b.ktab.fixed {
+		tag, cell := normValue(blk.Value(j))
+		id, fresh = b.ktab.getOrInsertFixed1(fixed1Hash(cell, tag), cell, tag)
+	} else {
+		b.batch.buf = appendCellKey(b.batch.buf[:0], blk, j)
+		id, fresh = b.ktab.getOrInsertBytes(bytes1Hash(b.batch.buf), b.batch.buf)
+	}
+	if fresh {
+		b.krows = append(b.krows, nil)
+	}
+	return id
 }
 
 // rowKeyNull reports whether any key column of row r is NULL.
@@ -278,7 +387,10 @@ type LookupJoinOperator struct {
 	residual  *expr.Evaluator // over concatenated (probe ++ build) schema
 	probeTs   []types.Type
 	buildTs   []types.Type
-	batch     batchKeys // probe-side scratch
+	batch     batchKeys   // probe-side scratch
+	ids       []int32     // per-page row→build-entry id scratch
+	probeSel  []int32     // vectorized emit: probe row per output row
+	buildSel  []bridgeRow // vectorized emit: build row per output row (page -1 = NULL-extend)
 
 	pending      []*block.Page
 	outPos       int
@@ -327,7 +439,7 @@ func (o *LookupJoinOperator) outTypes() []types.Type {
 
 func (o *LookupJoinOperator) AddInput(p *block.Page) error {
 	o.ctx.recordIn(p)
-	p = p.DecodeAll()
+	p = p.LoadLazy()
 	b := o.bridge
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -343,23 +455,19 @@ func (o *LookupJoinOperator) AddInput(p *block.Page) error {
 		}
 	}
 
-	// Vectorized probing: hash the whole page's probe keys up front. A
-	// probe whose key layout cannot match the build table's (e.g. varchar
-	// keys against a fixed-width table) never matches any build row — the
-	// canonical encodings differ in their tag bytes.
+	// Vectorized probing: resolve every probe row to a build-table entry id
+	// in one page-level pass (layout compatibility is checked once per page,
+	// dictionary entries probe once per distinct id, RLE once per page).
 	useVec := b.vec && len(o.probeKeys) > 0 && o.jt != plan.CrossJoin
-	kindMismatch := false
-	if useVec && b.ktab != nil {
-		if b.ktab.fixed {
-			for _, c := range o.probeKeys {
-				if !fixedWidthKey(p.Col(c).Type()) {
-					kindMismatch = true
-					break
-				}
-			}
-		}
-		if !kindMismatch {
-			o.batch.reset(p, o.probeKeys, b.ktab.fixed)
+	var ids []int32
+	if useVec {
+		ids = o.resolveProbeLocked(p, b)
+		// INNER/LEFT joins without a residual emit column-at-a-time: the
+		// match list is flattened once and every output column is gathered
+		// with a typed kernel instead of boxing row values (§V-B).
+		if o.residual == nil && (o.jt == plan.InnerJoin || o.jt == plan.LeftJoin) {
+			o.emitVecLocked(p, b, ids)
+			return nil
 		}
 	}
 
@@ -370,21 +478,8 @@ func (o *LookupJoinOperator) AddInput(p *block.Page) error {
 			// Cross join / keyless semi: all build rows are candidates.
 			matches = allBuildRows(b)
 		case useVec:
-			if b.ktab == nil || kindMismatch {
-				break // empty or incompatible build side: no match
-			}
-			if b.ktab.fixed {
-				if !o.batch.nullKey(r) {
-					cells, tags := o.batch.row(r)
-					if id := b.ktab.lookupFixed(o.batch.hashes[r], cells, tags); id >= 0 {
-						matches = b.krows[id]
-					}
-				}
-			} else if !rowKeyNull(p, r, o.probeKeys) {
-				o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.probeKeys)
-				if id := b.ktab.lookupBytes(o.batch.hashes[r], o.batch.buf); id >= 0 {
-					matches = b.krows[id]
-				}
+			if id := ids[r]; id >= 0 {
+				matches = b.krows[id]
 			}
 		default:
 			if !rowKeyNull(p, r, o.probeKeys) {
@@ -443,6 +538,286 @@ func (o *LookupJoinOperator) AddInput(p *block.Page) error {
 	}
 	flush()
 	return nil
+}
+
+// resolveProbeLocked maps every probe row to a build-table entry id (-1 = no
+// match or NULL key) in one page-level pass. A probe column whose canonical
+// encoding can never equal the build layout's (varchar keys against a
+// fixed-width table: the tag bytes differ) resolves the whole page to
+// no-match once, instead of being re-checked per row. Dictionary keys probe
+// the table once per referenced entry, RLE keys once per page (§V-B). Caller
+// holds the bridge lock.
+func (o *LookupJoinOperator) resolveProbeLocked(p *block.Page, b *JoinBridge) []int32 {
+	n := p.RowCount()
+	if cap(o.ids) < n {
+		o.ids = make([]int32, n)
+	}
+	ids := o.ids[:n]
+	t := b.ktab
+	if t == nil {
+		for i := range ids {
+			ids[i] = -1 // empty build side
+		}
+		return ids
+	}
+	if t.fixed {
+		for _, c := range o.probeKeys {
+			if !fixedWidthKey(p.Col(c).Type()) {
+				for i := range ids {
+					ids[i] = -1 // incompatible key layout: never matches
+				}
+				return ids
+			}
+		}
+	}
+	if len(o.probeKeys) == 1 {
+		switch kc := loadCol(p.Col(o.probeKeys[0])).(type) {
+		case *block.RLEBlock:
+			id := int32(o.lookupKeyCell(t, kc.Val, 0))
+			for i := range ids {
+				ids[i] = id
+			}
+			return ids
+		case *block.DictionaryBlock:
+			memo := make([]int32, kc.Dict.Len())
+			for j := range memo {
+				memo[j] = -2 // unresolved: unreferenced ids never probe
+			}
+			for r := 0; r < n; r++ {
+				j := kc.Indices[r]
+				if memo[j] == -2 {
+					memo[j] = int32(o.lookupKeyCell(t, kc.Dict, int(j)))
+				}
+				ids[r] = memo[j]
+			}
+			return ids
+		}
+	}
+	o.batch.reset(p, o.probeKeys, t.fixed)
+	for r := 0; r < n; r++ {
+		id := -1
+		if t.fixed {
+			if !o.batch.nullKey(r) {
+				cells, tags := o.batch.row(r)
+				id = t.lookupFixed(o.batch.hashes[r], cells, tags)
+			}
+		} else if !rowKeyNull(p, r, o.probeKeys) {
+			o.batch.buf = encodeRowKey(o.batch.buf[:0], p, r, o.probeKeys)
+			id = t.lookupBytes(o.batch.hashes[r], o.batch.buf)
+		}
+		ids[r] = int32(id)
+	}
+	return ids
+}
+
+// lookupKeyCell probes the build table with the single key cell blk[j],
+// returning its entry id, or -1 for no match or NULL.
+func (o *LookupJoinOperator) lookupKeyCell(t *keyTable, blk block.Block, j int) int {
+	if blk.IsNull(j) {
+		return -1
+	}
+	if t.fixed {
+		tag, cell := normValue(blk.Value(j))
+		return t.lookupFixed1(fixed1Hash(cell, tag), cell, tag)
+	}
+	o.batch.buf = appendCellKey(o.batch.buf[:0], blk, j)
+	return t.lookupBytes(bytes1Hash(o.batch.buf), o.batch.buf)
+}
+
+// emitVecLocked emits the joined rows for a probe page column-at-a-time.
+// The resolved id vector is flattened into one (probe row, build row)
+// selection, then each output column is gathered with a typed kernel:
+// dictionary- and RLE-encoded probe columns stay encoded in the output, flat
+// columns copy through their typed slices, and no row value is ever boxed.
+// Only INNER and LEFT joins without a residual take this path — they need
+// neither per-row residual evaluation nor build-side matched flags. Caller
+// holds the bridge lock.
+func (o *LookupJoinOperator) emitVecLocked(p *block.Page, b *JoinBridge, ids []int32) {
+	n := p.RowCount()
+	probeSel := o.probeSel[:0]
+	buildSel := o.buildSel[:0]
+	for r := 0; r < n; r++ {
+		if id := ids[r]; id >= 0 {
+			for _, m := range b.krows[id] {
+				probeSel = append(probeSel, int32(r))
+				buildSel = append(buildSel, m)
+			}
+		} else if o.jt == plan.LeftJoin {
+			probeSel = append(probeSel, int32(r))
+			buildSel = append(buildSel, bridgeRow{page: -1})
+		}
+	}
+	o.probeSel, o.buildSel = probeSel, buildSel
+	nProbe := len(o.probeTs)
+	for start := 0; start < len(probeSel); start += o.pageSize {
+		end := start + o.pageSize
+		if end > len(probeSel) {
+			end = len(probeSel)
+		}
+		cols := make([]block.Block, nProbe+len(o.buildTs))
+		for c := 0; c < nProbe; c++ {
+			cols[c] = gatherProbeCol(p.Col(c), probeSel[start:end])
+		}
+		for c := range o.buildTs {
+			cols[nProbe+c] = gatherBuildCol(b.pages, c, o.buildTs[c], buildSel[start:end])
+		}
+		o.pending = append(o.pending, block.NewPage(cols...))
+	}
+}
+
+// gatherProbeCol gathers col at the selected rows into a fresh block. Encoded
+// blocks are gathered without decoding: a dictionary result shares the source
+// dictionary, an RLE run stays a run.
+func gatherProbeCol(col block.Block, sel []int32) block.Block {
+	switch src := col.(type) {
+	case *block.LongBlock:
+		vals := make([]int64, len(sel))
+		var nulls []bool
+		if src.Nulls != nil {
+			nulls = make([]bool, len(sel))
+		}
+		for i, r := range sel {
+			vals[i] = src.Vals[r]
+			if nulls != nil {
+				nulls[i] = src.Nulls[r]
+			}
+		}
+		return &block.LongBlock{T: src.T, Vals: vals, Nulls: nulls}
+	case *block.DoubleBlock:
+		vals := make([]float64, len(sel))
+		var nulls []bool
+		if src.Nulls != nil {
+			nulls = make([]bool, len(sel))
+		}
+		for i, r := range sel {
+			vals[i] = src.Vals[r]
+			if nulls != nil {
+				nulls[i] = src.Nulls[r]
+			}
+		}
+		return block.NewDoubleBlock(vals, nulls)
+	case *block.VarcharBlock:
+		vals := make([]string, len(sel))
+		var nulls []bool
+		if src.Nulls != nil {
+			nulls = make([]bool, len(sel))
+		}
+		for i, r := range sel {
+			vals[i] = src.Vals[r]
+			if nulls != nil {
+				nulls[i] = src.Nulls[r]
+			}
+		}
+		return block.NewVarcharBlock(vals, nulls)
+	case *block.BoolBlock:
+		vals := make([]bool, len(sel))
+		var nulls []bool
+		if src.Nulls != nil {
+			nulls = make([]bool, len(sel))
+		}
+		for i, r := range sel {
+			vals[i] = src.Vals[r]
+			if nulls != nil {
+				nulls[i] = src.Nulls[r]
+			}
+		}
+		return block.NewBoolBlock(vals, nulls)
+	case *block.DictionaryBlock:
+		idx := make([]int32, len(sel))
+		for i, r := range sel {
+			idx[i] = src.Indices[r]
+		}
+		return block.NewDictionaryBlock(src.Dict, idx)
+	case *block.RLEBlock:
+		return block.NewRLEBlockFromBlock(src.Val, len(sel))
+	default:
+		vals := make([]types.Value, len(sel))
+		for i, r := range sel {
+			vals[i] = col.Value(int(r))
+		}
+		return block.BuildBlock(col.Type(), vals)
+	}
+}
+
+// gatherBuildCol gathers build column c across the bridge's pages at the
+// selected (page, row) pairs; page -1 produces NULL (LEFT-join extension).
+func gatherBuildCol(pages []*block.Page, c int, t types.Type, sel []bridgeRow) block.Block {
+	switch t {
+	case types.Bigint, types.Date:
+		vals := make([]int64, len(sel))
+		nulls := make([]bool, len(sel))
+		for i, m := range sel {
+			if m.page < 0 {
+				nulls[i] = true
+				continue
+			}
+			col := pages[m.page].Col(c)
+			if col.IsNull(m.row) {
+				nulls[i] = true
+			} else {
+				vals[i] = col.Long(m.row)
+			}
+		}
+		return &block.LongBlock{T: t, Vals: vals, Nulls: nulls}
+	case types.Double:
+		vals := make([]float64, len(sel))
+		nulls := make([]bool, len(sel))
+		for i, m := range sel {
+			if m.page < 0 {
+				nulls[i] = true
+				continue
+			}
+			col := pages[m.page].Col(c)
+			if col.IsNull(m.row) {
+				nulls[i] = true
+			} else {
+				vals[i] = col.Double(m.row)
+			}
+		}
+		return block.NewDoubleBlock(vals, nulls)
+	case types.Varchar:
+		vals := make([]string, len(sel))
+		nulls := make([]bool, len(sel))
+		for i, m := range sel {
+			if m.page < 0 {
+				nulls[i] = true
+				continue
+			}
+			col := pages[m.page].Col(c)
+			if col.IsNull(m.row) {
+				nulls[i] = true
+			} else {
+				vals[i] = col.Str(m.row)
+			}
+		}
+		return block.NewVarcharBlock(vals, nulls)
+	case types.Boolean:
+		vals := make([]bool, len(sel))
+		nulls := make([]bool, len(sel))
+		for i, m := range sel {
+			if m.page < 0 {
+				nulls[i] = true
+				continue
+			}
+			col := pages[m.page].Col(c)
+			if col.IsNull(m.row) {
+				nulls[i] = true
+			} else {
+				vals[i] = col.Bool(m.row)
+			}
+		}
+		return block.NewBoolBlock(vals, nulls)
+	default:
+		vals := make([]types.Value, len(sel))
+		for i, m := range sel {
+			if m.page < 0 {
+				vals[i] = types.NullValue(t)
+			} else {
+				vals[i] = pages[m.page].Col(c).Value(m.row)
+			}
+		}
+		return block.BuildBlock(t, vals)
+	}
 }
 
 func allBuildRows(b *JoinBridge) []bridgeRow {

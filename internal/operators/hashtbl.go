@@ -128,6 +128,20 @@ func (t *keyTable) getOrInsertFixed1(h uint64, cell uint64, tag byte) (id int, f
 	}
 }
 
+// lookupFixed1 is the nk==1 specialization of lookupFixed.
+func (t *keyTable) lookupFixed1(h uint64, cell uint64, tag byte) int {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		e := int(s - 1)
+		if t.hashes[e] == h && t.cells[e] == cell && t.tags[e] == tag {
+			return e
+		}
+	}
+}
+
 // lookupFixed returns the entry id of the normalized key, or -1.
 func (t *keyTable) lookupFixed(h uint64, cells []uint64, tags []byte) int {
 	for i := h & t.mask; ; i = (i + 1) & t.mask {

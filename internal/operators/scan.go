@@ -53,6 +53,64 @@ func (o *TableScanOperator) Close() error {
 	return nil
 }
 
+// MorselSource is one driver's view of a shared scan work queue: the morsel
+// execution mode replaces per-driver split ownership with fixed-size batches
+// pulled (and stolen) from a per-pipeline queue. The exec package implements
+// it; this operator only maps the pull protocol onto the driver loop.
+type MorselSource interface {
+	// NextMorsel returns the next batch, or nil when none is available
+	// right now (starved) or ever again (drained).
+	NextMorsel() (*block.Page, error)
+	// Drained reports that the queue will never produce another morsel.
+	Drained() bool
+	// Starved reports that no work is available now but more may appear.
+	Starved() bool
+}
+
+// MorselScanOperator is the source operator of a morsel-driven leaf pipeline.
+// Unlike TableScanOperator it owns no split: every Output pulls one morsel
+// from the shared queue, and an empty queue that is not yet drained parks the
+// driver as blocked until the queue signals new work.
+type MorselScanOperator struct {
+	ctx  *OpContext
+	src  MorselSource
+	done bool
+}
+
+// NewMorselScan wraps one driver's stripe of a shared morsel queue.
+func NewMorselScan(ctx *OpContext, src MorselSource) *MorselScanOperator {
+	return &MorselScanOperator{ctx: ctx, src: src}
+}
+
+func (o *MorselScanOperator) NeedsInput() bool { return false }
+func (o *MorselScanOperator) AddInput(p *block.Page) error {
+	return fmt.Errorf("morsel scan: unexpected input")
+}
+func (o *MorselScanOperator) Finish()          { o.done = true }
+func (o *MorselScanOperator) IsFinished() bool { return o.done }
+func (o *MorselScanOperator) IsBlocked() bool  { return !o.done && o.src.Starved() }
+
+func (o *MorselScanOperator) Output() (*block.Page, error) {
+	if o.done {
+		return nil, nil
+	}
+	p, err := o.src.NextMorsel()
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		if o.src.Drained() {
+			o.done = true
+		}
+		return nil, nil
+	}
+	o.ctx.recordOut(p)
+	return p, nil
+}
+
+// Close releases nothing: the shared queue owns the page sources.
+func (o *MorselScanOperator) Close() error { return nil }
+
 // TableWriterOperator writes its input through a connector page sink and
 // emits a single row count (paper §IV-E3). The adaptive writer-scaling
 // experiment measures how many of these run concurrently.

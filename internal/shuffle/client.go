@@ -101,6 +101,26 @@ type ExchangeClient struct {
 	// avgBytesPerFetch is the moving average of bytes per response, the
 	// §IV-E2 concurrency signal; exposed for tests.
 	avgBytesPerFetch float64
+
+	// notify fires (outside mu) when pages arrive, a stream completes, or
+	// the client fails or closes — every event that can unblock a consumer
+	// parked on an empty queue. The executor registers its Kick here.
+	notify func()
+}
+
+// SetNotify installs the data-arrival callback; set before Start.
+func (c *ExchangeClient) SetNotify(fn func()) {
+	c.mu.Lock()
+	c.notify = fn
+	c.mu.Unlock()
+}
+
+// notifyLocked returns the callback to run after the caller releases mu.
+func (c *ExchangeClient) notifyLocked() func() {
+	if c.notify == nil {
+		return func() {}
+	}
+	return c.notify
 }
 
 // NewExchangeClient creates a client over the given sources with an input
@@ -207,14 +227,19 @@ func (c *ExchangeClient) fetchLoop(src Fetcher) {
 		}
 		c.avgBytesPerFetch = 0.8*c.avgBytesPerFetch + 0.2*float64(got)
 		token = next
+		notify := c.notifyLocked()
 		if done {
 			c.remaining--
 			c.cond.Broadcast()
 			c.mu.Unlock()
+			notify()
 			return
 		}
 		c.cond.Broadcast()
 		c.mu.Unlock()
+		if len(pages) > 0 {
+			notify()
+		}
 	}
 }
 
@@ -276,7 +301,9 @@ func (c *ExchangeClient) fail(err error) {
 	}
 	c.remaining--
 	c.cond.Broadcast()
+	notify := c.notifyLocked()
 	c.mu.Unlock()
+	notify()
 }
 
 // Poll returns the next page without blocking; ok=false means none is
@@ -313,7 +340,9 @@ func (c *ExchangeClient) Close() {
 	c.queue = nil
 	c.bytes = 0
 	c.cond.Broadcast()
+	notify := c.notifyLocked()
 	c.mu.Unlock()
+	notify()
 }
 
 // BufferedBytes reports current input-buffer occupancy (for tests).

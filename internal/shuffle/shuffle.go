@@ -38,6 +38,18 @@ func NewOutputBuffer(n int, capacityBytes int64) *OutputBuffer {
 // Partitions returns the partition count.
 func (b *OutputBuffer) Partitions() int { return len(b.parts) }
 
+// SetNotify installs a callback fired (outside buffer locks) whenever space
+// is freed or the buffer is destroyed — the events that can unblock a
+// producer stalled on backpressure. The executor registers its Kick here so
+// parked drivers resume promptly instead of waiting out a poll interval.
+func (b *OutputBuffer) SetNotify(fn func()) {
+	for _, p := range b.parts {
+		p.mu.Lock()
+		p.notify = fn
+		p.mu.Unlock()
+	}
+}
+
 // Partition returns partition i's buffer.
 func (b *OutputBuffer) Partition(i int) *PartitionBuffer { return b.parts[i] }
 
@@ -93,6 +105,7 @@ type PartitionBuffer struct {
 	bytes    int64
 	capacity int64
 	done     bool
+	notify   func() // space-freed callback, invoked outside mu
 }
 
 func newPartitionBuffer(capacity int64) *PartitionBuffer {
@@ -122,7 +135,11 @@ func (p *PartitionBuffer) destroy() {
 	p.bytes = 0
 	p.done = true
 	p.cond.Broadcast()
+	notify := p.notify
 	p.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 func (p *PartitionBuffer) full() bool {
@@ -155,12 +172,20 @@ func (p *PartitionBuffer) Fetch(token int64, maxBytes int64, wait time.Duration)
 	defer p.mu.Unlock()
 
 	// Acknowledge: drop pages the client has confirmed.
+	freed := false
 	for token > p.firstSeq && len(p.pages) > 0 {
 		p.bytes -= p.pages[0].SizeBytes()
 		p.pages = p.pages[1:]
 		p.firstSeq++
+		freed = true
 	}
 	p.cond.Broadcast() // space may have been freed
+	if freed && p.notify != nil {
+		// The callback must not run under mu (the executor holds its own
+		// lock while probing p.full(), so mu → executor-lock would cycle),
+		// and this function holds mu until it returns; hand off instead.
+		go p.notify()
+	}
 
 	// Long-poll for data.
 	for len(p.pages) == 0 && !p.done {

@@ -58,6 +58,8 @@ type TaskConfig struct {
 	Phased                 bool  `json:"phased,omitempty"`
 	CacheDisabled          bool  `json:"cacheDisabled,omitempty"`
 	VectorKernelsDisabled  bool  `json:"vectorKernelsDisabled,omitempty"`
+	MorselsDisabled        bool  `json:"morselsDisabled,omitempty"`
+	MorselRows             int   `json:"morselRows,omitempty"`
 
 	FetchMaxRetries    int   `json:"fetchMaxRetries,omitempty"`
 	FetchBaseBackoffNs int64 `json:"fetchBaseBackoffNs,omitempty"`
@@ -77,6 +79,8 @@ func EncodeTaskConfig(c exec.TaskConfig) TaskConfig {
 		Phased:                 c.Phased,
 		CacheDisabled:          c.CacheDisabled,
 		VectorKernelsDisabled:  c.VectorKernelsDisabled,
+		MorselsDisabled:        c.MorselsDisabled,
+		MorselRows:             c.MorselRows,
 		FetchMaxRetries:        c.FetchRetry.MaxRetries,
 		FetchBaseBackoffNs:     int64(c.FetchRetry.BaseBackoff),
 		FetchMaxBackoffNs:      int64(c.FetchRetry.MaxBackoff),
@@ -96,6 +100,8 @@ func (c TaskConfig) Decode() exec.TaskConfig {
 		Phased:                 c.Phased,
 		CacheDisabled:          c.CacheDisabled,
 		VectorKernelsDisabled:  c.VectorKernelsDisabled,
+		MorselsDisabled:        c.MorselsDisabled,
+		MorselRows:             c.MorselRows,
 		FetchRetry: shuffle.RetryPolicy{
 			MaxRetries:   c.FetchMaxRetries,
 			BaseBackoff:  time.Duration(c.FetchBaseBackoffNs),

@@ -105,6 +105,12 @@ type ClusterConfig struct {
 	// cluster-wide (the vectorized-kernels ablation; per-query via
 	// Session.DisableVectorKernels).
 	DisableVectorKernels bool
+	// DisableMorsels reverts leaf pipelines to static split-per-driver
+	// execution cluster-wide (the morsel-scheduling ablation; per-query via
+	// Session.DisableMorsels).
+	DisableMorsels bool
+	// MorselRows overrides the target rows per morsel (default 64k).
+	MorselRows int
 	// Phased enables phased stage scheduling (§IV-D1); default is
 	// all-at-once.
 	Phased bool
@@ -168,6 +174,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		SpillEnabled:           cfg.SpillEnabled,
 		Interpreted:            cfg.Interpreted,
 		VectorKernelsDisabled:  cfg.DisableVectorKernels,
+		MorselsDisabled:        cfg.DisableMorsels,
+		MorselRows:             cfg.MorselRows,
 		Phased:                 cfg.Phased,
 		MaxWriters:             cfg.MaxWriters,
 		WriteDelay:             cfg.WriteDelay,

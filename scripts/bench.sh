@@ -1,27 +1,32 @@
 #!/usr/bin/env bash
-# Kernel benchmarks (PR 5): vectorized vs legacy hash aggregation, hash join
-# build+probe, and filter selection kernels. Each benchmark runs the same
-# workload through the vectorized kernels and through the per-row ablation
-# baseline (DisableVecKernels), so the ratio is the kernels' speedup. Writes
-# machine-readable results to BENCH_5.json at the repository root.
+# Kernel and scheduling benchmarks (PR 5/6): vectorized vs legacy hash
+# aggregation (flat, dictionary, and RLE keys), hash join build+probe (flat
+# and dictionary probe), filter selection kernels, and morsel-driven vs
+# static split scheduling over a pathologically skewed table. Each kernel
+# benchmark runs the same workload through the vectorized kernels and
+# through the per-row ablation baseline (DisableVecKernels); the skew
+# benchmark runs morsel-driven vs the DisableMorsels static ablation. The
+# ratio is the feature's speedup. Writes machine-readable results to
+# BENCH_6.json at the repository root.
 #
-#   scripts/bench.sh                 # 2s per benchmark (~1 min total)
+#   scripts/bench.sh                 # 2s per benchmark (~2 min total)
 #   BENCHTIME=500ms scripts/bench.sh # quicker, noisier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-out="BENCH_5.json"
+out="BENCH_6.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "==> go test -bench (benchtime $benchtime)"
-go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashJoinBuildProbe|FilterSelectivity' \
+go test -run '^$' \
+  -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan' \
   -benchtime "$benchtime" -benchmem . | tee "$tmp"
 
 {
   echo '{'
-  echo '  "bench": "vectorized hash and filter kernels, vec vs legacy ablation",'
+  echo '  "bench": "vectorized kernels (vec vs legacy) and morsel scheduling (morsel vs static)",'
   echo "  \"benchtime\": \"$benchtime\","
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo '  "results": ['
@@ -44,8 +49,10 @@ go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashJoinBuildProbe|
     /^Benchmark/ {
       name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
       base = name
-      if (sub(/\/vec$/, "", base)) variant = "vec"
-      else if (sub(/\/legacy$/, "", base)) variant = "legacy"
+      if (sub(/\/vec$/, "", base)) variant = "fast"
+      else if (sub(/\/legacy$/, "", base)) variant = "slow"
+      else if (sub(/\/morsel$/, "", base)) variant = "fast"
+      else if (sub(/\/static$/, "", base)) variant = "slow"
       else next
       if (!(base in idx)) { order[m++] = base; idx[base] = 1 }
       ns[base "." variant] = $3
@@ -53,11 +60,11 @@ go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashJoinBuildProbe|
     END {
       first = 1
       for (i = 0; i < m; i++) {
-        b = order[i]; v = ns[b ".vec"]; l = ns[b ".legacy"]
-        if (v > 0 && l > 0) {
+        b = order[i]; f = ns[b ".fast"]; s = ns[b ".slow"]
+        if (f > 0 && s > 0) {
           if (!first) printf ",\n"
           first = 0
-          printf "    {\"name\": \"%s\", \"vec_ns_per_op\": %s, \"legacy_ns_per_op\": %s, \"speedup\": %.2f}", b, v, l, l / v
+          printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"ablation_ns_per_op\": %s, \"speedup\": %.2f}", b, f, s, s / f
         }
       }
       printf "\n"

@@ -45,8 +45,15 @@ go test -race -count=1 -run 'TestDistributedTPCHSmoke|TestDistributedDifferentia
 echo "==> vector kernel differential smoke"
 go test -race -count=1 -run 'TestVecKernelsDifferential' .
 
-echo "==> kernel bench smoke (1 iteration per benchmark)"
-go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashJoinBuildProbe|FilterSelectivity' -benchtime 1x . > /dev/null
+echo "==> morsel ablation differential (vec x legacy x morsel x static, encoded/skewed data)"
+go test -race -count=1 -run 'TestEncodedDifferentialMatrix|TestEncodedDictProbeFlatBuildJoin|TestEncodedDistributedDifferential' .
+
+echo "==> morsel skew smoke (oversized split fans out across drivers)"
+go test -race -count=1 -run 'TestEncodedSkewUsesAllDrivers' .
+go test -race -count=1 -run 'TestMorselQueue' ./internal/exec/
+
+echo "==> kernel + morsel bench smoke (1 iteration per benchmark)"
+go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan' -benchtime 1x . > /dev/null
 
 if [ "$chaos_full" = 1 ]; then
   echo "==> chaos full sweep"
