@@ -38,6 +38,8 @@ func main() {
 		scale   = flag.Float64("tpch-scale", 0.25, "TPC-H demo catalog scale factor (0 disables)")
 		lakeDir = flag.String("lake", "", "directory for an orcish 'hive' catalog (empty disables)")
 		noStats = flag.Bool("disable-stats", false, "disable cost-based optimization")
+		noDyn   = flag.Bool("disable-dynamic-filters", false, "disable runtime dynamic join filters")
+		hbo     = flag.Bool("enable-hbo", false, "enable history-based optimizer feedback")
 
 		coordMode  = flag.Bool("coordinator", false, "run as a distributed-mode coordinator (no local workers; remote workers register via /v1/node)")
 		workerMode = flag.Bool("worker", false, "run as a distributed-mode worker serving the task API")
@@ -51,11 +53,11 @@ func main() {
 
 	switch {
 	case *coordMode:
-		runCoordinator(*addr, *scale, *lakeDir, *noStats)
+		runCoordinator(*addr, *scale, *lakeDir, *noStats, *noDyn, *hbo)
 	case *workerMode:
 		runWorker(*addr, *coordURL, *publicURL, *threads, *scale, *lakeDir)
 	default:
-		runEmbedded(*addr, *workers, *threads, *scale, *lakeDir, *noStats)
+		runEmbedded(*addr, *workers, *threads, *scale, *lakeDir, *noStats, *noDyn, *hbo)
 	}
 }
 
@@ -78,11 +80,13 @@ func provisionCatalogs(catalog *coordinator.CatalogManager, scale float64, lakeD
 	}
 }
 
-func runEmbedded(addr string, workers, threads int, scale float64, lakeDir string, noStats bool) {
+func runEmbedded(addr string, workers, threads int, scale float64, lakeDir string, noStats, noDyn, hbo bool) {
 	cluster := presto.NewCluster(presto.ClusterConfig{
-		Workers:          workers,
-		ThreadsPerWorker: threads,
-		DisableStats:     noStats,
+		Workers:               workers,
+		ThreadsPerWorker:      threads,
+		DisableStats:          noStats,
+		DisableDynamicFilters: noDyn,
+		EnableHBO:             hbo,
 	})
 	defer cluster.Close()
 
@@ -105,12 +109,16 @@ func runEmbedded(addr string, workers, threads int, scale float64, lakeDir strin
 	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
 }
 
-func runCoordinator(addr string, scale float64, lakeDir string, noStats bool) {
+func runCoordinator(addr string, scale float64, lakeDir string, noStats, noDyn, hbo bool) {
 	catalog := coordinator.NewCatalogManager()
 	provisionCatalogs(catalog, scale, lakeDir)
 
 	optCfg := optimizer.DefaultConfig()
 	optCfg.UseStats = !noStats
+	optCfg.DisableDynamicFilters = noDyn
+	if hbo {
+		optCfg.History = optimizer.NewMemoryHistory()
+	}
 	coord := coordinator.New(catalog, nil, coordinator.Config{
 		DefaultCatalog: "memory",
 		Optimizer:      optCfg,

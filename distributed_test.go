@@ -19,12 +19,14 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/connector"
 	"repro/internal/connectors/memconn"
 	"repro/internal/coordinator"
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/httpapi"
 	"repro/internal/optimizer"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -36,6 +38,7 @@ import (
 type distCluster struct {
 	Coord   *coordinator.Coordinator
 	catalog *coordinator.CatalogManager
+	mem     *memconn.Connector
 	workers []*exec.Worker
 	servers []*httpapi.WorkerServer
 	// transport is shared by coordinator and workers so tests can drop idle
@@ -46,11 +49,12 @@ type distCluster struct {
 func newDistCluster(t *testing.T, n int, inj *faultinject.Injector) *distCluster {
 	t.Helper()
 	catalog := coordinator.NewCatalogManager()
-	catalog.Register(memconn.New("memory"))
+	mem := memconn.New("memory")
+	catalog.Register(mem)
 	reg := coordinator.NewWorkerRegistry()
 	reg.TTL = time.Hour // registration at construction stands in for heartbeats
 
-	d := &distCluster{catalog: catalog, transport: &http.Transport{}}
+	d := &distCluster{catalog: catalog, mem: mem, transport: &http.Transport{}}
 	client := &http.Client{Transport: d.transport}
 	for i := 0; i < n; i++ {
 		w := exec.NewWorker(i, catalog, exec.WorkerConfig{Threads: 2})
@@ -94,6 +98,32 @@ func (d *distCluster) cacheHits() int64 {
 		hits += w.CacheStats().Hits
 	}
 	return hits
+}
+
+// loadRefTable creates a refRow table in the distributed cluster's shared
+// catalog through the connector API directly (standing in for shared external
+// storage): SQL writes into the process-local memory catalog are rejected in
+// distributed mode.
+func (d *distCluster) loadRefTable(t *testing.T, table string, rows []refRow) {
+	t.Helper()
+	if err := d.mem.CreateTable(table, []connector.Column{
+		{Name: "k", T: types.Bigint},
+		{Name: "v", T: types.Bigint},
+		{Name: "s", T: types.Varchar},
+	}); err != nil {
+		t.Fatalf("create %s: %v", table, err)
+	}
+	vals := make([][]types.Value, len(rows))
+	for i, r := range rows {
+		v := types.BigintValue(r.v)
+		if r.null {
+			v = types.NullValue(types.Bigint)
+		}
+		vals[i] = []types.Value{types.BigintValue(r.k), v, types.VarcharValue(r.s)}
+	}
+	if err := d.mem.AppendRows(table, vals); err != nil {
+		t.Fatalf("load %s: %v", table, err)
+	}
 }
 
 // tableDDL builds the CREATE + INSERT statements for a refRow table, so the
@@ -163,10 +193,13 @@ func TestDistributedDifferential(t *testing.T) {
 	d := newDistCluster(t, 2, nil)
 	for _, ddl := range append(tableDDL("d", left), tableDDL("e", right)...) {
 		mustExec(t, ref, ddl)
-		// The distributed cluster takes the same writes through serialized
-		// TableWrite fragments on remote workers.
-		d.mustQuery(t, ddl)
 	}
+	// The distributed cluster loads identical rows through the connector API
+	// directly — its shared catalog stands in for external storage; SQL
+	// writes into the process-local memory catalog are rejected in
+	// distributed mode (see TestDistributedRejectsLocalWrites).
+	d.loadRefTable(t, "d", left)
+	d.loadRefTable(t, "e", right)
 
 	for _, q := range distDiffQueries {
 		want := stringifyRows(mustExec(t, ref, q.sql))
@@ -182,6 +215,40 @@ func TestDistributedDifferential(t *testing.T) {
 	}
 	if hits := d.cacheHits(); hits == 0 {
 		t.Errorf("warm distributed runs recorded no worker page-cache hits")
+	}
+}
+
+// TestDistributedRejectsLocalWrites is the regression test for writes into
+// process-local catalogs under remote scheduling: a CREATE TABLE AS or INSERT
+// into the memory catalog would land rows in one worker's private storage,
+// invisible (or inconsistent) everywhere else. The coordinator must reject the
+// statement up front with an actionable error instead of "succeeding" with
+// lost rows. Plain CREATE TABLE (a pure-metadata DDL) is rejected too: a
+// table that can never be written to in this mode is a trap.
+func TestDistributedRejectsLocalWrites(t *testing.T) {
+	d := newDistCluster(t, 2, nil)
+	d.loadRefTable(t, "src", randomRows(rand.New(rand.NewSource(7)), 20))
+
+	for _, sql := range []string{
+		"CREATE TABLE sink (k BIGINT)",
+		"CREATE TABLE sink AS SELECT k FROM src",
+		"INSERT INTO src SELECT * FROM src",
+	} {
+		_, err := d.Query(sql)
+		if err == nil {
+			t.Fatalf("%q succeeded in distributed mode against the process-local memory catalog", sql)
+		}
+		if !strings.Contains(err.Error(), "does not support writes in distributed mode") {
+			t.Errorf("%q: unhelpful error %q", sql, err)
+		}
+	}
+
+	// Reads are unaffected, and the failed writes left no phantom table.
+	if got := len(d.mustQuery(t, "SELECT * FROM src")); got != 20 {
+		t.Errorf("src has %d rows after rejected writes, want 20", got)
+	}
+	if _, err := d.Query("SELECT * FROM sink"); err == nil {
+		t.Error("phantom table sink exists after rejected CREATE")
 	}
 }
 
@@ -382,5 +449,78 @@ func TestStatementCancelRacesLongPoll(t *testing.T) {
 	getResp.Body.Close()
 	if getResp.StatusCode != http.StatusNotFound {
 		t.Errorf("GET after DELETE: status %d, want 404", getResp.StatusCode)
+	}
+}
+
+// distJoinQueries are the join shapes that get dynamic filters assigned; the
+// distributed differential below runs each with filters on and off.
+var distJoinQueries = []string{
+	"SELECT count(*) FROM d JOIN e ON d.k = e.k",
+	"SELECT d.s, count(*), sum(e.v) FROM d JOIN e ON d.k = e.k GROUP BY d.s",
+	"SELECT count(*) FROM d WHERE k IN (SELECT k FROM e WHERE v > 0)",
+	"SELECT count(*) FROM d JOIN e ON d.k = e.k WHERE e.v > 40",
+	"SELECT count(*) FROM d JOIN e ON d.v = e.v",
+}
+
+// TestDistributedDynamicFilterDifferential runs the join suite through the
+// HTTP-distributed cluster with dynamic filters on and off — rows must be
+// identical. The build-side summaries travel through the coordinator relay
+// (fetch from publisher task, merge, POST to every task), so this exercises
+// the full wire path, not the in-process shortcut.
+func TestDistributedDynamicFilterDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	d := newDistCluster(t, 2, nil)
+	d.loadRefTable(t, "d", randomRows(r, 200))
+	d.loadRefTable(t, "e", randomRows(r, 80))
+	for _, sql := range distJoinQueries {
+		on := d.mustQuery(t, sql)
+		res, err := d.Coord.Execute(sql, Session{DisableDynamicFilters: true})
+		if err != nil {
+			t.Fatalf("distributed %q filters off: %v", sql, err)
+		}
+		off, err := res.All()
+		if err != nil {
+			t.Fatalf("distributed %q filters off: %v", sql, err)
+		}
+		assertRows(t, sql, stringifyRows(on), stringifyRows(off))
+	}
+}
+
+// TestChaosDistributedFilterPublishFaults injects delay and loss at the
+// worker-side filter-publish seam: the relay may see summaries late or never,
+// and probe scans must degrade to unfiltered reads — same rows, bounded
+// extra latency, no wedged queries.
+func TestChaosDistributedFilterPublishFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		rule faultinject.Rule
+	}{
+		{"delay", faultinject.Rule{Site: faultinject.SiteFilterPublish, Kind: faultinject.KindDelay, Rate: 1, Delay: 100 * time.Millisecond}},
+		{"loss", faultinject.Rule{Site: faultinject.SiteFilterPublish, Kind: faultinject.KindError, Rate: 1, Transient: true}},
+		{"flaky", faultinject.Rule{Site: faultinject.SiteFilterPublish, Kind: faultinject.KindError, Rate: 0.5, Transient: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(47))
+			inj := faultinject.New(chaosSeed(t), tc.rule)
+			d := newDistCluster(t, 2, inj)
+			d.loadRefTable(t, "d", randomRows(r, 200))
+			d.loadRefTable(t, "e", randomRows(r, 80))
+			// Reference rows come from a fault-free cluster so faults cannot
+			// mask a wrong answer.
+			rr := rand.New(rand.NewSource(47))
+			ref := newDistCluster(t, 2, nil)
+			ref.loadRefTable(t, "d", randomRows(rr, 200))
+			ref.loadRefTable(t, "e", randomRows(rr, 80))
+			start := time.Now()
+			for _, sql := range distJoinQueries {
+				got := d.mustQuery(t, sql)
+				want := ref.mustQuery(t, sql)
+				assertRows(t, sql+" ["+tc.name+"]", stringifyRows(got), stringifyRows(want))
+			}
+			if el := time.Since(start); el > 30*time.Second {
+				t.Errorf("suite took %v under %s filter-publish faults", el, tc.name)
+			}
+		})
 	}
 }

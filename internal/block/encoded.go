@@ -1,6 +1,11 @@
 package block
 
-import "repro/internal/types"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
 
 // RLEBlock is a run-length-encoded block: one value repeated Count times.
 // The paper's Fig. 5 shows an RLE returnflag column ("F" x 6).
@@ -65,7 +70,13 @@ type LazyBlock struct {
 	T      types.Type
 	Count  int
 	loader func() Block
-	loaded Block
+	// loaded publishes the materialized block atomically: sliced views of
+	// one page share the same LazyBlock across drivers, so Load races. An
+	// interface field would tear (two-word write) — a concurrent reader
+	// could pair the type word with a stale data word and observe an empty
+	// block.
+	loaded atomic.Pointer[Block]
+	mu     sync.Mutex
 }
 
 // NewLazyBlock builds a lazy block of the given type and row count; loader is
@@ -74,17 +85,24 @@ func NewLazyBlock(t types.Type, count int, loader func() Block) *LazyBlock {
 	return &LazyBlock{T: t, Count: count, loader: loader}
 }
 
-// Load materializes the underlying block (idempotent).
+// Load materializes the underlying block (idempotent, goroutine-safe).
 func (b *LazyBlock) Load() Block {
-	if b.loaded == nil {
-		b.loaded = b.loader()
-		b.loader = nil
+	if p := b.loaded.Load(); p != nil {
+		return *p
 	}
-	return b.loaded
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.loaded.Load(); p != nil {
+		return *p
+	}
+	blk := b.loader()
+	b.loader = nil
+	b.loaded.Store(&blk)
+	return blk
 }
 
 // Loaded reports whether the block has been materialized yet.
-func (b *LazyBlock) Loaded() bool { return b.loaded != nil }
+func (b *LazyBlock) Loaded() bool { return b.loaded.Load() != nil }
 
 func (b *LazyBlock) Len() int                  { return b.Count }
 func (b *LazyBlock) Type() types.Type          { return b.T }
@@ -95,8 +113,8 @@ func (b *LazyBlock) Str(row int) string        { return b.Load().Str(row) }
 func (b *LazyBlock) Bool(row int) bool         { return b.Load().Bool(row) }
 func (b *LazyBlock) Value(row int) types.Value { return b.Load().Value(row) }
 func (b *LazyBlock) SizeBytes() int64 {
-	if b.loaded != nil {
-		return b.loaded.SizeBytes()
+	if p := b.loaded.Load(); p != nil {
+		return (*p).SizeBytes()
 	}
 	return 16
 }

@@ -223,6 +223,26 @@ type PageCacheable interface {
 	PageCacheKey(s Split, columns []string, handle plan.TableHandle) (key string, ok bool)
 }
 
+// Versioned is implemented by connectors that maintain a monotonic per-table
+// version counter bumped on every write. The history-based optimizer folds
+// the version into its plan fingerprints, so cardinalities recorded against
+// one version of the data stop matching once the table changes.
+type Versioned interface {
+	// TableVersion returns the table's current version (0 if never written).
+	TableVersion(table string) int64
+}
+
+// DistributedWriteCapable is implemented by connectors whose PageSink writes
+// land in storage visible to every node (a shared filesystem, an external
+// service). A connector without it writes process-local state: in remote
+// mode each worker would write into its own private copy and the "written"
+// table would be unreadable, so the coordinator rejects CREATE TABLE and
+// INSERT targeting such catalogs when scheduling on remote workers.
+type DistributedWriteCapable interface {
+	// DistributedWrites reports that writes are visible cluster-wide.
+	DistributedWrites() bool
+}
+
 // SplitCodec is implemented by connectors whose splits can cross process
 // boundaries. The coordinator encodes each split before POSTing it to a
 // remote worker, which decodes it through its own instance of the same

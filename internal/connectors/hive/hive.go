@@ -488,6 +488,10 @@ func (c *Connector) PageCacheKey(sp connector.Split, columns []string, handle pl
 		c.name, hs.path, fi.ModTime().UnixNano(), fi.Size(), strings.Join(columns, ","), dom), true
 }
 
+// DistributedWrites implements connector.DistributedWriteCapable: sinks
+// write files under the warehouse directory, which every worker shares.
+func (c *Connector) DistributedWrites() bool { return true }
+
 // CreateTable registers an empty table by writing a schema-only marker file.
 func (c *Connector) CreateTable(name string, columns []connector.Column) error {
 	dir := filepath.Join(c.cfg.Dir, name)

@@ -65,6 +65,13 @@ func (c *Connector) Table(name string) *connector.TableMeta {
 	return &meta
 }
 
+// TableVersion implements connector.Versioned.
+func (c *Connector) TableVersion(name string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[name]
+}
+
 // Stats implements the Metadata API. Statistics are computed on load.
 func (c *Connector) Stats(name string) connector.TableStats {
 	c.mu.RLock()

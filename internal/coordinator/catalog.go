@@ -130,6 +130,19 @@ func (c *CatalogManager) Layouts(catalog, table string) []connector.Layout {
 	return meta.Layouts
 }
 
+// TableVersion implements optimizer.VersionedMeta for connectors that track
+// data versions (0 for the rest).
+func (c *CatalogManager) TableVersion(catalog, table string) int64 {
+	conn, err := c.Connector(catalog)
+	if err != nil {
+		return 0
+	}
+	if v, ok := conn.(connector.Versioned); ok {
+		return v.TableVersion(table)
+	}
+	return 0
+}
+
 // Pushdown implements optimizer.Metadata.
 func (c *CatalogManager) Pushdown(catalog, table string, d *plan.Domain) []string {
 	conn, err := c.Connector(catalog)

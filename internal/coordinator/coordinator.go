@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/cache"
+	"repro/internal/connector"
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/memory"
@@ -79,6 +80,14 @@ type Session struct {
 	// split-per-driver assignment instead of the shared morsel queue (the
 	// A/B toggle; X-Presto-Disable-Morsels over HTTP).
 	DisableMorsels bool
+	// DisableDynamicFilters turns off runtime dynamic join filters for this
+	// query: the optimizer assigns none and the tasks apply none (the A/B
+	// toggle; X-Presto-Disable-Dynamic-Filters over HTTP).
+	DisableDynamicFilters bool
+	// DisableHBO turns off history-based optimizer feedback for this query:
+	// planning ignores recorded cardinalities and the run records none (the
+	// A/B toggle; X-Presto-Disable-HBO over HTTP).
+	DisableHBO bool
 }
 
 // QueryState tracks lifecycle.
@@ -128,6 +137,12 @@ type Coordinator struct {
 	mu      sync.Mutex
 	queries map[string]*Query
 	nextID  atomic.Int64
+
+	// Cumulative dynamic-filter effect counters across finished queries
+	// (exposed as gauges on /v1/metrics).
+	dynRowsFiltered  atomic.Int64
+	dynSplitsSkipped atomic.Int64
+	dynWaitNanos     atomic.Int64
 }
 
 // Query is a running or finished query.
@@ -254,6 +269,9 @@ func (c *Coordinator) Workers() []*exec.Worker { return c.workers }
 // Registry exposes the remote worker registry (nil in embedded mode).
 func (c *Coordinator) Registry() *WorkerRegistry { return c.cfg.Registry }
 
+// History exposes the history-based-optimization store (nil when HBO is off).
+func (c *Coordinator) History() optimizer.History { return c.cfg.Optimizer.History }
+
 // Execute runs a SQL statement to a streaming result. DDL statements
 // (CREATE TABLE without AS, DROP TABLE, SHOW TABLES) execute immediately.
 func (c *Coordinator) Execute(sql string, session Session) (*Result, error) {
@@ -325,7 +343,14 @@ func (c *Coordinator) planStatement(stmt sqlparser.Statement, session Session) (
 	if err != nil {
 		return nil, nil, err
 	}
-	opt := optimizer.New(c.Catalog, c.cfg.Optimizer)
+	optCfg := c.cfg.Optimizer
+	if session.DisableDynamicFilters {
+		optCfg.DisableDynamicFilters = true
+	}
+	if session.DisableHBO {
+		optCfg.History = nil
+	}
+	opt := optimizer.New(c.Catalog, optCfg)
 	optimized := opt.Optimize(logical)
 	dp := opt.Fragment(optimized)
 	return optimized, dp, nil
@@ -368,10 +393,21 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 		q.fail(err)
 		return nil, nil, err
 	}
+	// Writes through process-local connectors cannot run on remote workers:
+	// each worker would insert into its own private copy (satellite of the
+	// adaptive-execution PR; see connector.DistributedWriteCapable).
+	targets := writeTargets(logical)
+	for _, t := range targets {
+		if err := c.checkDistributedWrite(t[0]); err != nil {
+			release()
+			cancel()
+			q.fail(err)
+			return nil, nil, err
+		}
+	}
 	// Drop cached splits/metadata for tables this plan writes, both up front
 	// (so the write plan itself resolves fresh state) and again when the
 	// result drains successfully (so subsequent reads see the new rows).
-	targets := writeTargets(logical)
 	for _, t := range targets {
 		c.invalidateMeta(t[0], t[1])
 	}
@@ -427,6 +463,8 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 			for _, t := range targets {
 				c.invalidateMeta(t[0], t[1])
 			}
+			c.recordHistory(q, dp, session)
+			c.accumulateDynStats(q)
 		}
 		qmem.Close()
 		c.arbiter.Clear(id)
@@ -570,8 +608,39 @@ func (c *Coordinator) RunningQueries() int {
 
 // --- DDL ---
 
+// remoteOnly reports that queries schedule onto remote worker processes
+// (distributed mode: no in-process workers, a registry of remote ones).
+func (c *Coordinator) remoteOnly() bool {
+	return len(c.workers) == 0 && c.cfg.Registry != nil
+}
+
+// checkDistributedWrite rejects writes into process-local catalogs when tasks
+// run on remote workers: such a connector's PageSink lands rows in the
+// worker's private memory, so the "written" table would be empty (or
+// per-worker garbage) everywhere else. Connectors whose storage is visible
+// cluster-wide opt in via connector.DistributedWriteCapable.
+func (c *Coordinator) checkDistributedWrite(catalog string) error {
+	if !c.remoteOnly() {
+		return nil
+	}
+	conn, err := c.Catalog.Connector(catalog)
+	if err != nil {
+		return err
+	}
+	if dw, ok := conn.(connector.DistributedWriteCapable); ok && dw.DistributedWrites() {
+		return nil
+	}
+	return fmt.Errorf("catalog %q does not support writes in distributed mode: "+
+		"its storage is process-local, so rows written on a remote worker would be "+
+		"invisible to the rest of the cluster (CREATE TABLE/INSERT require a "+
+		"distributed-write-capable connector here)", catalog)
+}
+
 func (c *Coordinator) createTable(s *sqlparser.CreateTable, session Session) (*Result, error) {
 	catalog, table := splitName(s.Name, session.Catalog)
+	if err := c.checkDistributedWrite(catalog); err != nil {
+		return nil, err
+	}
 	conn, err := c.Catalog.Connector(catalog)
 	if err != nil {
 		return nil, err
@@ -598,6 +667,9 @@ func (c *Coordinator) createTable(s *sqlparser.CreateTable, session Session) (*R
 // insert plan runs.
 func (c *Coordinator) createTableFor(s *sqlparser.CreateTable, session Session) error {
 	catalog, table := splitName(s.Name, session.Catalog)
+	if err := c.checkDistributedWrite(catalog); err != nil {
+		return err
+	}
 	conn, err := c.Catalog.Connector(catalog)
 	if err != nil {
 		return err

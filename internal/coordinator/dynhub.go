@@ -1,0 +1,94 @@
+package coordinator
+
+import (
+	"sync"
+
+	"repro/internal/dynfilter"
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// filterHub is the per-query dynamic-filter exchange for embedded scheduling:
+// every task of the fragment containing a publishing join contributes one
+// summary per filter id (a partitioned build sees only its partition's keys),
+// the hub unions them, and the completed union fans out to every task of the
+// query. Incomplete publications — a task failed or was aborted before its
+// build finished — simply never complete the filter, degrading to unfiltered
+// scans.
+type filterHub struct {
+	mu sync.Mutex
+	// expect counts outstanding publications per filter id.
+	expect map[int]int
+	merged map[int]*dynfilter.Summary
+	tasks  []*exec.Task
+}
+
+// newFilterHub inspects the distributed plan for published filters. Returns
+// nil when the plan publishes none (the common case — no hub, no overhead).
+// counts[f] is the task count of fragment f; tasks are every task of the
+// query (delivery to a task with no subscribed scan is a cheap no-op).
+func newFilterHub(dp *plan.DistributedPlan, counts []int, tasks []*exec.Task) *filterHub {
+	expect := map[int]int{}
+	for _, f := range dp.Fragments {
+		fid := f.ID
+		plan.Walk(f.Root, func(n plan.Node) {
+			j, ok := n.(*plan.Join)
+			if !ok {
+				return
+			}
+			for _, df := range j.DynFilters {
+				expect[df.ID] = counts[fid]
+			}
+		})
+	}
+	if len(expect) == 0 {
+		return nil
+	}
+	return &filterHub{expect: expect, merged: map[int]*dynfilter.Summary{}, tasks: tasks}
+}
+
+// publish is installed as every task's filter publisher. Runs on the
+// publishing task's goroutine; delivery happens outside the hub lock.
+func (h *filterHub) publish(ids []int, sums []*dynfilter.Summary) {
+	var ready []int
+	h.mu.Lock()
+	for i, id := range ids {
+		if h.expect[id] == 0 {
+			continue // unknown id, or already completed (duplicate publish)
+		}
+		var s *dynfilter.Summary
+		if i < len(sums) {
+			s = sums[i]
+		}
+		m := h.merged[id]
+		if m == nil {
+			// Union into a fresh summary: the publisher's object is also its
+			// task's PublishedFilters snapshot and must not be mutated here.
+			if s != nil {
+				m = dynfilter.NewSummary(s.T)
+			} else {
+				m = &dynfilter.Summary{Disabled: true}
+			}
+			h.merged[id] = m
+		}
+		m.Merge(s) // Merge(nil) is a no-op; a nil contribution is handled below
+		if s == nil {
+			m.Disabled = true // a publisher with no collector: never filter
+		}
+		h.expect[id]--
+		if h.expect[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	deliver := make(map[int]*dynfilter.Summary, len(ready))
+	for _, id := range ready {
+		deliver[id] = h.merged[id]
+	}
+	tasks := h.tasks
+	h.mu.Unlock()
+	for id, s := range deliver {
+		for _, t := range tasks {
+			t.DeliverFilter(id, s)
+		}
+	}
+}

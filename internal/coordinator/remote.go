@@ -128,6 +128,9 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	if q.session.DisableMorsels {
 		cfg.MorselsDisabled = true
 	}
+	if q.session.DisableDynamicFilters {
+		cfg.DynamicFiltersDisabled = true
+	}
 	wireCfg := wire.EncodeTaskConfig(cfg)
 
 	singleRR := 0
@@ -244,6 +247,14 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	// a task reporting failure, or a worker unreachable for many consecutive
 	// polls, fails the query.
 	go c.pollRemoteTasks(client, created, res, q, stopPoll)
+
+	// Dynamic-filter relay: pull published build summaries off the workers,
+	// merge per filter id, push the unions to every task of the query.
+	if !cfg.DynamicFiltersDisabled {
+		if routes := remoteFilterRoutes(dp, placed); len(routes) > 0 {
+			go c.relayRemoteFilters(client, routes, created, stopPoll)
+		}
+	}
 
 	// Split scheduling: leaf fragments enumerate on the coordinator and POST
 	// encoded batches to their stage's tasks.

@@ -1,0 +1,139 @@
+package coordinator
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/dynfilter"
+	"repro/internal/plan"
+	"repro/internal/wire"
+)
+
+// Dynamic-filter relay for remote scheduling: build-side summaries published
+// on remote workers are announced in task status, pulled by the coordinator
+// (GET /v1/task/{id}/filter/{fid}), merged across the publishing fragment's
+// tasks, and pushed to every task of the query (POST /v1/task/{id}/filters).
+// Everything is best-effort over the same retry-free polling cadence as task
+// liveness: a publisher that dies before its build finishes simply never
+// completes the filter and the probe scans run unfiltered.
+
+// remoteFilterRoute is one filter id and the tasks expected to publish it
+// (every task of the fragment containing the producing join).
+type remoteFilterRoute struct {
+	id         int
+	publishers []remoteTaskRef
+}
+
+// remoteFilterRoutes derives the routes from the distributed plan. Empty when
+// the plan publishes no filters (no poller is started then).
+func remoteFilterRoutes(dp *plan.DistributedPlan, placed [][]remoteTaskRef) []remoteFilterRoute {
+	var routes []remoteFilterRoute
+	for _, f := range dp.Fragments {
+		fid := f.ID
+		plan.Walk(f.Root, func(n plan.Node) {
+			j, ok := n.(*plan.Join)
+			if !ok {
+				return
+			}
+			for _, df := range j.DynFilters {
+				routes = append(routes, remoteFilterRoute{id: df.ID, publishers: placed[fid]})
+			}
+		})
+	}
+	return routes
+}
+
+// relayRemoteFilters polls publishers until every route has delivered (or the
+// query stops). Fetch failures and not-yet-published filters retry on the
+// next tick; a completed union is pushed once to all tasks.
+func (c *Coordinator) relayRemoteFilters(client *http.Client, routes []remoteFilterRoute,
+	all []remoteTaskRef, stop <-chan struct{}) {
+
+	got := make([]map[string]*dynfilter.Summary, len(routes))
+	for i := range got {
+		got[i] = map[string]*dynfilter.Summary{}
+	}
+	delivered := make([]bool, len(routes))
+	remaining := len(routes)
+	for remaining > 0 {
+		select {
+		case <-stop:
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		for i := range routes {
+			rt := &routes[i]
+			if delivered[i] {
+				continue
+			}
+			for _, pub := range rt.publishers {
+				if _, ok := got[i][pub.base]; ok {
+					continue
+				}
+				if sum, ok := fetchTaskFilter(client, pub, rt.id); ok {
+					got[i][pub.base] = sum
+				}
+			}
+			if len(got[i]) < len(rt.publishers) {
+				continue
+			}
+			var merged *dynfilter.Summary
+			for _, s := range got[i] {
+				if merged == nil {
+					merged = dynfilter.NewSummary(s.T)
+				}
+				merged.Merge(s)
+			}
+			req := wire.FilterRequest{Filters: []wire.FilterEntry{
+				{ID: rt.id, Summary: wire.EncodeFilterSummary(merged)},
+			}}
+			for _, t := range all {
+				postFilters(client, t, req)
+			}
+			delivered[i] = true
+			remaining--
+		}
+	}
+}
+
+// fetchTaskFilter pulls one published summary; false means not published yet
+// (or a transport hiccup — the caller retries next tick).
+func fetchTaskFilter(client *http.Client, rt remoteTaskRef, fid int) (*dynfilter.Summary, bool) {
+	resp, err := client.Get(fmt.Sprintf("%s/filter/%d", rt.base, fid))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return nil, false
+	}
+	var fs wire.FilterSummary
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return nil, false
+	}
+	sum, err := fs.Decode()
+	if err != nil {
+		return nil, false
+	}
+	return sum, true
+}
+
+// postFilters pushes merged summaries to one task, best-effort: delivery
+// failure degrades that task's scans to unfiltered, never fails the query.
+func postFilters(client *http.Client, rt remoteTaskRef, req wire.FilterRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return
+	}
+	resp, err := client.Post(rt.base+"/filters", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+}

@@ -101,6 +101,9 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			if q.session.DisableMorsels {
 				cfg.MorselsDisabled = true
 			}
+			if q.session.DisableDynamicFilters {
+				cfg.DynamicFiltersDisabled = true
+			}
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
 			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {
@@ -112,6 +115,19 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			q.mu.Lock()
 			q.tasks = append(q.tasks, t)
 			q.mu.Unlock()
+		}
+	}
+
+	// Dynamic-filter exchange: build-side summaries published by any task
+	// route through a per-query hub that merges partitioned builds and fans
+	// the union out to every task (see filterHub). Installed after creation —
+	// a build that completes inside the install window self-delivers, which
+	// is safe (its own scans filter; remote siblings stay unfiltered).
+	if !q.session.DisableDynamicFilters {
+		if hub := newFilterHub(dp, counts, created); hub != nil {
+			for _, t := range created {
+				t.SetFilterPublisher(hub.publish)
+			}
 		}
 	}
 

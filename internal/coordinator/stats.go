@@ -32,21 +32,27 @@ type StageStats struct {
 // It is valid both while the query runs (live counters) and after it
 // finishes (final totals — tasks are retained on the query record).
 type QueryStats struct {
-	ID              string       `json:"id"`
-	State           string       `json:"state"`
-	ElapsedNanos    int64        `json:"elapsedNanos"`
-	CPUNanos        int64        `json:"cpuNanos"`
-	BlockedNanos    int64        `json:"blockedNanos"`
-	PeakMemoryBytes int64        `json:"peakMemoryBytes"`
-	SplitsTotal     int64        `json:"splitsTotal"`
-	SplitsQueued    int          `json:"splitsQueued"`
-	SplitsRunning   int          `json:"splitsRunning"`
-	SplitsDone      int          `json:"splitsDone"`
-	RowsRead        int64        `json:"rowsRead"`
-	BytesRead       int64        `json:"bytesRead"`
-	OutputRows      int64        `json:"outputRows"`
-	Tasks           int          `json:"tasks"`
-	Stages          []StageStats `json:"stages"`
+	ID              string `json:"id"`
+	State           string `json:"state"`
+	ElapsedNanos    int64  `json:"elapsedNanos"`
+	CPUNanos        int64  `json:"cpuNanos"`
+	BlockedNanos    int64  `json:"blockedNanos"`
+	PeakMemoryBytes int64  `json:"peakMemoryBytes"`
+	SplitsTotal     int64  `json:"splitsTotal"`
+	SplitsQueued    int    `json:"splitsQueued"`
+	SplitsRunning   int    `json:"splitsRunning"`
+	SplitsDone      int    `json:"splitsDone"`
+	RowsRead        int64  `json:"rowsRead"`
+	BytesRead       int64  `json:"bytesRead"`
+	OutputRows      int64  `json:"outputRows"`
+	Tasks           int    `json:"tasks"`
+	// Dynamic-filter effect rollups: probe rows dropped by pushed build-side
+	// summaries, splits skipped outright (empty build short-circuit), and
+	// total time scans spent gated waiting for a filter to arrive.
+	DynRowsFiltered    int64        `json:"dynRowsFiltered,omitempty"`
+	DynSplitsSkipped   int64        `json:"dynSplitsSkipped,omitempty"`
+	DynFilterWaitNanos int64        `json:"dynFilterWaitNanos,omitempty"`
+	Stages             []StageStats `json:"stages"`
 }
 
 // QueryStats snapshots a query's execution statistics, rolling task stats up
@@ -114,11 +120,39 @@ func (c *Coordinator) QueryStats(id string) (QueryStats, bool) {
 		for _, pl := range sg.Pipelines {
 			for _, op := range pl.Operators {
 				st.BlockedNanos += op.BlockedNanos
+				st.DynRowsFiltered += op.DynRowsFiltered
+				st.DynSplitsSkipped += op.DynSplitsSkipped
+				st.DynFilterWaitNanos += op.DynWaitNanos
 			}
 		}
 		st.Stages = append(st.Stages, *sg)
 	}
 	return st, true
+}
+
+// DynFilterTotals reports the cumulative dynamic-filter effect across all
+// finished queries: rows dropped on probe scans, splits skipped outright, and
+// total time spent gated waiting for filters.
+func (c *Coordinator) DynFilterTotals() (rowsFiltered, splitsSkipped, waitNanos int64) {
+	return c.dynRowsFiltered.Load(), c.dynSplitsSkipped.Load(), c.dynWaitNanos.Load()
+}
+
+// accumulateDynStats folds one finished query's dynamic-filter counters into
+// the coordinator-lifetime totals.
+func (c *Coordinator) accumulateDynStats(q *Query) {
+	q.mu.Lock()
+	tasks := append([]*exec.Task{}, q.tasks...)
+	q.mu.Unlock()
+	for _, t := range tasks {
+		ts := t.Stats()
+		for _, pl := range ts.Pipelines {
+			for _, op := range pl.Operators {
+				c.dynRowsFiltered.Add(op.DynRowsFiltered)
+				c.dynSplitsSkipped.Add(op.DynSplitsSkipped)
+				c.dynWaitNanos.Add(op.DynWaitNanos)
+			}
+		}
+	}
 }
 
 // mergePipelines folds one task's pipelines into the stage rollup
@@ -168,6 +202,11 @@ func FormatOperatorTable(st QueryStats) string {
 					op.PeakMemBytes)
 				if total := op.CacheHits + op.CacheMisses; total > 0 {
 					fmt.Fprintf(&sb, "  cache %d/%d", op.CacheHits, total)
+				}
+				if op.DynRowsFiltered+op.DynSplitsSkipped+op.DynWaitNanos > 0 {
+					fmt.Fprintf(&sb, "  dyn rows-skipped %d  dyn splits-skipped %d  dyn wait %s",
+						op.DynRowsFiltered, op.DynSplitsSkipped,
+						time.Duration(op.DynWaitNanos).Round(10*time.Microsecond))
 				}
 				sb.WriteByte('\n')
 			}

@@ -1,0 +1,133 @@
+package dynfilter
+
+import (
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+// ColumnSpec names one filter a hash-join build collects: the plan-assigned
+// filter id, the equi-clause index it tracks (selecting the build key
+// column), and the build key type.
+type ColumnSpec struct {
+	ID     int
+	KeyIdx int
+	T      types.Type
+}
+
+// Collector accumulates per-key-column summaries during a hash-join build.
+// It is not goroutine-safe: the JoinBridge feeds it under its own lock (build
+// insertion is already serialized there).
+type Collector struct {
+	MaxSet  int
+	MaxRows int
+	specs   []ColumnSpec
+	sums    []*Summary
+}
+
+// NewCollector builds a collector for the given filter columns. maxSet/
+// maxRows <= 0 pick the defaults.
+func NewCollector(specs []ColumnSpec, maxSet, maxRows int) *Collector {
+	if maxSet <= 0 {
+		maxSet = DefaultMaxSet
+	}
+	if maxRows <= 0 {
+		maxRows = DefaultMaxRows
+	}
+	c := &Collector{MaxSet: maxSet, MaxRows: maxRows, specs: specs}
+	c.sums = make([]*Summary, len(specs))
+	for i, sp := range specs {
+		c.sums[i] = NewSummary(sp.T)
+	}
+	return c
+}
+
+// Specs exposes the collected columns (the build operator uses KeyIdx to
+// locate each key column in its input pages).
+func (c *Collector) Specs() []ColumnSpec { return c.specs }
+
+// AddBlock folds one build page's key column into summary i, skipping NULLs.
+// Typed fast paths keep the per-row cost to a map/bloom insert; dictionary
+// blocks fold each referenced entry once, RLE runs once per run.
+func (c *Collector) AddBlock(i int, b block.Block) {
+	s := c.sums[i]
+	if s.Disabled {
+		return
+	}
+	if s.Rows > int64(c.MaxRows) {
+		// Build too large for a useful probe filter: stop paying for it.
+		s.Disabled = true
+		s.Exact, s.Strs = nil, nil
+		return
+	}
+	c.addBlock(s, b)
+}
+
+func (c *Collector) addBlock(s *Summary, b block.Block) {
+	if lz, ok := b.(*block.LazyBlock); ok {
+		b = lz.Load()
+	}
+	switch col := b.(type) {
+	case *block.LongBlock:
+		for r, v := range col.Vals {
+			if col.Nulls != nil && col.Nulls[r] {
+				continue
+			}
+			s.AddLong(v, c.MaxSet)
+		}
+	case *block.DoubleBlock:
+		for r, v := range col.Vals {
+			if col.Nulls != nil && col.Nulls[r] {
+				continue
+			}
+			s.AddDouble(v, c.MaxSet)
+		}
+	case *block.VarcharBlock:
+		for r, v := range col.Vals {
+			if col.Nulls != nil && col.Nulls[r] {
+				continue
+			}
+			s.AddStr(v, c.MaxSet)
+		}
+	case *block.BoolBlock:
+		for r, v := range col.Vals {
+			if col.Nulls != nil && col.Nulls[r] {
+				continue
+			}
+			s.AddBool(v, c.MaxSet)
+		}
+	case *block.RLEBlock:
+		if col.Len() == 0 || col.Val.IsNull(0) {
+			return
+		}
+		s.AddValue(col.Val.Value(0), c.MaxSet)
+		s.Rows += int64(col.Len() - 1)
+	case *block.DictionaryBlock:
+		// Only referenced entries are build keys; unreferenced dictionary
+		// entries must not widen the filter. Each distinct entry folds once
+		// (AddValue bumps Rows by 1); repeats bump the row count only.
+		seen := make([]bool, col.Dict.Len())
+		repeats := int64(0)
+		for _, id := range col.Indices {
+			if col.Dict.IsNull(int(id)) {
+				continue
+			}
+			if seen[id] {
+				repeats++
+				continue
+			}
+			seen[id] = true
+			s.AddValue(col.Dict.Value(int(id)), c.MaxSet)
+		}
+		s.Rows += repeats
+	default:
+		for r := 0; r < b.Len(); r++ {
+			if b.IsNull(r) {
+				continue
+			}
+			s.AddValue(b.Value(r), c.MaxSet)
+		}
+	}
+}
+
+// Summaries returns the collected summaries in spec order.
+func (c *Collector) Summaries() []*Summary { return c.sums }

@@ -1,0 +1,470 @@
+// Package dynfilter implements runtime dynamic join filters (the §IV-B
+// adaptivity the paper defers): during a hash-join build the engine collects
+// a per-key-column summary — an exact key set while the distinct count stays
+// under a configurable cardinality, min/max bounds, and a bloom filter above
+// the threshold — and ships it to the probe side, where it runs as an extra
+// scan predicate and as min/max bounds for stripe/split skipping.
+//
+// Correctness contract: a summary may only ever claim "this value cannot
+// match any build row". Values are normalized exactly like the join hash
+// table's key cells (see internal/operators/batchhash.go normValue): doubles
+// equal to an integer share the integer's cell so BIGINT==DOUBLE joins filter
+// correctly, NaN uses its raw bit pattern (the join matches NaN==NaN through
+// Float64bits, so the filter must too), and -0.0 folds to the integer cell 0.
+// NULL build keys never join, so they are excluded from summaries; NULL probe
+// keys never pass a filter, which is safe for the join types filters attach
+// to (INNER/SEMI/RIGHT — types whose output drops unmatched probe rows).
+//
+// Delivery is best-effort: a late, lost, or partial summary degrades to an
+// unfiltered scan, never a hang or a row difference.
+package dynfilter
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// Normalized cell tags, mirroring internal/operators/batchhash.go. The
+// duplication is deliberate: operators cannot be imported here (it imports
+// exec-adjacent packages), and these four constants are the stable canonical
+// key encoding shared by the hash table, the partitioner, and now filters.
+const (
+	cellNull   byte = 0
+	cellLong   byte = 1 // also doubles equal to an integer
+	cellDouble byte = 2
+	cellBool   byte = 4
+)
+
+// cell is one normalized fixed-width key value.
+type cell struct {
+	tag     byte
+	payload uint64
+}
+
+// normDouble folds a non-null double onto its canonical cell, sharing the
+// integer cell when the value is integral (double==int join semantics).
+func normDouble(f float64) cell {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return cell{cellLong, uint64(int64(f))}
+	}
+	return cell{cellDouble, math.Float64bits(f)}
+}
+
+// BloomBits is the fixed bloom sizing (bits, power of two). A fixed size
+// keeps cross-task unions a plain word-wise OR: partitioned join builds run
+// on many tasks and the coordinator merges their summaries before delivery.
+const BloomBits = 1 << 16
+
+const bloomWords = BloomBits / 64
+
+// DefaultMaxSet is the exact-set cardinality threshold: up to this many
+// distinct keys the summary carries the exact set (enabling IN-list domain
+// pushdown); beyond it the summary degrades to min/max + bloom.
+const DefaultMaxSet = 4096
+
+// DefaultMaxRows bounds collection work: past this many build rows the
+// collector marks the summary disabled and stops (a huge build side makes a
+// probe filter worthless anyway).
+const DefaultMaxRows = 1 << 20
+
+// Summary is the runtime filter for one join key column.
+type Summary struct {
+	// T is the build key column type the summary was collected from.
+	T types.Type
+
+	// Disabled marks a summary that must not filter anything (collection
+	// aborted: unsupported type or build too large).
+	Disabled bool
+
+	// Rows counts non-null build keys observed.
+	Rows int64
+
+	// Exact carries the distinct normalized cells while the cardinality is
+	// ≤ maxSet; nil once overflowed. For varchar keys Strs is used instead.
+	Exact map[cell]struct{}
+	Strs  map[string]struct{}
+
+	// Bloom is a fixed-size blocked bloom over the canonical cell hash,
+	// populated from the start so overflowing the exact set loses nothing.
+	Bloom []uint64
+
+	// Min/Max bound the observed keys for orderable types. HasBounds is
+	// false when unset (empty build) or poisoned (NaN key observed: NaN is
+	// unordered, so range bounds would wrongly exclude it).
+	HasBounds bool
+	Min, Max  types.Value
+	// BoundsPoisoned distinguishes "no keys yet" from "bounds invalidated
+	// by a NaN key" so merges propagate the poison.
+	BoundsPoisoned bool
+
+	// probe is an immutable open-addressed mirror of Exact, built lazily
+	// for the per-row match path and published atomically (probes run
+	// concurrently across drivers). A Go map lookup costs ~25ns of hashing
+	// and bucket walks — more than the vectorized join probe the filter is
+	// trying to save — while a linear-probe table stays at a few ns.
+	probe atomic.Pointer[probeTab]
+}
+
+// probeTab is the immutable probe-side cell set. Collected cells never use
+// tag cellNull (NULL build keys are excluded), so the zero cell doubles as
+// the empty-slot sentinel.
+type probeTab struct {
+	cells []cell
+	mask  uint64
+}
+
+func buildProbeTab(m map[cell]struct{}) *probeTab {
+	size := 1
+	for size < 2*len(m)+1 {
+		size <<= 1
+	}
+	t := &probeTab{cells: make([]cell, size), mask: uint64(size - 1)}
+	for c := range m {
+		i := cellHash(c) & t.mask
+		for t.cells[i].tag != cellNull {
+			i = (i + 1) & t.mask
+		}
+		t.cells[i] = c
+	}
+	return t
+}
+
+func (t *probeTab) has(c cell) bool {
+	i := cellHash(c) & t.mask
+	for {
+		e := t.cells[i]
+		if e.tag == cellNull {
+			return false
+		}
+		if e == c {
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// matchCell is the shared fixed-width membership test: exact table when the
+// set survived, bloom otherwise; a varchar build never equals a fixed-width
+// probe.
+func (s *Summary) matchCell(c cell) bool {
+	if s.Exact != nil {
+		t := s.probe.Load()
+		if t == nil {
+			t = buildProbeTab(s.Exact)
+			s.probe.Store(t)
+		}
+		return t.has(c)
+	}
+	if s.Strs != nil {
+		return false
+	}
+	return s.bloomHas(cellHash(c))
+}
+
+// NewSummary returns an empty (matches-nothing) summary for type t.
+func NewSummary(t types.Type) *Summary {
+	s := &Summary{T: t, Bloom: make([]uint64, bloomWords)}
+	switch t {
+	case types.Varchar:
+		s.Strs = make(map[string]struct{})
+	case types.Bigint, types.Date, types.Double, types.Boolean:
+		s.Exact = make(map[cell]struct{})
+	default:
+		// Array/Unknown keys: no safe normalization — never filter.
+		s.Disabled = true
+	}
+	return s
+}
+
+// Empty reports whether the build side produced zero joinable (non-null)
+// keys: an INNER/SEMI probe can short-circuit to zero rows.
+func (s *Summary) Empty() bool { return !s.Disabled && s.Rows == 0 }
+
+// splitmix64 is the bloom hash finalizer (matches the operator-local hash
+// family; any good 64-bit mixer works here since blooms never cross tasks
+// un-merged with different functions).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *Summary) bloomSet(h uint64) {
+	h1 := h & (BloomBits - 1)
+	h2 := (h >> 32) & (BloomBits - 1)
+	s.Bloom[h1>>6] |= 1 << (h1 & 63)
+	s.Bloom[h2>>6] |= 1 << (h2 & 63)
+}
+
+func (s *Summary) bloomHas(h uint64) bool {
+	h1 := h & (BloomBits - 1)
+	h2 := (h >> 32) & (BloomBits - 1)
+	return s.Bloom[h1>>6]&(1<<(h1&63)) != 0 && s.Bloom[h2>>6]&(1<<(h2&63)) != 0
+}
+
+func cellHash(c cell) uint64 {
+	return splitmix64(uint64(c.tag)*0x9e3779b97f4a7c15 ^ c.payload)
+}
+
+func strHash(v string) uint64 {
+	// FNV-1a, finalized through splitmix for bloom bit spread.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= 1099511628211
+	}
+	return splitmix64(h)
+}
+
+// addCell records one normalized non-null fixed-width key.
+func (s *Summary) addCell(c cell, maxSet int) {
+	s.Rows++
+	s.bloomSet(cellHash(c))
+	if s.Exact != nil {
+		if _, ok := s.Exact[c]; !ok {
+			if len(s.Exact) >= maxSet {
+				s.Exact = nil // overflow: bloom + bounds carry on
+			} else {
+				s.Exact[c] = struct{}{}
+			}
+			s.probe.Store(nil) // stale: rebuilt on next probe
+		}
+	}
+}
+
+// observeBounds folds v into min/max. NaN poisons the bounds.
+func (s *Summary) observeBounds(v types.Value) {
+	if v.T == types.Double && math.IsNaN(v.F) {
+		s.HasBounds = false
+		s.BoundsPoisoned = true
+		s.Min, s.Max = types.Value{}, types.Value{}
+		return
+	}
+	if s.BoundsPoisoned {
+		return
+	}
+	if !s.HasBounds {
+		s.HasBounds = true
+		s.Min, s.Max = v, v
+		return
+	}
+	if v.Compare(s.Min) < 0 {
+		s.Min = v
+	}
+	if v.Compare(s.Max) > 0 {
+		s.Max = v
+	}
+}
+
+// AddLong records a non-null bigint/date key.
+func (s *Summary) AddLong(v int64, maxSet int) {
+	s.addCell(cell{cellLong, uint64(v)}, maxSet)
+	s.observeBounds(types.Value{T: s.T, I: v})
+}
+
+// AddDouble records a non-null double key.
+func (s *Summary) AddDouble(f float64, maxSet int) {
+	s.addCell(normDouble(f), maxSet)
+	s.observeBounds(types.DoubleValue(f))
+}
+
+// AddBool records a non-null boolean key.
+func (s *Summary) AddBool(b bool, maxSet int) {
+	var p uint64
+	if b {
+		p = 1
+	}
+	s.addCell(cell{cellBool, p}, maxSet)
+}
+
+// AddStr records a non-null varchar key.
+func (s *Summary) AddStr(v string, maxSet int) {
+	s.Rows++
+	s.bloomSet(strHash(v))
+	if s.Strs != nil {
+		if _, ok := s.Strs[v]; !ok {
+			if len(s.Strs) >= maxSet {
+				s.Strs = nil
+			} else {
+				s.Strs[v] = struct{}{}
+			}
+		}
+	}
+	s.observeBounds(types.VarcharValue(v))
+}
+
+// AddValue records a boxed key value (legacy row path). NULLs are skipped.
+func (s *Summary) AddValue(v types.Value, maxSet int) {
+	if s.Disabled || v.Null {
+		return
+	}
+	switch v.T {
+	case types.Bigint, types.Date:
+		s.AddLong(v.I, maxSet)
+	case types.Double:
+		s.AddDouble(v.F, maxSet)
+	case types.Boolean:
+		s.AddBool(v.B, maxSet)
+	case types.Varchar:
+		s.AddStr(v.S, maxSet)
+	default:
+		s.Disabled = true
+	}
+}
+
+// --- probe-side membership (the vecfilter kernels call these) ---
+
+// MatchLong reports whether a bigint/date probe value may match a build key.
+func (s *Summary) MatchLong(v int64) bool {
+	return s.matchCell(cell{cellLong, uint64(v)})
+}
+
+// MatchDouble reports whether a double probe value may match a build key.
+func (s *Summary) MatchDouble(f float64) bool {
+	return s.matchCell(normDouble(f))
+}
+
+// MatchBool reports whether a boolean probe value may match a build key.
+func (s *Summary) MatchBool(b bool) bool {
+	var p uint64
+	if b {
+		p = 1
+	}
+	return s.matchCell(cell{cellBool, p})
+}
+
+// MatchStr reports whether a varchar probe value may match a build key.
+func (s *Summary) MatchStr(v string) bool {
+	if s.Strs != nil {
+		_, ok := s.Strs[v]
+		return ok
+	}
+	if s.Exact != nil {
+		return false // fixed-width build keys never equal a varchar probe
+	}
+	return s.bloomHas(strHash(v))
+}
+
+// MatchValue is the boxed fallback used for exotic block types.
+func (s *Summary) MatchValue(v types.Value) bool {
+	if s.Disabled {
+		return true
+	}
+	if v.Null {
+		return false
+	}
+	switch v.T {
+	case types.Bigint, types.Date:
+		return s.MatchLong(v.I)
+	case types.Double:
+		return s.MatchDouble(v.F)
+	case types.Boolean:
+		return s.MatchBool(v.B)
+	case types.Varchar:
+		return s.MatchStr(v.S)
+	default:
+		return true // no safe test: keep the row
+	}
+}
+
+// ExactValues returns the exact key set as boxed values of the summary's
+// type, or nil when overflowed/unavailable. Used for IN-list domain pushdown.
+func (s *Summary) ExactValues() []types.Value {
+	if s.Disabled {
+		return nil
+	}
+	if s.Strs != nil {
+		out := make([]types.Value, 0, len(s.Strs))
+		for v := range s.Strs {
+			out = append(out, types.VarcharValue(v))
+		}
+		return out
+	}
+	if s.Exact == nil {
+		return nil
+	}
+	out := make([]types.Value, 0, len(s.Exact))
+	for c := range s.Exact {
+		switch c.tag {
+		case cellLong:
+			switch s.T {
+			case types.Double:
+				out = append(out, types.DoubleValue(float64(int64(c.payload))))
+			default:
+				out = append(out, types.Value{T: s.T, I: int64(c.payload)})
+			}
+		case cellDouble:
+			out = append(out, types.DoubleValue(math.Float64frombits(c.payload)))
+		case cellBool:
+			out = append(out, types.BooleanValue(c.payload != 0))
+		}
+	}
+	return out
+}
+
+// Bounds returns the observed [min, max] when available.
+func (s *Summary) Bounds() (min, max types.Value, ok bool) {
+	if s.Disabled || !s.HasBounds {
+		return types.Value{}, types.Value{}, false
+	}
+	return s.Min, s.Max, true
+}
+
+// Merge unions o into s (partitioned builds publish one summary per task;
+// the coordinator merges them before delivery). A disabled input disables
+// the union; mismatched types disable it too (should not happen).
+func (s *Summary) Merge(o *Summary) {
+	if o == nil {
+		return
+	}
+	if o.Disabled || s.T != o.T || len(o.Bloom) != len(s.Bloom) {
+		s.Disabled = true
+		return
+	}
+	if s.Disabled {
+		return
+	}
+	s.Rows += o.Rows
+	for i := range s.Bloom {
+		s.Bloom[i] |= o.Bloom[i]
+	}
+	switch {
+	case s.Strs != nil:
+		if o.Strs == nil {
+			s.Strs = nil
+		} else {
+			for v := range o.Strs {
+				s.Strs[v] = struct{}{}
+			}
+		}
+	case s.Exact != nil:
+		s.probe.Store(nil) // stale: rebuilt on next probe
+		if o.Exact == nil {
+			s.Exact = nil
+		} else {
+			for c := range o.Exact {
+				s.Exact[c] = struct{}{}
+			}
+		}
+	}
+	if o.BoundsPoisoned {
+		s.HasBounds = false
+		s.BoundsPoisoned = true
+		s.Min, s.Max = types.Value{}, types.Value{}
+	} else if o.HasBounds && !s.BoundsPoisoned {
+		if !s.HasBounds {
+			s.HasBounds = true
+			s.Min, s.Max = o.Min, o.Max
+		} else {
+			if o.Min.Compare(s.Min) < 0 {
+				s.Min = o.Min
+			}
+			if o.Max.Compare(s.Max) > 0 {
+				s.Max = o.Max
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package dynfilter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Key normalization must match the join hash table: a filter that disagrees
+// with the join about which values are equal either drops matching rows
+// (wrong results) or is useless. These tests pin the documented contract.
+
+func TestSummaryDoubleIntNormalization(t *testing.T) {
+	s := NewSummary(types.Bigint)
+	s.AddLong(5, DefaultMaxSet)
+	if !s.MatchLong(5) {
+		t.Error("exact long key missed")
+	}
+	if !s.MatchDouble(5.0) {
+		t.Error("5.0 must share the cell of bigint 5 (double==int joins)")
+	}
+	if s.MatchDouble(5.5) {
+		t.Error("5.5 matched an integer-only build")
+	}
+	if s.MatchLong(6) {
+		t.Error("absent key matched")
+	}
+}
+
+func TestSummaryNegativeZeroFoldsToZero(t *testing.T) {
+	s := NewSummary(types.Double)
+	s.AddDouble(math.Copysign(0, -1), DefaultMaxSet)
+	if !s.MatchDouble(0.0) {
+		t.Error("+0.0 probe missed a -0.0 build key")
+	}
+	if !s.MatchLong(0) {
+		t.Error("bigint 0 probe missed a -0.0 build key")
+	}
+	if !s.MatchDouble(math.Copysign(0, -1)) {
+		t.Error("-0.0 probe missed itself")
+	}
+}
+
+func TestSummaryNaNMatchesAndPoisonsBounds(t *testing.T) {
+	s := NewSummary(types.Double)
+	s.AddDouble(1.5, DefaultMaxSet)
+	if !s.HasBounds {
+		t.Fatal("bounds unset after first key")
+	}
+	s.AddDouble(math.NaN(), DefaultMaxSet)
+	if !s.MatchDouble(math.NaN()) {
+		t.Error("NaN probe missed a NaN build key (join matches NaN==NaN via bits)")
+	}
+	if s.HasBounds || !s.BoundsPoisoned {
+		t.Errorf("NaN must poison bounds: HasBounds=%v BoundsPoisoned=%v", s.HasBounds, s.BoundsPoisoned)
+	}
+	if _, _, ok := s.Bounds(); ok {
+		t.Error("Bounds() reported ok after NaN poison")
+	}
+	// Later keys must not resurrect the bounds.
+	s.AddDouble(7.0, DefaultMaxSet)
+	if s.HasBounds {
+		t.Error("bounds resurrected after poison")
+	}
+}
+
+func TestSummaryNullsNeverCollected(t *testing.T) {
+	s := NewSummary(types.Bigint)
+	s.AddValue(types.NullValue(types.Bigint), DefaultMaxSet)
+	if s.Rows != 0 || !s.Empty() {
+		t.Errorf("NULL build key was collected: rows=%d empty=%v", s.Rows, s.Empty())
+	}
+	// A NULL probe value never passes (safe for INNER/SEMI/RIGHT).
+	s.AddLong(1, DefaultMaxSet)
+	if s.MatchValue(types.NullValue(types.Bigint)) {
+		t.Error("NULL probe value passed the filter")
+	}
+}
+
+func TestSummaryExactOverflowDegradesToBloom(t *testing.T) {
+	const maxSet = 8
+	s := NewSummary(types.Bigint)
+	for i := int64(0); i < 100; i++ {
+		s.AddLong(i*7, maxSet)
+	}
+	if s.HasExact() {
+		t.Fatal("exact set survived overflow")
+	}
+	if s.ExactValues() != nil {
+		t.Fatal("ExactValues non-nil after overflow")
+	}
+	// Bloom may false-positive but must never false-negative.
+	for i := int64(0); i < 100; i++ {
+		if !s.MatchLong(i * 7) {
+			t.Fatalf("bloom false negative for %d", i*7)
+		}
+	}
+	// Bounds survive the overflow.
+	min, max, ok := s.Bounds()
+	if !ok || min.I != 0 || max.I != 99*7 {
+		t.Errorf("bounds after overflow: [%v, %v] ok=%v", min, max, ok)
+	}
+}
+
+func TestSummaryVarcharKeys(t *testing.T) {
+	s := NewSummary(types.Varchar)
+	s.AddStr("aa", DefaultMaxSet)
+	s.AddStr("bb", DefaultMaxSet)
+	if !s.MatchStr("aa") || s.MatchStr("cc") {
+		t.Error("varchar exact set wrong")
+	}
+	if s.MatchLong(1) {
+		t.Error("long probe matched a varchar build")
+	}
+	if got := len(s.ExactValues()); got != 2 {
+		t.Errorf("ExactValues len %d, want 2", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	a := NewSummary(types.Bigint)
+	a.AddLong(1, DefaultMaxSet)
+	a.AddLong(5, DefaultMaxSet)
+	b := NewSummary(types.Bigint)
+	b.AddLong(3, DefaultMaxSet)
+	b.AddLong(-2, DefaultMaxSet)
+	a.Merge(b)
+	for _, k := range []int64{1, 5, 3, -2} {
+		if !a.MatchLong(k) {
+			t.Errorf("merged summary missing %d", k)
+		}
+	}
+	if a.Rows != 4 {
+		t.Errorf("merged rows %d, want 4", a.Rows)
+	}
+	min, max, ok := a.Bounds()
+	if !ok || min.I != -2 || max.I != 5 {
+		t.Errorf("merged bounds [%v, %v] ok=%v, want [-2, 5]", min, max, ok)
+	}
+}
+
+func TestSummaryMergeDisablesOnMismatch(t *testing.T) {
+	a := NewSummary(types.Bigint)
+	a.AddLong(1, DefaultMaxSet)
+	b := NewSummary(types.Varchar)
+	a.Merge(b)
+	if !a.Disabled {
+		t.Error("type-mismatched merge did not disable")
+	}
+
+	c := NewSummary(types.Bigint)
+	c.AddLong(1, DefaultMaxSet)
+	d := NewSummary(types.Bigint)
+	d.Disabled = true
+	c.Merge(d)
+	if !c.Disabled {
+		t.Error("disabled input did not disable the union")
+	}
+	if c.Empty() {
+		t.Error("disabled summary reported Empty (would wrongly short-circuit)")
+	}
+}
+
+func TestSummaryMergePropagatesPoison(t *testing.T) {
+	a := NewSummary(types.Double)
+	a.AddDouble(1.0, DefaultMaxSet)
+	b := NewSummary(types.Double)
+	b.AddDouble(math.NaN(), DefaultMaxSet)
+	a.Merge(b)
+	if a.HasBounds || !a.BoundsPoisoned {
+		t.Errorf("poison lost in merge: HasBounds=%v BoundsPoisoned=%v", a.HasBounds, a.BoundsPoisoned)
+	}
+}
+
+func TestSummaryMergeExactOverflowWins(t *testing.T) {
+	a := NewSummary(types.Bigint)
+	a.AddLong(1, DefaultMaxSet)
+	b := NewSummary(types.Bigint)
+	for i := int64(0); i < 10; i++ {
+		b.AddLong(i, 4)
+	}
+	if b.HasExact() {
+		t.Fatal("setup: b should have overflowed")
+	}
+	a.Merge(b)
+	if a.HasExact() {
+		t.Error("exact set survived merging an overflowed input")
+	}
+	for i := int64(0); i < 10; i++ {
+		if !a.MatchLong(i) {
+			t.Errorf("merged bloom false negative for %d", i)
+		}
+	}
+}
+
+func TestFromPartsRoundTripAndValidation(t *testing.T) {
+	s := NewSummary(types.Double)
+	s.AddDouble(1.5, DefaultMaxSet)
+	s.AddDouble(-3.0, DefaultMaxSet)
+	got, err := FromParts(s.T, s.Disabled, s.Rows, s.HasExact(), s.ExactCells(), s.ExactStrs(),
+		s.Bloom, s.HasBounds, s.BoundsPoisoned, s.Min, s.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1.5, -3.0} {
+		if !got.MatchDouble(f) {
+			t.Errorf("round-tripped summary missing %v", f)
+		}
+	}
+	if got.MatchDouble(2.5) {
+		t.Error("round-tripped summary matched an absent key")
+	}
+	if !got.MatchLong(-3) {
+		t.Error("round-trip lost double==int normalization")
+	}
+
+	if _, err := FromParts(types.Bigint, false, 1, false, nil, nil,
+		[]uint64{1, 2, 3}, false, false, types.Value{}, types.Value{}); err == nil {
+		t.Error("short bloom accepted")
+	}
+	if _, err := FromParts(types.Bigint, false, 1, true, [][2]uint64{{999, 0}}, nil,
+		make([]uint64, BloomBits/64), false, false, types.Value{}, types.Value{}); err == nil {
+		t.Error("out-of-range cell tag accepted")
+	}
+	// A disabled summary decodes without a bloom (nothing else matters).
+	d, err := FromParts(types.Bigint, true, 0, false, nil, nil, nil, false, false, types.Value{}, types.Value{})
+	if err != nil || !d.Disabled {
+		t.Errorf("disabled summary round-trip: %v disabled=%v", err, d != nil && d.Disabled)
+	}
+}

@@ -1,0 +1,325 @@
+package exec
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/connector"
+	"repro/internal/dynfilter"
+	"repro/internal/expr"
+	"repro/internal/faultinject"
+	"repro/internal/operators"
+	"repro/internal/plan"
+)
+
+// Runtime-adaptive execution, probe side (see internal/dynfilter): a task
+// receives build-side key summaries for the filter ids its scans subscribed
+// to (plan.ScanDynFilter), briefly gates subscribed split starts on their
+// arrival, and applies arrived summaries at split-open time — as a narrowed
+// table handle for connector-side pruning and as vectorized row predicates
+// over the produced pages. Everything is best-effort: a summary that never
+// arrives leaves the scan unfiltered and row-for-row identical.
+
+// dynMaxPushdownPoints caps the IN-list size pushed into a scan's constraint;
+// larger exact sets fall back to min/max range pushdown (the full set still
+// filters row-level). Keeps cache keys and connector prune checks small.
+const dynMaxPushdownPoints = 100
+
+// SetFilterPublisher installs the cross-task delivery hook (the
+// coordinator's per-query filter hub). Install before splits arrive; without
+// a publisher, published summaries deliver to this task's own scans only.
+func (t *Task) SetFilterPublisher(fn func(ids []int, sums []*dynfilter.Summary)) {
+	t.dynMu.Lock()
+	t.filterPublish = fn
+	t.dynMu.Unlock()
+}
+
+// publishFilters routes a join build's completed summaries out of the task.
+// It runs asynchronously: the built transition can fire under task or bridge
+// locks, and delivery fans out into coordinator code. The fault seam models
+// delayed or lost delivery — a dropped publication leaves probe scans
+// unfiltered, which is always safe.
+func (t *Task) publishFilters(ids []int, sums []*dynfilter.Summary) {
+	go func() {
+		if err := t.cfg.Inject.Err(faultinject.SiteFilterPublish); err != nil {
+			return // injected loss
+		}
+		t.dynMu.Lock()
+		if t.dynPublished == nil {
+			t.dynPublished = map[int]*dynfilter.Summary{}
+		}
+		for i, id := range ids {
+			if i < len(sums) && sums[i] != nil {
+				t.dynPublished[id] = sums[i]
+			}
+		}
+		fn := t.filterPublish
+		t.dynMu.Unlock()
+		if fn != nil {
+			fn(ids, sums)
+			return
+		}
+		// No publisher (single-task execution, or a remote worker between
+		// coordinator polls): deliver to our own subscribed scans. Safe in
+		// every strategy — broadcast and colocated builds see exactly the
+		// build rows their own probe rows can match, and partitioned builds
+		// have no probe scan in the same fragment.
+		for i, id := range ids {
+			if i < len(sums) {
+				t.DeliverFilter(id, sums[i])
+			}
+		}
+	}()
+}
+
+// PublishedFilters snapshots the summaries this task's join builds have
+// published (the remote-mode coordinator polls these via the task API).
+func (t *Task) PublishedFilters() map[int]*dynfilter.Summary {
+	t.dynMu.Lock()
+	defer t.dynMu.Unlock()
+	out := make(map[int]*dynfilter.Summary, len(t.dynPublished))
+	for id, s := range t.dynPublished {
+		out[id] = s
+	}
+	return out
+}
+
+// DeliverFilter hands one dynamic-filter summary to the task. Split starts
+// gated on the filter resume immediately; an empty summary short-circuits
+// subscribed INNER/SEMI scans by dropping their remaining splits. Late
+// delivery (after the bounded wait expired and splits opened unfiltered)
+// still narrows every split opened afterwards. Safe at any point in the task
+// lifecycle, including after completion.
+func (t *Task) DeliverFilter(id int, s *dynfilter.Summary) {
+	if s == nil || t.cfg.DynamicFiltersDisabled {
+		return
+	}
+	t.dynMu.Lock()
+	if t.dynFilters == nil {
+		t.dynFilters = map[int]*dynfilter.Summary{}
+	}
+	t.dynFilters[id] = s
+	t.dynMu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.aborted || t.failed != nil {
+		return
+	}
+	if s.Empty() {
+		for scanID, p := range t.scanPipes {
+			if p.scanNode == nil {
+				continue
+			}
+			for _, df := range p.scanNode.DynFilters {
+				if df.ID == id && df.ShortCircuit {
+					t.dropScanSplitsLocked(scanID)
+				}
+			}
+		}
+	}
+	for scanID := range t.scanPipes {
+		if err := t.maybeStartSplitsLocked(scanID); err != nil && t.failed == nil {
+			t.failed = err
+		}
+	}
+	t.maybeFinishLocked()
+}
+
+// dropScanSplitsLocked discards a scan's remaining splits (empty-build short
+// circuit): already-open sources finish naturally — their rows are filtered
+// to zero by the same empty summary — and future splits are rejected at
+// AddSplit. Caller holds t.mu.
+func (t *Task) dropScanSplitsLocked(scanID int) {
+	if t.dynSkip[scanID] {
+		return
+	}
+	if t.dynSkip == nil {
+		t.dynSkip = map[int]bool{}
+	}
+	t.dynSkip[scanID] = true
+	p := t.scanPipes[scanID]
+	stats := p.opStats[0]
+	if q, ok := t.morsels[scanID]; ok {
+		stats.RecordDynSplitSkipped(int64(q.dropPending()))
+	}
+	if n := len(t.pendingSplits[scanID]); n > 0 {
+		stats.RecordDynSplitSkipped(int64(n))
+		delete(t.pendingSplits, scanID)
+	}
+	t.maybeDeclareScanDoneLocked(scanID)
+}
+
+// dynGateLocked reports whether a scan's split starts are still held waiting
+// for subscribed filters. The wait is bounded by DynamicFilterWait: a timer
+// re-pumps at the deadline (the worker monitor also re-pumps every 10ms), so
+// a lost filter costs at most the wait budget, never a hang. Caller holds
+// t.mu.
+func (t *Task) dynGateLocked(p *pipelineSpec) bool {
+	sc := p.scanNode
+	if sc == nil || len(sc.DynFilters) == 0 || t.cfg.DynamicFiltersDisabled {
+		return false
+	}
+	if g := t.dynGates[p.scanID]; g != nil && g.done {
+		return false
+	}
+	wait := t.cfg.DynamicFilterWait
+	if wait == 0 {
+		wait = DefaultDynamicFilterWait
+	}
+	missing := false
+	t.dynMu.Lock()
+	for _, df := range sc.DynFilters {
+		if _, ok := t.dynFilters[df.ID]; !ok {
+			missing = true
+			break
+		}
+	}
+	t.dynMu.Unlock()
+	g := t.dynGates[p.scanID]
+	if g == nil {
+		if !missing || wait < 0 {
+			return false
+		}
+		g = &dynGate{start: time.Now()}
+		if t.dynGates == nil {
+			t.dynGates = map[int]*dynGate{}
+		}
+		t.dynGates[p.scanID] = g
+		time.AfterFunc(wait+time.Millisecond, t.PumpSplits)
+	}
+	if !missing || time.Since(g.start) >= wait {
+		g.done = true
+		p.opStats[0].RecordDynWait(time.Since(g.start).Nanoseconds())
+		return false
+	}
+	return true
+}
+
+// dynScanFilters snapshots the filters applicable to a scan pipeline right
+// now: the vectorized row predicates and the handle narrowed for connector
+// pruning. Called at split-open time from both the static path (holding
+// t.mu) and the morsel open function (not holding it) — it takes only dynMu.
+func (t *Task) dynScanFilters(p *pipelineSpec) ([]expr.SelVector, plan.TableHandle) {
+	h := p.scanHandle
+	sc := p.scanNode
+	if sc == nil || len(sc.DynFilters) == 0 || t.cfg.DynamicFiltersDisabled {
+		return nil, h
+	}
+	type applied struct {
+		df  plan.ScanDynFilter
+		sum *dynfilter.Summary
+	}
+	var fs []applied
+	t.dynMu.Lock()
+	for _, df := range sc.DynFilters {
+		if s := t.dynFilters[df.ID]; s != nil && !s.Disabled {
+			fs = append(fs, applied{df, s})
+		}
+	}
+	t.dynMu.Unlock()
+	if len(fs) == 0 {
+		return nil, h
+	}
+	sels := make([]expr.SelVector, 0, len(fs))
+	add := map[string]*plan.ColumnDomain{}
+	for _, f := range fs {
+		sels = append(sels, expr.DynFilterSel(f.df.Col, sc.Out[f.df.Col].T, f.sum))
+		name := sc.Columns[f.df.Col]
+		// Handle narrowing: only same-type summaries (cross-type equality
+		// folding stays in the row kernels, where it is exact) and only for
+		// columns the pushed-down constraint does not already bound.
+		if f.sum.T != sc.Out[f.df.Col].T || add[name] != nil {
+			continue
+		}
+		if h.Constraint != nil && h.Constraint.Columns[name] != nil {
+			continue
+		}
+		if cd := summaryDomain(f.sum); cd != nil {
+			add[name] = cd
+		}
+	}
+	if len(add) > 0 {
+		nc := &plan.Domain{Columns: make(map[string]*plan.ColumnDomain, len(add))}
+		if h.Constraint != nil {
+			for k, v := range h.Constraint.Columns {
+				nc.Columns[k] = v
+			}
+		}
+		for k, v := range add {
+			nc.Columns[k] = v
+		}
+		h.Constraint = nc
+	}
+	return sels, h
+}
+
+// summaryDomain converts a summary to a connector-evaluable column domain:
+// small exact sets become IN-lists (sorted, so the derived cache key is
+// deterministic), everything else degrades to the observed [min,max] range.
+// NULL never joins, so NullAllowed stays false.
+func summaryDomain(s *dynfilter.Summary) *plan.ColumnDomain {
+	if vals := s.ExactValues(); len(vals) > 0 && len(vals) <= dynMaxPushdownPoints {
+		sort.Slice(vals, func(i, j int) bool { return vals[i].String() < vals[j].String() })
+		return &plan.ColumnDomain{T: s.T, Points: vals}
+	}
+	if min, max, ok := s.Bounds(); ok {
+		return &plan.ColumnDomain{
+			T:      s.T,
+			Ranges: []plan.Range{{Lo: &min, Hi: &max, LoClosed: true, HiClosed: true}},
+		}
+	}
+	return nil
+}
+
+// dynFilteredSource applies dynamic-filter row predicates to a split's pages.
+// It wraps outside the page cache, so cached pages are exactly the
+// connector's output for the (narrowed) handle, independent of when filters
+// arrived.
+type dynFilteredSource struct {
+	src     connector.PageSource
+	sels    []expr.SelVector
+	stats   *operators.OpStats
+	in, out []int
+}
+
+func (d *dynFilteredSource) NextPage() (*block.Page, error) {
+	for {
+		p, err := d.src.NextPage()
+		if p == nil || err != nil {
+			return p, err
+		}
+		n := p.RowCount()
+		if n == 0 {
+			return p, nil
+		}
+		if cap(d.in) < n {
+			d.in = make([]int, n)
+			d.out = make([]int, n)
+		}
+		rows := d.in[:n]
+		for i := range rows {
+			rows[i] = i
+		}
+		scratch := d.out[:n]
+		for _, sel := range d.sels {
+			if len(rows) == 0 {
+				break
+			}
+			res := sel(p, rows, scratch[:0])
+			scratch, rows = rows, res
+		}
+		if len(rows) == n {
+			return p, nil
+		}
+		d.stats.RecordDynFiltered(int64(n - len(rows)))
+		if len(rows) == 0 {
+			continue // fully pruned: pull the next page
+		}
+		return expr.ApplySel(p, rows), nil
+	}
+}
+
+func (d *dynFilteredSource) BytesRead() int64 { return d.src.BytesRead() }
+func (d *dynFilteredSource) Close()           { d.src.Close() }

@@ -138,6 +138,29 @@ func (q *morselQueue) cancel() {
 	}
 }
 
+// dropPending discards all queued (not yet opened) splits, returning how
+// many were dropped. Open sources keep draining; the caller uses this for the
+// dynamic-filter empty-build short circuit, where those sources' rows are
+// filtered to zero anyway.
+func (q *morselQueue) dropPending() int {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return 0
+	}
+	n := q.pending
+	for i := range q.stripes {
+		q.stripes[i] = nil
+	}
+	q.pending = 0
+	wake := q.wakeLocked()
+	q.mu.Unlock()
+	if wake {
+		q.onReady()
+	}
+	return n
+}
+
 // wakeLocked consumes the hungry flag: the caller just changed state in a way
 // that may unblock a parked driver, and fires onReady after releasing q.mu.
 func (q *morselQueue) wakeLocked() bool {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/connector"
+	"repro/internal/dynfilter"
 	"repro/internal/expr"
 	"repro/internal/memory"
 	"repro/internal/operators"
@@ -38,6 +39,8 @@ type pipelineSpec struct {
 	scanID     int
 	scanHandle plan.TableHandle
 	scanCols   []string
+	scanNode   *plan.Scan // dynamic-filter subscriptions + output schema
+	sourceFP   uint64     // cardinality fingerprint of the source node
 
 	// srcExchange
 	exchangeFragments []int
@@ -130,12 +133,23 @@ type opFactory func(ctx *driverCtx) (operators.Operator, error)
 type chain struct {
 	spec      *pipelineSpec
 	names     []string
+	fps       []uint64
 	factories []opFactory
 }
 
 func (c *chain) append(name string, f opFactory) {
 	c.names = append(c.names, name)
+	c.fps = append(c.fps, 0)
 	c.factories = append(c.factories, f)
+}
+
+// stampFP tags the most recently appended operator with the cardinality
+// fingerprint of the plan node it realizes, so its observed row counts can
+// feed history-based optimizer estimates on repeat runs.
+func (c *chain) stampFP(fp uint64) {
+	if n := len(c.fps); n > 0 {
+		c.fps[n-1] = fp
+	}
 }
 
 func (c *compiler) newPipeline() *chain {
@@ -148,9 +162,9 @@ func (c *chain) seal() {
 	fs := c.factories
 	spec := c.spec
 	spec.opStats = make([]*operators.OpStats, len(fs)+1)
-	spec.opStats[0] = &operators.OpStats{Name: spec.sourceName()}
+	spec.opStats[0] = &operators.OpStats{Name: spec.sourceName(), PlanFP: spec.sourceFP}
 	for i, name := range c.names {
-		spec.opStats[i+1] = &operators.OpStats{Name: name}
+		spec.opStats[i+1] = &operators.OpStats{Name: name, PlanFP: c.fps[i]}
 	}
 	spec.mkOps = func(ctx *driverCtx) ([]operators.Operator, error) {
 		ops := make([]operators.Operator, 0, len(fs))
@@ -209,6 +223,8 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		pb.spec.scanID = len(c.scans)
 		pb.spec.scanHandle = x.Handle
 		pb.spec.scanCols = x.Columns
+		pb.spec.scanNode = x
+		pb.spec.sourceFP = plan.CardFingerprint(x, nil)
 		c.scans = append(c.scans, x)
 		return nil
 
@@ -253,6 +269,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		pb.append("FilterProject", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewFilterProject(ctx.opCtx(memory.System), ctx.task.newProcessor(pred, proj)), nil
 		})
+		pb.stampFP(plan.CardFingerprint(x, nil))
 		return nil
 
 	case *plan.Project:
@@ -270,6 +287,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		pb.append("FilterProject", func(ctx *driverCtx) (operators.Operator, error) {
 			return operators.NewFilterProject(ctx.opCtx(memory.System), ctx.task.newProcessor(pred, exprs)), nil
 		})
+		pb.stampFP(plan.CardFingerprint(x, nil))
 		return nil
 
 	case *plan.Limit:
@@ -371,6 +389,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 			}
 			return op, nil
 		})
+		pb.stampFP(plan.CardFingerprint(x, nil))
 		return nil
 
 	case *plan.Join:
@@ -434,6 +453,22 @@ func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
 	build.seal()
 	build.spec.buildBridge = bridge
 
+	// Dynamic-filter collection: the bridge folds build key columns into
+	// per-filter summaries and publishes them once the table is built.
+	if len(j.DynFilters) > 0 && !c.task.cfg.DynamicFiltersDisabled {
+		specs := make([]dynfilter.ColumnSpec, len(j.DynFilters))
+		ids := make([]int, len(j.DynFilters))
+		for i, df := range j.DynFilters {
+			specs[i] = dynfilter.ColumnSpec{ID: df.ID, KeyIdx: df.KeyIdx, T: buildKeyTs[df.KeyIdx]}
+			ids[i] = df.ID
+		}
+		coll := dynfilter.NewCollector(specs, c.task.cfg.DynamicFilterMaxSet, 0)
+		task := c.task
+		bridge.SetFilterCollector(coll, func(sums []*dynfilter.Summary) {
+			task.publishFilters(ids, sums)
+		})
+	}
+
 	// Probe continues the current pipeline.
 	if err := c.compile(j.Left, pb); err != nil {
 		return err
@@ -446,6 +481,7 @@ func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
 		bridge.AddProbe()
 		return operators.NewLookupJoin(ctx.opCtx(memory.User), bridge, jt, probeKeys, residual, probeTs, buildTs, c.pageSize), nil
 	})
+	pb.stampFP(plan.CardFingerprint(j, nil))
 	pb.spec.probeBridges = append(pb.spec.probeBridges, bridge)
 	return nil
 }
@@ -484,6 +520,7 @@ func (c *compiler) compileIndexJoin(j *plan.Join, pb *chain) error {
 		}
 		return operators.NewIndexJoin(ctx.opCtx(memory.User), idx.Lookup, jt, probeKeys, probeTs, buildTs, c.pageSize), nil
 	})
+	pb.stampFP(plan.CardFingerprint(j, nil))
 	return nil
 }
 

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/connector"
+	"repro/internal/dynfilter"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/operators"
 	"repro/internal/plan"
@@ -67,7 +69,26 @@ type TaskConfig struct {
 	MorselsDisabled bool
 	// MorselRows overrides the target morsel size (tests; 0 = default).
 	MorselRows int
+	// DynamicFiltersDisabled turns off runtime join-filter collection,
+	// delivery, and application for this task (the per-query session
+	// toggle; Session.DisableDynamicFilters).
+	DynamicFiltersDisabled bool
+	// DynamicFilterWait bounds how long a subscribed scan holds its split
+	// starts for filter delivery. 0 selects DefaultDynamicFilterWait,
+	// negative disables waiting (filters still apply to late-opened splits).
+	DynamicFilterWait time.Duration
+	// DynamicFilterMaxSet overrides the exact-set cardinality threshold of
+	// collected summaries (0 = dynfilter.DefaultMaxSet).
+	DynamicFilterMaxSet int
+	// Inject threads the chaos injector into task-level seams (morsel split
+	// opens, dynamic-filter publication). Never serialized; local only.
+	Inject *faultinject.Injector
 }
+
+// DefaultDynamicFilterWait is the bounded wait a subscribed scan applies to
+// its first split starts when the session does not override it. Late or lost
+// filters degrade to an unfiltered scan, never a hang.
+const DefaultDynamicFilterWait = 100 * time.Millisecond
 
 // Task executes one plan fragment on a worker: it owns the fragment's
 // pipelines, creates a driver per split for leaf pipelines, and produces
@@ -105,6 +126,23 @@ type Task struct {
 
 	exchangeClients []*shuffle.ExchangeClient
 	scalablePipes   []*scalablePipe
+
+	// Dynamic-filter state. dynMu is a leaf lock (t.mu → dynMu is the only
+	// permitted order) so split-open paths can snapshot arrived filters
+	// whether or not they hold t.mu.
+	dynMu         sync.Mutex
+	dynFilters    map[int]*dynfilter.Summary // arrived summaries by filter id
+	dynPublished  map[int]*dynfilter.Summary // summaries this task's builds published
+	filterPublish func(ids []int, sums []*dynfilter.Summary)
+
+	dynGates map[int]*dynGate // scanID → bounded-wait state (guarded by mu)
+	dynSkip  map[int]bool     // scanID → empty-build short circuit (guarded by mu)
+}
+
+// dynGate tracks one scan's bounded wait for dynamic-filter delivery.
+type dynGate struct {
+	start time.Time
+	done  bool // released: filters arrived or the deadline passed
 }
 
 // scalablePipe tracks a writer pipeline eligible for adaptive scaling.
@@ -318,8 +356,12 @@ func (t *Task) AddSplit(scanID int, s connector.Split) error {
 	if t.aborted || t.failed != nil {
 		return nil
 	}
-	if _, ok := t.scanPipes[scanID]; !ok {
+	if p, ok := t.scanPipes[scanID]; !ok {
 		return fmt.Errorf("task %s has no scan pipeline %d", t.ID, scanID)
+	} else if t.dynSkip[scanID] {
+		// Empty-build short circuit already proved this scan joins nothing.
+		p.opStats[0].RecordDynSplitSkipped(1)
+		return nil
 	}
 	if !t.cfg.MorselsDisabled {
 		q, err := t.morselQueueLocked(scanID)
@@ -350,6 +392,9 @@ func (t *Task) morselQueueLocked(scanID int) (*morselQueue, error) {
 	stats := p.opStats[0]
 	q := newMorselQueue(t.cfg.TargetSplitConcurrency, t.cfg.MorselRows,
 		func(s connector.Split) (connector.PageSource, error) {
+			if err := t.cfg.Inject.Err(faultinject.SiteMorselOpen); err != nil {
+				return nil, err
+			}
 			return t.openPageSource(conn, s, pipe, stats)
 		})
 	q.onReady = t.executor.Kick
@@ -398,6 +443,11 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 			}
 		}
 	}
+	// Dynamic filters: briefly hold a subscribed scan's split starts until
+	// its filters arrive (bounded — see dynGateLocked).
+	if t.dynGateLocked(p) {
+		return nil
+	}
 	target := t.cfg.TargetSplitConcurrency
 	if t.output.Utilization() > 0.5 {
 		target = 1 // buffers full: lower effective concurrency
@@ -433,6 +483,7 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 		}
 		src := operators.NewTableScan(sctx, srcReader)
 		if err := t.startDriverLocked(p, src, sctx); err != nil {
+			srcReader.Close() // no driver owns the source: close it here
 			return err
 		}
 		t.runningSplits[scanID]++
@@ -444,24 +495,44 @@ func (t *Task) maybeStartSplitsLocked(scanID int) error {
 // cache when the connector supports cache keys for this read and the task's
 // session has not disabled caching. Each cached open records a hit or miss
 // on the scan operator's stats (surfaced by EXPLAIN ANALYZE).
+//
+// Dynamic filters that have arrived by open time narrow the table handle —
+// the narrowed handle is both the connector read (stripe/split pruning) and
+// the cache identity, so cached pages always match what the connector would
+// produce for that constraint — and wrap the source with the row-level filter
+// kernels. Row filtering runs outside the cache: cached pages stay exactly
+// the connector's output for the narrowed handle.
 func (t *Task) openPageSource(conn connector.Connector, s connector.Split,
 	p *pipelineSpec, stats *operators.OpStats) (connector.PageSource, error) {
 
+	sels, handle := t.dynScanFilters(p)
+	var src connector.PageSource
+	opened := false
 	if t.pageCache != nil && !t.cfg.CacheDisabled {
 		if pc, ok := conn.(connector.PageCacheable); ok {
-			if key, ok := pc.PageCacheKey(s, p.scanCols, p.scanHandle); ok {
-				src, hit, err := t.pageCache.OpenThrough(key, func() (connector.PageSource, error) {
-					return conn.PageSource(s, p.scanCols, p.scanHandle)
+			if key, ok := pc.PageCacheKey(s, p.scanCols, handle); ok {
+				cached, hit, err := t.pageCache.OpenThrough(key, func() (connector.PageSource, error) {
+					return conn.PageSource(s, p.scanCols, handle)
 				})
 				if err != nil {
 					return nil, err
 				}
 				stats.RecordCacheAccess(hit)
-				return src, nil
+				src, opened = cached, true
 			}
 		}
 	}
-	return conn.PageSource(s, p.scanCols, p.scanHandle)
+	if !opened {
+		var err error
+		src, err = conn.PageSource(s, p.scanCols, handle)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(sels) > 0 {
+		src = &dynFilteredSource{src: src, sels: sels, stats: stats}
+	}
+	return src, nil
 }
 
 // driverDone is called by the executor when a driver completes.

@@ -28,6 +28,7 @@ type Worker struct {
 
 	connectors ConnectorRegistry
 	cfg        TaskConfig
+	inject     *faultinject.Injector
 
 	mu    sync.Mutex
 	tasks map[TaskID]*Task
@@ -71,6 +72,7 @@ func NewWorker(id int, reg ConnectorRegistry, cfg WorkerConfig) *Worker {
 		Pool:        memory.NewNodePool(cfg.GeneralPoolBytes, cfg.ReservedPoolBytes),
 		connectors:  reg,
 		cfg:         cfg.Task,
+		inject:      cfg.FaultInject,
 		tasks:       map[TaskID]*Task{},
 		stopMonitor: make(chan struct{}),
 	}
@@ -142,6 +144,9 @@ func (w *Worker) CreateTask(id TaskID, f *plan.Fragment, qmem *memory.QueryConte
 	cfg := w.cfg
 	if overrides != nil {
 		cfg = *overrides
+	}
+	if cfg.Inject == nil {
+		cfg.Inject = w.inject
 	}
 	t, err := NewTask(id, f, w.ID, w.Exec, w.connectors, qmem, w.Pool, w.Cache, outPartitions, exchangeSources, cfg)
 	if err != nil {

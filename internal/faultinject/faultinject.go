@@ -44,6 +44,14 @@ const (
 	// entry checksum, so verification rejects the entry and the lookup
 	// degrades to a miss (re-read from the connector).
 	SiteCacheCorrupt = "cache.corrupt"
+	// SiteMorselOpen guards split opens inside the morsel queue (exercises
+	// the cancel/open-failure cleanup paths of scan pipelines).
+	SiteMorselOpen = "exec.morselopen"
+	// SiteFilterPublish guards dynamic-filter publication from a join build:
+	// delay faults stall delivery past the probe's bounded wait, error
+	// faults drop the filter entirely — either way the probe side must
+	// degrade to an unfiltered scan with identical results.
+	SiteFilterPublish = "dynfilter.publish"
 	// SiteCacheEvict guards page-cache inserts: a fault triggers a full
 	// eviction storm (every cached entry dropped) before the insert.
 	SiteCacheEvict = "cache.evict"
@@ -120,6 +128,17 @@ func New(seed int64, rules ...Rule) *Injector {
 		inj.rules[r.Site] = append(inj.rules[r.Site], sr)
 	}
 	return inj
+}
+
+// Clear removes every rule: subsequent calls proceed fault-free. Used by
+// chaos tests to verify a cluster recovers once the fault condition lifts.
+func (i *Injector) Clear() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = map[string][]*siteRule{}
 }
 
 // fault is one injection decision.

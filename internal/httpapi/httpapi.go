@@ -107,12 +107,14 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	session := coordinator.Session{
-		Catalog:              r.Header.Get("X-Presto-Catalog"),
-		Source:               r.Header.Get("X-Presto-Source"),
-		User:                 r.Header.Get("X-Presto-User"),
-		DisableCache:         r.Header.Get("X-Presto-Disable-Cache") != "",
-		DisableVectorKernels: r.Header.Get("X-Presto-Disable-Vector-Kernels") != "",
-		DisableMorsels:       r.Header.Get("X-Presto-Disable-Morsels") != "",
+		Catalog:               r.Header.Get("X-Presto-Catalog"),
+		Source:                r.Header.Get("X-Presto-Source"),
+		User:                  r.Header.Get("X-Presto-User"),
+		DisableCache:          r.Header.Get("X-Presto-Disable-Cache") != "",
+		DisableVectorKernels:  r.Header.Get("X-Presto-Disable-Vector-Kernels") != "",
+		DisableMorsels:        r.Header.Get("X-Presto-Disable-Morsels") != "",
+		DisableDynamicFilters: r.Header.Get("X-Presto-Disable-Dynamic-Filters") != "",
+		DisableHBO:            r.Header.Get("X-Presto-Disable-HBO") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of
@@ -278,6 +280,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.PromGauge(w, "presto_metadata_cache_invalidations_total", nil, float64(ms.Invalidations))
 	metrics.PromGauge(w, "presto_metadata_cache_entries", nil, float64(ms.Entries))
 	metrics.PromGauge(w, "presto_queries_running", nil, float64(s.Coord.RunningQueries()))
+	dynRows, dynSplits, dynWait := s.Coord.DynFilterTotals()
+	metrics.PromGauge(w, "presto_dynamic_filter_rows_skipped_total", nil, float64(dynRows))
+	metrics.PromGauge(w, "presto_dynamic_filter_splits_skipped_total", nil, float64(dynSplits))
+	metrics.PromGauge(w, "presto_dynamic_filter_wait_nanos_total", nil, float64(dynWait))
 }
 
 // pageToJSON renders a page as rows of JSON-friendly values.

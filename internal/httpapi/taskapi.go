@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -83,7 +84,9 @@ func (s *WorkerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/task", s.handleCreateTask)
 	mux.HandleFunc("POST /v1/task/{id}/splits", s.handleSplits)
+	mux.HandleFunc("POST /v1/task/{id}/filters", s.handleDeliverFilters)
 	mux.HandleFunc("GET /v1/task/{id}", s.handleTaskStatus)
+	mux.HandleFunc("GET /v1/task/{id}/filter/{fid}", s.handleFetchFilter)
 	mux.HandleFunc("GET /v1/task/{id}/results/{partition}/{token}", s.handleResults)
 	mux.HandleFunc("DELETE /v1/task/{id}", s.handleDeleteTask)
 	mux.HandleFunc("GET /v1/worker/metrics", s.handleWorkerMetrics)
@@ -154,6 +157,10 @@ func (s *WorkerServer) handleCreateTask(w http.ResponseWriter, r *http.Request) 
 		}
 	}
 	cfg := spec.Config.Decode()
+	// The injector never travels on the wire; thread this worker's own into
+	// the task so exec-level fault seams (morsel open, filter publish) fire
+	// for remote tasks too.
+	cfg.Inject = s.Inject
 
 	s.mu.Lock()
 	if rt, ok := s.tasks[key]; ok { // lost a concurrent create race
@@ -272,6 +279,13 @@ func (s *WorkerServer) handleSplits(w http.ResponseWriter, r *http.Request) {
 
 func (s *WorkerServer) statusOf(rt *remoteTask) wire.TaskStatus {
 	st := wire.TaskStatus{ID: rt.id.String(), State: "running", CPUNanos: rt.task.CPUNanos()}
+	if pub := rt.task.PublishedFilters(); len(pub) > 0 {
+		st.FiltersReady = make([]int, 0, len(pub))
+		for id := range pub {
+			st.FiltersReady = append(st.FiltersReady, id)
+		}
+		sort.Ints(st.FiltersReady)
+	}
 	select {
 	case <-rt.task.Done():
 		if err := rt.task.Err(); err != nil {
@@ -299,6 +313,53 @@ func (s *WorkerServer) handleTaskStatus(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, s.statusOf(rt))
+}
+
+// handleFetchFilter serves one published dynamic-filter summary (the
+// coordinator pulls summaries announced in TaskStatus.FiltersReady, merges
+// them across the build fragment's tasks, and pushes the union to probe-side
+// tasks).
+func (s *WorkerServer) handleFetchFilter(w http.ResponseWriter, r *http.Request) {
+	rt, ok := s.lookupTask(w, r)
+	if !ok {
+		return
+	}
+	fid, err := strconv.Atoi(r.PathValue("fid"))
+	if err != nil {
+		http.Error(w, "bad filter id", http.StatusBadRequest)
+		return
+	}
+	sum, ok := rt.task.PublishedFilters()[fid]
+	if !ok {
+		http.Error(w, fmt.Sprintf("filter %d not published", fid), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, wire.EncodeFilterSummary(sum))
+}
+
+// handleDeliverFilters accepts merged dynamic-filter summaries for this
+// task's probe scans. Delivery is idempotent and safe at any point in the
+// task lifecycle.
+func (s *WorkerServer) handleDeliverFilters(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	rt, ok := s.lookupTask(w, r)
+	if !ok {
+		return
+	}
+	var req wire.FilterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&req); err != nil {
+		http.Error(w, "decode filters: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, fe := range req.Filters {
+		sum, err := fe.Summary.Decode()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("filter %d: %v", fe.ID, err), http.StatusBadRequest)
+			return
+		}
+		rt.task.DeliverFilter(fe.ID, sum)
+	}
+	w.WriteHeader(http.StatusOK)
 }
 
 // handleResults is the producer half of the HTTP shuffle (paper §IV-E2):

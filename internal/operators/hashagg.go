@@ -388,6 +388,8 @@ func (o *HashAggregationOperator) accumulateRun(spec *AggSpec, si int, id int32,
 	switch spec.Func {
 	case plan.AggCount:
 		st.Count += int64(n)
+	case plan.AggCountMerge:
+		st.Count += v.I * int64(n)
 	case plan.AggSum, plan.AggAvg:
 		st.Count += int64(n)
 		st.HasVal = true
@@ -471,6 +473,13 @@ func (o *HashAggregationOperator) accumulateVec(spec *AggSpec, si int, ids []int
 		switch spec.Func {
 		case plan.AggCount:
 			countNonNull(entries, si, ids, nulls)
+		case plan.AggCountMerge:
+			for r, id := range ids {
+				if nulls != nil && nulls[r] {
+					continue
+				}
+				entries[id].States[si].Count += vals[r]
+			}
 		case plan.AggSum, plan.AggAvg:
 			for r, id := range ids {
 				if nulls != nil && nulls[r] {
@@ -608,6 +617,8 @@ func (o *HashAggregationOperator) accumulate(st *aggState, spec *AggSpec, p *blo
 	switch spec.Func {
 	case plan.AggCount:
 		st.Count++
+	case plan.AggCountMerge:
+		st.Count += col.Long(r)
 	case plan.AggSum, plan.AggAvg:
 		st.Count++
 		st.HasVal = true
@@ -638,7 +649,7 @@ func (o *HashAggregationOperator) accumulate(st *aggState, spec *AggSpec, p *blo
 // result renders one aggregate's final value.
 func (spec *AggSpec) result(st *aggState) types.Value {
 	switch spec.Func {
-	case plan.AggCount, plan.AggCountAll:
+	case plan.AggCount, plan.AggCountAll, plan.AggCountMerge:
 		return types.BigintValue(st.Count)
 	case plan.AggSum:
 		if !st.HasVal {
@@ -956,7 +967,7 @@ func (o *HashAggregationOperator) SpillCount() int { return len(o.spillFiles) }
 
 func mergeState(dst, src *aggState, spec *AggSpec) {
 	switch spec.Func {
-	case plan.AggCount, plan.AggCountAll:
+	case plan.AggCount, plan.AggCountAll, plan.AggCountMerge:
 		dst.Count += src.Count
 	case plan.AggSum, plan.AggAvg:
 		dst.Count += src.Count

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/block"
+	"repro/internal/dynfilter"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -47,6 +48,41 @@ type JoinBridge struct {
 	// last probe finishing (which releases RIGHT/FULL outer emission). The
 	// executor registers its Kick here.
 	notify func()
+
+	// Dynamic-filter collection: build drivers fold their key columns into
+	// the collector under mu, and the summaries publish through onFilters
+	// exactly once, on the clean built transition. A cancelled build never
+	// publishes — its partial key set would wrongly filter probe rows.
+	collector   *dynfilter.Collector
+	onFilters   func([]*dynfilter.Summary)
+	filtersDone bool
+}
+
+// SetFilterCollector installs the dynamic-filter collector and its publish
+// callback; set at pipeline compile time, before any build driver runs.
+func (b *JoinBridge) SetFilterCollector(c *dynfilter.Collector, publish func([]*dynfilter.Summary)) {
+	b.mu.Lock()
+	b.collector = c
+	b.onFilters = publish
+	b.mu.Unlock()
+}
+
+// takeFilterPublishLocked claims the one-time filter publication if the build
+// just completed cleanly; the returned closure must run after mu is released
+// (publication fans out into task/coordinator code that may take other locks).
+func (b *JoinBridge) takeFilterPublishLocked() func() {
+	if !b.built || b.filtersDone || b.onFilters == nil {
+		return nil
+	}
+	b.filtersDone = true
+	fn, col := b.onFilters, b.collector
+	return func() {
+		var sums []*dynfilter.Summary
+		if col != nil {
+			sums = col.Summaries()
+		}
+		fn(sums)
+	}
 }
 
 // SetNotify installs the unblock callback; set before drivers start.
@@ -77,8 +113,12 @@ func (b *JoinBridge) BuilderFinished() {
 	b.mu.Lock()
 	b.buildersActive--
 	b.maybeBuiltLocked()
+	publish := b.takeFilterPublishLocked()
 	notify := b.notifyLocked()
 	b.mu.Unlock()
+	if publish != nil {
+		publish()
+	}
 	notify()
 }
 
@@ -89,6 +129,7 @@ func (b *JoinBridge) BuilderFinished() {
 // the task is already failed and its output buffer destroyed or about to be.
 func (b *JoinBridge) Cancel() {
 	b.mu.Lock()
+	b.filtersDone = true // partial build: suppress any future publication
 	b.built = true
 	b.noMoreBuilders = true
 	b.noMoreProbes = true
@@ -104,8 +145,12 @@ func (b *JoinBridge) NoMoreBuilders() {
 	b.mu.Lock()
 	b.noMoreBuilders = true
 	b.maybeBuiltLocked()
+	publish := b.takeFilterPublishLocked()
 	notify := b.notifyLocked()
 	b.mu.Unlock()
+	if publish != nil {
+		publish()
+	}
 	notify()
 }
 
@@ -227,6 +272,13 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 	b.pages = append(b.pages, p)
 	b.matched = append(b.matched, make([]bool, p.RowCount()))
 	nk := len(o.keyCols)
+	if b.collector != nil {
+		for i, sp := range b.collector.Specs() {
+			if sp.KeyIdx < nk {
+				b.collector.AddBlock(i, p.Col(o.keyCols[sp.KeyIdx]))
+			}
+		}
+	}
 	if b.vec {
 		if b.ktab == nil {
 			b.ktab = newKeyTable(fixedWidthKeys(o.keyTs), nk)

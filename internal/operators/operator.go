@@ -56,6 +56,12 @@ type OpContext struct {
 type OpStats struct {
 	Name string // operator name, fixed at pipeline compile time
 
+	// PlanFP is the cardinality fingerprint of the plan node this operator
+	// realizes (plan.CardFingerprint without cross-fragment resolution), set
+	// at pipeline compile time for operators whose output cardinality is
+	// worth recording for history-based optimizer feedback; zero elsewhere.
+	PlanFP uint64
+
 	pagesIn  atomic.Int64
 	rowsIn   atomic.Int64
 	bytesIn  atomic.Int64
@@ -74,7 +80,39 @@ type OpStats struct {
 	// scans only; zero elsewhere).
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Dynamic-filter accounting (leaf scans only): probe rows dropped by
+	// attached runtime filters, splits skipped outright by an empty build
+	// side, and time split starts were gated waiting for filter delivery.
+	dynRowsFiltered  atomic.Int64
+	dynSplitsSkipped atomic.Int64
+	dynWaitNanos     atomic.Int64
 }
+
+// RecordDynFiltered counts probe rows removed by a dynamic join filter.
+func (s *OpStats) RecordDynFiltered(rows int64) {
+	if s != nil && rows > 0 {
+		s.dynRowsFiltered.Add(rows)
+	}
+}
+
+// RecordDynSplitSkipped counts splits dropped before opening because a
+// dynamic filter proved they cannot produce matching rows.
+func (s *OpStats) RecordDynSplitSkipped(n int64) {
+	if s != nil && n > 0 {
+		s.dynSplitsSkipped.Add(n)
+	}
+}
+
+// RecordDynWait attributes time split starts spent gated on filter delivery.
+func (s *OpStats) RecordDynWait(nanos int64) {
+	if s != nil && nanos > 0 {
+		s.dynWaitNanos.Add(nanos)
+	}
+}
+
+// DynRowsFiltered returns probe rows dropped by dynamic filters so far.
+func (s *OpStats) DynRowsFiltered() int64 { return s.dynRowsFiltered.Load() }
 
 // AddCPU attributes n nanoseconds of driver execution to the operator.
 func (s *OpStats) AddCPU(n int64) { s.cpuNanos.Add(n) }
@@ -139,6 +177,11 @@ type OpStatsSnapshot struct {
 	PeakMemBytes int64  `json:"peakMemBytes"`
 	CacheHits    int64  `json:"cacheHits,omitempty"`
 	CacheMisses  int64  `json:"cacheMisses,omitempty"`
+
+	PlanFP           uint64 `json:"planFP,omitempty"`
+	DynRowsFiltered  int64  `json:"dynRowsFiltered,omitempty"`
+	DynSplitsSkipped int64  `json:"dynSplitsSkipped,omitempty"`
+	DynWaitNanos     int64  `json:"dynWaitNanos,omitempty"`
 }
 
 // Snapshot copies the counters.
@@ -158,6 +201,11 @@ func (s *OpStats) Snapshot() OpStatsSnapshot {
 		PeakMemBytes: s.memPeak.Load(),
 		CacheHits:    s.cacheHits.Load(),
 		CacheMisses:  s.cacheMisses.Load(),
+
+		PlanFP:           s.PlanFP,
+		DynRowsFiltered:  s.dynRowsFiltered.Load(),
+		DynSplitsSkipped: s.dynSplitsSkipped.Load(),
+		DynWaitNanos:     s.dynWaitNanos.Load(),
 	}
 }
 
@@ -182,6 +230,12 @@ func (s *OpStatsSnapshot) Merge(o OpStatsSnapshot) {
 	s.PeakMemBytes += o.PeakMemBytes
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	if s.PlanFP == 0 {
+		s.PlanFP = o.PlanFP
+	}
+	s.DynRowsFiltered += o.DynRowsFiltered
+	s.DynSplitsSkipped += o.DynSplitsSkipped
+	s.DynWaitNanos += o.DynWaitNanos
 }
 
 // NopContext returns a context with no memory accounting, for tests.

@@ -34,6 +34,9 @@ func (o *Optimizer) Fragment(root plan.Node) *plan.DistributedPlan {
 		})
 	}
 	dp.Fragment(rootID).OutputConsumer = -1
+	if !o.Config.DisableDynamicFilters {
+		assignDynamicFilters(dp)
+	}
 	return dp
 }
 
@@ -419,7 +422,9 @@ func (fb *fragBuilder) visitAggregation(o *Optimizer, agg *plan.Aggregation) sub
 	for _, pa := range partialAggs {
 		fn := pa.Func
 		if fn == plan.AggCount || fn == plan.AggCountAll {
-			fn = plan.AggSum
+			// Merge partial counts with count_merge, not sum: SUM over zero
+			// rows is NULL, but COUNT over an empty input must be 0.
+			fn = plan.AggCountMerge
 		}
 		finalAggs = append(finalAggs, plan.Aggregate{Func: fn, Arg: nil, Out: pa.Out})
 	}

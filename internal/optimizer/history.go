@@ -1,0 +1,86 @@
+package optimizer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// History-based optimizer feedback: the coordinator records observed operator
+// cardinalities at query finish, keyed by cardinality fingerprint
+// (plan.CardFingerprint), and the optimizer prefers those observations over
+// statistics-derived estimates when the same plan shape runs again — so a
+// repeat query re-orders its joins with ground truth instead of selectivity
+// guesses.
+
+// History stores observed cardinalities keyed by plan fingerprint.
+type History interface {
+	// Lookup returns the recorded row count for a fingerprint.
+	Lookup(fp uint64) (float64, bool)
+	// Record stores an observed row count, replacing any prior value.
+	Record(fp uint64, rows float64)
+}
+
+// MemoryHistory is the in-process History used by a long-lived coordinator.
+type MemoryHistory struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+}
+
+// NewMemoryHistory creates an empty history store.
+func NewMemoryHistory() *MemoryHistory {
+	return &MemoryHistory{m: map[uint64]float64{}}
+}
+
+// Lookup implements History.
+func (h *MemoryHistory) Lookup(fp uint64) (float64, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, ok := h.m[fp]
+	return v, ok
+}
+
+// Record implements History.
+func (h *MemoryHistory) Record(fp uint64, rows float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.m[fp] = rows
+}
+
+// Len reports the number of recorded fingerprints.
+func (h *MemoryHistory) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m)
+}
+
+// VersionedMeta is optionally implemented by the Metadata provider to expose
+// per-table data versions (connector.Versioned) for history fingerprints.
+type VersionedMeta interface {
+	TableVersion(catalog, table string) int64
+}
+
+// HistoryFingerprintOpts returns the fingerprint options under which
+// recording and lookup agree: scans are salted with their table's data
+// version, and — when a distributed plan is supplied — remote sources
+// resolve through to their producer fragment roots, so a fragment-tree
+// node hashes identically to the logical node it came from.
+func HistoryFingerprintOpts(meta Metadata, dp *plan.DistributedPlan) *plan.FingerprintOpts {
+	opts := &plan.FingerprintOpts{}
+	if dp != nil {
+		opts.ResolveRemote = func(rs *plan.RemoteSource) []plan.Node {
+			out := make([]plan.Node, 0, len(rs.SourceFragments))
+			for _, id := range rs.SourceFragments {
+				out = append(out, dp.Fragment(id).Root)
+			}
+			return out
+		}
+	}
+	if vm, ok := meta.(VersionedMeta); ok {
+		opts.ScanSalt = func(s *plan.Scan) string {
+			return fmt.Sprintf("v%d", vm.TableVersion(s.Handle.Catalog, s.Handle.Table))
+		}
+	}
+	return opts
+}

@@ -36,6 +36,13 @@ type Config struct {
 	DisableColocated bool
 	// DisableTopN keeps Sort+Limit unfused (ablation).
 	DisableTopN bool
+	// DisableDynamicFilters skips dynamic join-filter assignment (ablation;
+	// Session.DisableDynamicFilters).
+	DisableDynamicFilters bool
+	// History, when set, supplies observed cardinalities from prior runs of
+	// the same plan shape; estimates consult it before statistics. Nil
+	// disables history-based feedback.
+	History History
 }
 
 // DefaultConfig returns production defaults.

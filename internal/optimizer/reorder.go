@@ -38,8 +38,14 @@ func (o *Optimizer) reorderJoins(root plan.Node) plan.Node {
 		// an inner join this node will be absorbed when the parent is
 		// visited. Since we rewrite bottom-up, detect chains lazily: flatten
 		// from here; nested joins below are included.
+		// Two-relation "chains" still go through buildGreedy: it cannot
+		// change the join order, but it orients the pair so the smaller
+		// estimated side becomes the build (right) input. The syntactic
+		// order FROM big JOIN small would otherwise build on the big side —
+		// a larger hash table, and any dynamic filter flows backwards
+		// (collected over the big build, pruning the already-small probe).
 		mj := flattenJoin(j)
-		if mj == nil || len(mj.rels) < 3 {
+		if mj == nil || len(mj.rels) < 2 {
 			return n
 		}
 		for _, r := range mj.rels {
@@ -166,6 +172,45 @@ func (o *Optimizer) buildGreedy(mj *multiJoin) plan.Node {
 		return out
 	}
 
+	// indexable reports whether p is a bare scan with a connector index on
+	// its side of the connecting clauses. Such a side must end up on the
+	// build (right) input regardless of row estimates: the strategy pass
+	// turns it into an index join, which never builds a hash table at all.
+	indexable := func(p *piece, eqs []globalEqui) bool {
+		scan, ok := p.node.(*plan.Scan)
+		if !ok || o.Meta == nil {
+			return false
+		}
+		cols := make([]string, 0, len(eqs))
+		for _, eq := range eqs {
+			r, c := eq.relB, eq.colB
+			if !p.rels[r] {
+				r, c = eq.relA, eq.colA
+			}
+			idx := p.colmap[[2]int{r, c}]
+			if idx >= len(scan.Columns) {
+				return false
+			}
+			cols = append(cols, scan.Columns[idx])
+		}
+		for _, l := range o.Meta.Layouts(scan.Handle.Catalog, scan.Handle.Table) {
+			if len(l.IndexCols) != len(cols) {
+				continue
+			}
+			match := true
+			for i, c := range l.IndexCols {
+				if c != cols[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+
 	joinPieces := func(a, b *piece, eqs []globalEqui) *piece {
 		leftW := len(a.node.Schema())
 		var clauses []plan.EquiClause
@@ -224,10 +269,18 @@ func (o *Optimizer) buildGreedy(mj *multiJoin) plan.Node {
 				}
 				if bestRows < 0 || (connected && !bestConnected) || est < bestRows {
 					// Put the larger side on the left (probe), smaller on
-					// the right (build).
-					if a.rows >= b.rows {
+					// the right (build) — unless one side carries a
+					// matching connector index, which must stay on the
+					// right for the strategy pass to pick an index join.
+					ia, ib := indexable(a, eqs), indexable(b, eqs)
+					switch {
+					case ia && !ib:
+						bestA, bestB = b, a
+					case ib && !ia:
 						bestA, bestB = a, b
-					} else {
+					case a.rows >= b.rows:
+						bestA, bestB = a, b
+					default:
 						bestA, bestB = b, a
 					}
 					bestRows = est

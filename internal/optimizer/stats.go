@@ -18,8 +18,20 @@ const (
 )
 
 // estimateRows returns the estimated output row count of a plan subtree, or
-// a negative value when unknown.
+// a negative value when unknown. Observed cardinalities recorded for the same
+// plan shape on a prior run (history-based feedback) take precedence over
+// statistics-derived estimates.
 func (o *Optimizer) estimateRows(n plan.Node) float64 {
+	if h := o.Config.History; h != nil {
+		if rows, ok := h.Lookup(plan.CardFingerprint(n, HistoryFingerprintOpts(o.Meta, nil))); ok {
+			return rows
+		}
+	}
+	return o.estimateStatic(n)
+}
+
+// estimateStatic derives the estimate from connector statistics alone.
+func (o *Optimizer) estimateStatic(n plan.Node) float64 {
 	switch x := n.(type) {
 	case *plan.Scan:
 		if o.Meta == nil {

@@ -3,6 +3,7 @@ package orcish
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"sync/atomic"
@@ -136,9 +137,10 @@ func (r *Reader) readStripe(info *StripeInfo) (*block.Page, error) {
 			cols[i] = block.NewLazyBlock(t, rows, func() block.Block {
 				b, err := r.loadColumn(info, ciCopy)
 				if err != nil {
-					// Lazy loads surface errors as an empty column; the
-					// row-count mismatch fails the query loudly.
-					return block.NewBoolBlock(nil, nil)
+					// A short or typed-wrong substitute block would corrupt
+					// results (or crash far from the cause with an opaque
+					// index-out-of-range); name the real failure instead.
+					panic(fmt.Sprintf("orcish: lazy column load: %v", err))
 				}
 				return b
 			})
@@ -158,7 +160,7 @@ func (r *Reader) loadColumn(info *StripeInfo, ci int) (block.Block, error) {
 	off := info.Offset + info.ColOffsets[ci]
 	length := info.ColLengths[ci]
 	buf := make([]byte, length)
-	if _, err := r.f.ReadAt(buf, off); err != nil {
+	if err := r.readSection(buf, off); err != nil {
 		return nil, fmt.Errorf("%s: reading column %d: %w", r.path, ci, err)
 	}
 	r.bytesRead.Add(length)
@@ -169,6 +171,25 @@ func (r *Reader) loadColumn(info *StripeInfo, ci int) (block.Block, error) {
 	b := sec.decode()
 	r.CellsDecoded.Add(int64(b.Len()))
 	return b, nil
+}
+
+// readSection fills buf from the data file at off. The shared handle is the
+// fast path; if it has already been closed — the morsel queue closes an
+// exhausted source while sibling drivers still hold its pages, and a lazy
+// column may be forced long after that — reopen by path for this one read.
+// Orcish files are write-once, so a fresh handle sees identical bytes.
+func (r *Reader) readSection(buf []byte, off int64) error {
+	_, err := r.f.ReadAt(buf, off)
+	if err == nil || !errors.Is(err, os.ErrClosed) {
+		return err
+	}
+	f, err := os.Open(r.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.ReadAt(buf, off)
+	return err
 }
 
 // Close releases the file handle.

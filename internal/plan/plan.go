@@ -76,18 +76,47 @@ func (h TableHandle) String() string {
 	return s
 }
 
+// ScanDynFilter subscribes a scan column to a runtime dynamic join filter:
+// when the summary with the matching ID arrives from the join build, it runs
+// as an extra predicate over column Col and as min/max bounds for stripe and
+// split skipping. Assignment happens after fragmentation (see
+// optimizer.assignDynamicFilters); a filter that never arrives degrades to an
+// unfiltered scan.
+type ScanDynFilter struct {
+	ID  int
+	Col int
+	// ShortCircuit permits dropping the scan's remaining splits outright
+	// when the filter arrives empty (zero joinable build keys). Set for
+	// INNER/SEMI consumers only: a RIGHT join still emits unmatched build
+	// rows through its probe pipeline, so its scans must keep running (the
+	// per-row filter drops their rows anyway).
+	ShortCircuit bool
+}
+
 // Scan reads a table through a connector.
 type Scan struct {
 	Handle TableHandle
 	// Columns are connector column names, aligned with Out.
 	Columns []string
 	Out     Schema
+	// DynFilters lists the runtime join filters this scan consumes.
+	DynFilters []ScanDynFilter
 }
 
 func (n *Scan) Schema() Schema             { return n.Out }
 func (n *Scan) Children() []Node           { return nil }
 func (n *Scan) WithChildren(c []Node) Node { cp := *n; return &cp }
-func (n *Scan) Describe() string           { return "Scan[" + n.Handle.String() + "]" }
+func (n *Scan) Describe() string {
+	s := "Scan[" + n.Handle.String() + "]"
+	if len(n.DynFilters) > 0 {
+		parts := make([]string, len(n.DynFilters))
+		for i, df := range n.DynFilters {
+			parts[i] = fmt.Sprintf("%d@%s", df.ID, n.Out[df.Col].Name)
+		}
+		s += " dynfilters=[" + strings.Join(parts, ",") + "]"
+	}
+	return s
+}
 
 // Filter keeps rows where Predicate is true.
 type Filter struct {
@@ -146,10 +175,15 @@ type AggFunc string
 const (
 	AggCount    AggFunc = "count"
 	AggCountAll AggFunc = "count_all" // COUNT(*)
-	AggSum      AggFunc = "sum"
-	AggAvg      AggFunc = "avg"
-	AggMin      AggFunc = "min"
-	AggMax      AggFunc = "max"
+	// AggCountMerge sums partial COUNT columns in a final aggregation stage.
+	// Unlike AggSum it yields 0 (not NULL) over empty input, preserving
+	// COUNT's semantics when no partial rows arrive (e.g. every split of the
+	// probe side was pruned away).
+	AggCountMerge AggFunc = "count_merge"
+	AggSum        AggFunc = "sum"
+	AggAvg        AggFunc = "avg"
+	AggMin        AggFunc = "min"
+	AggMax        AggFunc = "max"
 )
 
 // Aggregate is one aggregate computation within an Aggregation node.
@@ -247,6 +281,14 @@ type EquiClause struct {
 	Right int
 }
 
+// JoinDynFilter asks a hash-join build to collect and publish a runtime
+// summary of the build keys of equi clause KeyIdx under filter ID (consumed
+// by the probe-side scans subscribed via ScanDynFilter).
+type JoinDynFilter struct {
+	ID     int
+	KeyIdx int
+}
+
 // Join combines two inputs. Equi carries the equality clauses; Residual is
 // any remaining non-equi condition evaluated over the concatenated schema.
 type Join struct {
@@ -257,6 +299,8 @@ type Join struct {
 	Residual expr.Expr
 	Strategy JoinStrategy
 	Out      Schema
+	// DynFilters lists the runtime filters this join's build side publishes.
+	DynFilters []JoinDynFilter
 }
 
 func (n *Join) Schema() Schema   { return n.Out }
@@ -277,6 +321,13 @@ func (n *Join) Describe() string {
 	}
 	if n.Strategy != StrategyUnset {
 		s += " strategy=" + n.Strategy.String()
+	}
+	if len(n.DynFilters) > 0 {
+		parts := make([]string, len(n.DynFilters))
+		for i, df := range n.DynFilters {
+			parts[i] = fmt.Sprintf("%d@key%d", df.ID, df.KeyIdx)
+		}
+		s += " dynfilters=[" + strings.Join(parts, ",") + "]"
 	}
 	return s
 }

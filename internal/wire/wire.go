@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/dynfilter"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/plan"
@@ -61,6 +62,10 @@ type TaskConfig struct {
 	MorselsDisabled        bool  `json:"morselsDisabled,omitempty"`
 	MorselRows             int   `json:"morselRows,omitempty"`
 
+	DynamicFiltersDisabled bool  `json:"dynamicFiltersDisabled,omitempty"`
+	DynamicFilterWaitNs    int64 `json:"dynamicFilterWaitNs,omitempty"`
+	DynamicFilterMaxSet    int   `json:"dynamicFilterMaxSet,omitempty"`
+
 	FetchMaxRetries    int   `json:"fetchMaxRetries,omitempty"`
 	FetchBaseBackoffNs int64 `json:"fetchBaseBackoffNs,omitempty"`
 	FetchMaxBackoffNs  int64 `json:"fetchMaxBackoffNs,omitempty"`
@@ -81,6 +86,9 @@ func EncodeTaskConfig(c exec.TaskConfig) TaskConfig {
 		VectorKernelsDisabled:  c.VectorKernelsDisabled,
 		MorselsDisabled:        c.MorselsDisabled,
 		MorselRows:             c.MorselRows,
+		DynamicFiltersDisabled: c.DynamicFiltersDisabled,
+		DynamicFilterWaitNs:    int64(c.DynamicFilterWait),
+		DynamicFilterMaxSet:    c.DynamicFilterMaxSet,
 		FetchMaxRetries:        c.FetchRetry.MaxRetries,
 		FetchBaseBackoffNs:     int64(c.FetchRetry.BaseBackoff),
 		FetchMaxBackoffNs:      int64(c.FetchRetry.MaxBackoff),
@@ -102,6 +110,9 @@ func (c TaskConfig) Decode() exec.TaskConfig {
 		VectorKernelsDisabled:  c.VectorKernelsDisabled,
 		MorselsDisabled:        c.MorselsDisabled,
 		MorselRows:             c.MorselRows,
+		DynamicFiltersDisabled: c.DynamicFiltersDisabled,
+		DynamicFilterWait:      time.Duration(c.DynamicFilterWaitNs),
+		DynamicFilterMaxSet:    c.DynamicFilterMaxSet,
 		FetchRetry: shuffle.RetryPolicy{
 			MaxRetries:   c.FetchMaxRetries,
 			BaseBackoff:  time.Duration(c.FetchBaseBackoffNs),
@@ -136,6 +147,82 @@ type TaskStatus struct {
 	// Transient marks a failed task's error as retryable.
 	Transient bool  `json:"transient,omitempty"`
 	CPUNanos  int64 `json:"cpuNanos,omitempty"`
+	// FiltersReady lists dynamic-filter ids whose build-side summaries this
+	// task has published; the coordinator fetches each via
+	// GET /v1/task/{id}/filter/{fid}.
+	FiltersReady []int `json:"filtersReady,omitempty"`
+}
+
+// FilterSummary is the wire form of one dynamic-filter summary
+// (dynfilter.Summary), served by GET /v1/task/{id}/filter/{fid} and delivered
+// by POST /v1/task/{id}/filters.
+type FilterSummary struct {
+	T        int   `json:"t"`
+	Disabled bool  `json:"disabled,omitempty"`
+	Rows     int64 `json:"rows"`
+	// HasExact distinguishes an empty exact set (matches nothing) from an
+	// overflowed one (bloom + bounds only).
+	HasExact       bool        `json:"hasExact,omitempty"`
+	Cells          [][2]uint64 `json:"cells,omitempty"`
+	Strs           []string    `json:"strs,omitempty"`
+	Bloom          []uint64    `json:"bloom,omitempty"`
+	HasBounds      bool        `json:"hasBounds,omitempty"`
+	BoundsPoisoned bool        `json:"boundsPoisoned,omitempty"`
+	Min            *jvalue     `json:"min,omitempty"`
+	Max            *jvalue     `json:"max,omitempty"`
+}
+
+// EncodeFilterSummary flattens a summary for the task protocol.
+func EncodeFilterSummary(s *dynfilter.Summary) FilterSummary {
+	f := FilterSummary{
+		T:              int(s.T),
+		Disabled:       s.Disabled,
+		Rows:           s.Rows,
+		HasExact:       s.HasExact(),
+		Cells:          s.ExactCells(),
+		Strs:           s.ExactStrs(),
+		Bloom:          s.Bloom,
+		HasBounds:      s.HasBounds,
+		BoundsPoisoned: s.BoundsPoisoned,
+	}
+	if s.HasBounds {
+		min, max := encodeValue(s.Min), encodeValue(s.Max)
+		f.Min, f.Max = &min, &max
+	}
+	return f
+}
+
+// Decode reassembles the summary.
+func (f FilterSummary) Decode() (*dynfilter.Summary, error) {
+	t, err := decodeType(f.T)
+	if err != nil {
+		return nil, err
+	}
+	var min, max types.Value
+	if f.Min != nil {
+		if min, err = decodeValue(*f.Min); err != nil {
+			return nil, err
+		}
+	}
+	if f.Max != nil {
+		if max, err = decodeValue(*f.Max); err != nil {
+			return nil, err
+		}
+	}
+	return dynfilter.FromParts(t, f.Disabled, f.Rows, f.HasExact, f.Cells, f.Strs,
+		f.Bloom, f.HasBounds, f.BoundsPoisoned, min, max)
+}
+
+// FilterEntry pairs a dynamic-filter id with its (merged) summary.
+type FilterEntry struct {
+	ID      int           `json:"id"`
+	Summary FilterSummary `json:"summary"`
+}
+
+// FilterRequest is the body of POST /v1/task/{id}/filters: the coordinator
+// pushes merged build-side summaries to a probe-side task.
+type FilterRequest struct {
+	Filters []FilterEntry `json:"filters"`
 }
 
 // RegisterRequest is the body of POST /v1/node (worker registration and
@@ -207,9 +294,10 @@ type jnode struct {
 	Inputs []*jnode `json:"inputs,omitempty"`
 
 	// scan
-	Handle  *jhandle `json:"handle,omitempty"`
-	Columns []string `json:"columns,omitempty"`
-	Out     []jfield `json:"out,omitempty"`
+	Handle  *jhandle   `json:"handle,omitempty"`
+	Columns []string   `json:"columns,omitempty"`
+	Out     []jfield   `json:"out,omitempty"`
+	ScanDyn []jscanDyn `json:"scanDyn,omitempty"`
 	// filter / project
 	Pred  *jexpr   `json:"pred,omitempty"`
 	Exprs []*jexpr `json:"exprs,omitempty"`
@@ -218,10 +306,11 @@ type jnode struct {
 	Aggs    []jagg   `json:"aggs,omitempty"`
 	Step    int      `json:"step,omitempty"`
 	// join
-	JoinType int      `json:"joinType,omitempty"`
-	Equi     [][2]int `json:"equi,omitempty"`
-	Residual *jexpr   `json:"residual,omitempty"`
-	Strategy int      `json:"strategy,omitempty"`
+	JoinType int        `json:"joinType,omitempty"`
+	Equi     [][2]int   `json:"equi,omitempty"`
+	Residual *jexpr     `json:"residual,omitempty"`
+	Strategy int        `json:"strategy,omitempty"`
+	JoinDyn  []jjoinDyn `json:"joinDyn,omitempty"`
 	// sort / topn / limit
 	Keys    []jsortKey `json:"keys,omitempty"`
 	N       int64      `json:"n,omitempty"`
@@ -249,6 +338,19 @@ type jnode struct {
 type jfield struct {
 	Name string `json:"name"`
 	T    int    `json:"t"`
+}
+
+// jscanDyn is one plan.ScanDynFilter subscription.
+type jscanDyn struct {
+	ID           int  `json:"id"`
+	Col          int  `json:"col"`
+	ShortCircuit bool `json:"shortCircuit,omitempty"`
+}
+
+// jjoinDyn is one plan.JoinDynFilter publication.
+type jjoinDyn struct {
+	ID     int `json:"id"`
+	KeyIdx int `json:"keyIdx"`
 }
 
 type jhandle struct {
@@ -435,7 +537,7 @@ func decodeDomain(jd *jdomain) (*plan.Domain, error) {
 func encodeNode(n plan.Node) (*jnode, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
-		return &jnode{
+		jn := &jnode{
 			Kind: "scan",
 			Handle: &jhandle{
 				Catalog:    x.Handle.Catalog,
@@ -445,7 +547,11 @@ func encodeNode(n plan.Node) (*jnode, error) {
 			},
 			Columns: x.Columns,
 			Out:     encodeSchema(x.Out),
-		}, nil
+		}
+		for _, df := range x.DynFilters {
+			jn.ScanDyn = append(jn.ScanDyn, jscanDyn{ID: df.ID, Col: df.Col, ShortCircuit: df.ShortCircuit})
+		}
+		return jn, nil
 	case *plan.Filter:
 		in, err := encodeNode(x.Input)
 		if err != nil {
@@ -508,6 +614,9 @@ func encodeNode(n plan.Node) (*jnode, error) {
 			Kind: "join", Inputs: []*jnode{l, r},
 			JoinType: int(x.Type), Equi: equi, Strategy: int(x.Strategy),
 			Out: encodeSchema(x.Out),
+		}
+		for _, df := range x.DynFilters {
+			jn.JoinDyn = append(jn.JoinDyn, jjoinDyn{ID: df.ID, KeyIdx: df.KeyIdx})
 		}
 		if x.Residual != nil {
 			res, err := encodeExpr(x.Residual)
@@ -665,7 +774,7 @@ func decodeNode(jn *jnode) (plan.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &plan.Scan{
+		sc := &plan.Scan{
 			Handle: plan.TableHandle{
 				Catalog:    jn.Handle.Catalog,
 				Table:      jn.Handle.Table,
@@ -674,7 +783,16 @@ func decodeNode(jn *jnode) (plan.Node, error) {
 			},
 			Columns: jn.Columns,
 			Out:     out,
-		}, nil
+		}
+		for _, df := range jn.ScanDyn {
+			if df.Col < 0 || df.Col >= len(sc.Out) {
+				return nil, fmt.Errorf("scan dynamic filter %d: bad column %d", df.ID, df.Col)
+			}
+			sc.DynFilters = append(sc.DynFilters, plan.ScanDynFilter{
+				ID: df.ID, Col: df.Col, ShortCircuit: df.ShortCircuit,
+			})
+		}
+		return sc, nil
 	case "filter":
 		ins, err := decodeInput(jn, 1)
 		if err != nil {
@@ -748,6 +866,12 @@ func decodeNode(jn *jnode) (plan.Node, error) {
 		j := &plan.Join{
 			Type: plan.JoinType(jn.JoinType), Left: ins[0], Right: ins[1],
 			Equi: equi, Strategy: plan.JoinStrategy(jn.Strategy), Out: out,
+		}
+		for _, df := range jn.JoinDyn {
+			if df.KeyIdx < 0 || df.KeyIdx >= len(equi) {
+				return nil, fmt.Errorf("join dynamic filter %d: bad key index %d", df.ID, df.KeyIdx)
+			}
+			j.DynFilters = append(j.DynFilters, plan.JoinDynFilter{ID: df.ID, KeyIdx: df.KeyIdx})
 		}
 		if jn.Residual != nil {
 			res, err := decodeExpr(jn.Residual)

@@ -111,6 +111,23 @@ type ClusterConfig struct {
 	DisableMorsels bool
 	// MorselRows overrides the target rows per morsel (default 64k).
 	MorselRows int
+	// DisableDynamicFilters turns off runtime dynamic join filters
+	// cluster-wide (the adaptive-execution ablation; per-query via
+	// Session.DisableDynamicFilters / X-Presto-Disable-Dynamic-Filters).
+	DisableDynamicFilters bool
+	// DynamicFilterWait bounds how long a probe scan waits for a dynamic
+	// filter before running unfiltered (default 100ms; negative disables
+	// waiting — late filters still narrow later splits).
+	DynamicFilterWait time.Duration
+	// DynamicFilterMaxSet caps the exact-key-set size collected per join key
+	// column before degrading to bloom + min/max (default 10000).
+	DynamicFilterMaxSet int
+	// EnableHBO turns on history-based optimization: finished queries record
+	// observed operator cardinalities keyed by plan fingerprint, and repeat
+	// runs of the same plan shape over unchanged tables reorder joins from
+	// those observations instead of selectivity guesses (per-query opt-out
+	// via Session.DisableHBO / X-Presto-Disable-HBO).
+	EnableHBO bool
 	// Phased enables phased stage scheduling (§IV-D1); default is
 	// all-at-once.
 	Phased bool
@@ -176,6 +193,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		VectorKernelsDisabled:  cfg.DisableVectorKernels,
 		MorselsDisabled:        cfg.DisableMorsels,
 		MorselRows:             cfg.MorselRows,
+		DynamicFiltersDisabled: cfg.DisableDynamicFilters,
+		DynamicFilterWait:      cfg.DynamicFilterWait,
+		DynamicFilterMaxSet:    cfg.DynamicFilterMaxSet,
 		Phased:                 cfg.Phased,
 		MaxWriters:             cfg.MaxWriters,
 		WriteDelay:             cfg.WriteDelay,
@@ -196,6 +216,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	optCfg := optimizer.DefaultConfig()
 	optCfg.UseStats = !cfg.DisableStats
 	optCfg.DisableColocated = cfg.DisableColocated
+	optCfg.DisableDynamicFilters = cfg.DisableDynamicFilters
+	if cfg.EnableHBO {
+		optCfg.History = optimizer.NewMemoryHistory()
+	}
 
 	coord := coordinator.New(catalog, workers, coordinator.Config{
 		DefaultCatalog: cfg.DefaultCatalog,

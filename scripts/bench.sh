@@ -9,6 +9,11 @@
 # ratio is the feature's speedup. Writes machine-readable results to
 # BENCH_6.json at the repository root.
 #
+# Adaptive-execution benchmarks (PR 7): selective Fig. 6 join shapes
+# (q37/q64/q82) with dynamic join filters on vs the
+# DisableDynamicFilters ablation. Writes BENCH_7.json at the repository
+# root, stamped with the git SHA the numbers were taken at.
+#
 #   scripts/bench.sh                 # 2s per benchmark (~2 min total)
 #   BENCHTIME=500ms scripts/bench.sh # quicker, noisier
 set -euo pipefail
@@ -75,3 +80,55 @@ go test -run '^$' \
 } > "$out"
 
 echo "==> wrote $out"
+
+out7="BENCH_7.json"
+tmp7="$(mktemp)"
+trap 'rm -f "$tmp" "$tmp7"' EXIT
+
+echo "==> go test -bench DynFilterFig6 (benchtime $benchtime)"
+go test -run '^$' -bench 'DynFilterFig6' -benchtime "$benchtime" . | tee "$tmp7"
+
+{
+  echo '{'
+  echo '  "bench": "dynamic join filters on selective Fig. 6 joins (on vs DisableDynamicFilters)",'
+  echo "  \"sha\": \"$(git rev-parse HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"benchtime\": \"$benchtime\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo '  "results": ['
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+      rows[n++] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s}", name, $2, $3)
+    }
+    END { for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "") }
+  ' "$tmp7"
+  echo '  ],'
+  echo '  "speedups": ['
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+      base = name
+      if (sub(/\/on$/, "", base)) variant = "fast"
+      else if (sub(/\/off$/, "", base)) variant = "slow"
+      else next
+      if (!(base in idx)) { order[m++] = base; idx[base] = 1 }
+      ns[base "." variant] = $3
+    }
+    END {
+      first = 1
+      for (i = 0; i < m; i++) {
+        b = order[i]; f = ns[b ".fast"]; s = ns[b ".slow"]
+        if (f > 0 && s > 0) {
+          if (!first) printf ",\n"
+          first = 0
+          printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"ablation_ns_per_op\": %s, \"speedup\": %.2f}", b, f, s, s / f
+        }
+      }
+      printf "\n"
+    }
+  ' "$tmp7"
+  echo '  ]'
+  echo '}'
+} > "$out7"
+
+echo "==> wrote $out7"

@@ -52,8 +52,13 @@ echo "==> morsel skew smoke (oversized split fans out across drivers)"
 go test -race -count=1 -run 'TestEncodedSkewUsesAllDrivers' .
 go test -race -count=1 -run 'TestMorselQueue' ./internal/exec/
 
+echo "==> dynamic filter + HBO ablation differential (on x off, embedded x distributed, faulted)"
+go test -race -count=1 ./internal/dynfilter/
+go test -race -count=1 -run 'TestFilterSummaryWireRoundTrip|TestFragmentDynFilterRoundTrip|TestTaskConfigDynKnobsRoundTrip' ./internal/wire/
+go test -race -count=1 -run 'TestDynamicFilter|TestHBOJoinOrderFeedback|TestChaosDynamicFilterDelayAndLoss|TestChaosMorselOpenFailure|TestDistributedDynamicFilterDifferential|TestChaosDistributedFilterPublishFaults' .
+
 echo "==> kernel + morsel bench smoke (1 iteration per benchmark)"
-go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan' -benchtime 1x . > /dev/null
+go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan|DynFilterFig6' -benchtime 1x . > /dev/null
 
 if [ "$chaos_full" = 1 ]; then
   echo "==> chaos full sweep"
