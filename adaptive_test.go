@@ -60,6 +60,10 @@ func loadTable(t *testing.T, c *Cluster, conn *memconn.Connector, table string,
 // rows plus the query's stats.
 func queryWith(t *testing.T, c *Cluster, sql string, s Session) ([]string, QueryStats) {
 	t.Helper()
+	// These tests assert per-query execution stats (rows filtered, splits
+	// skipped) and compare toggle arms — a result-cache serve would return
+	// the other arm's rows with no execution stats at all.
+	s.DisableResultCache = true
 	res, err := c.ExecuteSession(sql, s)
 	if err != nil {
 		t.Fatalf("%q: %v", sql, err)
@@ -438,7 +442,11 @@ func BenchmarkDynFilterFig6(b *testing.B) {
 	dynBenchCluster.Do(func() {
 		// Minimal parallelism: the benchmark isolates work saved by probe
 		// pruning, not scheduler behavior, and CI machines are small.
-		c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 1})
+		// Serving caches off: the benchmark repeats identical statements to
+		// time execution; a plan- or result-cache serve would hide the work
+		// the dynamic-filter ablation measures.
+		c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 1,
+			DisablePlanCache: true, DisableResultCache: true})
 		// Scale 4 (240k lineitem rows): large enough that per-row probe work
 		// dominates per-query planning overhead, so pruning shows up in
 		// wall time rather than drowning in fixed costs.

@@ -201,7 +201,8 @@ func BenchmarkBackpressure(b *testing.B) {
 // BenchmarkPointLookup measures the Developer/Advertiser-style selective
 // query end to end (engine overhead floor).
 func BenchmarkPointLookup(b *testing.B) {
-	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2,
+		DisablePlanCache: true, DisableResultCache: true})
 	defer c.Close()
 	if _, err := c.Query("CREATE TABLE kvt (k BIGINT, v VARCHAR)"); err != nil {
 		b.Fatal(err)
@@ -219,7 +220,8 @@ func BenchmarkPointLookup(b *testing.B) {
 
 // BenchmarkScanAggregate measures a full-table aggregation end to end.
 func BenchmarkScanAggregate(b *testing.B) {
-	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2,
+		DisablePlanCache: true, DisableResultCache: true})
 	defer c.Close()
 	c.Register(loadBenchTPCH())
 	b.ResetTimer()
@@ -232,7 +234,8 @@ func BenchmarkScanAggregate(b *testing.B) {
 
 // BenchmarkJoin measures a fact-dimension broadcast join end to end.
 func BenchmarkJoin(b *testing.B) {
-	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2,
+		DisablePlanCache: true, DisableResultCache: true})
 	defer c.Close()
 	c.Register(loadBenchTPCH())
 	b.ResetTimer()
@@ -253,7 +256,10 @@ func loadBenchTPCH() presto.Connector {
 // page cache's benefit is visible. Shared by BenchmarkScanCold/Warm.
 func newScanBenchCluster(b *testing.B) *presto.Cluster {
 	b.Helper()
-	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	// Serving caches off: these benchmarks repeat one statement and measure
+	// scan execution; a result-cache serve would measure nothing.
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 2, ThreadsPerWorker: 2,
+		DisablePlanCache: true, DisableResultCache: true})
 	conn, err := workload.LoadTPCHHiveConfig("tpch", 0.1, hive.Config{
 		Dir:              b.TempDir(),
 		LazyReads:        false, // lazy blocks close over open readers and are uncacheable
@@ -713,7 +719,8 @@ func newSkewBenchCluster(b *testing.B) *presto.Cluster {
 		pages = append(pages, benchKeyPages(tinyRows, 64, tinyRows)...)
 	}
 	conn.LoadTable("facts", cols, pages)
-	c := presto.NewCluster(presto.ClusterConfig{Workers: 1, ThreadsPerWorker: 8, TargetSplitConcurrency: 8})
+	c := presto.NewCluster(presto.ClusterConfig{Workers: 1, ThreadsPerWorker: 8, TargetSplitConcurrency: 8,
+		DisablePlanCache: true, DisableResultCache: true})
 	c.Register(conn)
 	return c
 }

@@ -143,7 +143,11 @@ func TestCacheSessionToggle(t *testing.T) {
 // into the table invalidates it so the new rows are visible immediately
 // (well before the TTL could expire).
 func TestMetadataCacheInvalidatedOnWrite(t *testing.T) {
-	c := NewCluster(ClusterConfig{Workers: 2, MetadataCacheTTL: time.Hour})
+	// Serving caches off: a result-cache hit would serve the repeat read
+	// without touching split metadata at all (serving has its own
+	// invalidation coverage in serving_test.go).
+	c := NewCluster(ClusterConfig{Workers: 2, MetadataCacheTTL: time.Hour,
+		DisablePlanCache: true, DisableResultCache: true})
 	defer c.Close()
 	mustExec(t, c, "CREATE TABLE t (x BIGINT)")
 	mustExec(t, c, "INSERT INTO t SELECT * FROM (VALUES (1), (2))")

@@ -55,7 +55,11 @@ const chaosScale = 0.05
 
 func chaosCluster(t *testing.T, inj *faultinject.Injector) *Cluster {
 	t.Helper()
-	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2, FaultInjector: inj})
+	// Serving caches stay off: these tests target the page-cache, shuffle
+	// and split seams, and a result-cache hit would short-circuit all three.
+	// The serving tier has its own chaos coverage in serving_test.go.
+	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2, FaultInjector: inj,
+		DisablePlanCache: true, DisableResultCache: true})
 	t.Cleanup(c.Close)
 	c.Register(workload.LoadTPCHMemory("tpch", chaosScale))
 	return c

@@ -42,8 +42,10 @@ func TestMemoryReleasedAfterQueries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Page-cache bytes stay resident between queries by design; everything
-	// else must drain.
+	// Page-cache and serving-tier bytes stay resident between queries by
+	// design; everything else must drain. Clearing the serving caches must
+	// hand their reservations back to the pools.
+	c.ClearServingCaches()
 	for _, w := range c.Workers() {
 		if used := w.Pool.GeneralUsed() - w.CacheStats().Bytes; used > 0 {
 			t.Errorf("worker %d leaked %d bytes", w.ID, used)
@@ -147,13 +149,25 @@ func TestClientCancellationStopsQuery(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// And its memory must be released (cached pages are node-lifetime, not
-	// part of the query's footprint).
-	time.Sleep(50 * time.Millisecond)
-	for _, w := range c.Workers() {
-		if used := w.Pool.GeneralUsed() - w.CacheStats().Bytes; used > 0 {
-			t.Errorf("worker %d holds %d bytes after cancel", w.ID, used)
+	// And its memory must be released. Cached pages are node-lifetime (not
+	// part of the query's footprint) and shared-scan replay logs are
+	// window-lifetime — their expiry timers must hand the bytes back shortly,
+	// so poll rather than assert a single instant.
+	leakDeadline := time.Now().Add(2 * time.Second)
+	for {
+		var held int64
+		for _, w := range c.Workers() {
+			if used := w.Pool.GeneralUsed() - w.CacheStats().Bytes; used > 0 {
+				held += used
+			}
 		}
+		if held == 0 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("workers hold %d bytes after cancel", held)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

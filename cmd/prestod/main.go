@@ -27,6 +27,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/httpapi"
 	"repro/internal/optimizer"
+	"repro/internal/serving"
 	"repro/internal/workload"
 )
 
@@ -119,10 +120,17 @@ func runCoordinator(addr string, scale float64, lakeDir string, noStats, noDyn, 
 	if hbo {
 		optCfg.History = optimizer.NewMemoryHistory()
 	}
+	// The serving tier runs here too; with no local node pool the result
+	// cache is bounded by its own byte budget rather than pool accounting.
+	tier := &serving.Tier{
+		Plans:   serving.NewPlanCache(serving.PlanCacheConfig{}),
+		Results: serving.NewResultCache(serving.ResultCacheConfig{}),
+	}
 	coord := coordinator.New(catalog, nil, coordinator.Config{
 		DefaultCatalog: "memory",
 		Optimizer:      optCfg,
 		Registry:       coordinator.NewWorkerRegistry(),
+		Serving:        tier,
 	})
 
 	srv := httpapi.NewServer(coord)

@@ -88,7 +88,11 @@ type refRow struct {
 
 func buildDifferentialCluster(t *testing.T, rows []refRow) *Cluster {
 	t.Helper()
-	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2})
+	// Serving caches off: this harness asserts page-cache hit behaviour on
+	// warm repeats, which a result-cache hit would short-circuit. The serving
+	// tier has its own differential suite in serving_test.go.
+	c := NewCluster(ClusterConfig{Workers: 2, ThreadsPerWorker: 2,
+		DisablePlanCache: true, DisableResultCache: true})
 	t.Cleanup(c.Close)
 	mustExec(t, c, "CREATE TABLE d (k BIGINT, v BIGINT, s VARCHAR)")
 	sql := "INSERT INTO d SELECT * FROM (VALUES "

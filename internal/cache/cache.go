@@ -326,6 +326,11 @@ func sizePages(pages []*block.Page) int64 {
 	return n
 }
 
+// ChecksumPages exposes the structural page checksum to the other caching
+// tiers (the serving-tier result cache reuses it so corruption degrades to a
+// miss under the same contract as the page cache).
+func ChecksumPages(pages []*block.Page) uint64 { return checksumPages(pages) }
+
 // checksumPages computes a structural integrity checksum: page and row
 // counts, per-column encoded sizes, and the first and last row values of
 // each page. O(pages × columns) rather than O(cells), so verification on the

@@ -178,11 +178,13 @@ func (s *split) Connector() string     { return s.catalog }
 func (s *split) PreferredNodes() []int { return nil }
 func (s *split) EstimatedRows() int64  { return s.rows }
 
-// Splits implements the Data Location API.
+// Splits implements the Data Location API. The read lock covers the page
+// enumeration: a concurrent writer's Finish swaps the pages slice, and split
+// ranges must come from one consistent snapshot.
 func (c *Connector) Splits(handle plan.TableHandle) (connector.SplitSource, error) {
 	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[handle.Table]
-	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("table %s.%s does not exist", c.name, handle.Table)
 	}
@@ -255,15 +257,19 @@ type pageSource struct {
 	bytes int64
 }
 
-// PageSource implements the Data Source API.
+// PageSource implements the Data Source API. The read lock covers the
+// column resolution and the page-range slice: a concurrent writer's Finish
+// replaces t.pages, and the source must capture a consistent snapshot (the
+// pages themselves are immutable once published, so releasing the lock after
+// slicing is safe).
 func (c *Connector) PageSource(s connector.Split, columns []string, handle plan.TableHandle) (connector.PageSource, error) {
 	ms, ok := s.(*split)
 	if !ok {
 		return nil, fmt.Errorf("foreign split type %T", s)
 	}
 	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[ms.table]
-	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("table %s.%s does not exist", c.name, ms.table)
 	}
@@ -275,7 +281,17 @@ func (c *Connector) PageSource(s connector.Split, columns []string, handle plan.
 		}
 		cols[i] = idx
 	}
-	return &pageSource{pages: t.pages[ms.from:ms.to], cols: cols}, nil
+	// A split computed against an older table version can out-range a table
+	// that was dropped and recreated smaller; clamp rather than panic (the
+	// coordinator's metadata invalidation makes this window tiny).
+	from, to := ms.from, ms.to
+	if n := len(t.pages); to > n {
+		to = n
+	}
+	if from > to {
+		from = to
+	}
+	return &pageSource{pages: t.pages[from:to], cols: cols}, nil
 }
 
 func (p *pageSource) NextPage() (*block.Page, error) {
@@ -370,3 +386,7 @@ func (c *Connector) DecodeSplit(data []byte) (connector.Split, error) {
 	}
 	return &split{catalog: c.name, table: ws.Table, from: ws.From, to: ws.To, rows: ws.Rows}, nil
 }
+
+// ZeroCopy implements connector.ZeroCopyScans: memconn page sources re-wrap
+// the shared column blocks, so scans copy nothing.
+func (c *Connector) ZeroCopy() bool { return true }

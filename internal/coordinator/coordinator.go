@@ -16,9 +16,11 @@ import (
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/memory"
+	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/queue"
+	"repro/internal/serving"
 	"repro/internal/sqlparser"
 	"repro/internal/types"
 )
@@ -60,6 +62,9 @@ type Config struct {
 	// WorkerClient issues coordinator-to-worker HTTP requests in
 	// distributed mode (nil = http.DefaultClient).
 	WorkerClient *http.Client
+	// Serving holds the high-QPS serving tier (plan + result caches); nil
+	// disables both. Shared scans live on the workers (exec.WorkerConfig).
+	Serving *serving.Tier
 }
 
 // Session carries per-query client settings.
@@ -88,6 +93,18 @@ type Session struct {
 	// planning ignores recorded cardinalities and the run records none (the
 	// A/B toggle; X-Presto-Disable-HBO over HTTP).
 	DisableHBO bool
+	// DisablePlanCache skips the parse→plan cache for this statement: it is
+	// planned from scratch and the outcome is not stored (the A/B toggle;
+	// X-Presto-Disable-Plan-Cache over HTTP).
+	DisablePlanCache bool
+	// DisableResultCache skips the versioned result cache for this statement,
+	// both lookup and capture (the A/B toggle; X-Presto-Disable-Result-Cache
+	// over HTTP).
+	DisableResultCache bool
+	// DisableSharedScans opts this query's leaf scans out of the workers'
+	// shared-scan hubs (the A/B toggle; X-Presto-Disable-Shared-Scans over
+	// HTTP).
+	DisableSharedScans bool
 }
 
 // QueryState tracks lifecycle.
@@ -143,6 +160,10 @@ type Coordinator struct {
 	dynRowsFiltered  atomic.Int64
 	dynSplitsSkipped atomic.Int64
 	dynWaitNanos     atomic.Int64
+
+	// stmtLatency is the end-to-end statement latency histogram (admission
+	// through final page), over the most recent statements.
+	stmtLatency *metrics.RingHistogram
 }
 
 // Query is a running or finished query.
@@ -217,13 +238,14 @@ func New(catalog *CatalogManager, workers []*exec.Worker, cfg Config) *Coordinat
 	}
 	catalog.SetMetaCache(meta)
 	return &Coordinator{
-		Catalog: catalog,
-		workers: workers,
-		cfg:     cfg,
-		queue:   queue.NewManager(cfg.QueuePolicies...),
-		arbiter: memory.NewArbiter(pools),
-		pools:   pools,
-		meta:    meta,
+		Catalog:     catalog,
+		workers:     workers,
+		cfg:         cfg,
+		queue:       queue.NewManager(cfg.QueuePolicies...),
+		arbiter:     memory.NewArbiter(pools),
+		pools:       pools,
+		meta:        meta,
+		stmtLatency: metrics.NewRingHistogram(0),
 	}
 }
 
@@ -237,6 +259,11 @@ func (c *Coordinator) MetaCacheStats() cache.MetaStats {
 // on DDL and before/after any plan that writes the table, so readers observe
 // their own cluster's writes immediately rather than after TTL expiry.
 func (c *Coordinator) invalidateMeta(catalog, table string) {
+	// The serving tier invalidates on the same hook: cached plans and results
+	// derived from the table die with the stale splits.
+	if t := c.cfg.Serving; t != nil {
+		t.InvalidateTable(catalog, table)
+	}
 	if c.meta == nil {
 		return
 	}
@@ -285,22 +312,35 @@ func (c *Coordinator) Execute(sql string, session Session) (*Result, error) {
 // to the HTTP request that submitted the statement, which completes long
 // before the streaming result is drained.
 func (c *Coordinator) ExecuteCtx(ctx context.Context, sql string, session Session) (*Result, error) {
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, fmt.Errorf("parse error: %w", err)
-	}
+	start := time.Now()
 	if session.Catalog == "" {
 		session.Catalog = c.cfg.DefaultCatalog
+	}
+	// Serving front door: a validated plan-cache hit skips the parser,
+	// analyzer and optimizer entirely (only plannable read statements are
+	// ever stored, so statement dispatch is implicit in the hit).
+	pre, planKey, hit := c.cachedPlan(sql, session)
+	if hit {
+		res, _, err := c.execute(ctx, nil, pre, planKey, sql, session, start, true)
+		return res, err
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		c.observeLatency(start)
+		return nil, fmt.Errorf("parse error: %w", err)
 	}
 	switch s := stmt.(type) {
 	case *sqlparser.Explain:
 		if s.Analyze {
 			return c.explainAnalyze(ctx, s, sql, session)
 		}
+		defer c.observeLatency(start)
 		return c.explain(s, session)
 	case *sqlparser.ShowTables:
+		defer c.observeLatency(start)
 		return c.showTables(s, session)
 	case *sqlparser.ShowCatalogs:
+		defer c.observeLatency(start)
 		names := c.Catalog.Catalogs()
 		sort.Strings(names)
 		rows := make([][]types.Value, len(names))
@@ -309,19 +349,27 @@ func (c *Coordinator) ExecuteCtx(ctx context.Context, sql string, session Sessio
 		}
 		return literalResult([]string{"catalog"}, rows), nil
 	case *sqlparser.Describe:
+		defer c.observeLatency(start)
 		return c.describe(s, session)
 	case *sqlparser.DropTable:
+		defer c.observeLatency(start)
 		return c.dropTable(s, session)
 	case *sqlparser.CreateTable:
 		if s.AsQuery == nil {
+			defer c.observeLatency(start)
 			return c.createTable(s, session)
 		}
 		if err := c.createTableFor(s, session); err != nil {
+			c.observeLatency(start)
 			return nil, err
 		}
-		return c.run(ctx, stmt, sql, session)
+		res, _, err := c.execute(ctx, stmt, nil, "", sql, session, start, true)
+		return res, err
 	default:
-		return c.run(ctx, stmt, sql, session)
+		// planKey carries the miss's cache key so the fresh plan is stored
+		// under it (empty when the plan cache is off for this statement).
+		res, _, err := c.execute(ctx, stmt, nil, planKey, sql, session, start, true)
+		return res, err
 	}
 }
 
@@ -356,19 +404,21 @@ func (c *Coordinator) planStatement(stmt sqlparser.Statement, session Session) (
 	return optimized, dp, nil
 }
 
-// run executes a plannable statement through the cluster.
-func (c *Coordinator) run(ctx context.Context, stmt sqlparser.Statement, sql string, session Session) (*Result, error) {
-	res, _, err := c.runTracked(ctx, stmt, sql, session)
-	return res, err
-}
+// execute admits, plans, schedules and tracks one plannable statement
+// through the cluster. pre, when non-nil, is a validated plan-cache entry
+// (with planKey its cache key) that replaces the parse→analyze→optimize
+// phase; stmt may then be nil. servable gates the serving caches: EXPLAIN
+// ANALYZE passes false because it must genuinely execute, so it neither
+// serves nor stores cached results (and never stores its plan).
+//
+// Scheduling failures classified as transient (injected chaos faults,
+// dropped connections) are recovered by bounded full-query re-admission: the
+// slot is released, the query rejoins the admission queue, and scheduling
+// restarts from scratch — the paper's client-driven retry model (§III)
+// applied one layer down.
+func (c *Coordinator) execute(ctx context.Context, stmt sqlparser.Statement, pre *serving.PlanEntry,
+	planKey, sql string, session Session, start time.Time, servable bool) (*Result, *Query, error) {
 
-// runTracked is run exposing the query record (EXPLAIN ANALYZE reads its
-// statistics after draining the result). Scheduling failures classified as
-// transient (injected chaos faults, dropped connections) are recovered by
-// bounded full-query re-admission: the slot is released, the query rejoins
-// the admission queue, and scheduling restarts from scratch — the paper's
-// client-driven retry model (§III) applied one layer down.
-func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, sql string, session Session) (*Result, *Query, error) {
 	id := fmt.Sprintf("q%d", c.nextID.Add(1))
 	qctx, cancel := context.WithCancel(ctx)
 	q := &Query{coord: c, cancel: cancel, session: session}
@@ -378,20 +428,45 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 	c.queries[id] = q
 	c.mu.Unlock()
 
+	tier := c.cfg.Serving
+	var logical plan.Node
+	var dp *plan.DistributedPlan
+	var tables [][2]string
+	var resultKey string
+
+	resultCacheOn := servable && tier != nil && tier.Results != nil && !session.DisableResultCache
+	if pre != nil {
+		logical, dp, tables = pre.Logical, pre.Distributed, pre.Tables
+		if resultCacheOn && pre.ResultOK {
+			// Pre-admission result check: a repeat of a cached statement
+			// skips the queue as well as execution. The key embeds current
+			// table versions, so a write since the cached run misses here.
+			resultKey = serving.ResultKey(pre.ResultBase, tables, c.tableVersions(tables))
+			if e, ok := tier.Results.Get(resultKey); ok {
+				cancel()
+				return c.servedResult(q, e, start), q, nil
+			}
+		}
+	}
+
 	release, err := c.queue.Acquire(qctx, session.Source)
 	if err != nil {
 		cancel()
 		q.fail(err)
+		c.observeLatency(start)
 		return nil, nil, err
 	}
 
 	q.setState(StatePlanning)
-	logical, dp, err := c.planStatement(stmt, session)
-	if err != nil {
-		release()
-		cancel()
-		q.fail(err)
-		return nil, nil, err
+	if pre == nil {
+		logical, dp, err = c.planStatement(stmt, session)
+		if err != nil {
+			release()
+			cancel()
+			q.fail(err)
+			c.observeLatency(start)
+			return nil, nil, err
+		}
 	}
 	// Writes through process-local connectors cannot run on remote workers:
 	// each worker would insert into its own private copy (satellite of the
@@ -402,6 +477,7 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 			release()
 			cancel()
 			q.fail(err)
+			c.observeLatency(start)
 			return nil, nil, err
 		}
 	}
@@ -410,6 +486,23 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 	// result drains successfully (so subsequent reads see the new rows).
 	for _, t := range targets {
 		c.invalidateMeta(t[0], t[1])
+	}
+
+	if pre == nil && servable && tier != nil && len(targets) == 0 {
+		// Freshly planned read-only statement: offer it to the serving tier.
+		entry, deterministic := c.buildPlanEntry(logical, dp, session)
+		tables = entry.Tables
+		if tier.Plans != nil && planKey != "" && deterministic {
+			tier.Plans.Put(planKey, entry)
+		}
+		if resultCacheOn && entry.ResultOK {
+			resultKey = serving.ResultKey(entry.ResultBase, tables, entry.Versions)
+			if e, ok := tier.Results.Get(resultKey); ok {
+				release()
+				cancel()
+				return c.servedResult(q, e, start), q, nil
+			}
+		}
 	}
 
 	limits := c.cfg.MemoryLimits
@@ -435,6 +528,7 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 			q.fail(err)
 			qmem.Close()
 			c.arbiter.Clear(id)
+			c.observeLatency(start)
 			return nil, nil, err
 		}
 		// Transient failure: re-admit through the queue and retry.
@@ -447,17 +541,38 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 			q.fail(err)
 			qmem.Close()
 			c.arbiter.Clear(id)
+			c.observeLatency(start)
 			return nil, nil, err
 		}
 		q.setState(StateRunning)
+	}
+	var capture *serving.Capture
+	if resultKey != "" {
+		// Capture the streamed pages; a clean drain commits them under the
+		// key both lookups above missed on.
+		capture = tier.Results.NewCapture(resultKey, tables)
+		result.tee = capture.Observe
 	}
 	q.result = result
 	result.QueryID = id
 	result.onClose = func(resErr error) {
 		if resErr != nil {
+			if capture != nil {
+				capture.Abandon()
+			}
 			q.abort()
 			q.fail(resErr)
 		} else {
+			if capture != nil {
+				// Commit only a fully drained stream: a client may Close a
+				// completed result with pages still undelivered, and those
+				// never reached the capture.
+				if result.drained {
+					capture.Commit(result.Columns)
+				} else {
+					capture.Abandon()
+				}
+			}
 			q.finish()
 			q.runRemoteCleanup()
 			for _, t := range targets {
@@ -470,6 +585,7 @@ func (c *Coordinator) runTracked(ctx context.Context, stmt sqlparser.Statement, 
 		c.arbiter.Clear(id)
 		release()
 		cancel()
+		c.observeLatency(start)
 	}
 	return result, q, nil
 }
@@ -755,7 +871,7 @@ func (c *Coordinator) explainAnalyze(ctx context.Context, s *sqlparser.Explain, 
 		return nil, err
 	}
 	start := time.Now()
-	res, q, err := c.runTracked(ctx, s.Stmt, sql, session)
+	res, q, err := c.execute(ctx, s.Stmt, nil, "", sql, session, start, false)
 	if err != nil {
 		return nil, err
 	}
@@ -809,3 +925,15 @@ func splitName(n sqlparser.QualifiedName, defaultCatalog string) (string, string
 	}
 	return defaultCatalog, strings.ToLower(n.Parts[0])
 }
+
+// Serving exposes the serving tier (nil when disabled).
+func (c *Coordinator) Serving() *serving.Tier { return c.cfg.Serving }
+
+// ServingStats snapshots the plan- and result-cache counters.
+func (c *Coordinator) ServingStats() serving.TierStats { return c.cfg.Serving.Stats() }
+
+// StatementLatency exposes the end-to-end statement latency histogram.
+func (c *Coordinator) StatementLatency() *metrics.RingHistogram { return c.stmtLatency }
+
+// AdmissionStats snapshots per-group admission queue depths.
+func (c *Coordinator) AdmissionStats() []queue.GroupStats { return c.queue.AllStats() }

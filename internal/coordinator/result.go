@@ -29,10 +29,14 @@ type Result struct {
 	pages   []*block.Page // literal results / readahead
 	pos     int
 	done    bool
+	drained bool // clean end of stream delivered to the client
 	err     error
 	rows    int64
 	onClose func(error)
-	closed  bool
+	// tee observes every page as the client drains it (result-cache
+	// capture); called with r.mu held, must not block.
+	tee    func(*block.Page)
+	closed bool
 
 	// failCh learns about task failures from the query monitor.
 	failMu  sync.Mutex
@@ -95,6 +99,9 @@ func (r *Result) NextPage() (*block.Page, error) {
 			p := r.pages[r.pos]
 			r.pos++
 			r.rows += int64(p.RowCount())
+			if r.tee != nil {
+				r.tee(p)
+			}
 			return p, nil
 		}
 		if r.done {
@@ -105,6 +112,7 @@ func (r *Result) NextPage() (*block.Page, error) {
 					continue
 				}
 			}
+			r.drained = true
 			r.finishLocked()
 			return nil, nil
 		}

@@ -104,6 +104,9 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			if q.session.DisableDynamicFilters {
 				cfg.DynamicFiltersDisabled = true
 			}
+			if q.session.DisableSharedScans {
+				cfg.SharedScansDisabled = true
+			}
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
 			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {

@@ -167,6 +167,20 @@ func (t *Task) dynGateLocked(p *pipelineSpec) bool {
 	wait := t.cfg.DynamicFilterWait
 	if wait == 0 {
 		wait = DefaultDynamicFilterWait
+		if t.scanIsZeroCopy(p) {
+			// Zero-copy in-memory probes start for free; holding them costs
+			// more latency than the pruning saves (BENCH_7 q37/q82), and
+			// filters arriving mid-scan still narrow later-opened splits.
+			// Multi-filter subscriptions feed join chains where unpruned
+			// rows compound downstream, so those keep a short bounded hold.
+			wait = ZeroCopyDynamicFilterWait
+			if len(sc.DynFilters) > 1 {
+				wait = ZeroCopyChainDynamicFilterWait
+			}
+		}
+	}
+	if wait <= 0 {
+		return false
 	}
 	missing := false
 	t.dynMu.Lock()
@@ -179,7 +193,7 @@ func (t *Task) dynGateLocked(p *pipelineSpec) bool {
 	t.dynMu.Unlock()
 	g := t.dynGates[p.scanID]
 	if g == nil {
-		if !missing || wait < 0 {
+		if !missing {
 			return false
 		}
 		g = &dynGate{start: time.Now()}

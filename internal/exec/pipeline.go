@@ -41,6 +41,7 @@ type pipelineSpec struct {
 	scanCols   []string
 	scanNode   *plan.Scan // dynamic-filter subscriptions + output schema
 	sourceFP   uint64     // cardinality fingerprint of the source node
+	zeroCopy   int8       // cached ZeroCopyScans probe: 0 unknown, 1 yes, -1 no (guarded by t.mu)
 
 	// srcExchange
 	exchangeFragments []int

@@ -13,6 +13,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/operators"
 	"repro/internal/plan"
+	"repro/internal/serving"
 	"repro/internal/shuffle"
 )
 
@@ -80,6 +81,13 @@ type TaskConfig struct {
 	// DynamicFilterMaxSet overrides the exact-set cardinality threshold of
 	// collected summaries (0 = dynfilter.DefaultMaxSet).
 	DynamicFilterMaxSet int
+	// SharedScansDisabled opts this task's scans out of the worker's shared
+	// scan hub (the per-query session toggle; Session.DisableSharedScans).
+	SharedScansDisabled bool
+	// SharedScanWindow is how long a shared scan stays joinable after its
+	// first open. 0 selects DefaultSharedScanWindow, negative disables the
+	// hub on workers built from this config.
+	SharedScanWindow time.Duration
 	// Inject threads the chaos injector into task-level seams (morsel split
 	// opens, dynamic-filter publication). Never serialized; local only.
 	Inject *faultinject.Injector
@@ -89,6 +97,26 @@ type TaskConfig struct {
 // its first split starts when the session does not override it. Late or lost
 // filters degrade to an unfiltered scan, never a hang.
 const DefaultDynamicFilterWait = 100 * time.Millisecond
+
+// ZeroCopyDynamicFilterWait is the dynamic-filter wait when the probe scan
+// is a zero-copy in-memory source (connector.ZeroCopyScans) subscribed to a
+// single filter: zero, meaning the gate is skipped entirely. Such scans cost
+// nothing to start, a filter that arrives mid-scan still narrows every split
+// opened afterwards, and with one downstream probe the row-level kernel
+// catches whatever early splits let through — so any hold is a pure latency
+// tax on short in-memory joins (BENCH_7 q37/q82).
+const ZeroCopyDynamicFilterWait = 0 * time.Millisecond
+
+// ZeroCopyChainDynamicFilterWait is the bounded wait for a zero-copy scan
+// subscribed to multiple filters (a multi-join chain like Fig. 6 q64): rows
+// an early unfiltered split lets through traverse every downstream probe, so
+// the compounded selectivity makes a short hold worthwhile where a long one
+// still is not.
+const ZeroCopyChainDynamicFilterWait = 5 * time.Millisecond
+
+// DefaultSharedScanWindow is the shared-scan joinability window when the
+// task config does not override it.
+const DefaultSharedScanWindow = 100 * time.Millisecond
 
 // Task executes one plan fragment on a worker: it owns the fragment's
 // pipelines, creates a driver per split for leaf pipelines, and produces
@@ -102,6 +130,7 @@ type Task struct {
 	queryMem     *memory.QueryContext
 	nodePool     *memory.NodePool
 	pageCache    *cache.PageCache
+	sharedScans  *serving.ScanHub // worker scan hub (nil = sharing off)
 	output       *shuffle.OutputBuffer
 	handle       *TaskHandle
 	cfg          TaskConfig
@@ -506,25 +535,34 @@ func (t *Task) openPageSource(conn connector.Connector, s connector.Split,
 	p *pipelineSpec, stats *operators.OpStats) (connector.PageSource, error) {
 
 	sels, handle := t.dynScanFilters(p)
-	var src connector.PageSource
-	opened := false
-	if t.pageCache != nil && !t.cfg.CacheDisabled {
-		if pc, ok := conn.(connector.PageCacheable); ok {
-			if key, ok := pc.PageCacheKey(s, p.scanCols, handle); ok {
-				cached, hit, err := t.pageCache.OpenThrough(key, func() (connector.PageSource, error) {
-					return conn.PageSource(s, p.scanCols, handle)
-				})
-				if err != nil {
-					return nil, err
-				}
-				stats.RecordCacheAccess(hit)
-				src, opened = cached, true
-			}
+	open := func() (connector.PageSource, error) {
+		return conn.PageSource(s, p.scanCols, handle)
+	}
+	var key string
+	haveKey := false
+	if pc, ok := conn.(connector.PageCacheable); ok {
+		key, haveKey = pc.PageCacheKey(s, p.scanCols, handle)
+	}
+	// Shared scans layer under the page cache: the hub deduplicates the
+	// connector reads that fill the cache (or that run uncached), while a
+	// page-cache hit — already free — never round-trips through the hub.
+	if haveKey && t.sharedScans != nil && !t.cfg.SharedScansDisabled {
+		raw := open
+		open = func() (connector.PageSource, error) {
+			return t.sharedScans.Open(key, raw)
 		}
 	}
-	if !opened {
+	var src connector.PageSource
+	if haveKey && t.pageCache != nil && !t.cfg.CacheDisabled {
+		cached, hit, err := t.pageCache.OpenThrough(key, open)
+		if err != nil {
+			return nil, err
+		}
+		stats.RecordCacheAccess(hit)
+		src = cached
+	} else {
 		var err error
-		src, err = conn.PageSource(s, p.scanCols, handle)
+		src, err = open()
 		if err != nil {
 			return nil, err
 		}
@@ -743,4 +781,19 @@ func (t *Task) waitDone(d time.Duration) bool {
 	case <-time.After(d):
 		return false
 	}
+}
+
+// scanIsZeroCopy reports (and caches) whether a scan pipeline's connector
+// advertises zero-copy scans. Caller holds t.mu (the flag lives on the
+// pipeline spec).
+func (t *Task) scanIsZeroCopy(p *pipelineSpec) bool {
+	if p.zeroCopy == 0 {
+		p.zeroCopy = -1
+		if conn, err := t.connectors.Connector(p.scanHandle.Catalog); err == nil {
+			if zc, ok := conn.(connector.ZeroCopyScans); ok && zc.ZeroCopy() {
+				p.zeroCopy = 1
+			}
+		}
+	}
+	return p.zeroCopy == 1
 }

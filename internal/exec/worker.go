@@ -9,6 +9,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/plan"
+	"repro/internal/serving"
 	"repro/internal/shuffle"
 )
 
@@ -25,6 +26,11 @@ type Worker struct {
 	// pseudo-query and registered as a cache revocable, so memory pressure
 	// evicts cached pages before any query fails.
 	Cache *cache.PageCache
+	// Shared is the worker's shared-scan hub (nil when disabled): queries
+	// admitted within the joinability window whose leaf scans share a cache
+	// key fan one connector read out to every consumer. Replay-log bytes are
+	// charged to Pool under serving.ScanPoolOwner.
+	Shared *serving.ScanHub
 
 	connectors ConnectorRegistry
 	cfg        TaskConfig
@@ -79,29 +85,23 @@ func NewWorker(id int, reg ConnectorRegistry, cfg WorkerConfig) *Worker {
 	if cfg.CacheBytes > 0 {
 		w.Cache = cache.NewPageCache(cache.Config{
 			Capacity:   cfg.CacheBytes,
-			Accountant: poolAccountant{w.Pool},
+			Accountant: serving.NewPoolAccountant(w.Pool, cache.PoolOwner),
 			Inject:     cfg.FaultInject,
 		})
 		w.Pool.RegisterCacheRevocable(w.Cache)
 	}
+	window := cfg.Task.SharedScanWindow
+	if window == 0 {
+		window = DefaultSharedScanWindow
+	}
+	if window > 0 {
+		w.Shared = serving.NewScanHub(serving.ScanHubConfig{
+			Window:     window,
+			Accountant: serving.NewPoolAccountant(w.Pool, serving.ScanPoolOwner),
+		})
+	}
 	go w.monitor()
 	return w
-}
-
-// poolAccountant charges page-cache bytes to the node pool as system memory
-// under the cache.PoolOwner pseudo-query. Spilling stays disabled on the
-// reservation: under pressure the pool evicts cache bytes (including this
-// cache's own LRU tail), never asks a query to spill on the cache's behalf.
-type poolAccountant struct {
-	pool *memory.NodePool
-}
-
-func (a poolAccountant) Reserve(n int64) error {
-	return a.pool.Reserve(cache.PoolOwner, memory.System, n, false)
-}
-
-func (a poolAccountant) Release(n int64) {
-	a.pool.Release(cache.PoolOwner, memory.System, n)
 }
 
 // CacheStats snapshots the worker's page-cache counters (zero when caching
@@ -152,6 +152,7 @@ func (w *Worker) CreateTask(id TaskID, f *plan.Fragment, qmem *memory.QueryConte
 	if err != nil {
 		return nil, err
 	}
+	t.sharedScans = w.Shared
 	w.mu.Lock()
 	w.tasks[id] = t
 	w.mu.Unlock()
@@ -229,3 +230,9 @@ func (w *Worker) Close() {
 
 // String renders the worker for logs.
 func (w *Worker) String() string { return fmt.Sprintf("worker-%d", w.ID) }
+
+// SharedScanStats snapshots the worker's shared-scan hub counters (zero when
+// sharing is disabled).
+func (w *Worker) SharedScanStats() serving.ScanHubStats {
+	return w.Shared.Stats()
+}

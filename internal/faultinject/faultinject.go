@@ -52,6 +52,10 @@ const (
 	// faults drop the filter entirely — either way the probe side must
 	// degrade to an unfiltered scan with identical results.
 	SiteFilterPublish = "dynfilter.publish"
+	// SiteResultCacheCorrupt guards serving-tier result-cache hits: a fault
+	// makes the entry's checksum verification fail, so the hit degrades to a
+	// miss and the query re-executes.
+	SiteResultCacheCorrupt = "serving.resultcorrupt"
 	// SiteCacheEvict guards page-cache inserts: a fault triggers a full
 	// eviction storm (every cached entry dropped) before the insert.
 	SiteCacheEvict = "cache.evict"

@@ -115,6 +115,9 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		DisableMorsels:        r.Header.Get("X-Presto-Disable-Morsels") != "",
 		DisableDynamicFilters: r.Header.Get("X-Presto-Disable-Dynamic-Filters") != "",
 		DisableHBO:            r.Header.Get("X-Presto-Disable-HBO") != "",
+		DisablePlanCache:      r.Header.Get("X-Presto-Disable-Plan-Cache") != "",
+		DisableResultCache:    r.Header.Get("X-Presto-Disable-Result-Cache") != "",
+		DisableSharedScans:    r.Header.Get("X-Presto-Disable-Shared-Scans") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of
@@ -284,6 +287,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.PromGauge(w, "presto_dynamic_filter_rows_skipped_total", nil, float64(dynRows))
 	metrics.PromGauge(w, "presto_dynamic_filter_splits_skipped_total", nil, float64(dynSplits))
 	metrics.PromGauge(w, "presto_dynamic_filter_wait_nanos_total", nil, float64(dynWait))
+	// End-to-end statement latency (admission through final page) over the
+	// most recent statements, plus admission-queue depth per resource group.
+	lat := s.Coord.StatementLatency()
+	metrics.PromGauge(w, "presto_statement_latency_p50_seconds", nil, lat.Quantile(0.50).Seconds())
+	metrics.PromGauge(w, "presto_statement_latency_p95_seconds", nil, lat.Quantile(0.95).Seconds())
+	metrics.PromGauge(w, "presto_statement_latency_p99_seconds", nil, lat.Quantile(0.99).Seconds())
+	metrics.PromGauge(w, "presto_statements_total", nil, float64(lat.Total()))
+	for _, g := range s.Coord.AdmissionStats() {
+		glbl := map[string]string{"group": g.Name}
+		metrics.PromGauge(w, "presto_admission_running", glbl, float64(g.Running))
+		metrics.PromGauge(w, "presto_admission_queued", glbl, float64(g.Queued))
+	}
+	ss := s.Coord.ServingStats()
+	metrics.PromGauge(w, "presto_plan_cache_hits_total", nil, float64(ss.Plan.Hits))
+	metrics.PromGauge(w, "presto_plan_cache_misses_total", nil, float64(ss.Plan.Misses))
+	metrics.PromGauge(w, "presto_plan_cache_invalidations_total", nil, float64(ss.Plan.Invalidations))
+	metrics.PromGauge(w, "presto_plan_cache_entries", nil, float64(ss.Plan.Entries))
+	metrics.PromGauge(w, "presto_result_cache_hits_total", nil, float64(ss.Result.Hits))
+	metrics.PromGauge(w, "presto_result_cache_misses_total", nil, float64(ss.Result.Misses))
+	metrics.PromGauge(w, "presto_result_cache_invalidations_total", nil, float64(ss.Result.Invalidations))
+	metrics.PromGauge(w, "presto_result_cache_corruptions_total", nil, float64(ss.Result.Corruptions))
+	metrics.PromGauge(w, "presto_result_cache_bytes", nil, float64(ss.Result.Bytes))
+	metrics.PromGauge(w, "presto_result_cache_entries", nil, float64(ss.Result.Entries))
 }
 
 // pageToJSON renders a page as rows of JSON-friendly values.

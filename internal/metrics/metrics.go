@@ -178,3 +178,69 @@ func PromGauge(w io.Writer, name string, labels map[string]string, value float64
 	}
 	fmt.Fprintf(w, " %g\n", value)
 }
+
+// RingHistogram is a bounded latency histogram for production metrics: it
+// keeps the most recent n samples (overwriting the oldest) plus a lifetime
+// count, so a long-lived serving endpoint reports current tail latency in
+// constant memory — unlike Histogram, which retains every sample for the
+// experiments' offline CDFs.
+type RingHistogram struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	count int // live samples (≤ len(buf))
+	total int64
+}
+
+// NewRingHistogram creates a histogram over the last n samples (n ≤ 0
+// selects 4096).
+func NewRingHistogram(n int) *RingHistogram {
+	if n <= 0 {
+		n = 4096
+	}
+	return &RingHistogram{buf: make([]time.Duration, n)}
+}
+
+// Record adds one sample, displacing the oldest when the window is full.
+func (h *RingHistogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.buf[h.next] = d
+	h.next = (h.next + 1) % len(h.buf)
+	if h.count < len(h.buf) {
+		h.count++
+	}
+	h.total++
+	h.mu.Unlock()
+}
+
+// Total reports lifetime samples recorded (including displaced ones).
+func (h *RingHistogram) Total() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Count reports samples currently in the window.
+func (h *RingHistogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the q-quantile over the window (nearest-rank, like
+// Histogram.Quantile); zero when empty.
+func (h *RingHistogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	sorted := make([]time.Duration, h.count)
+	if h.count < len(h.buf) {
+		copy(sorted, h.buf[:h.count])
+	} else {
+		copy(sorted, h.buf)
+	}
+	h.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[nearestRankIndex(q, len(sorted))]
+}

@@ -23,9 +23,13 @@ type History interface {
 }
 
 // MemoryHistory is the in-process History used by a long-lived coordinator.
+// It carries a generation counter that bumps only when a recorded value
+// changes materially (new fingerprint, or >10% relative change), so plan-cache
+// consumers can validate cached plans without hashing the whole store.
 type MemoryHistory struct {
-	mu sync.RWMutex
-	m  map[uint64]float64
+	mu  sync.RWMutex
+	m   map[uint64]float64
+	gen uint64
 }
 
 // NewMemoryHistory creates an empty history store.
@@ -45,7 +49,34 @@ func (h *MemoryHistory) Lookup(fp uint64) (float64, bool) {
 func (h *MemoryHistory) Record(fp uint64, rows float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	old, had := h.m[fp]
 	h.m[fp] = rows
+	// Only a material change invalidates cached plans: re-recording the same
+	// cardinality for a repeat query must not defeat the plan cache.
+	if !had || material(old, rows) {
+		h.gen++
+	}
+}
+
+// Gen reports the store's generation (bumped on material Record changes).
+func (h *MemoryHistory) Gen() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.gen
+}
+
+// material reports whether a re-recorded cardinality differs enough from the
+// prior observation to justify replanning (>10% relative change).
+func material(old, new float64) bool {
+	diff := new - old
+	if diff < 0 {
+		diff = -diff
+	}
+	base := old
+	if base < 1 {
+		base = 1
+	}
+	return diff > 0.1*base
 }
 
 // Len reports the number of recorded fingerprints.

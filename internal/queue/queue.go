@@ -8,6 +8,7 @@ package queue
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -115,4 +116,24 @@ func (m *Manager) Stats(groupName string) (running, queued int) {
 		g = m.groups[""]
 	}
 	return g.running, len(g.waiting)
+}
+
+// GroupStats reports one resource group's admission state.
+type GroupStats struct {
+	Name    string
+	Running int
+	Queued  int
+}
+
+// AllStats snapshots every group's (running, queued) depth, sorted by name —
+// the admission-queue gauges behind /v1/metrics.
+func (m *Manager) AllStats() []GroupStats {
+	m.mu.Lock()
+	out := make([]GroupStats, 0, len(m.groups))
+	for name, g := range m.groups {
+		out = append(out, GroupStats{Name: name, Running: g.running, Queued: len(g.waiting)})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

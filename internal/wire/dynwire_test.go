@@ -181,10 +181,15 @@ func TestTaskConfigDynKnobsRoundTrip(t *testing.T) {
 		DynamicFiltersDisabled: true,
 		DynamicFilterWaitNs:    int64(250_000_000),
 		DynamicFilterMaxSet:    512,
+		SharedScansDisabled:    true,
+		SharedScanWindowNs:     int64(50_000_000),
 	}
 	dec := in.Decode()
 	if !dec.DynamicFiltersDisabled || dec.DynamicFilterWait.Nanoseconds() != 250_000_000 || dec.DynamicFilterMaxSet != 512 {
 		t.Fatalf("decode lost dyn knobs: %+v", dec)
+	}
+	if !dec.SharedScansDisabled || dec.SharedScanWindow.Nanoseconds() != 50_000_000 {
+		t.Fatalf("decode lost shared-scan knobs: %+v", dec)
 	}
 	if dec.Inject != nil {
 		t.Fatal("injector materialized from the wire")

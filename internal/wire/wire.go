@@ -66,6 +66,9 @@ type TaskConfig struct {
 	DynamicFilterWaitNs    int64 `json:"dynamicFilterWaitNs,omitempty"`
 	DynamicFilterMaxSet    int   `json:"dynamicFilterMaxSet,omitempty"`
 
+	SharedScansDisabled bool  `json:"sharedScansDisabled,omitempty"`
+	SharedScanWindowNs  int64 `json:"sharedScanWindowNs,omitempty"`
+
 	FetchMaxRetries    int   `json:"fetchMaxRetries,omitempty"`
 	FetchBaseBackoffNs int64 `json:"fetchBaseBackoffNs,omitempty"`
 	FetchMaxBackoffNs  int64 `json:"fetchMaxBackoffNs,omitempty"`
@@ -89,6 +92,8 @@ func EncodeTaskConfig(c exec.TaskConfig) TaskConfig {
 		DynamicFiltersDisabled: c.DynamicFiltersDisabled,
 		DynamicFilterWaitNs:    int64(c.DynamicFilterWait),
 		DynamicFilterMaxSet:    c.DynamicFilterMaxSet,
+		SharedScansDisabled:    c.SharedScansDisabled,
+		SharedScanWindowNs:     int64(c.SharedScanWindow),
 		FetchMaxRetries:        c.FetchRetry.MaxRetries,
 		FetchBaseBackoffNs:     int64(c.FetchRetry.BaseBackoff),
 		FetchMaxBackoffNs:      int64(c.FetchRetry.MaxBackoff),
@@ -113,6 +118,8 @@ func (c TaskConfig) Decode() exec.TaskConfig {
 		DynamicFiltersDisabled: c.DynamicFiltersDisabled,
 		DynamicFilterWait:      time.Duration(c.DynamicFilterWaitNs),
 		DynamicFilterMaxSet:    c.DynamicFilterMaxSet,
+		SharedScansDisabled:    c.SharedScansDisabled,
+		SharedScanWindow:       time.Duration(c.SharedScanWindowNs),
 		FetchRetry: shuffle.RetryPolicy{
 			MaxRetries:   c.FetchMaxRetries,
 			BaseBackoff:  time.Duration(c.FetchBaseBackoffNs),

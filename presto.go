@@ -31,6 +31,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/optimizer"
 	"repro/internal/queue"
+	"repro/internal/serving"
 	"repro/internal/shuffle"
 	"repro/internal/types"
 )
@@ -160,6 +161,35 @@ type ClusterConfig struct {
 	// MetadataCacheTTL bounds staleness of the coordinator metadata/split
 	// cache (default 30s; negative disables metadata caching).
 	MetadataCacheTTL time.Duration
+	// DisablePlanCache turns off the serving tier's parse→plan cache
+	// cluster-wide (per-statement via Session.DisablePlanCache /
+	// X-Presto-Disable-Plan-Cache).
+	DisablePlanCache bool
+	// PlanCacheEntries bounds cached plans (default 512).
+	PlanCacheEntries int
+	// PlanCacheTTL expires cached plans absent invalidation (default 5m;
+	// negative disables expiry).
+	PlanCacheTTL time.Duration
+	// DisableResultCache turns off the serving tier's versioned result cache
+	// cluster-wide (per-statement via Session.DisableResultCache /
+	// X-Presto-Disable-Result-Cache).
+	DisableResultCache bool
+	// ResultCacheBytes bounds total cached result bytes (default 16 MiB),
+	// charged to worker 0's node pool as system memory.
+	ResultCacheBytes int64
+	// ResultCacheMaxEntryBytes bounds one cached result set (default
+	// ResultCacheBytes/8).
+	ResultCacheMaxEntryBytes int64
+	// ResultCacheTTL expires cached results absent invalidation (default 5m;
+	// negative disables expiry).
+	ResultCacheTTL time.Duration
+	// DisableSharedScans turns off GLADE-style shared scans cluster-wide
+	// (per-query via Session.DisableSharedScans /
+	// X-Presto-Disable-Shared-Scans).
+	DisableSharedScans bool
+	// SharedScanWindow is how long a shared scan stays joinable after its
+	// first open (default 100ms; negative also disables sharing).
+	SharedScanWindow time.Duration
 }
 
 // Cluster is an in-process Presto-style cluster: one coordinator and N
@@ -196,6 +226,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		DynamicFiltersDisabled: cfg.DisableDynamicFilters,
 		DynamicFilterWait:      cfg.DynamicFilterWait,
 		DynamicFilterMaxSet:    cfg.DynamicFilterMaxSet,
+		SharedScanWindow:       cfg.SharedScanWindow,
 		Phased:                 cfg.Phased,
 		MaxWriters:             cfg.MaxWriters,
 		WriteDelay:             cfg.WriteDelay,
@@ -213,12 +244,35 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			Task:             taskCfg,
 		})
 	}
+	if cfg.DisableSharedScans {
+		taskCfg.SharedScanWindow = -1
+	}
 	optCfg := optimizer.DefaultConfig()
 	optCfg.UseStats = !cfg.DisableStats
 	optCfg.DisableColocated = cfg.DisableColocated
 	optCfg.DisableDynamicFilters = cfg.DisableDynamicFilters
 	if cfg.EnableHBO {
 		optCfg.History = optimizer.NewMemoryHistory()
+	}
+
+	var tier *serving.Tier
+	if !cfg.DisablePlanCache || !cfg.DisableResultCache {
+		tier = &serving.Tier{}
+		if !cfg.DisablePlanCache {
+			tier.Plans = serving.NewPlanCache(serving.PlanCacheConfig{
+				MaxEntries: cfg.PlanCacheEntries,
+				TTL:        cfg.PlanCacheTTL,
+			})
+		}
+		if !cfg.DisableResultCache {
+			tier.Results = serving.NewResultCache(serving.ResultCacheConfig{
+				MaxBytes:      cfg.ResultCacheBytes,
+				MaxEntryBytes: cfg.ResultCacheMaxEntryBytes,
+				TTL:           cfg.ResultCacheTTL,
+				Accountant:    serving.NewPoolAccountant(workers[0].Pool, serving.ResultPoolOwner),
+				Inject:        cfg.FaultInjector,
+			})
+		}
 	}
 
 	coord := coordinator.New(catalog, workers, coordinator.Config{
@@ -234,6 +288,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		FaultInject:        cfg.FaultInjector,
 		MaxScheduleRetries: cfg.MaxScheduleRetries,
 		MetadataTTL:        cfg.MetadataCacheTTL,
+		Serving:            tier,
 	})
 	return &Cluster{Coordinator: coord, workers: workers, catalog: catalog}
 }
@@ -341,6 +396,37 @@ func (c *Cluster) ClearPageCaches() {
 // MetaCacheStats snapshots the coordinator metadata/split cache counters.
 func (c *Cluster) MetaCacheStats() cache.MetaStats {
 	return c.Coordinator.MetaCacheStats()
+}
+
+// ServingStats snapshots the serving tier's plan- and result-cache counters
+// (zero when the tier is disabled).
+func (c *Cluster) ServingStats() serving.TierStats {
+	return c.Coordinator.ServingStats()
+}
+
+// SharedScanStats sums shared-scan hub counters across the cluster's workers.
+func (c *Cluster) SharedScanStats() serving.ScanHubStats {
+	var total serving.ScanHubStats
+	for _, w := range c.workers {
+		s := w.SharedScanStats()
+		total.Scans += s.Scans
+		total.Joined += s.Joined
+		total.Truncated += s.Truncated
+		total.ActiveEntries += s.ActiveEntries
+		total.LogBytes += s.LogBytes
+	}
+	return total
+}
+
+// ClearServingCaches drops every cached plan and result and every lingering
+// shared-scan replay log (cold-start for benchmarks and A/B runs).
+func (c *Cluster) ClearServingCaches() {
+	if t := c.Coordinator.Serving(); t != nil {
+		t.Clear()
+	}
+	for _, w := range c.workers {
+		w.Shared.Clear()
+	}
 }
 
 // QueryStats snapshots a query's live statistics rollup: splits done/total,

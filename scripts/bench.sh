@@ -14,6 +14,12 @@
 # DisableDynamicFilters ablation. Writes BENCH_7.json at the repository
 # root, stamped with the git SHA the numbers were taken at.
 #
+# Serving-tier benchmark (PR 8): closed-loop high-concurrency interactive
+# workload (thousands of statements) with the plan cache, result cache, and
+# shared scans on vs per-session off, plus a scan-sharing-isolated phase.
+# The test itself writes git-SHA-stamped QPS/p50/p95/p99 JSON to
+# BENCH_8.json.
+#
 #   scripts/bench.sh                 # 2s per benchmark (~2 min total)
 #   BENCHTIME=500ms scripts/bench.sh # quicker, noisier
 set -euo pipefail
@@ -132,3 +138,10 @@ go test -run '^$' -bench 'DynFilterFig6' -benchtime "$benchtime" . | tee "$tmp7"
 } > "$out7"
 
 echo "==> wrote $out7"
+
+echo "==> closed-loop serving benchmark (BENCH_8.json)"
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
+  BENCH8_OUT="$(pwd)/BENCH_8.json" \
+  go test -run 'TestServingClosedLoopBench' -count=1 -v . | grep -E 'qps|PASS|FAIL' || true
+
+echo "==> wrote BENCH_8.json"

@@ -57,6 +57,10 @@ go test -race -count=1 ./internal/dynfilter/
 go test -race -count=1 -run 'TestFilterSummaryWireRoundTrip|TestFragmentDynFilterRoundTrip|TestTaskConfigDynKnobsRoundTrip' ./internal/wire/
 go test -race -count=1 -run 'TestDynamicFilter|TestHBOJoinOrderFeedback|TestChaosDynamicFilterDelayAndLoss|TestChaosMorselOpenFailure|TestDistributedDynamicFilterDifferential|TestChaosDistributedFilterPublishFaults' .
 
+echo "==> serving tier: unit tests, differential suite, and QPS smoke"
+go test -race -count=1 ./internal/serving/
+go test -race -count=1 -run 'TestServing' .
+
 echo "==> kernel + morsel bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan|DynFilterFig6' -benchtime 1x . > /dev/null
 

@@ -149,6 +149,10 @@ func TestVecKernelsDifferentialRandom(t *testing.T) {
 
 func execSession(t *testing.T, c *Cluster, q string, s Session) [][]Value {
 	t.Helper()
+	// The ablation arms these harnesses compare differ only in execution
+	// toggles, which share result-cache entries by design — a cached serve
+	// of the other arm's rows would make the comparison vacuous.
+	s.DisableResultCache = true
 	res, err := c.ExecuteSession(q, s)
 	if err != nil {
 		t.Fatalf("%s: %v", q, err)
