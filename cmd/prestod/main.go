@@ -42,6 +42,10 @@ func main() {
 		noDyn   = flag.Bool("disable-dynamic-filters", false, "disable runtime dynamic join filters")
 		hbo     = flag.Bool("enable-hbo", false, "enable history-based optimizer feedback")
 
+		spill    = flag.Bool("spill", false, "enable disk-backed spill for aggregations and join builds")
+		spillDir = flag.String("spill-dir", "", "directory for spill files and exchange segments (empty = OS temp)")
+		matEx    = flag.Bool("materialized-exchange", false, "materialize shuffles to disk-backed sealed segments (recoverable exchanges)")
+
 		coordMode  = flag.Bool("coordinator", false, "run as a distributed-mode coordinator (no local workers; remote workers register via /v1/node)")
 		workerMode = flag.Bool("worker", false, "run as a distributed-mode worker serving the task API")
 		coordURL   = flag.String("coordinator-url", "http://127.0.0.1:8080", "coordinator base URL (worker mode)")
@@ -52,14 +56,22 @@ func main() {
 		log.Fatal("-coordinator and -worker are mutually exclusive")
 	}
 
+	sp := spillOpts{enabled: *spill, dir: *spillDir, materialized: *matEx}
 	switch {
 	case *coordMode:
-		runCoordinator(*addr, *scale, *lakeDir, *noStats, *noDyn, *hbo)
+		runCoordinator(*addr, *scale, *lakeDir, *noStats, *noDyn, *hbo, sp)
 	case *workerMode:
-		runWorker(*addr, *coordURL, *publicURL, *threads, *scale, *lakeDir)
+		runWorker(*addr, *coordURL, *publicURL, *threads, *scale, *lakeDir, sp)
 	default:
-		runEmbedded(*addr, *workers, *threads, *scale, *lakeDir, *noStats, *noDyn, *hbo)
+		runEmbedded(*addr, *workers, *threads, *scale, *lakeDir, *noStats, *noDyn, *hbo, sp)
 	}
+}
+
+// spillOpts bundles the disk-backed-execution flags.
+type spillOpts struct {
+	enabled      bool
+	dir          string
+	materialized bool
 }
 
 // provisionCatalogs registers the demo catalogs on a shared catalog manager.
@@ -81,13 +93,16 @@ func provisionCatalogs(catalog *coordinator.CatalogManager, scale float64, lakeD
 	}
 }
 
-func runEmbedded(addr string, workers, threads int, scale float64, lakeDir string, noStats, noDyn, hbo bool) {
+func runEmbedded(addr string, workers, threads int, scale float64, lakeDir string, noStats, noDyn, hbo bool, sp spillOpts) {
 	cluster := presto.NewCluster(presto.ClusterConfig{
 		Workers:               workers,
 		ThreadsPerWorker:      threads,
 		DisableStats:          noStats,
 		DisableDynamicFilters: noDyn,
 		EnableHBO:             hbo,
+		SpillEnabled:          sp.enabled,
+		SpillDir:              sp.dir,
+		MaterializedExchange:  sp.materialized,
 	})
 	defer cluster.Close()
 
@@ -110,7 +125,7 @@ func runEmbedded(addr string, workers, threads int, scale float64, lakeDir strin
 	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
 }
 
-func runCoordinator(addr string, scale float64, lakeDir string, noStats, noDyn, hbo bool) {
+func runCoordinator(addr string, scale float64, lakeDir string, noStats, noDyn, hbo bool, sp spillOpts) {
 	catalog := coordinator.NewCatalogManager()
 	provisionCatalogs(catalog, scale, lakeDir)
 
@@ -129,8 +144,13 @@ func runCoordinator(addr string, scale float64, lakeDir string, noStats, noDyn, 
 	coord := coordinator.New(catalog, nil, coordinator.Config{
 		DefaultCatalog: "memory",
 		Optimizer:      optCfg,
-		Registry:       coordinator.NewWorkerRegistry(),
-		Serving:        tier,
+		Task: exec.TaskConfig{
+			SpillEnabled:         sp.enabled,
+			SpillDir:             sp.dir,
+			MaterializedExchange: sp.materialized,
+		},
+		Registry: coordinator.NewWorkerRegistry(),
+		Serving:  tier,
 	})
 
 	srv := httpapi.NewServer(coord)
@@ -138,7 +158,7 @@ func runCoordinator(addr string, scale float64, lakeDir string, noStats, noDyn, 
 	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
 }
 
-func runWorker(addr, coordURL, publicURL string, threads int, scale float64, lakeDir string) {
+func runWorker(addr, coordURL, publicURL string, threads int, scale float64, lakeDir string, sp spillOpts) {
 	if publicURL == "" {
 		publicURL = "http://" + addr
 	}
@@ -163,7 +183,10 @@ func runWorker(addr, coordURL, publicURL string, threads int, scale float64, lak
 	}
 	log.Printf("registered with %s as worker %d", coordURL, id)
 
-	w := exec.NewWorker(id, catalog, exec.WorkerConfig{Threads: threads})
+	w := exec.NewWorker(id, catalog, exec.WorkerConfig{Threads: threads, Task: exec.TaskConfig{
+		SpillEnabled: sp.enabled,
+		SpillDir:     sp.dir,
+	}})
 	defer w.Close()
 	srv := httpapi.NewWorkerServer(w, catalog)
 

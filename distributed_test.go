@@ -25,6 +25,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/httpapi"
+	"repro/internal/memory"
 	"repro/internal/optimizer"
 	"repro/internal/types"
 	"repro/internal/workload"
@@ -48,6 +49,18 @@ type distCluster struct {
 
 func newDistCluster(t *testing.T, n int, inj *faultinject.Injector) *distCluster {
 	t.Helper()
+	return newDistClusterSpill(t, n, inj, nil)
+}
+
+// distSpillConfig caps each worker's per-node user memory and points spill
+// at a directory, for the distributed larger-than-memory differential.
+type distSpillConfig struct {
+	dir        string
+	perNodeCap int64
+}
+
+func newDistClusterSpill(t *testing.T, n int, inj *faultinject.Injector, sp *distSpillConfig) *distCluster {
+	t.Helper()
 	catalog := coordinator.NewCatalogManager()
 	mem := memconn.New("memory")
 	catalog.Register(mem)
@@ -56,22 +69,34 @@ func newDistCluster(t *testing.T, n int, inj *faultinject.Injector) *distCluster
 
 	d := &distCluster{catalog: catalog, mem: mem, transport: &http.Transport{}}
 	client := &http.Client{Transport: d.transport}
+	wcfg := exec.WorkerConfig{Threads: 2}
+	if sp != nil {
+		wcfg.Task = exec.TaskConfig{SpillEnabled: true, SpillDir: sp.dir}
+	}
 	for i := 0; i < n; i++ {
-		w := exec.NewWorker(i, catalog, exec.WorkerConfig{Threads: 2})
+		w := exec.NewWorker(i, catalog, wcfg)
 		ws := httpapi.NewWorkerServer(w, catalog)
 		ws.Inject = inj
 		ws.Client = client
+		if sp != nil {
+			ws.Limits = memory.QueryLimits{PerNodeUser: sp.perNodeCap, SpillEnabled: true}
+		}
 		ts := httptest.NewServer(ws.Handler())
 		reg.Register(ts.URL)
 		d.workers = append(d.workers, w)
 		d.servers = append(d.servers, ws)
 		t.Cleanup(func() { ts.Close(); ws.Close(); w.Close() })
 	}
-	d.Coord = coordinator.New(catalog, nil, coordinator.Config{
+	ccfg := coordinator.Config{
 		Optimizer:    optimizer.DefaultConfig(),
 		Registry:     reg,
 		WorkerClient: client,
-	})
+	}
+	if sp != nil {
+		ccfg.Task = exec.TaskConfig{SpillEnabled: true, SpillDir: sp.dir}
+		ccfg.MemoryLimits = memory.QueryLimits{PerNodeUser: sp.perNodeCap, SpillEnabled: true}
+	}
+	d.Coord = coordinator.New(catalog, nil, ccfg)
 	return d
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/queue"
 	"repro/internal/serving"
+	"repro/internal/shuffle"
 	"repro/internal/sqlparser"
 	"repro/internal/types"
 )
@@ -105,6 +106,15 @@ type Session struct {
 	// shared-scan hubs (the A/B toggle; X-Presto-Disable-Shared-Scans over
 	// HTTP).
 	DisableSharedScans bool
+	// DisableSpill turns off disk-backed revocation for this query: memory
+	// pressure fails the query with the §IV-F2 exceeded-limit error instead
+	// of spilling (the A/B toggle; X-Presto-Disable-Spill over HTTP).
+	DisableSpill bool
+	// MaterializedExchange routes this query's shuffles through disk-backed,
+	// sealed exchange segments so a consumer stage can outlive its producers
+	// and the scheduler can re-place only the tasks a dead worker lost
+	// (the A/B toggle; X-Presto-Materialized-Exchange over HTTP).
+	MaterializedExchange bool
 }
 
 // QueryState tracks lifecycle.
@@ -146,6 +156,10 @@ type Coordinator struct {
 	queue   *queue.Manager
 	arbiter *memory.Arbiter
 	pools   map[int]*memory.NodePool
+	// store holds materialized-exchange segments for embedded clusters: the
+	// coordinator injects it into every task it creates, standing in for the
+	// durable distributed storage of recoverable shuffles.
+	store *shuffle.ExchangeStore
 	// meta memoizes split enumeration ("splits/<handle>") and table
 	// metadata ("meta/<catalog>.<table>") with TTL + invalidation on write
 	// (nil when disabled).
@@ -244,9 +258,73 @@ func New(catalog *CatalogManager, workers []*exec.Worker, cfg Config) *Coordinat
 		queue:       queue.NewManager(cfg.QueuePolicies...),
 		arbiter:     memory.NewArbiter(pools),
 		pools:       pools,
+		store:       shuffle.NewExchangeStore(cfg.Task.SpillDir),
 		meta:        meta,
 		stmtLatency: metrics.NewRingHistogram(0),
 	}
+}
+
+// ExchangeStore exposes the coordinator's materialized-exchange store (for
+// leak checks in tests).
+func (c *Coordinator) ExchangeStore() *shuffle.ExchangeStore { return c.store }
+
+// AddWorker admits a new worker into the cluster mid-flight (elastic
+// scale-out): it joins the scheduling list, the memory arbiter, and future
+// queries' pool maps. Queries already running keep their pool snapshot and
+// simply don't charge the new node.
+func (c *Coordinator) AddWorker(w *exec.Worker) {
+	c.mu.Lock()
+	ws := make([]*exec.Worker, len(c.workers), len(c.workers)+1)
+	copy(ws, c.workers)
+	c.workers = append(ws, w)
+	c.pools[w.ID] = w.Pool
+	c.mu.Unlock()
+	c.arbiter.AddPool(w.ID, w.Pool)
+}
+
+// KillWorker abruptly removes a worker (elastic scale-in / simulated crash).
+// The worker leaves the scheduling list before its tasks are failed, so
+// recovery re-places lost tasks only onto survivors. Returns false for an
+// unknown id.
+func (c *Coordinator) KillWorker(id int) bool {
+	c.mu.Lock()
+	var victim *exec.Worker
+	ws := make([]*exec.Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.ID == id && victim == nil {
+			victim = w
+			continue
+		}
+		ws = append(ws, w)
+	}
+	if victim == nil {
+		c.mu.Unlock()
+		return false
+	}
+	c.workers = ws
+	c.mu.Unlock()
+	victim.Kill()
+	return true
+}
+
+// aliveWorkers snapshots the current scheduling list. The slice is immutable:
+// AddWorker/KillWorker replace it rather than mutating in place.
+func (c *Coordinator) aliveWorkers() []*exec.Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers
+}
+
+// poolsSnapshot copies the node-pool map for a query's private use: elastic
+// scale-out mutates c.pools concurrently with the query's memory accounting.
+func (c *Coordinator) poolsSnapshot() map[int]*memory.NodePool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pools := make(map[int]*memory.NodePool, len(c.pools))
+	for id, p := range c.pools {
+		pools[id] = p
+	}
+	return pools
 }
 
 // MetaCacheStats snapshots the coordinator metadata/split cache counters
@@ -291,7 +369,7 @@ func writeTargets(n plan.Node) [][2]string {
 }
 
 // Workers exposes the cluster's workers (used by experiments).
-func (c *Coordinator) Workers() []*exec.Worker { return c.workers }
+func (c *Coordinator) Workers() []*exec.Worker { return c.aliveWorkers() }
 
 // Registry exposes the remote worker registry (nil in embedded mode).
 func (c *Coordinator) Registry() *WorkerRegistry { return c.cfg.Registry }
@@ -506,8 +584,8 @@ func (c *Coordinator) execute(ctx context.Context, stmt sqlparser.Statement, pre
 	}
 
 	limits := c.cfg.MemoryLimits
-	limits.SpillEnabled = c.cfg.Task.SpillEnabled
-	qmem := memory.NewQueryContext(id, limits, c.pools)
+	limits.SpillEnabled = c.cfg.Task.SpillEnabled && !session.DisableSpill
+	qmem := memory.NewQueryContext(id, limits, c.poolsSnapshot())
 	qmem.PromoteHook = c.promoteHook
 	q.qmem = qmem
 
@@ -528,10 +606,14 @@ func (c *Coordinator) execute(ctx context.Context, stmt sqlparser.Statement, pre
 			q.fail(err)
 			qmem.Close()
 			c.arbiter.Clear(id)
+			c.store.RemoveQuery(id)
 			c.observeLatency(start)
 			return nil, nil, err
 		}
-		// Transient failure: re-admit through the queue and retry.
+		// Transient failure: re-admit through the queue and retry. Drop any
+		// materialized segments the failed attempt produced so the retry
+		// starts from a clean store.
+		c.store.RemoveQuery(id)
 		q.clearTasks()
 		q.setState(StateQueued)
 		release()
@@ -583,6 +665,7 @@ func (c *Coordinator) execute(ctx context.Context, stmt sqlparser.Statement, pre
 		}
 		qmem.Close()
 		c.arbiter.Clear(id)
+		c.store.RemoveQuery(id)
 		release()
 		cancel()
 		c.observeLatency(start)
@@ -634,11 +717,12 @@ func lazyInit(m map[string]*Query) map[string]*Query {
 // general pool is exhausted, the query using the most memory on that node is
 // promoted to the reserved pool on all nodes.
 func (c *Coordinator) promoteHook(node int) bool {
+	c.mu.Lock()
 	pool, ok := c.pools[node]
 	if !ok {
+		c.mu.Unlock()
 		return false
 	}
-	c.mu.Lock()
 	var biggest string
 	var biggestBytes int64 = -1
 	for id := range c.queries {

@@ -1,0 +1,291 @@
+package coordinator
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/connector"
+	"repro/internal/exec"
+)
+
+// maxReplaceAttempts bounds how many times one task slot may be re-placed
+// after worker loss before the query fails.
+const maxReplaceAttempts = 3
+
+// recovery tracks a materialized-exchange query's task placements and
+// re-places only the tasks a dead worker lost (paper §III: Presto restarts
+// whole queries on failure; recoverable exchanges narrow the blast radius to
+// the lost tasks). The mechanism leans entirely on seal-before-read: a lost
+// task whose store entry sealed has durable output and is simply skipped; an
+// unsealed one re-runs from scratch on a surviving worker, with its full
+// split log replayed — correct because Create reset the entry, discarding
+// every partial page the dead attempt produced.
+type recovery struct {
+	c   *Coordinator
+	q   *Query
+	res *Result
+
+	mu    sync.Mutex
+	slots []*recSlot
+	// gen increments on every successful replacement; waitDone uses it to
+	// detect that its task snapshot went stale mid-wait.
+	gen    int
+	failed error
+}
+
+type recSlot struct {
+	id     exec.TaskID
+	task   *exec.Task
+	create func(*exec.Worker) (*exec.Task, error)
+	// attempts counts re-placements of this slot (not the initial placement).
+	attempts int
+	// splits/noMore log every split delivery so a replacement can replay the
+	// slot's entire input. Logged and delivered under recovery.mu: a split
+	// must never land only on a task that was already condemned.
+	splits map[int][]connector.Split
+	noMore map[int]bool
+}
+
+func newRecovery(c *Coordinator, q *Query) *recovery {
+	return &recovery{c: c, q: q}
+}
+
+// track registers one placed task and the closure that re-places it.
+func (r *recovery) track(id exec.TaskID, t *exec.Task, create func(*exec.Worker) (*exec.Task, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.slots = append(r.slots, &recSlot{
+		id:     id,
+		task:   t,
+		create: create,
+		splits: map[int][]connector.Split{},
+		noMore: map[int]bool{},
+	})
+}
+
+// start spawns one watcher per slot. Called once the Result exists (failures
+// propagate through it).
+func (r *recovery) start(res *Result) {
+	r.mu.Lock()
+	r.res = res
+	slots := append([]*recSlot(nil), r.slots...)
+	r.mu.Unlock()
+	for _, sl := range slots {
+		go r.watch(sl)
+	}
+}
+
+// addSplit logs a split against its slot and delivers it to the slot's
+// current task, atomically with respect to replacement.
+func (r *recovery) addSplit(id exec.TaskID, scanID int, s connector.Split) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sl := r.slotLocked(id)
+	if sl == nil {
+		return fmt.Errorf("recovery: unknown task %s", id)
+	}
+	sl.splits[scanID] = append(sl.splits[scanID], s)
+	return sl.task.AddSplit(scanID, s)
+}
+
+// noMoreSplits logs end-of-enumeration for a slot's scan and forwards it.
+func (r *recovery) noMoreSplits(id exec.TaskID, scanID int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sl := r.slotLocked(id)
+	if sl == nil {
+		return
+	}
+	sl.noMore[scanID] = true
+	sl.task.NoMoreSplits(scanID)
+}
+
+func (r *recovery) slotLocked(id exec.TaskID) *recSlot {
+	for _, sl := range r.slots {
+		if sl.id == id {
+			return sl
+		}
+	}
+	return nil
+}
+
+// watch follows one slot across placements: clean completion ends it, a
+// plain failure fails the query, worker loss triggers replacement and
+// another round of watching.
+func (r *recovery) watch(sl *recSlot) {
+	for {
+		r.mu.Lock()
+		t := sl.task
+		r.mu.Unlock()
+		<-t.Done()
+		err := t.Err()
+		if err == nil {
+			return
+		}
+		if !exec.IsLost(err) {
+			r.fail(err)
+			return
+		}
+		if !r.replace(sl) {
+			return
+		}
+	}
+}
+
+// replace re-places a lost slot onto a surviving worker and replays its
+// split log. Returns false when no replacement is needed (sealed output or
+// query already failed) or possible (attempts exhausted, no workers) — in
+// the latter cases the query has been failed.
+func (r *recovery) replace(sl *recSlot) bool {
+	r.mu.Lock()
+	if r.failed != nil || r.queryTerminal() {
+		r.mu.Unlock()
+		return false
+	}
+	// Durable output: the entry sealed before the worker died, so consumers
+	// replay from disk and the task need not re-run.
+	if e := r.c.store.Entry(sl.id.String()); e != nil && e.Sealed() {
+		r.mu.Unlock()
+		return false
+	}
+	sl.attempts++
+	if sl.attempts > maxReplaceAttempts {
+		r.mu.Unlock()
+		r.fail(fmt.Errorf("task %s: %d replacements exhausted: %w",
+			sl.id, maxReplaceAttempts, exec.ErrTaskLost))
+		return false
+	}
+	workers := r.c.aliveWorkers()
+	if len(workers) == 0 {
+		r.mu.Unlock()
+		r.fail(fmt.Errorf("task %s: no workers left to re-place onto: %w",
+			sl.id, exec.ErrTaskLost))
+		return false
+	}
+	var nt *exec.Task
+	var err error
+	for k := 0; k < len(workers); k++ {
+		w := workers[(sl.id.Index+sl.attempts+k)%len(workers)]
+		if nt, err = sl.create(w); err == nil {
+			break
+		}
+	}
+	if nt == nil {
+		r.mu.Unlock()
+		r.fail(fmt.Errorf("re-placing task %s: %w", sl.id, err))
+		return false
+	}
+	sl.task = nt
+	r.gen++
+	// Replay the full input log. Correct from scratch: creating the task
+	// reset its unsealed store entry, discarding the lost attempt's pages.
+	for scanID, splits := range sl.splits {
+		for _, s := range splits {
+			if err := nt.AddSplit(scanID, s); err != nil {
+				r.mu.Unlock()
+				r.fail(err)
+				return false
+			}
+		}
+	}
+	for scanID := range sl.noMore {
+		nt.NoMoreSplits(scanID)
+	}
+	r.mu.Unlock()
+
+	// A client Close or clean finish can race the replacement: the query's
+	// cleanup (RemoveQuery) may already have swept the store, so an entry
+	// created after it would leak. Terminal state is set strictly before
+	// that sweep, so re-checking here after task creation closes the race:
+	// either this check sees terminal and tears the replacement down, or the
+	// sweep runs after our Create and removes the entry itself.
+	r.q.mu.Lock()
+	terminal := r.q.Info.State == StateFinished || r.q.Info.State == StateFailed
+	if !terminal {
+		r.q.tasks = append(r.q.tasks, nt)
+	}
+	r.q.mu.Unlock()
+	if terminal {
+		nt.Abort()
+		r.c.store.RemoveQuery(r.q.Info.ID)
+		return false
+	}
+	return true
+}
+
+// queryTerminal reports whether the query already reached a terminal state
+// (finished or failed); replacement after that point would recreate store
+// entries the query's cleanup has already swept.
+func (r *recovery) queryTerminal() bool {
+	r.q.mu.Lock()
+	defer r.q.mu.Unlock()
+	return r.q.Info.State == StateFinished || r.q.Info.State == StateFailed
+}
+
+func (r *recovery) fail(err error) {
+	r.mu.Lock()
+	if r.failed == nil {
+		r.failed = err
+	}
+	r.mu.Unlock()
+	r.res.setFailure(err)
+	r.q.abort()
+}
+
+// waitDone is the query's final verdict: every slot's current task done and
+// clean (or lost with sealed output), no sticky store failure. Replacement
+// can invalidate the snapshot mid-wait; the generation counter restarts it.
+func (r *recovery) waitDone() error {
+	for {
+		r.mu.Lock()
+		gen := r.gen
+		failed := r.failed
+		type snap struct {
+			id exec.TaskID
+			t  *exec.Task
+		}
+		ts := make([]snap, 0, len(r.slots))
+		for _, sl := range r.slots {
+			ts = append(ts, snap{sl.id, sl.task})
+		}
+		r.mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		for _, s := range ts {
+			<-s.t.Done()
+		}
+		r.mu.Lock()
+		stale := r.gen != gen
+		failed = r.failed
+		r.mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		if stale {
+			continue
+		}
+		lostPending := false
+		for _, s := range ts {
+			err := s.t.Err()
+			if err == nil {
+				continue
+			}
+			if !exec.IsLost(err) {
+				return err
+			}
+			// Lost with sealed output counts as success (the watcher skipped
+			// re-running it); lost without means its watcher is mid-replace.
+			if e := r.c.store.Entry(s.id.String()); e != nil && e.Sealed() {
+				continue
+			}
+			lostPending = true
+		}
+		if lostPending {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		return r.c.store.QueryErr(r.q.Info.ID)
+	}
+}

@@ -131,6 +131,17 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	if q.session.DisableDynamicFilters {
 		cfg.DynamicFiltersDisabled = true
 	}
+	if q.session.DisableSpill {
+		cfg.SpillEnabled = false
+	}
+	if q.session.MaterializedExchange {
+		// Remote workers materialize into their own stores; consumers still
+		// fetch over HTTP from whichever process holds the sealed segments.
+		// Task-level re-placement is an embedded-mode feature — remote
+		// recovery remains registry-TTL death plus query re-admission.
+		cfg.MaterializedExchange = true
+		cfg.DynamicFiltersDisabled = true
+	}
 	wireCfg := wire.EncodeTaskConfig(cfg)
 
 	singleRR := 0
@@ -193,7 +204,7 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	root := dp.Root()
 	rootRef := placed[root.ID][0]
 	out := shuffle.NewOutputBuffer(1, c.cfg.Task.OutputBufferBytes)
-	res := &Result{Columns: outputNames(root), buf: out.Partition(0)}
+	res := &Result{Columns: outputNames(root), buf: &shuffle.LocalFetcher{Buf: out.Partition(0)}}
 	// Mirror of the embedded scheduler's completion check: when the stream
 	// ends, take one final status sweep so a task failure that raced the
 	// last fetch is not reported as an empty success.

@@ -24,7 +24,7 @@ type Result struct {
 	QueryID string
 
 	mu      sync.Mutex
-	buf     *shuffle.PartitionBuffer // nil for literal results
+	buf     shuffle.Fetcher // nil for literal results
 	token   int64
 	pages   []*block.Page // literal results / readahead
 	pos     int
@@ -117,7 +117,11 @@ func (r *Result) NextPage() (*block.Page, error) {
 			return nil, nil
 		}
 		// Long-poll the root task's output buffer.
-		pages, next, complete := r.buf.Fetch(r.token, 4<<20, 100*time.Millisecond)
+		pages, next, complete, err := r.buf.Fetch(r.token, 4<<20, 100*time.Millisecond)
+		if err != nil {
+			r.setFailure(err)
+			continue
+		}
 		r.token = next
 		if len(pages) > 0 {
 			r.pages = pages

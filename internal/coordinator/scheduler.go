@@ -20,12 +20,24 @@ import (
 // split enumeration starts lazily (§IV-D3), assigning each split to the
 // eligible task with the shortest queue.
 func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, error) {
-	nWorkers := len(c.workers)
+	// Snapshot the worker list: elastic scale-out/in replaces it concurrently.
+	workers := c.aliveWorkers()
+	nWorkers := len(workers)
 	if nWorkers == 0 {
 		if c.cfg.Registry != nil {
 			return c.scheduleRemote(q, dp)
 		}
 		return nil, fmt.Errorf("cluster has no workers")
+	}
+
+	// Materialized exchange (recoverable shuffles): producers write sealed
+	// disk segments in the coordinator's shared store, consumers fetch by
+	// task key rather than through producer task objects, and a per-slot
+	// recovery watcher re-places lost tasks onto surviving workers.
+	mat := q.session.MaterializedExchange || c.cfg.Task.MaterializedExchange
+	var rec *recovery
+	if mat {
+		rec = newRecovery(c, q)
 	}
 
 	// Decide task counts.
@@ -63,21 +75,24 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 	var created []*exec.Task
 	singleRR := 0
 	for _, f := range dp.Fragments {
+		f := f
 		n := counts[f.ID]
 		tasks[f.ID] = make([]*exec.Task, n)
 		for i := 0; i < n; i++ {
 			var w *exec.Worker
 			switch partitioningOf(f, dp) {
 			case plan.PartitionSource:
-				w = c.workers[i]
+				w = workers[i]
 			case plan.PartitionSingle:
-				w = c.workers[singleRR%nWorkers]
+				w = workers[singleRR%nWorkers]
 				singleRR++
 			default:
-				w = c.workers[i%nWorkers]
+				w = workers[i%nWorkers]
 			}
 			// Wire exchange sources: for every producing fragment, this
-			// task reads partition i of every producer task.
+			// task reads partition i of every producer task. Materialized
+			// mode fetches by store key instead of producer task object, so
+			// a re-placed producer needs no consumer re-pointing.
 			sources := map[int][]shuffle.Fetcher{}
 			plan.Walk(f.Root, func(n plan.Node) {
 				rs, ok := n.(*plan.RemoteSource)
@@ -85,9 +100,16 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 					return
 				}
 				for _, pid := range rs.SourceFragments {
-					for _, pt := range tasks[pid] {
+					for j, pt := range tasks[pid] {
+						var fetch shuffle.Fetcher
+						if mat {
+							key := exec.TaskID{QueryID: q.Info.ID, Fragment: pid, Index: j}.String()
+							fetch = &shuffle.StoreFetcher{Store: c.store, Key: key, Part: i}
+						} else {
+							fetch = &shuffle.LocalFetcher{Buf: pt.Output().Partition(i)}
+						}
 						sources[pid] = append(sources[pid],
-							faultinject.WrapFetcher(c.cfg.FaultInject, &shuffle.LocalFetcher{Buf: pt.Output().Partition(i)}))
+							faultinject.WrapFetcher(c.cfg.FaultInject, fetch))
 					}
 				}
 			})
@@ -107,6 +129,18 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			if q.session.DisableSharedScans {
 				cfg.SharedScansDisabled = true
 			}
+			if q.session.DisableSpill {
+				cfg.SpillEnabled = false
+			}
+			if mat {
+				cfg.MaterializedExchange = true
+				cfg.Store = c.store
+				// Dynamic filters flow through direct task references; a
+				// re-placed build task would publish a second time into a
+				// hub sized for the first. Recoverable queries trade them
+				// away for restart-free worker loss.
+				cfg.DynamicFiltersDisabled = true
+			}
 			id := exec.TaskID{QueryID: q.Info.ID, Fragment: f.ID, Index: i}
 			t, err := createTask(c.cfg.FaultInject, w, id, f, q, outParts[f.ID], sources, &cfg)
 			if err != nil {
@@ -118,6 +152,12 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			q.mu.Lock()
 			q.tasks = append(q.tasks, t)
 			q.mu.Unlock()
+			if rec != nil {
+				cfg, sources, outP := cfg, sources, outParts[f.ID]
+				rec.track(id, t, func(w *exec.Worker) (*exec.Task, error) {
+					return createTask(c.cfg.FaultInject, w, id, f, q, outP, sources, &cfg)
+				})
+			}
 		}
 	}
 
@@ -126,7 +166,7 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 	// the union out to every task (see filterHub). Installed after creation —
 	// a build that completes inside the install window self-delivers, which
 	// is safe (its own scans filter; remote siblings stay unfiltered).
-	if !q.session.DisableDynamicFilters {
+	if !q.session.DisableDynamicFilters && !mat {
 		if hub := newFilterHub(dp, counts, created); hub != nil {
 			for _, t := range created {
 				t.SetFilterPublisher(hub.publish)
@@ -137,36 +177,53 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 	// Build the result before starting enumeration so failures propagate.
 	root := dp.Root()
 	names := outputNames(root)
-	res := &Result{Columns: names, buf: tasks[root.ID][0].Output().Partition(0)}
+	var rootFetch shuffle.Fetcher
+	if mat {
+		// Read the root output through the exchange store: if the root task's
+		// worker dies, its re-placed replacement repopulates the same store
+		// entry, so the client stream survives the loss.
+		key := exec.TaskID{QueryID: q.Info.ID, Fragment: root.ID, Index: 0}.String()
+		rootFetch = &shuffle.StoreFetcher{Store: c.store, Key: key, Part: 0}
+	} else {
+		rootFetch = &shuffle.LocalFetcher{Buf: tasks[root.ID][0].Output().Partition(0)}
+	}
+	res := &Result{Columns: names, buf: rootFetch}
 
-	// Failure monitor: the first task error cancels the query.
-	go func() {
-		for _, ft := range tasks {
-			for _, t := range ft {
-				<-t.Done()
-				if err := t.Err(); err != nil {
-					res.setFailure(err)
-					q.abort()
-					return
+	if rec != nil {
+		// Recovery watchers own failure propagation: worker loss re-places
+		// the lost tasks; anything else fails the query through res.
+		rec.start(res)
+		res.waitDone = rec.waitDone
+	} else {
+		// Failure monitor: the first task error cancels the query.
+		go func() {
+			for _, ft := range tasks {
+				for _, t := range ft {
+					<-t.Done()
+					if err := t.Err(); err != nil {
+						res.setFailure(err)
+						q.abort()
+						return
+					}
 				}
 			}
-		}
-	}()
-	// The monitor publishes failures asynchronously; a consumer that sees
-	// the output stream complete (a failed task destroys its buffer, which
-	// looks like end-of-stream) re-checks every task's verdict here before
-	// declaring success. At that point the tasks are finished or aborting,
-	// so the waits are short.
-	res.waitDone = func() error {
-		for _, ft := range tasks {
-			for _, t := range ft {
-				<-t.Done()
-				if err := t.Err(); err != nil {
-					return err
+		}()
+		// The monitor publishes failures asynchronously; a consumer that sees
+		// the output stream complete (a failed task destroys its buffer, which
+		// looks like end-of-stream) re-checks every task's verdict here before
+		// declaring success. At that point the tasks are finished or aborting,
+		// so the waits are short.
+		res.waitDone = func() error {
+			for _, ft := range tasks {
+				for _, t := range ft {
+					<-t.Done()
+					if err := t.Err(); err != nil {
+						return err
+					}
 				}
 			}
+			return nil
 		}
-		return nil
 	}
 
 	// Split scheduling (§IV-D3): one enumerator per scan of each leaf stage.
@@ -174,7 +231,7 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 		stage := tasks[f.ID]
 		scans := stage[0].Scans()
 		for scanID := range scans {
-			go c.enumerateSplits(q, res, stage, scanID, scans[scanID])
+			go c.enumerateSplits(q, res, stage, scanID, scans[scanID], workers, rec)
 		}
 	}
 	return res, nil
@@ -309,16 +366,32 @@ func outputNames(f *plan.Fragment) []string {
 // memoized in the coordinator metadata cache keyed by the table handle
 // (layout and pushed-down constraint included), so repeated scans of an
 // unchanged table skip the connector round-trips entirely.
-func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task, scanID int, scan *plan.Scan) {
+func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task, scanID int, scan *plan.Scan,
+	workers []*exec.Worker, rec *recovery) {
+
 	nodeTask := map[int]*exec.Task{}
 	for i, t := range stage {
-		nodeTask[c.workers[i%len(c.workers)].ID] = t
+		nodeTask[workers[i%len(workers)].ID] = t
 	}
 	affinity := c.affinityFn(q, scan)
 	assign := func(s connector.Split) error {
 		t := c.pickTask(stage, nodeTask, scanID, s, affinity(s))
 		q.splitsTotal.Add(1)
+		if rec != nil {
+			// Recoverable queries log every split under the recovery lock so
+			// a replacement task replays its full input.
+			return rec.addSplit(t.ID, scanID, s)
+		}
 		return t.AddSplit(scanID, s)
+	}
+	noMore := func() {
+		for _, t := range stage {
+			if rec != nil {
+				rec.noMoreSplits(t.ID, scanID)
+			} else {
+				t.NoMoreSplits(scanID)
+			}
+		}
 	}
 
 	cacheKey := ""
@@ -334,9 +407,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 					return
 				}
 			}
-			for _, t := range stage {
-				t.NoMoreSplits(scanID)
-			}
+			noMore()
 			return
 		}
 	}
@@ -381,9 +452,7 @@ func (c *Coordinator) enumerateSplits(q *Query, res *Result, stage []*exec.Task,
 	if cacheKey != "" {
 		c.meta.Put(cacheKey, collected)
 	}
-	for _, t := range stage {
-		t.NoMoreSplits(scanID)
-	}
+	noMore()
 }
 
 func (c *Coordinator) pickTask(stage []*exec.Task, nodeTask map[int]*exec.Task, scanID int, s connector.Split, affinity string) *exec.Task {

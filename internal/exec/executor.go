@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -351,11 +352,35 @@ func (e *Executor) LevelOccupancy() (levels [nLevels]int, blocked int) {
 	return levels, len(e.blocked)
 }
 
-// Close stops the worker threads after current quanta complete.
+// ErrExecutorClosed reports a driver abandoned because its executor shut
+// down (worker death or node shutdown) before the driver could finish.
+var ErrExecutorClosed = errors.New("executor closed")
+
+// Close stops the worker threads after current quanta complete. Drivers
+// still queued or parked are completed with ErrExecutorClosed so their
+// tasks' driver accounting reaches zero — without this, a task lost to
+// worker death would wait forever on drivers that can never run again.
 func (e *Executor) Close() {
 	e.mu.Lock()
 	e.closed = true
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.wg.Wait()
+
+	e.mu.Lock()
+	var orphans []*driverRunner
+	for i, l := range e.levels {
+		orphans = append(orphans, l...)
+		e.levels[i] = nil
+	}
+	orphans = append(orphans, e.blocked...)
+	e.blocked = nil
+	e.mu.Unlock()
+	for _, r := range orphans {
+		if r.driver.Finished() {
+			r.done(nil)
+		} else {
+			r.done(ErrExecutorClosed)
+		}
+	}
 }

@@ -385,6 +385,7 @@ func (c *compiler) compile(n plan.Node, pb *chain) error {
 		}
 		pb.append("HashAggregation", func(ctx *driverCtx) (operators.Operator, error) {
 			op := operators.NewHashAggregation(ctx.opCtx(memory.User), groupCols, groupTs, specs, ctx.task.spillEnabled, c.pageSize)
+			op.SetSpillDir(ctx.task.cfg.SpillDir)
 			if ctx.task.spillEnabled {
 				ctx.task.registerRevocable(op)
 			}
@@ -446,6 +447,16 @@ func (c *compiler) compileJoin(j *plan.Join, pb *chain) error {
 		buildKeys[i] = eq.Right
 		probeKeys[i] = eq.Left
 		buildKeyTs[i] = rightTs[eq.Right]
+	}
+	// Arm the bridge for build-side spill: when the memory manager revokes
+	// it, the build table moves to a partitioned spill file and the probe
+	// side re-joins it partition by partition from disk (§IV-F2). Cross and
+	// keyless joins cannot hash-partition, so they stay memory-only.
+	if c.task.spillEnabled && len(j.Equi) > 0 && j.Type != plan.CrossJoin {
+		mem := memory.NewLocalContext(c.task.queryMem, c.task.nodeID, memory.User)
+		bridge.EnableSpill(mem, c.task.cfg.SpillDir, buildKeys, buildKeyTs)
+		c.task.registerRevocable(bridge)
+		c.task.registerCleanup(bridge.ReleaseSpill)
 	}
 	build.append("HashBuild", func(ctx *driverCtx) (operators.Operator, error) {
 		bridge.AddBuilder()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -88,9 +89,20 @@ type TaskConfig struct {
 	// first open. 0 selects DefaultSharedScanWindow, negative disables the
 	// hub on workers built from this config.
 	SharedScanWindow time.Duration
+	// SpillDir is where spill files and materialized exchange segments are
+	// written; empty selects the OS temp dir.
+	SpillDir string
+	// MaterializedExchange overflows this task's output buffer to disk-backed
+	// segment files and retains them until query cleanup, so consumers can
+	// outlive the producer and a re-scheduled consumer replays from the
+	// materialized output (paper §IV-D: recoverable exchanges).
+	MaterializedExchange bool
 	// Inject threads the chaos injector into task-level seams (morsel split
 	// opens, dynamic-filter publication). Never serialized; local only.
 	Inject *faultinject.Injector
+	// Store is the worker's materialized-exchange segment store; required
+	// when MaterializedExchange is set. Never serialized; local only.
+	Store *shuffle.ExchangeStore
 }
 
 // DefaultDynamicFilterWait is the bounded wait a subscribed scan applies to
@@ -166,6 +178,11 @@ type Task struct {
 
 	dynGates map[int]*dynGate // scanID → bounded-wait state (guarded by mu)
 	dynSkip  map[int]bool     // scanID → empty-build short circuit (guarded by mu)
+
+	// cleanups run exactly once when the task reaches its terminal state
+	// (finished, failed, or aborted): spill files and other disk-backed
+	// operator state are released here, after every driver has stopped.
+	cleanups []func()
 }
 
 // dynGate tracks one scan's bounded wait for dynamic-filter delivery.
@@ -215,6 +232,15 @@ func NewTask(id TaskID, f *plan.Fragment, nodeID int, ex *Executor, reg Connecto
 		noMoreSplits:  map[int]bool{},
 		doneCh:        make(chan struct{}),
 		scanPipes:     map[int]*pipelineSpec{},
+	}
+	if cfg.MaterializedExchange && cfg.Store != nil {
+		// Key the entry by task ID: a re-placed task (same query, fragment,
+		// index) resets the same entry, so consumers follow it transparently.
+		// A sealed entry means a prior attempt already finished — its output
+		// is durable and this attempt's pages are discarded on arrival; the
+		// common replay path never even creates the replacement task.
+		entry, _ := cfg.Store.Create(id.String(), outPartitions)
+		t.output.AttachEntry(entry)
 	}
 	c := &compiler{task: t, pageSize: cfg.PageSize}
 	if err := c.compileFragment(f); err != nil {
@@ -338,6 +364,12 @@ func (t *Task) registerRevocable(r memory.Revocable) {
 	if t.nodePool != nil {
 		t.nodePool.RegisterRevocable(t.ID.QueryID, r)
 	}
+}
+
+// registerCleanup schedules fn to run when the task reaches its terminal
+// state. Called at compile time, before any driver runs.
+func (t *Task) registerCleanup(fn func()) {
+	t.cleanups = append(t.cleanups, fn)
 }
 
 // startDriverLocked instantiates the pipeline's operators behind src and
@@ -642,7 +674,12 @@ func (t *Task) maybeFinishLocked() {
 	} else {
 		t.output.SetNoMorePages()
 	}
-	t.doneOnce.Do(func() { close(t.doneCh) })
+	t.doneOnce.Do(func() {
+		for _, fn := range t.cleanups {
+			fn()
+		}
+		close(t.doneCh)
+	})
 }
 
 // Done returns a channel closed when the task finishes (or fails).
@@ -657,6 +694,28 @@ func (t *Task) Err() error {
 
 // Abort cancels the task, dropping buffered output.
 func (t *Task) Abort() {
+	t.terminate(fmt.Errorf("task %s aborted", t.ID))
+}
+
+// ErrTaskLost marks a task whose worker died mid-query. Under materialized
+// exchange the coordinator re-places lost tasks on surviving workers instead
+// of failing the query; any other scheduler treats it like a plain failure.
+var ErrTaskLost = errors.New("worker lost")
+
+// IsLost reports whether a task error came from worker death (MarkLost).
+func IsLost(err error) bool { return errors.Is(err, ErrTaskLost) }
+
+// MarkLost terminates the task as lost to worker death. Identical wind-down
+// to Abort, but the error is classified so a recovery-capable coordinator can
+// re-place the work. A materialized output entry survives untouched: sealed
+// segments keep serving consumers, unsealed ones are reset by the replacement.
+func (t *Task) MarkLost() {
+	t.terminate(fmt.Errorf("task %s: %w", t.ID, ErrTaskLost))
+}
+
+// terminate winds the task down with the given failure unless it already
+// carries one.
+func (t *Task) terminate(reason error) {
 	t.mu.Lock()
 	t.aborted = true
 	t.pendingSplits = map[int][]connector.Split{}
@@ -664,7 +723,7 @@ func (t *Task) Abort() {
 		t.noMoreSplits[id] = true
 	}
 	if t.failed == nil {
-		t.failed = fmt.Errorf("task %s aborted", t.ID)
+		t.failed = reason
 	}
 	t.cancelPipelinesLocked()
 	t.output.Destroy()

@@ -35,9 +35,14 @@ type Worker struct {
 	connectors ConnectorRegistry
 	cfg        TaskConfig
 	inject     *faultinject.Injector
+	// store holds this worker's materialized-exchange segments (remote mode;
+	// in embedded clusters the coordinator injects a shared store per task,
+	// modeling the durable distributed storage of recoverable exchanges).
+	store *shuffle.ExchangeStore
 
-	mu    sync.Mutex
-	tasks map[TaskID]*Task
+	mu     sync.Mutex
+	tasks  map[TaskID]*Task
+	killed bool
 
 	stopMonitor chan struct{}
 	monitorOnce sync.Once
@@ -79,6 +84,7 @@ func NewWorker(id int, reg ConnectorRegistry, cfg WorkerConfig) *Worker {
 		connectors:  reg,
 		cfg:         cfg.Task,
 		inject:      cfg.FaultInject,
+		store:       shuffle.NewExchangeStore(cfg.Task.SpillDir),
 		tasks:       map[TaskID]*Task{},
 		stopMonitor: make(chan struct{}),
 	}
@@ -148,6 +154,15 @@ func (w *Worker) CreateTask(id TaskID, f *plan.Fragment, qmem *memory.QueryConte
 	if cfg.Inject == nil {
 		cfg.Inject = w.inject
 	}
+	if cfg.Store == nil {
+		cfg.Store = w.store
+	}
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("worker %d is dead", w.ID)
+	}
+	w.mu.Unlock()
 	t, err := NewTask(id, f, w.ID, w.Exec, w.connectors, qmem, w.Pool, w.Cache, outPartitions, exchangeSources, cfg)
 	if err != nil {
 		return nil, err
@@ -204,7 +219,10 @@ func (w *Worker) OutputBufferUtilization() float64 {
 	return max
 }
 
-// AbortQuery aborts all of a query's tasks on this worker.
+// AbortQuery aborts all of a query's tasks on this worker and drops the
+// query's materialized-exchange segments from the worker-local store. (In
+// embedded clusters the coordinator owns the shared store and cleans it up
+// itself; the worker store is then empty for the query, so this is a no-op.)
 func (w *Worker) AbortQuery(queryID string) {
 	w.mu.Lock()
 	var ts []*Task
@@ -217,6 +235,33 @@ func (w *Worker) AbortQuery(queryID string) {
 	for _, t := range ts {
 		t.Abort()
 	}
+	w.store.RemoveQuery(queryID)
+}
+
+// Kill simulates abrupt worker death for elastic-recovery tests: every live
+// task fails with ErrTaskLost (so the coordinator re-places it elsewhere),
+// and the worker refuses new tasks. Unlike Close, Kill does not wait for
+// tasks to drain — that is the point.
+func (w *Worker) Kill() {
+	w.monitorOnce.Do(func() { close(w.stopMonitor) })
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.killed = true
+	ts := make([]*Task, 0, len(w.tasks))
+	for _, t := range w.tasks {
+		ts = append(ts, t)
+	}
+	w.mu.Unlock()
+	for _, t := range ts {
+		t.MarkLost()
+	}
+	if w.Cache != nil {
+		w.Cache.Clear()
+	}
+	w.Exec.Close()
 }
 
 // Close stops the worker, releasing cached pages back to the pool.

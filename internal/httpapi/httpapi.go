@@ -25,6 +25,8 @@ import (
 	"repro/internal/block"
 	"repro/internal/coordinator"
 	"repro/internal/metrics"
+	"repro/internal/shuffle"
+	"repro/internal/spill"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -118,6 +120,8 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		DisablePlanCache:      r.Header.Get("X-Presto-Disable-Plan-Cache") != "",
 		DisableResultCache:    r.Header.Get("X-Presto-Disable-Result-Cache") != "",
 		DisableSharedScans:    r.Header.Get("X-Presto-Disable-Shared-Scans") != "",
+		DisableSpill:          r.Header.Get("X-Presto-Disable-Spill") != "",
+		MaterializedExchange:  r.Header.Get("X-Presto-Materialized-Exchange") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of
@@ -310,6 +314,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.PromGauge(w, "presto_result_cache_corruptions_total", nil, float64(ss.Result.Corruptions))
 	metrics.PromGauge(w, "presto_result_cache_bytes", nil, float64(ss.Result.Bytes))
 	metrics.PromGauge(w, "presto_result_cache_entries", nil, float64(ss.Result.Entries))
+	// Larger-than-memory execution: disk-backed operator spill and
+	// materialized-exchange segment activity (process-wide counters).
+	sp := spill.CurrentStats()
+	metrics.PromGauge(w, "presto_spill_files_created_total", nil, float64(sp.FilesCreated))
+	metrics.PromGauge(w, "presto_spill_files_deleted_total", nil, float64(sp.FilesDeleted))
+	metrics.PromGauge(w, "presto_spill_pages_written_total", nil, float64(sp.PagesWritten))
+	metrics.PromGauge(w, "presto_spill_bytes_written_total", nil, float64(sp.BytesWritten))
+	metrics.PromGauge(w, "presto_spill_bytes_read_total", nil, float64(sp.BytesRead))
+	sg := shuffle.CurrentSegmentStats()
+	metrics.PromGauge(w, "presto_exchange_segments_created_total", nil, float64(sg.SegmentsCreated))
+	metrics.PromGauge(w, "presto_exchange_segments_deleted_total", nil, float64(sg.SegmentsDeleted))
+	metrics.PromGauge(w, "presto_exchange_segment_bytes_written_total", nil, float64(sg.BytesWritten))
+	metrics.PromGauge(w, "presto_exchange_segment_bytes_read_total", nil, float64(sg.BytesRead))
+	metrics.PromGauge(w, "presto_exchange_entries_sealed_total", nil, float64(sg.EntriesSealed))
+	metrics.PromGauge(w, "presto_exchange_replay_hits_total", nil, float64(sg.ReplayHits))
+	metrics.PromGauge(w, "presto_exchange_store_entries", nil, float64(s.Coord.ExchangeStore().EntryCount()))
 }
 
 // pageToJSON renders a page as rows of JSON-friendly values.

@@ -203,9 +203,23 @@ type Arbiter struct {
 	promoted string
 }
 
-// NewArbiter creates an arbiter over the node pools.
+// NewArbiter creates an arbiter over the node pools. The map is copied: the
+// arbiter's view changes only through AddPool, so callers may mutate their own
+// map freely (elastic scale-out).
 func NewArbiter(pools map[int]*NodePool) *Arbiter {
-	return &Arbiter{pools: pools}
+	own := make(map[int]*NodePool, len(pools))
+	for id, p := range pools {
+		own[id] = p
+	}
+	return &Arbiter{pools: own}
+}
+
+// AddPool registers a node pool that joined after construction (a worker
+// added mid-flight). Promotion decisions from then on cover the new node.
+func (a *Arbiter) AddPool(id int, p *NodePool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pools[id] = p
 }
 
 // TryPromote promotes query to the reserved pool on every node if the pool

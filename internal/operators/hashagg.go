@@ -1,16 +1,16 @@
 package operators
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
+	"io"
 	"sync"
 
 	"repro/internal/block"
 	"repro/internal/expr"
 	"repro/internal/memory"
 	"repro/internal/plan"
+	"repro/internal/spill"
 	"repro/internal/types"
 )
 
@@ -31,8 +31,8 @@ type aggState struct {
 	SumF   float64
 	HasVal bool
 	MinMax types.Value
-	// distinct values for DISTINCT aggregates (not spillable; unexported
-	// fields are invisible to gob, and DISTINCT disables spilling anyway).
+	// distinct values for DISTINCT aggregates (not spillable: set state
+	// cannot be merged incrementally, so DISTINCT disables spilling).
 	distinct map[string]struct{} // legacy path
 	dset     *keyTable           // vectorized path
 }
@@ -78,7 +78,9 @@ type HashAggregationOperator struct {
 	keyArena   []types.Value
 
 	spillFiles []string
+	spills     int // lifetime revocation count (spillFiles is cleared on drain)
 	spillable  bool
+	spillDir   string // empty = OS temp dir
 
 	finished bool
 	out      []*block.Page
@@ -116,6 +118,9 @@ func NewHashAggregation(ctx *OpContext, groupCols []int, groupTs []types.Type, a
 	o.resetTableLocked()
 	return o
 }
+
+// SetSpillDir directs spill files to dir instead of the OS temp dir.
+func (o *HashAggregationOperator) SetSpillDir(dir string) { o.spillDir = dir }
 
 // resetTableLocked installs a fresh, empty lookup index.
 func (o *HashAggregationOperator) resetTableLocked() {
@@ -678,7 +683,11 @@ func (spec *AggSpec) result(st *aggState) types.Value {
 }
 
 func (o *HashAggregationOperator) Finish() {
+	// Under o.mu: the pool's revoker thread reads finished (a finished
+	// aggregation is no longer a spill candidate — its state is draining).
+	o.mu.Lock()
 	o.finished = true
+	o.mu.Unlock()
 }
 
 func (o *HashAggregationOperator) prepareOutput() error {
@@ -724,7 +733,7 @@ func (o *HashAggregationOperator) prepareOutput() error {
 		o.emitGroups(groups, outTypes)
 	}
 	for _, name := range o.spillFiles {
-		os.Remove(name)
+		spill.Remove(name)
 	}
 	o.spillFiles = nil
 	o.entries = nil
@@ -820,34 +829,58 @@ func buildGroupCol(t types.Type, groups []*groupEntry, get func(*groupEntry) typ
 	}
 }
 
-// mergePartition folds one spill file's entries of one partition into the
-// merged map.
+// mergePartition folds one spill file's pages of one partition into the
+// merged map. Records tagged with other partitions are skipped without
+// decoding their page frames.
 func (o *HashAggregationOperator) mergePartition(name string, part int, merged map[string]*groupEntry) error {
-	f, err := os.Open(name)
+	r, err := spill.OpenReader(name)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
+	defer r.Close()
+	nk, na := len(o.groupCols), len(o.aggs)
+	var kb []byte
 	for {
-		var k string
-		if err := dec.Decode(&k); err != nil {
-			return nil // io.EOF
+		recPart, frame, err := r.Next()
+		if err == io.EOF {
+			return nil
 		}
-		var sg spilledGroup
-		if err := dec.Decode(&sg); err != nil {
-			return fmt.Errorf("corrupt spill file %s: %w", name, err)
+		if err != nil {
+			return fmt.Errorf("spill file %s: %w", name, err)
 		}
-		if sg.Part != part {
+		if recPart != part {
 			continue
 		}
-		g, ok := merged[k]
-		if !ok {
-			merged[k] = &groupEntry{Key: sg.Key, States: sg.States}
-			continue
+		p, _, err := block.DecodePage(frame)
+		if err != nil {
+			return fmt.Errorf("spill file %s: %w", name, err)
 		}
-		for i := range g.States {
-			mergeState(&g.States[i], &sg.States[i], &o.aggs[i])
+		if p.ColCount() != nk+5*na {
+			return fmt.Errorf("spill file %s: page has %d columns, want %d", name, p.ColCount(), nk+5*na)
+		}
+		for row := 0; row < p.RowCount(); row++ {
+			vals := p.Row(row)
+			key := vals[:nk:nk]
+			states := make([]aggState, na)
+			for i := range states {
+				base := nk + 5*i
+				states[i] = aggState{
+					Count:  vals[base].I,
+					SumI:   vals[base+1].I,
+					SumF:   vals[base+2].F,
+					HasVal: vals[base+3].B,
+					MinMax: vals[base+4],
+				}
+			}
+			kb = encodeValueKey(kb[:0], key)
+			g, ok := merged[string(kb)]
+			if !ok {
+				merged[string(kb)] = &groupEntry{Key: key, States: states}
+				continue
+			}
+			for i := range g.States {
+				mergeState(&g.States[i], &states[i], &o.aggs[i])
+			}
 		}
 	}
 }
@@ -874,8 +907,9 @@ func (o *HashAggregationOperator) IsFinished() bool {
 func (o *HashAggregationOperator) IsBlocked() bool { return false }
 func (o *HashAggregationOperator) Close() error {
 	for _, f := range o.spillFiles {
-		os.Remove(f)
+		spill.Remove(f)
 	}
+	o.spillFiles = nil
 	o.entries, o.table, o.legacy, o.out = nil, nil, nil, nil
 	o.ctx.Mem.Close()
 	return nil
@@ -883,18 +917,28 @@ func (o *HashAggregationOperator) Close() error {
 
 // --- Revocable (spilling) support ---
 
-// spilledGroup is the on-disk form of one group. Part assigns the group to
-// one of spillPartitions hash partitions so the merge can process one
+// spillPartitions is the merge fan-out for spilled aggregations: each group
+// is assigned a hash partition at spill time so the drain can merge one
 // partition at a time, bounding peak memory to ~1/spillPartitions of the
 // table (§IV-F2).
-type spilledGroup struct {
-	Key    []types.Value
-	States []aggState
-	Part   int
-}
-
-// spillPartitions is the merge fan-out for spilled aggregations.
 const spillPartitions = 16
+
+// spillSchema is the columnar on-disk form of a spilled aggregation table:
+// the group-key columns followed by five state columns per aggregate
+// (Count, SumI, SumF, HasVal, MinMax). Pages go through the binary page
+// codec (internal/block), partition-tagged per spill record.
+func (o *HashAggregationOperator) spillSchema() []types.Type {
+	ts := make([]types.Type, 0, len(o.groupTs)+5*len(o.aggs))
+	ts = append(ts, o.groupTs...)
+	for _, a := range o.aggs {
+		mm := a.Out
+		if mm == types.Unknown {
+			mm = types.Bigint
+		}
+		ts = append(ts, types.Bigint, types.Bigint, types.Double, types.Boolean, mm)
+	}
+	return ts
+}
 
 // RevocableBytes implements memory.Revocable.
 func (o *HashAggregationOperator) RevocableBytes() int64 {
@@ -928,31 +972,70 @@ func (o *HashAggregationOperator) revokeLocked() (int64, error) {
 	if len(o.entries) == 0 {
 		return 0, nil
 	}
-	f, err := os.CreateTemp("", "presto-agg-spill-*.gob")
+	w, err := spill.NewWriter(o.spillDir, "agg")
 	if err != nil {
 		return 0, err
 	}
-	enc := gob.NewEncoder(f)
-	var kb []byte
-	for _, g := range o.entries {
-		// The spill key is the canonical encoding of the boxed group key —
-		// the same bytes the legacy map used — so spill files written by the
-		// vectorized and legacy paths merge interchangeably.
-		kb = encodeValueKey(kb[:0], g.Key)
-		if err := enc.Encode(string(kb)); err != nil {
-			f.Close()
-			return 0, err
+	schema := o.spillSchema()
+	builders := make([]*block.PageBuilder, spillPartitions)
+	flush := func(part int) error {
+		pb := builders[part]
+		if pb == nil {
+			return nil
 		}
-		sg := spilledGroup{Key: g.Key, States: g.States, Part: int(hashRowKey(kb) % spillPartitions)}
-		if err := enc.Encode(sg); err != nil {
-			f.Close()
+		builders[part] = nil
+		return w.WritePage(part, pb.Build())
+	}
+	var kb []byte
+	var row []types.Value
+	for _, g := range o.entries {
+		// The partition is derived from the canonical encoding of the boxed
+		// group key — the same bytes the legacy map used — so spill files
+		// written by the vectorized and legacy paths merge interchangeably.
+		kb = encodeValueKey(kb[:0], g.Key)
+		part := int(hashRowKey(kb) % spillPartitions)
+		row = row[:0]
+		row = append(row, g.Key...)
+		for i := range g.States {
+			st := &g.States[i]
+			mm := schema[len(o.groupTs)+5*i+4]
+			mv := types.NullValue(mm)
+			if st.HasVal && !st.MinMax.Null && st.MinMax.T != types.Unknown {
+				mv = st.MinMax
+				if cv, cerr := mv.Coerce(mm); cerr == nil {
+					mv = cv
+				}
+			}
+			row = append(row,
+				types.BigintValue(st.Count),
+				types.BigintValue(st.SumI),
+				types.DoubleValue(st.SumF),
+				types.BooleanValue(st.HasVal),
+				mv,
+			)
+		}
+		if builders[part] == nil {
+			builders[part] = block.NewPageBuilder(schema)
+		}
+		builders[part].AppendRow(row)
+		if builders[part].RowCount() >= o.pageSize {
+			if err := flush(part); err != nil {
+				w.Abort()
+				return 0, err
+			}
+		}
+	}
+	for part := range builders {
+		if err := flush(part); err != nil {
+			w.Abort()
 			return 0, err
 		}
 	}
-	if err := f.Close(); err != nil {
+	if err := w.Finish(); err != nil {
 		return 0, err
 	}
-	o.spillFiles = append(o.spillFiles, f.Name())
+	o.spillFiles = append(o.spillFiles, w.Path())
+	o.spills++
 	freed := o.bytes
 	o.resetTableLocked()
 	o.bytes = 0
@@ -963,7 +1046,11 @@ func (o *HashAggregationOperator) revokeLocked() (int64, error) {
 }
 
 // SpillCount reports how many times the operator spilled (for benches).
-func (o *HashAggregationOperator) SpillCount() int { return len(o.spillFiles) }
+func (o *HashAggregationOperator) SpillCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.spills
+}
 
 func mergeState(dst, src *aggState, spec *AggSpec) {
 	switch spec.Func {

@@ -56,6 +56,11 @@ type JoinBridge struct {
 	collector   *dynfilter.Collector
 	onFilters   func([]*dynfilter.Summary)
 	filtersDone bool
+
+	// spl is the disk-backed spill state (nil when spilling is disabled for
+	// this join); see joinspill.go. Set once via EnableSpill before any
+	// driver runs, so reading the pointer itself needs no lock.
+	spl *bridgeSpill
 }
 
 // SetFilterCollector installs the dynamic-filter collector and its publish
@@ -157,6 +162,17 @@ func (b *JoinBridge) NoMoreBuilders() {
 func (b *JoinBridge) maybeBuiltLocked() {
 	if b.noMoreBuilders && b.buildersActive == 0 {
 		b.built = true
+		if spl := b.spl; spl != nil && spl.spilled {
+			// Once spilled, every later build page streamed straight to
+			// disk, so there is no in-memory tail here — flush whatever
+			// remains (defensively) and seal the file for the drain.
+			if _, err := b.revokeSpillLocked(); err != nil && spl.err == nil {
+				spl.err = err
+			}
+			if err := spl.finishBuild(); err != nil && spl.err == nil {
+				spl.err = err
+			}
+		}
 		b.cond.Broadcast()
 	}
 }
@@ -255,6 +271,9 @@ type HashBuildOperator struct {
 // types of the key columns, aligned with keyCols: they, not input block
 // types, decide the shared key table's layout (see fixedWidthKeys).
 func NewHashBuild(ctx *OpContext, bridge *JoinBridge, keyCols []int, keyTs []types.Type) *HashBuildOperator {
+	if ctx != nil {
+		bridge.registerBuildStats(ctx.Stats)
+	}
 	return &HashBuildOperator{ctx: ctx, bridge: bridge, keyCols: keyCols, keyTs: keyTs}
 }
 
@@ -268,9 +287,6 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 	p = p.LoadLazy()
 	b := o.bridge
 	b.mu.Lock()
-	pageIdx := len(b.pages)
-	b.pages = append(b.pages, p)
-	b.matched = append(b.matched, make([]bool, p.RowCount()))
 	nk := len(o.keyCols)
 	if b.collector != nil {
 		for i, sp := range b.collector.Specs() {
@@ -279,6 +295,18 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 			}
 		}
 	}
+	if spl := b.spl; spl != nil && spl.spilled {
+		// The bridge has revoked its table to disk: stream this page straight
+		// to the build spill file instead of regrowing the table (the drain
+		// re-joins it partition by partition).
+		b.rows += int64(p.RowCount())
+		err := spl.writeBuildPage(p)
+		b.mu.Unlock()
+		return err
+	}
+	pageIdx := len(b.pages)
+	b.pages = append(b.pages, p)
+	b.matched = append(b.matched, make([]bool, p.RowCount()))
 	if b.vec {
 		if b.ktab == nil {
 			b.ktab = newKeyTable(fixedWidthKeys(o.keyTs), nk)
@@ -300,8 +328,18 @@ func (o *HashBuildOperator) AddInput(p *block.Page) error {
 			b.table[string(buf)] = append(b.table[string(buf)], bridgeRow{pageIdx, r})
 		}
 	}
+	delta := p.SizeBytes() + int64(p.RowCount()*32)
+	if b.spl != nil {
+		// Spill-armed bridges account at bridge level: the delta lands under
+		// the lock (so a concurrent revoke's reset captures it), while the
+		// pool reservation syncs outside it (a reserve may block on this very
+		// bridge's revocation).
+		b.spl.bytes.Add(delta)
+		b.mu.Unlock()
+		return b.syncBuildMem()
+	}
 	b.mu.Unlock()
-	o.bytes += p.SizeBytes() + int64(p.RowCount()*32)
+	o.bytes += delta
 	return o.ctx.Mem.SetBytes(o.bytes)
 }
 
@@ -449,6 +487,7 @@ type LookupJoinOperator struct {
 	finished     bool
 	outerHandled bool
 	pageSize     int
+	drain        *joinSpillDrain // partitioned disk drain (spilled builds only)
 }
 
 // NewLookupJoin creates the probe-side operator.
@@ -494,6 +533,19 @@ func (o *LookupJoinOperator) AddInput(p *block.Page) error {
 	p = p.LoadLazy()
 	b := o.bridge
 	b.mu.Lock()
+	if spl := b.spl; spl != nil {
+		// From the first probe page on, the build table is no longer
+		// revocable: probes hold row references and matched flags into it.
+		spl.probeStarted = true
+		if spl.spilled {
+			// The build side lives on disk: route the probe page to the
+			// probe spill file; the drain joins the two partition by
+			// partition once all probes finish.
+			err := spl.writeProbePage(p, o.probeKeys)
+			b.mu.Unlock()
+			return err
+		}
+	}
 	defer b.mu.Unlock()
 
 	builder := block.NewPageBuilder(o.outTypes())
@@ -921,6 +973,11 @@ func (o *LookupJoinOperator) Finish() {
 	}
 	o.finished = true
 	o.bridge.ProbeFinished()
+	if o.bridge.spillDrainPending() {
+		// Spilled build: every join type defers to the disk drain, which one
+		// probe operator claims in Output once all probes have finished.
+		return
+	}
 	if o.jt != plan.RightJoin && o.jt != plan.FullJoin {
 		o.outerHandled = true
 	}
@@ -959,8 +1016,25 @@ func (o *LookupJoinOperator) emitUnmatchedBuild() {
 func (o *LookupJoinOperator) Output() (*block.Page, error) {
 	if o.finished && !o.outerHandled && o.bridge.AllProbesFinished() {
 		o.outerHandled = true
-		if o.bridge.ClaimOuter() {
+		if o.bridge.spillDrainPending() {
+			spl, ok, err := o.bridge.claimSpillDrain()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				o.drain = newJoinSpillDrain(o, spl)
+			}
+		} else if o.bridge.ClaimOuter() {
 			o.emitUnmatchedBuild()
+		}
+	}
+	if o.drain != nil {
+		p, err := o.drain.next()
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			return p, nil
 		}
 	}
 	if o.outPos >= len(o.pending) {
@@ -977,10 +1051,16 @@ func (o *LookupJoinOperator) Output() (*block.Page, error) {
 }
 
 func (o *LookupJoinOperator) IsFinished() bool {
-	return o.finished && o.outerHandled && o.outPos >= len(o.pending)
+	return o.finished && o.outerHandled && o.outPos >= len(o.pending) &&
+		(o.drain == nil || o.drain.done)
 }
 
-func (o *LookupJoinOperator) Close() error { return nil }
+func (o *LookupJoinOperator) Close() error {
+	if o.drain != nil {
+		o.drain.close()
+	}
+	return nil
+}
 
 // IndexJoinOperator joins probe rows against a connector index
 // (paper §IV-C1): for every probe row it looks up matching rows through the

@@ -1,0 +1,234 @@
+package operators
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/expr"
+	"repro/internal/memory"
+	"repro/internal/plan"
+	"repro/internal/spill"
+	"repro/internal/types"
+)
+
+// spillTestMem builds an uncapped user memory context with spilling on, so
+// operator tests can drive revocation manually.
+func spillTestMem() *memory.LocalContext {
+	pools := map[int]*memory.NodePool{0: memory.NewNodePool(1<<30, 0)}
+	q := memory.NewQueryContext("spilltest", memory.QueryLimits{SpillEnabled: true}, pools)
+	return memory.NewLocalContext(q, 0, memory.User)
+}
+
+// joinSpillPages builds mixed build/probe inputs: duplicate keys, NULL keys,
+// and a payload column, spread over several pages.
+func joinSpillPages(npages, rows, keyMod, offset int) []*block.Page {
+	var pages []*block.Page
+	for pg := 0; pg < npages; pg++ {
+		var keys []int64
+		var keyNulls []bool
+		var payload []string
+		for r := 0; r < rows; r++ {
+			i := pg*rows + r
+			keys = append(keys, int64((i+offset)%keyMod))
+			keyNulls = append(keyNulls, i%13 == 0)
+			payload = append(payload, fmt.Sprintf("p%d-%d", offset, i))
+		}
+		pages = append(pages, block.NewPage(
+			block.NewLongBlock(keys, keyNulls),
+			block.NewVarcharBlock(payload, nil),
+		))
+	}
+	return pages
+}
+
+// TestHashJoinSpillDifferential drives build-side spill through every join
+// type on both lookup paths: a run with the bridge revoked mid-build (and the
+// probe side therefore spilled too) must produce exactly the multiset of rows
+// of an in-memory run. Also locks in that every spill temp file is deleted.
+func TestHashJoinSpillDifferential(t *testing.T) {
+	buildPages := joinSpillPages(6, 80, 17, 0)
+	probePages := joinSpillPages(5, 90, 29, 3)
+	keyTs := []types.Type{types.Bigint}
+	rowTs := []types.Type{types.Bigint, types.Varchar}
+
+	run := func(t *testing.T, jt plan.JoinType, vec, spilled bool) map[string]int {
+		bridge := NewJoinBridge()
+		bridge.SetVectorized(vec)
+		if spilled {
+			bridge.EnableSpill(spillTestMem(), t.TempDir(), []int{0}, keyTs)
+		}
+		bridge.AddBuilder()
+		hb := NewHashBuild(NopContext(), bridge, []int{0}, keyTs)
+		for i, p := range buildPages {
+			if err := hb.AddInput(p); err != nil {
+				t.Fatal(err)
+			}
+			if spilled && i%2 == 0 {
+				if _, err := bridge.Revoke(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		hb.Finish()
+		bridge.NoMoreBuilders()
+
+		bridge.AddProbe()
+		bridge.NoMoreProbes()
+		op := NewLookupJoin(NopContext(), bridge, jt, []int{0}, nil, rowTs, rowTs, 0)
+		out := drain(t, op, probePages...)
+		if spilled && bridge.SpillCount() == 0 {
+			t.Fatal("expected build-side spill")
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+		bridge.ReleaseSpill()
+		rows := map[string]int{}
+		for _, p := range out {
+			for r := 0; r < p.RowCount(); r++ {
+				var parts []string
+				for _, v := range p.Row(r) {
+					parts = append(parts, v.String())
+				}
+				rows[strings.Join(parts, "|")]++
+			}
+		}
+		return rows
+	}
+
+	joinTypes := []struct {
+		name string
+		jt   plan.JoinType
+	}{
+		{"inner", plan.InnerJoin},
+		{"left", plan.LeftJoin},
+		{"right", plan.RightJoin},
+		{"full", plan.FullJoin},
+		{"semi", plan.SemiJoin},
+		{"anti", plan.AntiJoin},
+	}
+	for _, vec := range []bool{true, false} {
+		mode := "vec"
+		if !vec {
+			mode = "legacy"
+		}
+		for _, tc := range joinTypes {
+			t.Run(mode+"/"+tc.name, func(t *testing.T) {
+				before := spill.CurrentStats()
+				base := run(t, tc.jt, vec, false)
+				got := run(t, tc.jt, vec, true)
+				if len(got) != len(base) {
+					t.Fatalf("spilled run has %d distinct rows, unspilled %d", len(got), len(base))
+				}
+				for row, n := range base {
+					if got[row] != n {
+						t.Errorf("row %q: spilled count %d, unspilled %d", row, got[row], n)
+					}
+				}
+				after := spill.CurrentStats()
+				if created, deleted := after.FilesCreated-before.FilesCreated, after.FilesDeleted-before.FilesDeleted; created != deleted {
+					t.Fatalf("spill file leak: %d created, %d deleted", created, deleted)
+				}
+			})
+		}
+	}
+}
+
+// TestHashJoinSpillResidual exercises the residual-filter path through the
+// spill drain (the compiled evaluator is shared with each partition's
+// sub-join).
+func TestHashJoinSpillResidual(t *testing.T) {
+	buildPages := joinSpillPages(4, 60, 11, 0)
+	probePages := joinSpillPages(4, 60, 19, 5)
+	keyTs := []types.Type{types.Bigint}
+	rowTs := []types.Type{types.Bigint, types.Varchar}
+	// Residual over (probe ++ build): probe key > 3.
+	residual := &expr.Compare{
+		Op: expr.CmpGt,
+		L:  &expr.ColumnRef{Index: 0, T: types.Bigint},
+		R:  expr.NewConst(types.BigintValue(3)),
+	}
+
+	run := func(t *testing.T, spilled bool) map[string]int {
+		bridge := NewJoinBridge()
+		if spilled {
+			bridge.EnableSpill(spillTestMem(), t.TempDir(), []int{0}, keyTs)
+		}
+		bridge.AddBuilder()
+		hb := NewHashBuild(NopContext(), bridge, []int{0}, keyTs)
+		for _, p := range buildPages {
+			if err := hb.AddInput(p); err != nil {
+				t.Fatal(err)
+			}
+			if spilled {
+				if _, err := bridge.Revoke(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		hb.Finish()
+		bridge.NoMoreBuilders()
+		bridge.AddProbe()
+		bridge.NoMoreProbes()
+		op := NewLookupJoin(NopContext(), bridge, plan.InnerJoin, []int{0}, residual, rowTs, rowTs, 0)
+		out := drain(t, op, probePages...)
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+		bridge.ReleaseSpill()
+		rows := map[string]int{}
+		for _, p := range out {
+			for r := 0; r < p.RowCount(); r++ {
+				var parts []string
+				for _, v := range p.Row(r) {
+					parts = append(parts, v.String())
+				}
+				rows[strings.Join(parts, "|")]++
+			}
+		}
+		return rows
+	}
+
+	base := run(t, false)
+	got := run(t, true)
+	if len(base) == 0 {
+		t.Fatal("residual filtered everything; test is vacuous")
+	}
+	if len(got) != len(base) {
+		t.Fatalf("spilled run has %d distinct rows, unspilled %d", len(got), len(base))
+	}
+	for row, n := range base {
+		if got[row] != n {
+			t.Errorf("row %q: spilled count %d, unspilled %d", row, got[row], n)
+		}
+	}
+}
+
+// TestHashJoinSpillRefusedAfterProbe locks in the revocation-safety rule:
+// once probes have read the table, the bridge refuses to revoke (rows served
+// from memory cannot be taken back).
+func TestHashJoinSpillRefusedAfterProbe(t *testing.T) {
+	bridge := NewJoinBridge()
+	bridge.EnableSpill(spillTestMem(), t.TempDir(), []int{0}, []types.Type{types.Bigint})
+	bridge.AddBuilder()
+	hb := NewHashBuild(NopContext(), bridge, []int{0}, []types.Type{types.Bigint})
+	if err := hb.AddInput(twoColPage([]int64{1, 2}, []int64{10, 20})); err != nil {
+		t.Fatal(err)
+	}
+	hb.Finish()
+	bridge.NoMoreBuilders()
+	bridge.AddProbe()
+	bridge.NoMoreProbes()
+	op := NewLookupJoin(NopContext(), bridge, plan.InnerJoin, []int{0}, nil,
+		[]types.Type{types.Bigint, types.Bigint}, []types.Type{types.Bigint, types.Bigint}, 0)
+	_ = runProbe(t, op, twoColPage([]int64{1}, []int64{1}))
+	if bridge.RevocableBytes() != 0 {
+		t.Fatalf("bridge still advertises %d revocable bytes after probe start", bridge.RevocableBytes())
+	}
+	if n, err := bridge.Revoke(); err != nil || n != 0 {
+		t.Fatalf("revoke after probe start: freed %d, err %v", n, err)
+	}
+	bridge.ReleaseSpill()
+}

@@ -1,0 +1,480 @@
+package operators
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/block"
+	"repro/internal/memory"
+	"repro/internal/spill"
+	"repro/internal/types"
+)
+
+// spillJoinPartitions is the grace-join fan-out: build and probe rows are
+// partitioned by key hash into this many buckets, and the drain replays one
+// bucket at a time, bounding peak memory to roughly build-side/16 (§IV-F2).
+const spillJoinPartitions = 16
+
+// bridgeSpill holds the disk-backed state of a spilled hash-join build side.
+// It hangs off the JoinBridge so every build and probe driver shares it; all
+// fields except mem/bytes are guarded by the bridge's mu.
+type bridgeSpill struct {
+	// mem accounts the bridge's in-memory build table against the query's
+	// pool. It is bridge-level (not per build driver) because the table is
+	// shared: absolute SetBytes values self-heal across the revoke race.
+	mem *memory.LocalContext
+	// memMu serializes SetBytes callers; Revoke only TryLocks it (a builder
+	// holding it may be blocked inside SetBytes -> Reserve -> TryRevoke ->
+	// Revoke on this very bridge, and resyncs itself afterwards anyway).
+	memMu sync.Mutex
+	// bytes is the accounted size of the in-memory table. Mutated under the
+	// bridge mu; read lock-free by the sync path.
+	bytes atomic.Int64
+
+	dir        string
+	buildKeys  []int
+	buildKeyTs []types.Type
+
+	spilled      bool // build side has been written to disk at least once
+	probeStarted bool // a probe page arrived: matched flags are now live
+	draining     bool // one probe operator claimed the partition drain
+	released     bool // spill files deleted, no further disk activity
+	spills       int  // revocation count, for tests and metrics
+	err          error
+
+	buildW     *spill.Writer
+	probeW     *spill.Writer
+	buildFiles []string
+	probeFiles []string
+	stats      []*OpStats // build-driver stats, for ExecutionNanos
+}
+
+// EnableSpill arms the bridge for build-side spilling: when the memory
+// manager revokes it, the in-memory table is written to a partitioned spill
+// file and further build and probe pages stream to disk, to be re-joined one
+// partition at a time on drain. Called at pipeline compile time, before any
+// driver runs.
+func (b *JoinBridge) EnableSpill(mem *memory.LocalContext, dir string, buildKeys []int, buildKeyTs []types.Type) {
+	b.mu.Lock()
+	b.spl = &bridgeSpill{
+		mem:        mem,
+		dir:        dir,
+		buildKeys:  append([]int(nil), buildKeys...),
+		buildKeyTs: append([]types.Type(nil), buildKeyTs...),
+	}
+	b.mu.Unlock()
+}
+
+// SpillCount reports how many times the build side was revoked to disk.
+func (b *JoinBridge) SpillCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.spl == nil {
+		return 0
+	}
+	return b.spl.spills
+}
+
+// RevocableBytes implements memory.Revocable. The build table stops being
+// revocable the moment probing starts: probe drivers hold row references and
+// matched flags into it, which a spill would invalidate.
+func (b *JoinBridge) RevocableBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	spl := b.spl
+	if spl == nil || spl.probeStarted || spl.draining || spl.released || len(b.pages) == 0 {
+		return 0
+	}
+	return spl.bytes.Load()
+}
+
+// ExecutionNanos implements memory.Revocable: the pool revokes the cheapest
+// (least-progressed) operators first, so sum the build drivers' CPU time.
+func (b *JoinBridge) ExecutionNanos() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.spl == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range b.spl.stats {
+		n += s.CPUNanos()
+	}
+	return n
+}
+
+// Revoke implements memory.Revocable: write the in-memory build table to the
+// partitioned spill file and release its reservation.
+func (b *JoinBridge) Revoke() (int64, error) {
+	b.mu.Lock()
+	freed, err := b.revokeSpillLocked()
+	if err == nil && b.built && b.spl != nil && b.spl.spilled {
+		// Revoked after the build completed (but before any probe arrived):
+		// seal the file now so the drain reads a complete image.
+		err = b.spl.finishBuild()
+	}
+	b.mu.Unlock()
+	if freed > 0 && err == nil {
+		b.releaseSpilledBytes()
+	}
+	return freed, err
+}
+
+func (b *JoinBridge) revokeSpillLocked() (int64, error) {
+	spl := b.spl
+	if spl == nil || spl.probeStarted || spl.draining || spl.released || len(b.pages) == 0 {
+		return 0, nil
+	}
+	for _, p := range b.pages {
+		if err := spl.writeBuildPage(p); err != nil {
+			return 0, err
+		}
+	}
+	b.pages, b.matched = nil, nil
+	b.ktab, b.krows, b.table = nil, nil, nil
+	b.batch = batchKeys{}
+	spl.spilled = true
+	spl.spills++
+	return spl.bytes.Swap(0), nil
+}
+
+// syncBuildMem reconciles the pool reservation with the accounted table
+// size; on limit pressure it self-spills and retries at (near) zero, the
+// same protocol hash aggregation follows.
+func (b *JoinBridge) syncBuildMem() error {
+	spl := b.spl
+	spl.memMu.Lock()
+	defer spl.memMu.Unlock()
+	err := spl.mem.SetBytes(spl.bytes.Load())
+	if err == nil || !errors.Is(err, memory.ErrExceededLimit) {
+		return err
+	}
+	if _, serr := b.Revoke(); serr != nil {
+		return serr
+	}
+	return spl.mem.SetBytes(spl.bytes.Load())
+}
+
+// releaseSpilledBytes shrinks the reservation after a revoke. TryLock only:
+// the memMu holder is a builder blocked inside its own reserve attempt — it
+// resyncs with the post-revoke byte count as soon as that attempt returns.
+func (b *JoinBridge) releaseSpilledBytes() {
+	spl := b.spl
+	if !spl.memMu.TryLock() {
+		return
+	}
+	defer spl.memMu.Unlock()
+	_ = spl.mem.SetBytes(spl.bytes.Load())
+}
+
+// spillDrainPending reports whether probe output must come from the
+// partitioned disk drain rather than the in-memory table.
+func (b *JoinBridge) spillDrainPending() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spl != nil && b.spl.spilled
+}
+
+// claimSpillDrain grants the partition drain to exactly one probe operator
+// and seals the probe spill file. A cancelled build (file never sealed)
+// yields no drain: the task is already failing.
+func (b *JoinBridge) claimSpillDrain() (*bridgeSpill, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	spl := b.spl
+	if spl == nil || !spl.spilled || spl.draining || spl.released {
+		return nil, false, nil
+	}
+	if spl.err != nil {
+		return nil, false, spl.err
+	}
+	if spl.buildW != nil {
+		return nil, false, nil
+	}
+	spl.draining = true
+	if err := spl.finishProbe(); err != nil {
+		return nil, false, err
+	}
+	return spl, true, nil
+}
+
+// ReleaseSpill deletes every spill file and drops the bridge's reservation.
+// Idempotent; registered as a task cleanup so abort and success both run it
+// after all drivers have stopped.
+func (b *JoinBridge) ReleaseSpill() {
+	b.mu.Lock()
+	spl := b.spl
+	if spl == nil || spl.released {
+		b.mu.Unlock()
+		return
+	}
+	spl.released = true
+	if spl.buildW != nil {
+		spl.buildW.Abort()
+		spl.buildW = nil
+	}
+	if spl.probeW != nil {
+		spl.probeW.Abort()
+		spl.probeW = nil
+	}
+	files := append(append([]string(nil), spl.buildFiles...), spl.probeFiles...)
+	spl.buildFiles, spl.probeFiles = nil, nil
+	b.mu.Unlock()
+	for _, f := range files {
+		spill.Remove(f)
+	}
+	spl.mem.Close()
+}
+
+// registerBuildStats records a build driver's stats for ExecutionNanos.
+func (b *JoinBridge) registerBuildStats(s *OpStats) {
+	if s == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.spl != nil {
+		b.spl.stats = append(b.spl.stats, s)
+	}
+	b.mu.Unlock()
+}
+
+// writeBuildPage appends one build page to the build spill file, partitioned
+// by key hash. Caller holds the bridge mu.
+func (s *bridgeSpill) writeBuildPage(p *block.Page) error {
+	if s.buildW == nil {
+		w, err := spill.NewWriter(s.dir, "joinbuild")
+		if err != nil {
+			return err
+		}
+		s.buildW = w
+		s.buildFiles = append(s.buildFiles, w.Path())
+	}
+	return writeJoinPartitioned(s.buildW, p, s.buildKeys)
+}
+
+// writeProbePage appends one probe page to the probe spill file, partitioned
+// by the same key hash as the build side. Caller holds the bridge mu.
+func (s *bridgeSpill) writeProbePage(p *block.Page, probeKeys []int) error {
+	if s.probeW == nil {
+		w, err := spill.NewWriter(s.dir, "joinprobe")
+		if err != nil {
+			return err
+		}
+		s.probeW = w
+		s.probeFiles = append(s.probeFiles, w.Path())
+	}
+	return writeJoinPartitioned(s.probeW, p, probeKeys)
+}
+
+func (s *bridgeSpill) finishBuild() error {
+	if s.buildW == nil {
+		return nil
+	}
+	err := s.buildW.Finish()
+	s.buildW = nil
+	return err
+}
+
+func (s *bridgeSpill) finishProbe() error {
+	if s.probeW == nil {
+		return nil
+	}
+	err := s.probeW.Finish()
+	s.probeW = nil
+	return err
+}
+
+// writeJoinPartitioned splits a page by canonical key-hash partition and
+// writes each non-empty slice as one record. NULL keys hash on their
+// canonical tag-0 encoding: build and probe route them identically, so
+// unmatched-row semantics (LEFT/ANTI/RIGHT/FULL) survive the disk detour.
+func writeJoinPartitioned(w *spill.Writer, p *block.Page, keys []int) error {
+	n := p.RowCount()
+	if n == 0 {
+		return nil
+	}
+	sel := make([][]int, spillJoinPartitions)
+	var buf []byte
+	for r := 0; r < n; r++ {
+		buf = encodeRowKey(buf[:0], p, r, keys)
+		part := int(hashRowKey(buf) % spillJoinPartitions)
+		sel[part] = append(sel[part], r)
+	}
+	for part, rows := range sel {
+		if len(rows) == 0 {
+			continue
+		}
+		sub := p
+		if len(rows) != n {
+			sub = p.FilterPositions(rows)
+		}
+		if err := w.WritePage(part, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spillPartIter streams the pages of one partition across a set of spill
+// files, skipping other partitions' records without decoding them.
+type spillPartIter struct {
+	files []string
+	part  int
+	idx   int
+	r     *spill.Reader
+}
+
+func (it *spillPartIter) next() (*block.Page, error) {
+	for {
+		if it.r == nil {
+			if it.idx >= len(it.files) {
+				return nil, nil
+			}
+			r, err := spill.OpenReader(it.files[it.idx])
+			if err != nil {
+				return nil, err
+			}
+			it.r = r
+		}
+		part, frame, err := it.r.Next()
+		if err == io.EOF {
+			it.r.Close()
+			it.r = nil
+			it.idx++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if part != it.part {
+			continue
+		}
+		p, _, err := block.DecodePage(frame)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+func (it *spillPartIter) close() {
+	if it.r != nil {
+		it.r.Close()
+		it.r = nil
+	}
+}
+
+// joinSpillDrain replays a spilled join one partition at a time: rebuild the
+// partition's hash table from the build spill file into a private sub-bridge,
+// stream the partition's probe pages through a private lookup operator, and
+// emit its output (including per-partition RIGHT/FULL unmatched rows) before
+// moving on. Peak memory is one partition's build side plus one output page.
+type joinSpillDrain struct {
+	o      *LookupJoinOperator
+	spl    *bridgeSpill
+	part   int
+	inner  *LookupJoinOperator
+	probes *spillPartIter
+	done   bool
+}
+
+func newJoinSpillDrain(o *LookupJoinOperator, spl *bridgeSpill) *joinSpillDrain {
+	return &joinSpillDrain{o: o, spl: spl}
+}
+
+// next returns the drain's next output page, or (nil, nil) when fully
+// drained.
+func (d *joinSpillDrain) next() (*block.Page, error) {
+	for {
+		if d.done {
+			return nil, nil
+		}
+		if d.inner == nil {
+			if d.part >= spillJoinPartitions {
+				d.done = true
+				return nil, nil
+			}
+			if err := d.openPartition(); err != nil {
+				return nil, err
+			}
+		}
+		p, err := d.inner.Output()
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			return p, nil
+		}
+		if d.probes != nil {
+			pp, err := d.probes.next()
+			if err != nil {
+				return nil, err
+			}
+			if pp != nil {
+				if err := d.inner.AddInput(pp); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			d.probes.close()
+			d.probes = nil
+			d.inner.Finish()
+			continue
+		}
+		if d.inner.IsFinished() {
+			d.inner = nil
+			d.part++
+			continue
+		}
+		return nil, errors.New("join spill drain stalled")
+	}
+}
+
+// openPartition rebuilds partition d.part's hash table and readies its probe
+// stream. The sub-operators reuse the outer operator's context, so the
+// rebuilt table is accounted (absolute SetBytes releases the previous
+// partition's table automatically) and a reserve failure here fails the
+// query: a drain must never itself be asked to spill.
+func (d *joinSpillDrain) openPartition() error {
+	o, spl := d.o, d.spl
+	sub := NewJoinBridge()
+	sub.SetVectorized(o.bridge.vec)
+	sub.AddBuilder()
+	hb := NewHashBuild(o.ctx, sub, spl.buildKeys, spl.buildKeyTs)
+	builds := &spillPartIter{files: spl.buildFiles, part: d.part}
+	for {
+		p, err := builds.next()
+		if err != nil {
+			builds.close()
+			return err
+		}
+		if p == nil {
+			break
+		}
+		if err := hb.AddInput(p); err != nil {
+			builds.close()
+			return err
+		}
+	}
+	builds.close()
+	hb.Finish()
+	sub.NoMoreBuilders()
+	d.inner = &LookupJoinOperator{
+		ctx: o.ctx, bridge: sub, jt: o.jt, probeKeys: o.probeKeys,
+		residual: o.residual, probeTs: o.probeTs, buildTs: o.buildTs,
+		pageSize: o.pageSize,
+	}
+	sub.AddProbe()
+	sub.NoMoreProbes()
+	d.probes = &spillPartIter{files: spl.probeFiles, part: d.part}
+	return nil
+}
+
+func (d *joinSpillDrain) close() {
+	if d.probes != nil {
+		d.probes.close()
+		d.probes = nil
+	}
+}

@@ -1,0 +1,261 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+)
+
+func segPage(vals ...int64) *block.Page {
+	return block.NewPage(block.NewLongBlock(vals, nil))
+}
+
+func fetchAll(t *testing.T, e *StoreEntry, part int) []int64 {
+	t.Helper()
+	var out []int64
+	var token int64
+	for {
+		pages, next, done, err := e.fetch(part, token, 1<<20, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pages {
+			for r := 0; r < p.RowCount(); r++ {
+				out = append(out, p.Col(0).Long(r))
+			}
+		}
+		token = next
+		if done {
+			return out
+		}
+	}
+}
+
+// TestStoreEntrySealBeforeRead locks in the exactly-once mechanism: nothing
+// is served before seal, and after seal any token can be re-requested.
+func TestStoreEntrySealBeforeRead(t *testing.T) {
+	store := NewExchangeStore(t.TempDir())
+	e, replay := store.Create("q1.0.0", 2)
+	if replay {
+		t.Fatal("fresh entry reported replay")
+	}
+	e.append(0, segPage(1, 2, 3))
+	e.append(1, segPage(4))
+	e.append(0, segPage(5))
+
+	// Unsealed: long-poll returns nothing, token unchanged, not done.
+	pages, next, done, err := e.fetch(0, 0, 1<<20, 10*time.Millisecond)
+	if err != nil || len(pages) != 0 || next != 0 || done {
+		t.Fatalf("pre-seal fetch: %d pages next=%d done=%v err=%v", len(pages), next, done, err)
+	}
+
+	e.finishPart(0)
+	if e.Sealed() {
+		t.Fatal("sealed with one partition still open")
+	}
+	e.finishPart(1)
+	if !e.Sealed() {
+		t.Fatal("not sealed after all partitions finished")
+	}
+
+	if got := fetchAll(t, e, 0); fmt.Sprint(got) != "[1 2 3 5]" {
+		t.Fatalf("partition 0: %v", got)
+	}
+	if got := fetchAll(t, e, 1); fmt.Sprint(got) != "[4]" {
+		t.Fatalf("partition 1: %v", got)
+	}
+	// Idempotent: re-fetch from token 0 re-reads everything.
+	if got := fetchAll(t, e, 0); fmt.Sprint(got) != "[1 2 3 5]" {
+		t.Fatalf("partition 0 replay: %v", got)
+	}
+	store.RemoveQuery("q1")
+}
+
+// TestStoreCreateResetAndReplay exercises producer re-placement: Create over
+// an unsealed entry resets it in place (same pointer), Create over a sealed
+// entry returns it as a replay.
+func TestStoreCreateResetAndReplay(t *testing.T) {
+	store := NewExchangeStore(t.TempDir())
+	e1, _ := store.Create("q2.1.0", 1)
+	e1.append(0, segPage(1, 2))
+
+	// Producer died before sealing: the replacement resets the same entry.
+	e2, replay := store.Create("q2.1.0", 1)
+	if replay {
+		t.Fatal("unsealed entry reported replay")
+	}
+	if e1 != e2 {
+		t.Fatal("reset did not keep the entry pointer")
+	}
+	e2.append(0, segPage(7))
+	e2.finishPart(0)
+	if got := fetchAll(t, e2, 0); fmt.Sprint(got) != "[7]" {
+		t.Fatalf("after reset: %v", got)
+	}
+
+	// Sealed: a further Create is a replay; the durable output is kept.
+	e3, replay := store.Create("q2.1.0", 1)
+	if !replay || e3 != e1 {
+		t.Fatalf("sealed entry: replay=%v same=%v", replay, e3 == e1)
+	}
+	if got := fetchAll(t, e3, 0); fmt.Sprint(got) != "[7]" {
+		t.Fatalf("replay read: %v", got)
+	}
+	store.RemoveQuery("q2")
+}
+
+// TestStoreRemoveQueryDeletesFiles locks in segment-file cleanup: every file
+// a query's entries created is deleted by RemoveQuery.
+func TestStoreRemoveQueryDeletesFiles(t *testing.T) {
+	dir := t.TempDir()
+	store := NewExchangeStore(dir)
+	before := CurrentSegmentStats()
+	for task := 0; task < 3; task++ {
+		e, _ := store.Create(fmt.Sprintf("q3.%d.0", task), 2)
+		e.append(0, segPage(1))
+		e.append(1, segPage(2))
+		if task != 2 {
+			e.finishPart(0)
+			e.finishPart(1) // leave task 2 unsealed: cleanup covers both states
+		}
+	}
+	store.RemoveQuery("q3")
+	if n := store.EntryCount(); n != 0 {
+		t.Fatalf("%d entries survive RemoveQuery", n)
+	}
+	after := CurrentSegmentStats()
+	if c, d := after.SegmentsCreated-before.SegmentsCreated, after.SegmentsDeleted-before.SegmentsDeleted; c != d {
+		t.Fatalf("segment file leak: %d created, %d deleted", c, d)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name(), SegmentFilePrefix) {
+			t.Fatalf("segment file %s survives RemoveQuery", ent.Name())
+		}
+	}
+}
+
+// TestOutputBufferMaterialized drives the buffer through a store entry: no
+// backpressure, destroy leaves the entry alone, and the consumer-side
+// PartitionBuffer.Fetch serves the sealed segments.
+func TestOutputBufferMaterialized(t *testing.T) {
+	store := NewExchangeStore(t.TempDir())
+	e, _ := store.Create("q4.0.0", 2)
+	buf := NewOutputBuffer(2, 64) // tiny capacity: irrelevant in materialized mode
+	buf.AttachEntry(e)
+
+	for i := int64(0); i < 100; i++ {
+		buf.Add(int(i%2), segPage(i))
+	}
+	if !buf.CanAdd() {
+		t.Fatal("materialized buffer reported backpressure")
+	}
+	if u := buf.Utilization(); u != 0 {
+		t.Fatalf("materialized utilization = %v", u)
+	}
+	if err := buf.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-seal fetch through the partition buffer: nothing yet.
+	if pages, _, done := buf.Partition(0).Fetch(0, 1<<20, time.Millisecond); len(pages) != 0 || done {
+		t.Fatalf("pre-seal: %d pages done=%v", len(pages), done)
+	}
+	buf.SetNoMorePages()
+
+	var got []int64
+	var token int64
+	for {
+		pages, next, done := buf.Partition(1).Fetch(token, 1<<10, 50*time.Millisecond)
+		for _, p := range pages {
+			got = append(got, p.Col(0).Long(0))
+		}
+		token = next
+		if done {
+			break
+		}
+	}
+	if len(got) != 50 || got[0] != 1 || got[49] != 99 {
+		t.Fatalf("partition 1 rows: n=%d first=%v last=%v", len(got), got[0], got[len(got)-1])
+	}
+
+	// Destroy (producer abort) must not poison the durable entry.
+	buf.Destroy()
+	if pages, _, done := buf.Partition(1).Fetch(0, 1<<20, time.Millisecond); done && len(pages) == 0 {
+		t.Fatal("destroy dropped sealed materialized output")
+	}
+	store.RemoveQuery("q4")
+}
+
+// TestStoreFetcherConvergesOnLateProducer locks in the recovery-gap behavior:
+// a fetcher created before its producer polls until the entry appears.
+func TestStoreFetcherConvergesOnLateProducer(t *testing.T) {
+	store := NewExchangeStore(t.TempDir())
+	f := &StoreFetcher{Store: store, Key: "q5.0.0", Part: 0}
+	pages, next, done, err := f.Fetch(0, 1<<20, time.Millisecond)
+	if err != nil || len(pages) != 0 || next != 0 || done {
+		t.Fatalf("missing entry: %d pages next=%d done=%v err=%v", len(pages), next, done, err)
+	}
+	e, _ := store.Create("q5.0.0", 1)
+	e.append(0, segPage(42))
+	e.finishPart(0)
+	pages, _, done, err = f.Fetch(0, 1<<20, 50*time.Millisecond)
+	if err != nil || len(pages) != 1 || !done {
+		t.Fatalf("after seal: %d pages done=%v err=%v", len(pages), done, err)
+	}
+	if v := pages[0].Col(0).Long(0); v != 42 {
+		t.Fatalf("value %d", v)
+	}
+	store.RemoveQuery("q5")
+}
+
+// TestDecodeSegmentRoundTrip checks DecodeSegment against a real segment file
+// image and its corruption behavior.
+func TestDecodeSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store := NewExchangeStore(dir)
+	e, _ := store.Create("q6.0.0", 1)
+	e.append(0, segPage(1, 2, 3))
+	e.append(0, segPage(4, 5))
+	e.finishPart(0)
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("segment files: %v err=%v", ents, err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 || pages[0].RowCount() != 3 || pages[1].RowCount() != 2 {
+		t.Fatalf("decoded %d pages", len(pages))
+	}
+
+	// Truncation and corruption fail cleanly.
+	if _, err := DecodeSegment(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated segment decoded")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := DecodeSegment(bad); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	// Oversized frame length is rejected before allocation.
+	huge := append(append([]byte(nil), segMagic[:]...), binary.AppendUvarint(nil, 1<<40)...)
+	if _, err := DecodeSegment(huge); err == nil {
+		t.Fatal("oversized frame length decoded")
+	}
+	store.RemoveQuery("q6")
+}

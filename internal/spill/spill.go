@@ -1,0 +1,313 @@
+// Package spill implements disk-backed operator state for larger-than-memory
+// execution (paper §IV-F2). Operators holding revocable memory — hash
+// aggregations and hash-join builds — write their buffered state to
+// partitioned spill files when the memory manager asks them to revoke, and
+// merge the partitions back one at a time on drain, bounding the peak
+// in-memory footprint to roughly one partition.
+//
+// A spill file is a stream of partition-tagged page records over the engine's
+// binary page codec (internal/block):
+//
+//	magic   "PSP1" (4 bytes)
+//	record  uvarint(partition) uvarint(frameLen) frame
+//	...
+//
+// where frame is one PPG1 page frame exactly as produced by
+// block.EncodePage. The per-record frame length lets a drain pass skip
+// partitions it is not merging without decoding them; the frame itself
+// carries its own CRC, so corruption surfaces as block.ErrCorruptPage.
+// Decoding is allocation-capped (partition and frame-length ceilings are
+// validated before any allocation), so a truncated or hostile file fails
+// cleanly; FuzzSpillFileDecode locks this in.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/block"
+)
+
+var magic = [4]byte{'P', 'S', 'P', '1'}
+
+const (
+	// MaxPartitions bounds the partition tag of a record: spill producers
+	// use small fixed fan-outs (16), so anything large is corruption.
+	MaxPartitions = 1 << 16
+	// maxFrameLen bounds one record's page frame. The block codec caps
+	// payloads at 64 MiB; the frame adds a fixed header.
+	maxFrameLen = 64<<20 + 64
+)
+
+// ErrCorruptFile wraps structural decode failures of a spill file (the page
+// frames inside wrap block.ErrCorruptPage on their own corruption).
+var ErrCorruptFile = errors.New("corrupt spill file")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptFile, fmt.Sprintf(format, args...))
+}
+
+// stats are process-wide spill counters, exposed on /v1/metrics.
+var (
+	statFilesCreated atomic.Int64
+	statFilesDeleted atomic.Int64
+	statPagesWritten atomic.Int64
+	statBytesWritten atomic.Int64
+	statBytesRead    atomic.Int64
+)
+
+// Stats is a snapshot of the process-wide spill counters.
+type Stats struct {
+	FilesCreated int64
+	FilesDeleted int64
+	PagesWritten int64
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// CurrentStats snapshots the process-wide spill counters.
+func CurrentStats() Stats {
+	return Stats{
+		FilesCreated: statFilesCreated.Load(),
+		FilesDeleted: statFilesDeleted.Load(),
+		PagesWritten: statPagesWritten.Load(),
+		BytesWritten: statBytesWritten.Load(),
+		BytesRead:    statBytesRead.Load(),
+	}
+}
+
+// FilePrefix is the temp-file name prefix of every spill file, so cleanup
+// tests can recognize engine spill files in a spill directory.
+const FilePrefix = "presto-spill-"
+
+// Dir resolves a configured spill directory: empty means the OS temp dir.
+func Dir(dir string) string {
+	if dir == "" {
+		return os.TempDir()
+	}
+	return dir
+}
+
+// Writer writes one partitioned spill file.
+type Writer struct {
+	f     *os.File
+	bw    *bufio.Writer
+	path  string
+	bytes int64
+	err   error
+}
+
+// NewWriter creates a spill file in dir (empty = OS temp dir). label is
+// embedded in the file name for debuggability ("agg", "joinbuild", ...).
+func NewWriter(dir, label string) (*Writer, error) {
+	f, err := os.CreateTemp(Dir(dir), FilePrefix+label+"-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 256<<10), path: f.Name()}
+	if _, err := w.bw.Write(magic[:]); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	w.bytes = int64(len(magic))
+	statFilesCreated.Add(1)
+	return w, nil
+}
+
+// Path returns the file's path.
+func (w *Writer) Path() string { return w.path }
+
+// Bytes returns the bytes written so far (including buffered).
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// WritePage appends one page record under the given partition tag. Pages are
+// compressed through the codec's flate path when that shrinks them.
+func (w *Writer) WritePage(partition int, p *block.Page) error {
+	if w.err != nil {
+		return w.err
+	}
+	if partition < 0 || partition >= MaxPartitions {
+		return fmt.Errorf("spill partition %d out of range", partition)
+	}
+	frame, err := block.EncodePage(p, true)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(partition))
+	n += binary.PutUvarint(hdr[n:], uint64(len(frame)))
+	if _, err := w.bw.Write(hdr[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(frame); err != nil {
+		w.err = err
+		return err
+	}
+	w.bytes += int64(n + len(frame))
+	statPagesWritten.Add(1)
+	statBytesWritten.Add(int64(n + len(frame)))
+	return nil
+}
+
+// Finish flushes and closes the file, leaving it on disk for readers.
+func (w *Writer) Finish() error {
+	if w.err != nil {
+		w.Abort()
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abort closes and deletes the file.
+func (w *Writer) Abort() {
+	w.f.Close()
+	Remove(w.path)
+}
+
+// Remove deletes a spill file, feeding the deletion counter. Removing an
+// already-deleted path is a no-op (the writer may have aborted already), so
+// FilesCreated == FilesDeleted holds when every file is cleaned exactly once.
+func Remove(path string) {
+	if path == "" {
+		return
+	}
+	if os.Remove(path) == nil {
+		statFilesDeleted.Add(1)
+	}
+}
+
+// Reader iterates the records of one spill file.
+type Reader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+// OpenReader opens a spill file and validates its magic.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f, br: bufio.NewReaderSize(f, 256<<10)}
+	var m [4]byte
+	if _, err := io.ReadFull(r.br, m[:]); err != nil {
+		f.Close()
+		return nil, corruptf("missing magic: %v", err)
+	}
+	if m != magic {
+		f.Close()
+		return nil, corruptf("bad magic %q", m[:])
+	}
+	return r, nil
+}
+
+// Next returns the next record's partition tag and raw page frame, io.EOF at
+// a clean end of file, or an error on corruption. Decode the frame with
+// block.DecodePage; skip it by ignoring the bytes.
+func (r *Reader) Next() (int, []byte, error) {
+	part, frame, err := readRecord(r.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	statBytesRead.Add(int64(len(frame)))
+	return part, frame, nil
+}
+
+// Close closes the underlying file (the file itself stays on disk).
+func (r *Reader) Close() error { return r.f.Close() }
+
+// readRecord reads one partition-tagged frame from a byte stream with
+// allocation caps enforced before any buffer is sized.
+func readRecord(br io.ByteReader) (int, []byte, error) {
+	part, err := binary.ReadUvarint(br)
+	if err == io.EOF {
+		return 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, nil, corruptf("partition tag: %v", err)
+	}
+	if part >= MaxPartitions {
+		return 0, nil, corruptf("partition %d out of range", part)
+	}
+	frameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, corruptf("frame length: %v", err)
+	}
+	if frameLen == 0 || frameLen > maxFrameLen {
+		return 0, nil, corruptf("frame length %d out of range", frameLen)
+	}
+	frame := make([]byte, frameLen)
+	rd, ok := br.(io.Reader)
+	if !ok {
+		return 0, nil, corruptf("reader cannot stream")
+	}
+	if _, err := io.ReadFull(rd, frame); err != nil {
+		return 0, nil, corruptf("frame truncated: %v", err)
+	}
+	return int(part), frame, nil
+}
+
+// Record is one decoded spill record.
+type Record struct {
+	Partition int
+	Page      *block.Page
+}
+
+// DecodeAll decodes an in-memory spill file image into records, enforcing
+// the same caps as the streaming reader. It is the fuzz entry point and a
+// convenience for tests; production drains stream with Reader.
+func DecodeAll(data []byte) ([]Record, error) {
+	if len(data) < len(magic) {
+		return nil, corruptf("short file (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, corruptf("bad magic %q", data[:4])
+	}
+	br := bufio.NewReader(newByteReader(data[4:]))
+	var out []Record
+	for {
+		part, frame, err := readRecord(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		p, consumed, err := block.DecodePage(frame)
+		if err != nil {
+			return nil, err
+		}
+		if consumed != len(frame) {
+			return nil, corruptf("record frame has %d trailing bytes", len(frame)-consumed)
+		}
+		out = append(out, Record{Partition: part, Page: p})
+	}
+}
+
+// newByteReader avoids importing bytes just for a reader.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func newByteReader(data []byte) *byteReader { return &byteReader{data: data} }
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}

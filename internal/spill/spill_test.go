@@ -1,0 +1,200 @@
+package spill
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/types"
+)
+
+func testPage(t *testing.T, base int64) *block.Page {
+	t.Helper()
+	pb := block.NewPageBuilder([]types.Type{types.Bigint, types.Varchar})
+	for i := int64(0); i < 10; i++ {
+		pb.AppendRow([]types.Value{
+			types.BigintValue(base + i),
+			types.VarcharValue(strings.Repeat("x", int(i))),
+		})
+	}
+	return pb.Build()
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]*block.Page{}
+	for i := 0; i < 8; i++ {
+		part := i % 3
+		p := testPage(t, int64(i*100))
+		if err := w.WritePage(part, p); err != nil {
+			t.Fatal(err)
+		}
+		want[part] = append(want[part], p)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() <= 4 {
+		t.Fatalf("writer byte count %d not tracked", w.Bytes())
+	}
+
+	r, err := OpenReader(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := map[int][]*block.Page{}
+	for {
+		part, frame, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, n, err := block.DecodePage(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(frame) {
+			t.Fatalf("frame consumed %d of %d bytes", n, len(frame))
+		}
+		got[part] = append(got[part], p)
+	}
+	for part, pages := range want {
+		if len(got[part]) != len(pages) {
+			t.Fatalf("partition %d: got %d pages, want %d", part, len(got[part]), len(pages))
+		}
+		for i, p := range pages {
+			g := got[part][i]
+			if g.RowCount() != p.RowCount() || g.ColCount() != p.ColCount() {
+				t.Fatalf("partition %d page %d shape mismatch", part, i)
+			}
+			for r := 0; r < p.RowCount(); r++ {
+				wr, gr := p.Row(r), g.Row(r)
+				for c := range wr {
+					if !wr[c].Equal(gr[c]) {
+						t.Fatalf("partition %d page %d row %d col %d: got %v want %v",
+							part, i, r, c, gr[c], wr[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpillRemoveDeletesFile(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(0, testPage(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	before := CurrentStats()
+	Remove(w.Path())
+	if _, err := os.Stat(w.Path()); !os.IsNotExist(err) {
+		t.Fatalf("spill file still exists after Remove: %v", err)
+	}
+	if CurrentStats().FilesDeleted != before.FilesDeleted+1 {
+		t.Fatalf("FilesDeleted not incremented")
+	}
+	// The spill dir must hold no engine spill files afterwards.
+	ents, err := filepath.Glob(filepath.Join(dir, FilePrefix+"*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("leftover spill files: %v", ents)
+	}
+}
+
+func TestSpillAbortDeletesFile(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(1, testPage(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if _, err := os.Stat(w.Path()); !os.IsNotExist(err) {
+		t.Fatalf("spill file still exists after Abort")
+	}
+}
+
+func TestSpillRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePage(2, testPage(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeAll(data[:len(data)-3]); err == nil {
+			t.Fatal("truncated file accepted")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, data...)
+		bad[0] ^= 0xff
+		if _, err := DecodeAll(bad); !errors.Is(err, ErrCorruptFile) {
+			t.Fatalf("got %v, want ErrCorruptFile", err)
+		}
+	})
+	t.Run("flipped frame byte", func(t *testing.T) {
+		bad := append([]byte{}, data...)
+		bad[len(bad)/2] ^= 0xff
+		if _, err := DecodeAll(bad); err == nil {
+			t.Fatal("corrupted frame accepted")
+		}
+	})
+	t.Run("huge partition tag", func(t *testing.T) {
+		bad := append([]byte(nil), data[:4]...)
+		// uvarint(1<<20) exceeds MaxPartitions.
+		bad = append(bad, 0x80, 0x80, 0x40)
+		if _, err := DecodeAll(bad); !errors.Is(err, ErrCorruptFile) {
+			t.Fatalf("got %v, want ErrCorruptFile", err)
+		}
+	})
+	t.Run("huge frame length", func(t *testing.T) {
+		bad := append([]byte(nil), data[:4]...)
+		bad = append(bad, 0x00)                         // partition 0
+		bad = append(bad, 0xff, 0xff, 0xff, 0xff, 0x7f) // ~34 GiB frame
+		if _, err := DecodeAll(bad); !errors.Is(err, ErrCorruptFile) {
+			t.Fatalf("got %v, want ErrCorruptFile", err)
+		}
+	})
+	t.Run("valid round trip", func(t *testing.T) {
+		recs, err := DecodeAll(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Partition != 2 || recs[0].Page.RowCount() != 10 {
+			t.Fatalf("unexpected records: %+v", recs)
+		}
+	})
+}

@@ -50,17 +50,19 @@ type SourceEntry struct {
 // TaskConfig is the serializable subset of exec.TaskConfig (function-valued
 // fields like WriteDelay cannot cross the wire).
 type TaskConfig struct {
-	PageSize               int   `json:"pageSize,omitempty"`
-	OutputBufferBytes      int64 `json:"outputBufferBytes,omitempty"`
-	TargetSplitConcurrency int   `json:"targetSplitConcurrency,omitempty"`
-	MaxWriters             int   `json:"maxWriters,omitempty"`
-	SpillEnabled           bool  `json:"spillEnabled,omitempty"`
-	Interpreted            bool  `json:"interpreted,omitempty"`
-	Phased                 bool  `json:"phased,omitempty"`
-	CacheDisabled          bool  `json:"cacheDisabled,omitempty"`
-	VectorKernelsDisabled  bool  `json:"vectorKernelsDisabled,omitempty"`
-	MorselsDisabled        bool  `json:"morselsDisabled,omitempty"`
-	MorselRows             int   `json:"morselRows,omitempty"`
+	PageSize               int    `json:"pageSize,omitempty"`
+	OutputBufferBytes      int64  `json:"outputBufferBytes,omitempty"`
+	TargetSplitConcurrency int    `json:"targetSplitConcurrency,omitempty"`
+	MaxWriters             int    `json:"maxWriters,omitempty"`
+	SpillEnabled           bool   `json:"spillEnabled,omitempty"`
+	SpillDir               string `json:"spillDir,omitempty"`
+	MaterializedExchange   bool   `json:"materializedExchange,omitempty"`
+	Interpreted            bool   `json:"interpreted,omitempty"`
+	Phased                 bool   `json:"phased,omitempty"`
+	CacheDisabled          bool   `json:"cacheDisabled,omitempty"`
+	VectorKernelsDisabled  bool   `json:"vectorKernelsDisabled,omitempty"`
+	MorselsDisabled        bool   `json:"morselsDisabled,omitempty"`
+	MorselRows             int    `json:"morselRows,omitempty"`
 
 	DynamicFiltersDisabled bool  `json:"dynamicFiltersDisabled,omitempty"`
 	DynamicFilterWaitNs    int64 `json:"dynamicFilterWaitNs,omitempty"`
@@ -83,6 +85,8 @@ func EncodeTaskConfig(c exec.TaskConfig) TaskConfig {
 		TargetSplitConcurrency: c.TargetSplitConcurrency,
 		MaxWriters:             c.MaxWriters,
 		SpillEnabled:           c.SpillEnabled,
+		SpillDir:               c.SpillDir,
+		MaterializedExchange:   c.MaterializedExchange,
 		Interpreted:            c.Interpreted,
 		Phased:                 c.Phased,
 		CacheDisabled:          c.CacheDisabled,
@@ -109,6 +113,8 @@ func (c TaskConfig) Decode() exec.TaskConfig {
 		TargetSplitConcurrency: c.TargetSplitConcurrency,
 		MaxWriters:             c.MaxWriters,
 		SpillEnabled:           c.SpillEnabled,
+		SpillDir:               c.SpillDir,
+		MaterializedExchange:   c.MaterializedExchange,
 		Interpreted:            c.Interpreted,
 		Phased:                 c.Phased,
 		CacheDisabled:          c.CacheDisabled,

@@ -20,6 +20,7 @@ package presto
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -92,8 +93,18 @@ type ClusterConfig struct {
 	QueryMemoryBytes int64
 	// PerNodeQueryMemoryBytes is the per-query per-node user limit.
 	PerNodeQueryMemoryBytes int64
-	// SpillEnabled lets aggregations spill to disk under memory pressure.
+	// SpillEnabled lets aggregations and join builds spill to disk under
+	// memory pressure (per-query opt-out via Session.DisableSpill /
+	// X-Presto-Disable-Spill).
 	SpillEnabled bool
+	// SpillDir is where spill files and materialized-exchange segments land
+	// (empty = OS temp dir).
+	SpillDir string
+	// MaterializedExchange routes every query's shuffles through disk-backed
+	// sealed segments, enabling task-level recovery from worker loss
+	// (per-query opt-in via Session.MaterializedExchange /
+	// X-Presto-Materialized-Exchange).
+	MaterializedExchange bool
 	// DisableStats turns off cost-based optimization (Figure 6's
 	// "no stats" configuration).
 	DisableStats bool
@@ -198,6 +209,12 @@ type Cluster struct {
 	Coordinator *coordinator.Coordinator
 	workers     []*exec.Worker
 	catalog     *coordinator.CatalogManager
+
+	// workerCfg templates elastically added workers; guarded by mu together
+	// with workers and nextWorkerID.
+	workerCfg    exec.WorkerConfig
+	mu           sync.Mutex
+	nextWorkerID int
 }
 
 // NewCluster creates and starts a cluster.
@@ -219,6 +236,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		OutputBufferBytes:      cfg.OutputBufferBytes,
 		TargetSplitConcurrency: cfg.TargetSplitConcurrency,
 		SpillEnabled:           cfg.SpillEnabled,
+		SpillDir:               cfg.SpillDir,
+		MaterializedExchange:   cfg.MaterializedExchange,
 		Interpreted:            cfg.Interpreted,
 		VectorKernelsDisabled:  cfg.DisableVectorKernels,
 		MorselsDisabled:        cfg.DisableMorsels,
@@ -232,17 +251,18 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		WriteDelay:             cfg.WriteDelay,
 		FetchRetry:             cfg.FetchRetry,
 	}
+	wcfg := exec.WorkerConfig{
+		Threads:          cfg.ThreadsPerWorker,
+		Quanta:           cfg.Quanta,
+		FIFO:             cfg.FIFOScheduler,
+		GeneralPoolBytes: cfg.NodeMemoryBytes,
+		CacheBytes:       cfg.PageCacheBytes,
+		FaultInject:      cfg.FaultInjector,
+		Task:             taskCfg,
+	}
 	workers := make([]*exec.Worker, cfg.Workers)
 	for i := range workers {
-		workers[i] = exec.NewWorker(i, catalog, exec.WorkerConfig{
-			Threads:          cfg.ThreadsPerWorker,
-			Quanta:           cfg.Quanta,
-			FIFO:             cfg.FIFOScheduler,
-			GeneralPoolBytes: cfg.NodeMemoryBytes,
-			CacheBytes:       cfg.PageCacheBytes,
-			FaultInject:      cfg.FaultInjector,
-			Task:             taskCfg,
-		})
+		workers[i] = exec.NewWorker(i, catalog, wcfg)
 	}
 	if cfg.DisableSharedScans {
 		taskCfg.SharedScanWindow = -1
@@ -290,7 +310,38 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		MetadataTTL:        cfg.MetadataCacheTTL,
 		Serving:            tier,
 	})
-	return &Cluster{Coordinator: coord, workers: workers, catalog: catalog}
+	return &Cluster{
+		Coordinator:  coord,
+		workers:      workers,
+		catalog:      catalog,
+		workerCfg:    wcfg,
+		nextWorkerID: cfg.Workers,
+	}
+}
+
+// AddWorker starts a fresh worker from the cluster's configuration template
+// and admits it into the coordinator's scheduling list mid-flight (elastic
+// scale-out).
+func (c *Cluster) AddWorker() *exec.Worker {
+	c.mu.Lock()
+	id := c.nextWorkerID
+	c.nextWorkerID++
+	wcfg := c.workerCfg
+	c.mu.Unlock()
+	w := exec.NewWorker(id, c.catalog, wcfg)
+	c.mu.Lock()
+	c.workers = append(c.workers, w)
+	c.mu.Unlock()
+	c.Coordinator.AddWorker(w)
+	return w
+}
+
+// KillWorker abruptly kills a worker by id (simulated crash / elastic
+// scale-in): its tasks fail as lost, and under materialized exchange the
+// coordinator re-places only those tasks onto surviving workers. Returns
+// false for an unknown id.
+func (c *Cluster) KillWorker(id int) bool {
+	return c.Coordinator.KillWorker(id)
 }
 
 // Register adds a connector catalog to the cluster.
@@ -361,8 +412,20 @@ func (c *Cluster) Explain(sql string) (string, error) {
 	return out, nil
 }
 
-// Workers exposes worker nodes (for experiments and tests).
-func (c *Cluster) Workers() []*exec.Worker { return c.workers }
+// Workers exposes worker nodes (for experiments and tests). The returned
+// slice is a snapshot; elastic AddWorker/KillWorker do not mutate it.
+func (c *Cluster) Workers() []*exec.Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*exec.Worker(nil), c.workers...)
+}
+
+// liveWorkers snapshots the worker list for stats rollups.
+func (c *Cluster) liveWorkers() []*exec.Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*exec.Worker(nil), c.workers...)
+}
 
 // CacheStats snapshots a worker page cache's counters.
 type CacheStats = cache.Stats
@@ -370,7 +433,7 @@ type CacheStats = cache.Stats
 // PageCacheStats sums page-cache counters across the cluster's workers.
 func (c *Cluster) PageCacheStats() CacheStats {
 	var total CacheStats
-	for _, w := range c.workers {
+	for _, w := range c.liveWorkers() {
 		s := w.CacheStats()
 		total.Hits += s.Hits
 		total.Misses += s.Misses
@@ -386,7 +449,7 @@ func (c *Cluster) PageCacheStats() CacheStats {
 // ClearPageCaches drops every worker's cached pages (cold-start for
 // benchmarks and A/B runs), releasing their bytes back to the node pools.
 func (c *Cluster) ClearPageCaches() {
-	for _, w := range c.workers {
+	for _, w := range c.liveWorkers() {
 		if w.Cache != nil {
 			w.Cache.Clear()
 		}
@@ -407,7 +470,7 @@ func (c *Cluster) ServingStats() serving.TierStats {
 // SharedScanStats sums shared-scan hub counters across the cluster's workers.
 func (c *Cluster) SharedScanStats() serving.ScanHubStats {
 	var total serving.ScanHubStats
-	for _, w := range c.workers {
+	for _, w := range c.liveWorkers() {
 		s := w.SharedScanStats()
 		total.Scans += s.Scans
 		total.Joined += s.Joined
@@ -424,7 +487,7 @@ func (c *Cluster) ClearServingCaches() {
 	if t := c.Coordinator.Serving(); t != nil {
 		t.Clear()
 	}
-	for _, w := range c.workers {
+	for _, w := range c.liveWorkers() {
 		w.Shared.Clear()
 	}
 }
@@ -444,7 +507,10 @@ func FormatOperatorTable(st QueryStats) string {
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() {
-	for _, w := range c.workers {
+	c.mu.Lock()
+	ws := append([]*exec.Worker(nil), c.workers...)
+	c.mu.Unlock()
+	for _, w := range ws {
 		w.Close()
 	}
 }

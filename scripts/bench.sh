@@ -14,6 +14,11 @@
 # DisableDynamicFilters ablation. Writes BENCH_7.json at the repository
 # root, stamped with the git SHA the numbers were taken at.
 #
+# Larger-than-memory benchmark (PR 9): memory-cap sweep (uncapped vs 1/4 vs
+# 1/16 of the measured working set, rows verified against the uncapped run)
+# plus worker-kill recovery latency under materialized exchange. The test
+# writes git-SHA-stamped JSON to BENCH_9.json.
+#
 # Serving-tier benchmark (PR 8): closed-loop high-concurrency interactive
 # workload (thousands of statements) with the plan cache, result cache, and
 # shared scans on vs per-session off, plus a scan-sharing-isolated phase.
@@ -145,3 +150,10 @@ GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
   go test -run 'TestServingClosedLoopBench' -count=1 -v . | grep -E 'qps|PASS|FAIL' || true
 
 echo "==> wrote BENCH_8.json"
+
+echo "==> larger-than-memory benchmark (BENCH_9.json)"
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
+  BENCH9_OUT="$(pwd)/BENCH_9.json" \
+  go test -run 'TestSpillElasticBench' -count=1 -v . | grep -E 'wall=|recovery|PASS|FAIL' || true
+
+echo "==> wrote BENCH_9.json"

@@ -7,7 +7,8 @@
 #   scripts/check.sh -chaos   # additionally sweep the chaos suite over more
 #                             # seeds (CHAOS_FULL), verbose
 #   scripts/check.sh -fuzz    # additionally run 10s fuzz smokes over the
-#                             # page codec and the SQL parser
+#                             # page codec, SQL parser, spill files, and
+#                             # exchange segments
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +62,15 @@ echo "==> serving tier: unit tests, differential suite, and QPS smoke"
 go test -race -count=1 ./internal/serving/
 go test -race -count=1 -run 'TestServing' .
 
+echo "==> spill differential wall (capped pool, rows identical, artifacts deleted)"
+go test -race -count=1 ./internal/spill/
+go test -race -count=1 -run 'TestRevocationOrderCacheBeforeSpill|TestSpillDisabledReserveFailsClean' ./internal/memory/
+go test -race -count=1 -run 'TestSpill|TestMaterializedExchangeDifferential|TestDistributedSpillDifferential' .
+
+echo "==> elastic chaos (worker kill/join mid-query under materialized exchange)"
+go test -race -count=1 -run 'TestStore|TestOutputBufferMaterialized|TestDecodeSegment' ./internal/shuffle/
+go test -race -count=1 -run 'TestElastic' .
+
 echo "==> kernel + morsel bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan|DynFilterFig6' -benchtime 1x . > /dev/null
 
@@ -76,6 +86,10 @@ if [ "$fuzz" = 1 ]; then
   go test -fuzz '^FuzzPageCodecRoundTrip$' -fuzztime 10s ./internal/block/
   echo "==> fuzz smoke: SQL parser (10s)"
   go test -fuzz '^FuzzParser$' -fuzztime 10s ./internal/sqlparser/
+  echo "==> fuzz smoke: spill file decode (10s)"
+  go test -fuzz '^FuzzSpillFileDecode$' -fuzztime 10s ./internal/spill/
+  echo "==> fuzz smoke: exchange segment decode (10s)"
+  go test -fuzz '^FuzzExchangeSegmentDecode$' -fuzztime 10s ./internal/shuffle/
 fi
 
 echo "OK"
