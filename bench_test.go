@@ -754,3 +754,150 @@ func BenchmarkMorselSkewScan(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized projection engine (§V-B, §V-E): typed columnar kernels with
+// selection fusion and CSE vs the compiled row-at-a-time closures.
+// scripts/bench.sh records the vec/legacy pairs in BENCH_10.json.
+// ---------------------------------------------------------------------------
+
+// projBenchProcessor pairs a projection list (and optional filter) with the
+// two processor modes under benchmark.
+func projBenchProcessor(filter expr.Expr, proj []expr.Expr, legacy bool) *expr.PageProcessor {
+	pp := expr.NewPageProcessor(filter, proj)
+	if legacy {
+		pp.DisableVectorizedProjections()
+	}
+	return pp
+}
+
+func runProjBench(b *testing.B, page *block.Page, filter expr.Expr, proj []expr.Expr) {
+	for _, mode := range []string{"vec", "legacy"} {
+		b.Run(mode, func(b *testing.B) {
+			pp := projBenchProcessor(filter, proj, mode == "legacy")
+			b.SetBytes(int64(page.RowCount()) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.Process(page); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProjArithBigint: nested bigint arithmetic over a flat null-free
+// column — the pure-kernel case the loop-per-operator design targets.
+func BenchmarkProjArithBigint(b *testing.B) {
+	const nRows = 8192
+	vals := make([]int64, nRows)
+	for i := range vals {
+		vals[i] = int64(i*2654435761%1000 + 1)
+	}
+	page := block.NewPage(block.NewLongBlock(vals, nil))
+	c0 := &expr.ColumnRef{Index: 0, T: types.Bigint}
+	proj := []expr.Expr{&expr.Arith{Op: expr.OpAdd,
+		L: &expr.Arith{Op: expr.OpMul, L: c0, R: expr.NewConst(types.BigintValue(3)), T: types.Bigint},
+		R: &expr.Arith{Op: expr.OpSub, L: c0, R: expr.NewConst(types.BigintValue(7)), T: types.Bigint},
+		T: types.Bigint}}
+	runProjBench(b, page, nil, proj)
+}
+
+// BenchmarkProjArithDouble: the q1-style double product over flat columns.
+func BenchmarkProjArithDouble(b *testing.B) {
+	const nRows = 8192
+	price := make([]float64, nRows)
+	disc := make([]float64, nRows)
+	for i := range price {
+		price[i] = float64(i%900) + 1.5
+		disc[i] = float64(i%10) / 100
+	}
+	page := block.NewPage(block.NewDoubleBlock(price, nil), block.NewDoubleBlock(disc, nil))
+	p0 := &expr.ColumnRef{Index: 0, T: types.Double}
+	d1 := &expr.ColumnRef{Index: 1, T: types.Double}
+	proj := []expr.Expr{&expr.Arith{Op: expr.OpMul, L: p0,
+		R: &expr.Arith{Op: expr.OpSub, L: expr.NewConst(types.DoubleValue(1)), R: d1, T: types.Double},
+		T: types.Double}}
+	runProjBench(b, page, nil, proj)
+}
+
+// BenchmarkProjVarcharConcat: string building dominated by allocation; the
+// honest case where the columnar win is modest.
+func BenchmarkProjVarcharConcat(b *testing.B) {
+	const nRows = 8192
+	ls := make([]string, nRows)
+	rs := make([]string, nRows)
+	for i := range ls {
+		ls[i] = fmt.Sprintf("left-%04d", i%100)
+		rs[i] = fmt.Sprintf("right-%04d", i%37)
+	}
+	page := block.NewPage(block.NewVarcharBlock(ls, nil), block.NewVarcharBlock(rs, nil))
+	proj := []expr.Expr{&expr.Arith{Op: expr.OpConcat,
+		L: &expr.ColumnRef{Index: 0, T: types.Varchar},
+		R: &expr.ColumnRef{Index: 1, T: types.Varchar},
+		T: types.Varchar}}
+	runProjBench(b, page, nil, proj)
+}
+
+// q1BenchPage builds a lineitem-shaped page: quantity, extendedprice,
+// discount, tax, returnflag (dictionary), shipdate stand-in.
+func q1BenchPage(nRows int) *block.Page {
+	qty := make([]float64, nRows)
+	price := make([]float64, nRows)
+	disc := make([]float64, nRows)
+	tax := make([]float64, nRows)
+	flagIdx := make([]int32, nRows)
+	ship := make([]int64, nRows)
+	for i := 0; i < nRows; i++ {
+		qty[i] = float64(i%50) + 1
+		price[i] = float64(i%9000) + 900.5
+		disc[i] = float64(i%11) / 100
+		tax[i] = float64(i%9) / 100
+		flagIdx[i] = int32(i % 3)
+		ship[i] = int64(i % 2526)
+	}
+	flags := block.NewVarcharBlock([]string{"A", "N", "R"}, nil)
+	return block.NewPage(
+		block.NewDoubleBlock(qty, nil),
+		block.NewDoubleBlock(price, nil),
+		block.NewDoubleBlock(disc, nil),
+		block.NewDoubleBlock(tax, nil),
+		block.NewDictionaryBlock(flags, flagIdx),
+		block.NewLongBlock(ship, nil),
+	)
+}
+
+// BenchmarkProjTPCHQ1Proc: the q1 page-processor stage — shipdate filter plus
+// the projection list whose shared extendedprice*(1-discount) product is the
+// canonical CSE target.
+func BenchmarkProjTPCHQ1Proc(b *testing.B) {
+	page := q1BenchPage(8192)
+	dcol := func(i int) *expr.ColumnRef { return &expr.ColumnRef{Index: i, T: types.Double} }
+	base := &expr.Arith{Op: expr.OpMul, L: dcol(1),
+		R: &expr.Arith{Op: expr.OpSub, L: expr.NewConst(types.DoubleValue(1)), R: dcol(2), T: types.Double},
+		T: types.Double}
+	filter := &expr.Compare{Op: expr.CmpLe, L: &expr.ColumnRef{Index: 5, T: types.Bigint},
+		R: expr.NewConst(types.BigintValue(2400))}
+	proj := []expr.Expr{
+		&expr.ColumnRef{Index: 4, T: types.Varchar},
+		dcol(0),
+		base,
+		&expr.Arith{Op: expr.OpMul, L: base,
+			R: &expr.Arith{Op: expr.OpAdd, L: expr.NewConst(types.DoubleValue(1)), R: dcol(3), T: types.Double},
+			T: types.Double},
+	}
+	runProjBench(b, page, filter, proj)
+}
+
+// BenchmarkProjTPCHQ6Proc: the q6 page-processor stage — conjunctive filter
+// with the revenue product projected over the survivors (selection fusion).
+func BenchmarkProjTPCHQ6Proc(b *testing.B) {
+	page := q1BenchPage(8192)
+	dcol := func(i int) *expr.ColumnRef { return &expr.ColumnRef{Index: i, T: types.Double} }
+	filter := &expr.And{
+		L: &expr.Between{E: dcol(2), Lo: expr.NewConst(types.DoubleValue(0.05)), Hi: expr.NewConst(types.DoubleValue(0.07))},
+		R: &expr.Compare{Op: expr.CmpLt, L: dcol(0), R: expr.NewConst(types.DoubleValue(24))},
+	}
+	proj := []expr.Expr{&expr.Arith{Op: expr.OpMul, L: dcol(1), R: dcol(2), T: types.Double}}
+	runProjBench(b, page, filter, proj)
+}

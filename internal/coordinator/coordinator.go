@@ -82,6 +82,10 @@ type Session struct {
 	// filter paths instead of the vectorized kernels (the A/B toggle;
 	// X-Presto-Disable-Vector-Kernels over HTTP).
 	DisableVectorKernels bool
+	// DisableVectorProjections runs this query's projections through the
+	// compiled row-at-a-time closures instead of the columnar kernels (the
+	// A/B toggle; X-Presto-Disable-Vector-Projections over HTTP).
+	DisableVectorProjections bool
 	// DisableMorsels runs this query's leaf pipelines with static
 	// split-per-driver assignment instead of the shared morsel queue (the
 	// A/B toggle; X-Presto-Disable-Morsels over HTTP).
@@ -174,6 +178,12 @@ type Coordinator struct {
 	dynRowsFiltered  atomic.Int64
 	dynSplitsSkipped atomic.Int64
 	dynWaitNanos     atomic.Int64
+
+	// Cumulative vectorized-projection counters across finished queries
+	// (exposed as gauges on /v1/metrics).
+	vecProjEvals  atomic.Int64
+	cseHits       atomic.Int64
+	dictEvictions atomic.Int64
 
 	// stmtLatency is the end-to-end statement latency histogram (admission
 	// through final page), over the most recent statements.

@@ -125,6 +125,9 @@ func (c *Coordinator) scheduleRemote(q *Query, dp *plan.DistributedPlan) (*Resul
 	if q.session.DisableVectorKernels {
 		cfg.VectorKernelsDisabled = true
 	}
+	if q.session.DisableVectorProjections {
+		cfg.VectorProjectionsDisabled = true
+	}
 	if q.session.DisableMorsels {
 		cfg.MorselsDisabled = true
 	}

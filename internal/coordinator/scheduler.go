@@ -120,6 +120,9 @@ func (c *Coordinator) schedule(q *Query, dp *plan.DistributedPlan) (*Result, err
 			if q.session.DisableVectorKernels {
 				cfg.VectorKernelsDisabled = true
 			}
+			if q.session.DisableVectorProjections {
+				cfg.VectorProjectionsDisabled = true
+			}
 			if q.session.DisableMorsels {
 				cfg.MorselsDisabled = true
 			}

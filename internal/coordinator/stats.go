@@ -49,10 +49,14 @@ type QueryStats struct {
 	// Dynamic-filter effect rollups: probe rows dropped by pushed build-side
 	// summaries, splits skipped outright (empty build short-circuit), and
 	// total time scans spent gated waiting for a filter to arrive.
-	DynRowsFiltered    int64        `json:"dynRowsFiltered,omitempty"`
-	DynSplitsSkipped   int64        `json:"dynSplitsSkipped,omitempty"`
-	DynFilterWaitNanos int64        `json:"dynFilterWaitNanos,omitempty"`
-	Stages             []StageStats `json:"stages"`
+	DynRowsFiltered    int64 `json:"dynRowsFiltered,omitempty"`
+	DynSplitsSkipped   int64 `json:"dynSplitsSkipped,omitempty"`
+	DynFilterWaitNanos int64 `json:"dynFilterWaitNanos,omitempty"`
+	// Vectorized-projection rollups: projections evaluated by the columnar
+	// kernels and shared-subtree evaluations saved by CSE.
+	VecProjEvals int64        `json:"vecProjEvals,omitempty"`
+	CSEHits      int64        `json:"cseHits,omitempty"`
+	Stages       []StageStats `json:"stages"`
 }
 
 // QueryStats snapshots a query's execution statistics, rolling task stats up
@@ -123,6 +127,8 @@ func (c *Coordinator) QueryStats(id string) (QueryStats, bool) {
 				st.DynRowsFiltered += op.DynRowsFiltered
 				st.DynSplitsSkipped += op.DynSplitsSkipped
 				st.DynFilterWaitNanos += op.DynWaitNanos
+				st.VecProjEvals += op.VecProjEvals
+				st.CSEHits += op.CSEHits
 			}
 		}
 		st.Stages = append(st.Stages, *sg)
@@ -137,8 +143,15 @@ func (c *Coordinator) DynFilterTotals() (rowsFiltered, splitsSkipped, waitNanos 
 	return c.dynRowsFiltered.Load(), c.dynSplitsSkipped.Load(), c.dynWaitNanos.Load()
 }
 
-// accumulateDynStats folds one finished query's dynamic-filter counters into
-// the coordinator-lifetime totals.
+// VecProjTotals reports the cumulative vectorized-projection counters
+// across all finished queries: kernel evaluations, CSE-saved evaluations,
+// and dictionary projection cache evictions.
+func (c *Coordinator) VecProjTotals() (vecEvals, cseHits, dictEvictions int64) {
+	return c.vecProjEvals.Load(), c.cseHits.Load(), c.dictEvictions.Load()
+}
+
+// accumulateDynStats folds one finished query's dynamic-filter and
+// vectorized-projection counters into the coordinator-lifetime totals.
 func (c *Coordinator) accumulateDynStats(q *Query) {
 	q.mu.Lock()
 	tasks := append([]*exec.Task{}, q.tasks...)
@@ -150,6 +163,9 @@ func (c *Coordinator) accumulateDynStats(q *Query) {
 				c.dynRowsFiltered.Add(op.DynRowsFiltered)
 				c.dynSplitsSkipped.Add(op.DynSplitsSkipped)
 				c.dynWaitNanos.Add(op.DynWaitNanos)
+				c.vecProjEvals.Add(op.VecProjEvals)
+				c.cseHits.Add(op.CSEHits)
+				c.dictEvictions.Add(op.DictEvictions)
 			}
 		}
 	}
@@ -207,6 +223,9 @@ func FormatOperatorTable(st QueryStats) string {
 					fmt.Fprintf(&sb, "  dyn rows-skipped %d  dyn splits-skipped %d  dyn wait %s",
 						op.DynRowsFiltered, op.DynSplitsSkipped,
 						time.Duration(op.DynWaitNanos).Round(10*time.Microsecond))
+				}
+				if op.VecProjEvals+op.CSEHits > 0 {
+					fmt.Fprintf(&sb, "  vec-proj %d  cse-hits %d", op.VecProjEvals, op.CSEHits)
 				}
 				sb.WriteByte('\n')
 			}

@@ -63,6 +63,10 @@ type TaskConfig struct {
 	// paths back to the per-row closure and encoded-key map implementations
 	// (the vectorized-kernels ablation; Session.DisableVectorKernels).
 	VectorKernelsDisabled bool
+	// VectorProjectionsDisabled reverts projection evaluation to the
+	// compiled row-at-a-time closures (the columnar-projection ablation;
+	// Session.DisableVectorProjections). Filters stay vectorized.
+	VectorProjectionsDisabled bool
 	// MorselsDisabled reverts leaf pipelines to static split-per-driver
 	// assignment (the morsel-execution ablation; Session.DisableMorsels).
 	// By default scan drivers pull ~64k-row morsels from a shared per-scan
@@ -356,6 +360,9 @@ func (t *Task) newProcessor(pred expr.Expr, proj []expr.Expr) *expr.PageProcesso
 	pp := expr.NewPageProcessor(pred, proj)
 	if t.cfg.VectorKernelsDisabled {
 		pp.DisableVectorizedFilter()
+	}
+	if t.cfg.VectorProjectionsDisabled {
+		pp.DisableVectorizedProjections()
 	}
 	return pp
 }

@@ -17,6 +17,21 @@ type doubleFn func(p *block.Page, row int) (float64, bool)
 type strFn func(p *block.Page, row int) (string, bool)
 type boolFn func(p *block.Page, row int) (bool, bool)
 
+// compEnv carries runtime-error state for one compiled closure graph. The
+// typed closure signatures have no error slot, so a closure that hits a
+// runtime error (division by zero) records it here and returns NULL; the
+// page-level wrappers check the environment every row and surface the
+// error, matching the interpreter. Filter contexts deliberately never read
+// it: a failing predicate row simply does not pass, in every evaluation
+// strategy.
+type compEnv struct{ err error }
+
+func (env *compEnv) fail(err error) {
+	if env.err == nil {
+		env.err = err
+	}
+}
+
 // Evaluator computes a full output column for an input page.
 type Evaluator struct {
 	T types.Type
@@ -31,6 +46,15 @@ type Evaluator struct {
 	// identCol is >= 0 when the expression is a bare column reference,
 	// letting the page processor pass the input block through unchanged.
 	identCol int
+	// env is the compiled closure graph's error environment (nil for
+	// interpreted evaluators).
+	env *compEnv
+	// rowLong/rowDouble/rowStr retain the typed row closure so the page
+	// processor can fuse projection with the filter's selection vector
+	// (evaluate only surviving rows, no gathered intermediate page).
+	rowLong   longFn
+	rowDouble doubleFn
+	rowStr    strFn
 }
 
 // Type returns the evaluator's result type.
@@ -54,18 +78,23 @@ func Compile(e Expr) *Evaluator {
 
 func compile(e Expr) *Evaluator {
 	t := e.Type()
+	env := &compEnv{}
 	switch t {
 	case types.Bigint, types.Date:
-		f, ok := compileLong(e)
+		f, ok := compileLong(e, env)
 		if !ok {
 			return interpEvaluator(e)
 		}
-		return &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+		return &Evaluator{T: t, identCol: -1, env: env, rowLong: f, eval: func(p *block.Page) (block.Block, error) {
 			n := p.RowCount()
+			env.err = nil
 			vals := make([]int64, n)
 			var nulls []bool
 			for i := 0; i < n; i++ {
 				v, null := f(p, i)
+				if env.err != nil {
+					return nil, env.err
+				}
 				if null {
 					if nulls == nil {
 						nulls = make([]bool, n)
@@ -78,16 +107,20 @@ func compile(e Expr) *Evaluator {
 			return &block.LongBlock{T: t, Vals: vals, Nulls: nulls}, nil
 		}}
 	case types.Double:
-		f, ok := compileDouble(e)
+		f, ok := compileDouble(e, env)
 		if !ok {
 			return interpEvaluator(e)
 		}
-		return &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+		return &Evaluator{T: t, identCol: -1, env: env, rowDouble: f, eval: func(p *block.Page) (block.Block, error) {
 			n := p.RowCount()
+			env.err = nil
 			vals := make([]float64, n)
 			var nulls []bool
 			for i := 0; i < n; i++ {
 				v, null := f(p, i)
+				if env.err != nil {
+					return nil, env.err
+				}
 				if null {
 					if nulls == nil {
 						nulls = make([]bool, n)
@@ -100,16 +133,20 @@ func compile(e Expr) *Evaluator {
 			return block.NewDoubleBlock(vals, nulls), nil
 		}}
 	case types.Varchar:
-		f, ok := compileStr(e)
+		f, ok := compileStr(e, env)
 		if !ok {
 			return interpEvaluator(e)
 		}
-		return &Evaluator{T: t, identCol: -1, eval: func(p *block.Page) (block.Block, error) {
+		return &Evaluator{T: t, identCol: -1, env: env, rowStr: f, eval: func(p *block.Page) (block.Block, error) {
 			n := p.RowCount()
+			env.err = nil
 			vals := make([]string, n)
 			var nulls []bool
 			for i := 0; i < n; i++ {
 				v, null := f(p, i)
+				if env.err != nil {
+					return nil, env.err
+				}
 				if null {
 					if nulls == nil {
 						nulls = make([]bool, n)
@@ -122,16 +159,20 @@ func compile(e Expr) *Evaluator {
 			return block.NewVarcharBlock(vals, nulls), nil
 		}}
 	case types.Boolean:
-		f, ok := compileBool(e)
+		f, ok := compileBool(e, env)
 		if !ok {
 			return interpEvaluator(e)
 		}
-		ev := &Evaluator{T: t, identCol: -1, rowBool: f, eval: func(p *block.Page) (block.Block, error) {
+		ev := &Evaluator{T: t, identCol: -1, env: env, rowBool: f, eval: func(p *block.Page) (block.Block, error) {
 			n := p.RowCount()
+			env.err = nil
 			vals := make([]bool, n)
 			var nulls []bool
 			for i := 0; i < n; i++ {
 				v, null := f(p, i)
+				if env.err != nil {
+					return nil, env.err
+				}
 				if null {
 					if nulls == nil {
 						nulls = make([]bool, n)
@@ -143,13 +184,104 @@ func compile(e Expr) *Evaluator {
 			}
 			return block.NewBoolBlock(vals, nulls), nil
 		}}
-		if s, ok := compileSel(e, false); ok {
+		if s, ok := compileSel(e, false, env); ok {
 			ev.sel = s
 		}
 		return ev
 	default:
 		return interpEvaluator(e)
 	}
+}
+
+// evalRows evaluates the compiled row closure directly at the given source
+// rows of p, producing an outRows-long block without materializing a
+// gathered intermediate page (selection fusion for expressions the
+// vectorized kernels don't cover). ok=false means the evaluator has no
+// retained row closure (interpreted fallback) and the caller must gather.
+func (ev *Evaluator) evalRows(p *block.Page, rows []int) (block.Block, bool, error) {
+	if ev.env == nil {
+		return nil, false, nil
+	}
+	n := len(rows)
+	switch {
+	case ev.rowLong != nil:
+		ev.env.err = nil
+		vals := make([]int64, n)
+		var nulls []bool
+		for i, r := range rows {
+			v, null := ev.rowLong(p, r)
+			if ev.env.err != nil {
+				return nil, true, ev.env.err
+			}
+			if null {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			} else {
+				vals[i] = v
+			}
+		}
+		return &block.LongBlock{T: ev.T, Vals: vals, Nulls: nulls}, true, nil
+	case ev.rowDouble != nil:
+		ev.env.err = nil
+		vals := make([]float64, n)
+		var nulls []bool
+		for i, r := range rows {
+			v, null := ev.rowDouble(p, r)
+			if ev.env.err != nil {
+				return nil, true, ev.env.err
+			}
+			if null {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			} else {
+				vals[i] = v
+			}
+		}
+		return block.NewDoubleBlock(vals, nulls), true, nil
+	case ev.rowStr != nil:
+		ev.env.err = nil
+		vals := make([]string, n)
+		var nulls []bool
+		for i, r := range rows {
+			v, null := ev.rowStr(p, r)
+			if ev.env.err != nil {
+				return nil, true, ev.env.err
+			}
+			if null {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			} else {
+				vals[i] = v
+			}
+		}
+		return block.NewVarcharBlock(vals, nulls), true, nil
+	case ev.rowBool != nil:
+		ev.env.err = nil
+		vals := make([]bool, n)
+		var nulls []bool
+		for i, r := range rows {
+			v, null := ev.rowBool(p, r)
+			if ev.env.err != nil {
+				return nil, true, ev.env.err
+			}
+			if null {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			} else {
+				vals[i] = v
+			}
+		}
+		return block.NewBoolBlock(vals, nulls), true, nil
+	}
+	return nil, false, nil
 }
 
 // InterpretOnly wraps e in a pure-interpreter evaluator; used by the codegen
@@ -200,7 +332,7 @@ type pageRow struct {
 
 func (r *pageRow) ColValue(i int) types.Value { return r.p.Col(i).Value(r.row) }
 
-func compileLong(e Expr) (longFn, bool) {
+func compileLong(e Expr, env *compEnv) (longFn, bool) {
 	switch x := e.(type) {
 	case *Const:
 		v := x.Val
@@ -219,7 +351,7 @@ func compileLong(e Expr) (longFn, bool) {
 			return col.Long(row), false
 		}, true
 	case *Neg:
-		f, ok := compileLong(x.E)
+		f, ok := compileLong(x.E, env)
 		if !ok {
 			return nil, false
 		}
@@ -228,8 +360,8 @@ func compileLong(e Expr) (longFn, bool) {
 			return -v, null
 		}, true
 	case *Arith:
-		l, lok := compileLong(x.L)
-		r, rok := compileLong(x.R)
+		l, lok := compileLong(x.L, env)
+		r, rok := compileLong(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -249,11 +381,13 @@ func compileLong(e Expr) (longFn, bool) {
 				return lv * rv, false
 			case OpDiv:
 				if rv == 0 {
-					return 0, true // runtime errors degrade to NULL on compiled path fallback guard
+					env.fail(errDivZero)
+					return 0, true
 				}
 				return lv / rv, false
 			case OpMod:
 				if rv == 0 {
+					env.fail(errDivZero)
 					return 0, true
 				}
 				return lv % rv, false
@@ -261,10 +395,10 @@ func compileLong(e Expr) (longFn, bool) {
 			return 0, true
 		}, true
 	case *Case:
-		return compileLongCase(x)
+		return compileLongCase(x, env)
 	case *Cast:
 		if x.E.Type() == types.Double {
-			f, ok := compileDouble(x.E)
+			f, ok := compileDouble(x.E, env)
 			if !ok {
 				return nil, false
 			}
@@ -274,7 +408,7 @@ func compileLong(e Expr) (longFn, bool) {
 			}, true
 		}
 		if x.E.Type() == types.Bigint || x.E.Type() == types.Date {
-			return compileLong(x.E)
+			return compileLong(x.E, env)
 		}
 		return nil, false
 	default:
@@ -282,15 +416,15 @@ func compileLong(e Expr) (longFn, bool) {
 	}
 }
 
-func compileLongCase(x *Case) (longFn, bool) {
+func compileLongCase(x *Case, env *compEnv) (longFn, bool) {
 	conds := make([]boolFn, len(x.Whens))
 	thens := make([]longFn, len(x.Whens))
 	for i, w := range x.Whens {
-		c, ok := compileBool(w.Cond)
+		c, ok := compileBool(w.Cond, env)
 		if !ok {
 			return nil, false
 		}
-		t, ok := compileLong(w.Then)
+		t, ok := compileLong(w.Then, env)
 		if !ok {
 			return nil, false
 		}
@@ -298,7 +432,7 @@ func compileLongCase(x *Case) (longFn, bool) {
 	}
 	var elseFn longFn
 	if x.Else != nil {
-		f, ok := compileLong(x.Else)
+		f, ok := compileLong(x.Else, env)
 		if !ok {
 			return nil, false
 		}
@@ -318,10 +452,10 @@ func compileLongCase(x *Case) (longFn, bool) {
 	}, true
 }
 
-func compileDouble(e Expr) (doubleFn, bool) {
+func compileDouble(e Expr, env *compEnv) (doubleFn, bool) {
 	// Bigint/Date sub-expressions can be widened transparently.
 	if e.Type() == types.Bigint || e.Type() == types.Date {
-		f, ok := compileLong(e)
+		f, ok := compileLong(e, env)
 		if !ok {
 			return nil, false
 		}
@@ -348,7 +482,7 @@ func compileDouble(e Expr) (doubleFn, bool) {
 			return col.Double(row), false
 		}, true
 	case *Neg:
-		f, ok := compileDouble(x.E)
+		f, ok := compileDouble(x.E, env)
 		if !ok {
 			return nil, false
 		}
@@ -357,8 +491,8 @@ func compileDouble(e Expr) (doubleFn, bool) {
 			return -v, null
 		}, true
 	case *Arith:
-		l, lok := compileDouble(x.L)
-		r, rok := compileDouble(x.R)
+		l, lok := compileDouble(x.L, env)
+		r, rok := compileDouble(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -378,6 +512,7 @@ func compileDouble(e Expr) (doubleFn, bool) {
 				return lv * rv, false
 			case OpDiv:
 				if rv == 0 {
+					env.fail(errDivZero)
 					return 0, true
 				}
 				return lv / rv, false
@@ -386,21 +521,21 @@ func compileDouble(e Expr) (doubleFn, bool) {
 		}, true
 	case *Cast:
 		if x.E.Type() == types.Bigint || x.E.Type() == types.Date {
-			return compileDouble(x.E)
+			return compileDouble(x.E, env)
 		}
 		if x.E.Type() == types.Double {
-			return compileDouble(x.E)
+			return compileDouble(x.E, env)
 		}
 		return nil, false
 	case *Case:
 		conds := make([]boolFn, len(x.Whens))
 		thens := make([]doubleFn, len(x.Whens))
 		for i, w := range x.Whens {
-			c, ok := compileBool(w.Cond)
+			c, ok := compileBool(w.Cond, env)
 			if !ok {
 				return nil, false
 			}
-			t, ok := compileDouble(w.Then)
+			t, ok := compileDouble(w.Then, env)
 			if !ok {
 				return nil, false
 			}
@@ -408,7 +543,7 @@ func compileDouble(e Expr) (doubleFn, bool) {
 		}
 		var elseFn doubleFn
 		if x.Else != nil {
-			f, ok := compileDouble(x.Else)
+			f, ok := compileDouble(x.Else, env)
 			if !ok {
 				return nil, false
 			}
@@ -431,7 +566,7 @@ func compileDouble(e Expr) (doubleFn, bool) {
 	}
 }
 
-func compileStr(e Expr) (strFn, bool) {
+func compileStr(e Expr, env *compEnv) (strFn, bool) {
 	switch x := e.(type) {
 	case *Const:
 		v := x.Val
@@ -453,8 +588,8 @@ func compileStr(e Expr) (strFn, bool) {
 		if x.Op != OpConcat {
 			return nil, false
 		}
-		l, lok := compileStr(x.L)
-		r, rok := compileStr(x.R)
+		l, lok := compileStr(x.L, env)
+		r, rok := compileStr(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -471,7 +606,7 @@ func compileStr(e Expr) (strFn, bool) {
 	}
 }
 
-func compileBool(e Expr) (boolFn, bool) {
+func compileBool(e Expr, env *compEnv) (boolFn, bool) {
 	switch x := e.(type) {
 	case *Const:
 		v := x.Val
@@ -490,7 +625,7 @@ func compileBool(e Expr) (boolFn, bool) {
 			return col.Bool(row), false
 		}, true
 	case *Not:
-		f, ok := compileBool(x.E)
+		f, ok := compileBool(x.E, env)
 		if !ok {
 			return nil, false
 		}
@@ -499,8 +634,8 @@ func compileBool(e Expr) (boolFn, bool) {
 			return !v, null
 		}, true
 	case *And:
-		l, lok := compileBool(x.L)
-		r, rok := compileBool(x.R)
+		l, lok := compileBool(x.L, env)
+		r, rok := compileBool(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -519,8 +654,8 @@ func compileBool(e Expr) (boolFn, bool) {
 			return true, false
 		}, true
 	case *Or:
-		l, lok := compileBool(x.L)
-		r, rok := compileBool(x.R)
+		l, lok := compileBool(x.L, env)
+		r, rok := compileBool(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -549,13 +684,13 @@ func compileBool(e Expr) (boolFn, bool) {
 		}
 		return nil, false
 	case *Compare:
-		return compileCompare(x)
+		return compileCompare(x, env)
 	case *Between:
 		lt := types.CommonType(x.E.Type(), types.CommonType(x.Lo.Type(), x.Hi.Type()))
 		if lt == types.Bigint || lt == types.Date {
-			v, ok1 := compileLong(x.E)
-			lo, ok2 := compileLong(x.Lo)
-			hi, ok3 := compileLong(x.Hi)
+			v, ok1 := compileLong(x.E, env)
+			lo, ok2 := compileLong(x.Lo, env)
+			hi, ok3 := compileLong(x.Hi, env)
 			if !ok1 || !ok2 || !ok3 {
 				return nil, false
 			}
@@ -571,9 +706,9 @@ func compileBool(e Expr) (boolFn, bool) {
 			}, true
 		}
 		if lt == types.Double {
-			v, ok1 := compileDouble(x.E)
-			lo, ok2 := compileDouble(x.Lo)
-			hi, ok3 := compileDouble(x.Hi)
+			v, ok1 := compileDouble(x.E, env)
+			lo, ok2 := compileDouble(x.Lo, env)
+			hi, ok3 := compileDouble(x.Hi, env)
 			if !ok1 || !ok2 || !ok3 {
 				return nil, false
 			}
@@ -594,7 +729,7 @@ func compileBool(e Expr) (boolFn, bool) {
 		if !ok || pat.Val.Null {
 			return nil, false
 		}
-		f, ok := compileStr(x.E)
+		f, ok := compileStr(x.E, env)
 		if !ok {
 			return nil, false
 		}
@@ -608,13 +743,13 @@ func compileBool(e Expr) (boolFn, bool) {
 			return likeMatch(v, pattern) != neg, false
 		}, true
 	case *In:
-		return compileIn(x)
+		return compileIn(x, env)
 	default:
 		return nil, false
 	}
 }
 
-func compileIn(x *In) (boolFn, bool) {
+func compileIn(x *In, env *compEnv) (boolFn, bool) {
 	// Specialize IN over constant lists into set lookups.
 	t := x.E.Type()
 	allConst := true
@@ -637,7 +772,7 @@ func compileIn(x *In) (boolFn, bool) {
 				set[c.Val.I] = true
 			}
 		}
-		f, ok := compileLong(x.E)
+		f, ok := compileLong(x.E, env)
 		if !ok {
 			return nil, false
 		}
@@ -656,7 +791,7 @@ func compileIn(x *In) (boolFn, bool) {
 				set[c.Val.S] = true
 			}
 		}
-		f, ok := compileStr(x.E)
+		f, ok := compileStr(x.E, env)
 		if !ok {
 			return nil, false
 		}
@@ -672,13 +807,13 @@ func compileIn(x *In) (boolFn, bool) {
 	}
 }
 
-func compileCompare(x *Compare) (boolFn, bool) {
+func compileCompare(x *Compare, env *compEnv) (boolFn, bool) {
 	lt := types.CommonType(x.L.Type(), x.R.Type())
 	op := x.Op
 	switch lt {
 	case types.Bigint, types.Date:
-		l, lok := compileLong(x.L)
-		r, rok := compileLong(x.R)
+		l, lok := compileLong(x.L, env)
+		r, rok := compileLong(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -704,8 +839,8 @@ func compileCompare(x *Compare) (boolFn, bool) {
 			}
 		}, true
 	case types.Double:
-		l, lok := compileDouble(x.L)
-		r, rok := compileDouble(x.R)
+		l, lok := compileDouble(x.L, env)
+		r, rok := compileDouble(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -731,8 +866,8 @@ func compileCompare(x *Compare) (boolFn, bool) {
 			}
 		}, true
 	case types.Varchar:
-		l, lok := compileStr(x.L)
-		r, rok := compileStr(x.R)
+		l, lok := compileStr(x.L, env)
+		r, rok := compileStr(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}
@@ -758,8 +893,8 @@ func compileCompare(x *Compare) (boolFn, bool) {
 			}
 		}, true
 	case types.Boolean:
-		l, lok := compileBool(x.L)
-		r, rok := compileBool(x.R)
+		l, lok := compileBool(x.L, env)
+		r, rok := compileBool(x.R, env)
 		if !lok || !rok {
 			return nil, false
 		}

@@ -358,12 +358,12 @@ func EvalArith(op BinOp, t types.Type, l, r types.Value) (types.Value, error) {
 			return types.DoubleValue(lf * rf), nil
 		case OpDiv:
 			if rf == 0 {
-				return types.Value{}, fmt.Errorf("division by zero")
+				return types.Value{}, errDivZero
 			}
 			return types.DoubleValue(lf / rf), nil
 		case OpMod:
 			if rf == 0 {
-				return types.Value{}, fmt.Errorf("division by zero")
+				return types.Value{}, errDivZero
 			}
 			return types.DoubleValue(float64(int64(lf) % int64(rf))), nil
 		}
@@ -377,12 +377,12 @@ func EvalArith(op BinOp, t types.Type, l, r types.Value) (types.Value, error) {
 		return types.Value{T: t, I: l.I * r.I}, nil
 	case OpDiv:
 		if r.I == 0 {
-			return types.Value{}, fmt.Errorf("division by zero")
+			return types.Value{}, errDivZero
 		}
 		return types.Value{T: t, I: l.I / r.I}, nil
 	case OpMod:
 		if r.I == 0 {
-			return types.Value{}, fmt.Errorf("division by zero")
+			return types.Value{}, errDivZero
 		}
 		return types.Value{T: t, I: l.I % r.I}, nil
 	}

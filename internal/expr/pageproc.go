@@ -10,27 +10,72 @@ import (
 // when a projection's single input column arrives dictionary-encoded, the
 // projection is evaluated once per dictionary entry and the indices are
 // reused; when successive pages share a dictionary, the computed results are
-// retained and reused; RLE inputs are evaluated once per run.
+// retained and reused; RLE inputs are evaluated once per run; constant
+// subtrees are evaluated once per processor and emitted as RLE blocks.
+// Projections the vectorized kernels cover (§V-B) run loop-per-operator over
+// the typed column vectors, fused with the filter's selection vector; the
+// compiled-closure path is the fallback and the ablation baseline
+// (Session.DisableVectorProjections).
 type PageProcessor struct {
 	filter      *Evaluator // nil means no filter
 	filterCols  []int      // column indices referenced by the filter
 	projections []*Evaluator
 	projInputs  [][]int // referenced column indices per projection
+	projConst   []bool  // deterministic zero-input projections (RLE output)
 
-	// vecDisabled turns off the columnar selection kernels, forcing the
-	// row-closure path (Session.DisableVectorKernels ablation).
+	// vecDisabled turns off the columnar filter selection kernels, forcing
+	// the row-closure path (Session.DisableVectorKernels ablation).
 	vecDisabled bool
-	selIn       []int // identity row vector, grown monotonically
-	selOut      []int // selection output buffer, reused across pages
+	// projDisabled turns off the vectorized projection engine (kernels,
+	// CSE, fusion, const-RLE), forcing the compiled-closure path
+	// (Session.DisableVectorProjections ablation).
+	projDisabled bool
+	// interpreted marks the pure-interpreter baseline processor.
+	interpreted bool
 
-	// Per-dictionary projection cache: maps the identity of an input
-	// dictionary block to the projected dictionary, emulating Presto's
-	// retained-array optimization for shared dictionaries.
-	dictCache map[block.Block]block.Block
+	selIn  []int // identity row vector, grown monotonically
+	selOut []int // selection output buffer, reused across pages
+
+	// Vectorized projection state: one projector per covered projection
+	// (nil entries fall back to closures), the CSE slots in evaluation
+	// order, which slots covered projections actually reference, and the
+	// per-page evaluation context.
+	projVec        []*vecProjector
+	cseSlots       []*cseSlot
+	slotNeeded     []bool
+	cseHitsPerPage int64
+	vin            vecInput
+
+	// constVal caches the 1-row result of each constant projection.
+	constVal []block.Block
+
+	// Per-dictionary projection cache: maps (projection, input dictionary
+	// block) to the projected dictionary, emulating Presto's retained-array
+	// optimization for shared dictionaries. Bounded: when full, the oldest
+	// entry is evicted (cheap FIFO approximation of LRU — long-lived scans
+	// cycle through few distinct dictionaries, so recency ~= insertion).
+	dictCache map[dictCacheKey]block.Block
+	dictOrder []dictCacheKey
+
+	// rleFiller caches the placeholder column used by single-column pages on
+	// the dictionary/RLE fast paths, instead of allocating one per call.
+	rleFillerVal block.Block
+	rleFiller    *block.RLEBlock
 
 	// Stats observed by the lazy-loading and compressed-execution benches.
 	Stats ProcessorStats
 }
+
+// dictCacheKey identifies a cached dictionary projection. The projection
+// index is part of the key: two projections over the same dictionary column
+// compute different outputs.
+type dictCacheKey struct {
+	proj int
+	dict block.Block
+}
+
+// dictCacheCap bounds the per-processor dictionary projection cache.
+const dictCacheCap = 64
 
 // ProcessorStats counts work done by a page processor.
 type ProcessorStats struct {
@@ -40,12 +85,16 @@ type ProcessorStats struct {
 	DictEvals      int64 // projections evaluated once-per-dictionary
 	FullEvals      int64 // projections evaluated once-per-row
 	DictCacheHits  int64 // shared-dictionary result reuse
+	DictEvictions  int64 // dictionary cache entries evicted at capacity
+	VecProjEvals   int64 // projections evaluated by vectorized kernels
+	CSEHits        int64 // shared-subtree evaluations saved by CSE
+	ConstRLEEvals  int64 // constant projections folded to RLE output
 	CellsProcessed int64
 }
 
 // NewPageProcessor compiles filter (may be nil) and projections.
 func NewPageProcessor(filter Expr, projections []Expr) *PageProcessor {
-	pp := &PageProcessor{dictCache: make(map[block.Block]block.Block)}
+	pp := &PageProcessor{dictCache: make(map[dictCacheKey]block.Block)}
 	if filter != nil {
 		pp.filter = Compile(filter)
 		pp.filterCols = Columns(filter)
@@ -53,18 +102,73 @@ func NewPageProcessor(filter Expr, projections []Expr) *PageProcessor {
 	for _, e := range projections {
 		pp.projections = append(pp.projections, Compile(e))
 		pp.projInputs = append(pp.projInputs, Columns(e))
+		pp.projConst = append(pp.projConst, len(Columns(e)) == 0 && IsDeterministic(e))
 	}
+	pp.constVal = make([]block.Block, len(projections))
+	pp.compileVectorized(projections)
 	return pp
+}
+
+// compileVectorized plans CSE across the projection list and compiles the
+// vectorized projectors over the rewritten expressions.
+func (pp *PageProcessor) compileVectorized(projections []Expr) {
+	rewritten, slots := planCSE(projections)
+	pp.projVec = make([]*vecProjector, len(projections))
+	for i, e := range rewritten {
+		if pp.projections[i].identCol >= 0 || pp.projConst[i] {
+			continue // identity and constant projections have dedicated paths
+		}
+		pp.projVec[i] = compileVecProj(e)
+	}
+	if len(slots) == 0 {
+		return
+	}
+	// A slot is needed only if some covered projection (or a needed later
+	// slot) reads it; projections that fell back to closures use their
+	// original, unrewritten expressions.
+	needed := make([]bool, len(slots))
+	for i, e := range rewritten {
+		if pp.projVec[i] != nil {
+			markSlotRefs(e, needed)
+		}
+	}
+	for k := len(slots) - 1; k >= 0; k-- {
+		if needed[k] {
+			markSlotRefs(slots[k].expr, needed)
+		}
+	}
+	refs, evals := 0, 0
+	for i, e := range rewritten {
+		if pp.projVec[i] != nil {
+			refs += countSlotRefs(e)
+		}
+	}
+	for k, s := range slots {
+		if needed[k] {
+			refs += countSlotRefs(s.expr)
+			evals++
+		}
+	}
+	if evals == 0 {
+		return
+	}
+	pp.cseSlots = slots
+	pp.slotNeeded = needed
+	pp.cseHitsPerPage = int64(refs - evals)
 }
 
 // DisableVectorizedFilter forces the per-row closure filter path; the
 // ablation/escape hatch behind Session.DisableVectorKernels.
 func (pp *PageProcessor) DisableVectorizedFilter() { pp.vecDisabled = true }
 
+// DisableVectorizedProjections forces the compiled-closure projection path;
+// the ablation/escape hatch behind Session.DisableVectorProjections.
+func (pp *PageProcessor) DisableVectorizedProjections() { pp.projDisabled = true }
+
 // NewInterpretedPageProcessor builds a processor that uses only the
 // interpreter — the baseline side of the codegen ablation.
 func NewInterpretedPageProcessor(filter Expr, projections []Expr) *PageProcessor {
-	pp := &PageProcessor{dictCache: make(map[block.Block]block.Block)}
+	pp := &PageProcessor{dictCache: make(map[dictCacheKey]block.Block), interpreted: true, projDisabled: true}
 	if filter != nil {
 		pp.filter = InterpretOnly(filter)
 		pp.filterCols = Columns(filter)
@@ -72,12 +176,11 @@ func NewInterpretedPageProcessor(filter Expr, projections []Expr) *PageProcessor
 	for _, e := range projections {
 		pp.projections = append(pp.projections, InterpretOnly(e))
 		pp.projInputs = append(pp.projInputs, Columns(e))
+		pp.projConst = append(pp.projConst, false)
 	}
+	pp.projVec = make([]*vecProjector, len(projections))
 	return pp
 }
-
-// exprs reused for dictionary-side evaluation: the projection is re-run with
-// the dictionary block standing in for the input column.
 
 // Process filters p and computes the projections, returning the output page
 // (nil when no rows pass the filter).
@@ -107,15 +210,44 @@ func (pp *PageProcessor) Process(p *block.Page) (*block.Page, error) {
 		// row count survives.
 		return block.NewEmptyPage(outRows), nil
 	}
+
+	vec := !pp.projDisabled && outRows > 0
+	pp.vin = vecInput{p: p, sel: selected, n: outRows, shared: pp.vin.shared[:0]}
+	if vec && len(pp.cseSlots) > 0 {
+		if err := pp.evalCSESlots(); err != nil {
+			return nil, err
+		}
+	}
+
+	var gathered *block.Page
 	cols := make([]block.Block, len(pp.projections))
 	for i := range pp.projections {
-		col, err := pp.project(i, p, selected, outRows)
+		col, err := pp.project(i, p, selected, outRows, vec, &gathered)
 		if err != nil {
 			return nil, err
 		}
 		cols[i] = col
 	}
 	return block.NewPage(cols...), nil
+}
+
+// evalCSESlots computes the needed shared subtrees once per page; their
+// selection-aligned outputs are read by the projectors as virtual columns.
+func (pp *PageProcessor) evalCSESlots() error {
+	for k, s := range pp.cseSlots {
+		if !pp.slotNeeded[k] {
+			pp.vin.shared = append(pp.vin.shared, nil)
+			continue
+		}
+		b, err := s.proj.eval(&pp.vin)
+		if err != nil {
+			return err
+		}
+		pp.vin.shared = append(pp.vin.shared, b)
+		pp.Stats.VecProjEvals++
+	}
+	pp.Stats.CSEHits += pp.cseHitsPerPage
+	return nil
 }
 
 func (pp *PageProcessor) evalFilter(p *block.Page) ([]int, error) {
@@ -186,8 +318,10 @@ func (pp *PageProcessor) allFilterInputsRLE(p *block.Page) bool {
 	return true
 }
 
-// project computes projection i over the selected rows of p.
-func (pp *PageProcessor) project(i int, p *block.Page, selected []int, outRows int) (block.Block, error) {
+// project computes projection i over the selected rows of p. gathered caches
+// the FilterPositions page across projections of the same input page, so the
+// generic fallback gathers at most once per page.
+func (pp *PageProcessor) project(i int, p *block.Page, selected []int, outRows int, vec bool, gathered **block.Page) (block.Block, error) {
 	inputs := pp.projInputs[i]
 	ev := pp.projections[i]
 
@@ -200,72 +334,172 @@ func (pp *PageProcessor) project(i int, p *block.Page, selected []int, outRows i
 		return block.CopyPositions(col, selected), nil
 	}
 
-	// Dictionary fast path: single input column that is dictionary-encoded.
-	if len(inputs) == 1 {
-		switch src := p.Col(inputs[0]).(type) {
-		case *block.DictionaryBlock:
+	// Constant subtree: evaluate once per processor, emit an RLE run.
+	if vec && pp.projConst[i] {
+		one, err := pp.constOne(i, p)
+		if err != nil {
+			return nil, err
+		}
+		return block.NewRLEBlockFromBlock(one, outRows), nil
+	}
+
+	if len(inputs) == 1 && outRows > 0 {
+		// Dictionary fast path: single input column that is
+		// dictionary-encoded.
+		if src, ok := p.Col(inputs[0]).(*block.DictionaryBlock); ok {
 			projDict, err := pp.projectDictionary(i, inputs[0], src)
-			if err != nil {
-				return nil, err
-			}
-			var indices []int32
-			if selected == nil {
-				indices = src.Indices
-			} else {
-				indices = make([]int32, len(selected))
-				for j, r := range selected {
-					indices[j] = src.Indices[r]
+			if err == nil {
+				var indices []int32
+				if selected == nil {
+					indices = src.Indices
+				} else {
+					indices = make([]int32, len(selected))
+					for j, r := range selected {
+						indices[j] = src.Indices[r]
+					}
 				}
+				return block.NewDictionaryBlock(projDict, indices), nil
 			}
-			return block.NewDictionaryBlock(projDict, indices), nil
-		case *block.RLEBlock:
-			onePage := singleColumnPage(p.ColCount(), inputs[0], src.Val)
-			out, err := ev.EvalPage(onePage)
+			// The dictionary may hold entries no surviving row references
+			// (an unreferenced zero divisor, say). Fall through to the
+			// row-level paths, which touch only surviving rows, so errors
+			// surface exactly when a referenced row triggers them.
+		}
+	}
+
+	// RLE fast path: every referenced input is a single run, so the
+	// projection has one distinct result; evaluate it once.
+	if len(inputs) > 0 && outRows > 0 && allInputsRLE(p, inputs) {
+		out, err := ev.EvalPage(pp.rleRunPage(p, inputs))
+		if err != nil {
+			return nil, err
+		}
+		pp.Stats.DictEvals++
+		pp.Stats.CellsProcessed++
+		return block.NewRLEBlockFromBlock(out, outRows), nil
+	}
+
+	// Vectorized kernels, fused with the selection vector: compute only the
+	// surviving rows, straight from the source page.
+	if vec && pp.projVec[i] != nil {
+		blk, err := pp.projVec[i].eval(&pp.vin)
+		if err != nil {
+			return nil, err
+		}
+		pp.Stats.VecProjEvals++
+		pp.Stats.CellsProcessed += int64(outRows * len(inputs))
+		return blk, nil
+	}
+
+	// Fused closure fallback: drive the compiled row closure directly at the
+	// selected source rows (no gathered intermediate page).
+	if vec && selected != nil {
+		if blk, ok, err := ev.evalRows(p, selected); ok {
 			if err != nil {
 				return nil, err
 			}
-			pp.Stats.DictEvals++
-			pp.Stats.CellsProcessed++
-			return block.NewRLEBlockFromBlock(out, outRows), nil
+			pp.Stats.FullEvals++
+			pp.Stats.CellsProcessed += int64(outRows * len(inputs))
+			return blk, nil
 		}
 	}
 
 	// Generic path: gather selected rows, evaluate per row.
 	in := p
 	if selected != nil {
-		in = p.FilterPositions(selected)
+		if *gathered == nil {
+			*gathered = p.FilterPositions(selected)
+		}
+		in = *gathered
 	}
 	pp.Stats.FullEvals++
 	pp.Stats.CellsProcessed += int64(in.RowCount() * len(inputs))
 	return ev.EvalPage(in)
 }
 
+// constOne evaluates constant projection i once, caching the 1-row result.
+func (pp *PageProcessor) constOne(i int, p *block.Page) (block.Block, error) {
+	if pp.constVal[i] != nil {
+		return pp.constVal[i], nil
+	}
+	ncols := p.ColCount()
+	if ncols == 0 {
+		ncols = 1 // the projection reads no columns; give the page a row
+	}
+	one, err := pp.projections[i].EvalPage(pp.singleColumnPage(ncols, -1, nil))
+	if err != nil {
+		return nil, err
+	}
+	pp.Stats.ConstRLEEvals++
+	pp.constVal[i] = one
+	return one, nil
+}
+
 // projectDictionary evaluates projection i over the dictionary entries of
 // src (placed at column position col), caching per-dictionary results so
-// successive pages sharing a dictionary reuse the computation.
+// successive pages sharing a dictionary reuse the computation. The cache is
+// bounded at dictCacheCap entries with FIFO eviction.
 func (pp *PageProcessor) projectDictionary(i, col int, src *block.DictionaryBlock) (block.Block, error) {
-	if cached, ok := pp.dictCache[src.Dict]; ok {
+	key := dictCacheKey{proj: i, dict: src.Dict}
+	if cached, ok := pp.dictCache[key]; ok {
 		pp.Stats.DictCacheHits++
 		return cached, nil
 	}
-	dictPage := singleColumnPage(col+1, col, src.Dict)
+	dictPage := pp.singleColumnPage(col+1, col, src.Dict)
 	out, err := pp.projections[i].EvalPage(dictPage)
 	if err != nil {
 		return nil, err
 	}
 	pp.Stats.DictEvals++
 	pp.Stats.CellsProcessed += int64(src.Dict.Len())
-	pp.dictCache[src.Dict] = out
+	if len(pp.dictCache) >= dictCacheCap {
+		oldest := pp.dictOrder[0]
+		pp.dictOrder = pp.dictOrder[1:]
+		delete(pp.dictCache, oldest)
+		pp.Stats.DictEvictions++
+	}
+	pp.dictCache[key] = out
+	pp.dictOrder = append(pp.dictOrder, key)
 	return out, nil
 }
 
+// allInputsRLE reports whether every referenced input column is a single
+// RLE run.
+func allInputsRLE(p *block.Page, inputs []int) bool {
+	for _, c := range inputs {
+		if _, ok := p.Col(c).(*block.RLEBlock); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rleRunPage builds a 1-row page holding each referenced RLE input's run
+// value, for evaluating an all-RLE projection once.
+func (pp *PageProcessor) rleRunPage(p *block.Page, inputs []int) *block.Page {
+	cols := make([]block.Block, p.ColCount())
+	filler := pp.filler(1)
+	for i := range cols {
+		cols[i] = filler
+	}
+	for _, c := range inputs {
+		cols[c] = p.Col(c).(*block.RLEBlock).Val
+	}
+	return block.NewPage(cols...)
+}
+
 // singleColumnPage builds a page with ncols columns where only position col
-// is populated (others are zero-row placeholders never accessed, because the
-// projection references only col). All columns must have equal length, so
-// the placeholder columns repeat an RLE null of matching length.
-func singleColumnPage(ncols, col int, b block.Block) *block.Page {
+// is populated (others are placeholders never accessed, because the
+// projection references only col; col < 0 means all placeholders). All
+// columns must have equal length, so the placeholders repeat a cached RLE
+// null of matching length.
+func (pp *PageProcessor) singleColumnPage(ncols, col int, b block.Block) *block.Page {
+	n := 1
+	if b != nil {
+		n = b.Len()
+	}
 	cols := make([]block.Block, ncols)
-	filler := block.NewRLEBlock(types.NullValue(types.Boolean), b.Len())
+	filler := pp.filler(n)
 	for i := range cols {
 		if i == col {
 			cols[i] = b
@@ -274,6 +508,18 @@ func singleColumnPage(ncols, col int, b block.Block) *block.Page {
 		}
 	}
 	return block.NewPage(cols...)
+}
+
+// filler returns the processor's cached placeholder column, rebuilt only
+// when the requested length changes.
+func (pp *PageProcessor) filler(n int) *block.RLEBlock {
+	if pp.rleFiller == nil || pp.rleFiller.Count != n {
+		if pp.rleFillerVal == nil {
+			pp.rleFillerVal = block.BuildBlock(types.Boolean, []types.Value{types.NullValue(types.Boolean)})
+		}
+		pp.rleFiller = block.NewRLEBlockFromBlock(pp.rleFillerVal, n)
+	}
+	return pp.rleFiller
 }
 
 func identityColumn(ev *Evaluator) (int, bool) {

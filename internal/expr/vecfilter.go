@@ -29,7 +29,7 @@ func selAll(_ *block.Page, in []int, out []int) []int { return append(out, in...
 // where e is definitely false. Sub-expressions without a specialized kernel
 // fall back to the compiled row closure, evaluated only over the current
 // selection; compileSel fails (ok=false) only when compileBool does.
-func compileSel(e Expr, neg bool) (selFn, bool) {
+func compileSel(e Expr, neg bool, env *compEnv) (selFn, bool) {
 	switch x := e.(type) {
 	case *Const:
 		v := x.Val
@@ -38,10 +38,10 @@ func compileSel(e Expr, neg bool) (selFn, bool) {
 		}
 		return selNone, true
 	case *Not:
-		return compileSel(x.E, !neg)
+		return compileSel(x.E, !neg, env)
 	case *And:
-		l, lok := compileSel(x.L, neg)
-		r, rok := compileSel(x.R, neg)
+		l, lok := compileSel(x.L, neg, env)
+		r, rok := compileSel(x.R, neg, env)
 		if lok && rok {
 			if !neg {
 				// TRUE(L AND R) = TRUE(L) ∩ TRUE(R): chain, so R only
@@ -52,8 +52,8 @@ func compileSel(e Expr, neg bool) (selFn, bool) {
 			return selUnion(l, r), true
 		}
 	case *Or:
-		l, lok := compileSel(x.L, neg)
-		r, rok := compileSel(x.R, neg)
+		l, lok := compileSel(x.L, neg, env)
+		r, rok := compileSel(x.R, neg, env)
 		if lok && rok {
 			if !neg {
 				return selUnion(l, r), true
@@ -88,7 +88,7 @@ func compileSel(e Expr, neg bool) (selFn, bool) {
 	}
 	// Generic fallback: the compiled row closure, driven over the current
 	// selection so composition with vectorized siblings stays cheap.
-	f, ok := compileBool(e)
+	f, ok := compileBool(e, env)
 	if !ok {
 		return nil, false
 	}
@@ -632,6 +632,16 @@ func selBetweenDouble(idx int, lo, hi float64, flip bool) selFn {
 		switch col := b.(type) {
 		case *block.DoubleBlock:
 			nulls := col.Nulls
+			if nulls == nil && !flip {
+				vals := col.Vals
+				for _, r := range in {
+					v := vals[r]
+					if v >= lo && v <= hi {
+						out = append(out, r)
+					}
+				}
+				return out
+			}
 			for _, r := range in {
 				if nulls != nil && nulls[r] {
 					continue
@@ -644,6 +654,16 @@ func selBetweenDouble(idx int, lo, hi float64, flip bool) selFn {
 			return out
 		case *block.LongBlock:
 			nulls := col.Nulls
+			if nulls == nil && !flip {
+				vals := col.Vals
+				for _, r := range in {
+					v := float64(vals[r])
+					if v >= lo && v <= hi {
+						out = append(out, r)
+					}
+				}
+				return out
+			}
 			for _, r := range in {
 				if nulls != nil && nulls[r] {
 					continue

@@ -109,19 +109,20 @@ func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	session := coordinator.Session{
-		Catalog:               r.Header.Get("X-Presto-Catalog"),
-		Source:                r.Header.Get("X-Presto-Source"),
-		User:                  r.Header.Get("X-Presto-User"),
-		DisableCache:          r.Header.Get("X-Presto-Disable-Cache") != "",
-		DisableVectorKernels:  r.Header.Get("X-Presto-Disable-Vector-Kernels") != "",
-		DisableMorsels:        r.Header.Get("X-Presto-Disable-Morsels") != "",
-		DisableDynamicFilters: r.Header.Get("X-Presto-Disable-Dynamic-Filters") != "",
-		DisableHBO:            r.Header.Get("X-Presto-Disable-HBO") != "",
-		DisablePlanCache:      r.Header.Get("X-Presto-Disable-Plan-Cache") != "",
-		DisableResultCache:    r.Header.Get("X-Presto-Disable-Result-Cache") != "",
-		DisableSharedScans:    r.Header.Get("X-Presto-Disable-Shared-Scans") != "",
-		DisableSpill:          r.Header.Get("X-Presto-Disable-Spill") != "",
-		MaterializedExchange:  r.Header.Get("X-Presto-Materialized-Exchange") != "",
+		Catalog:                  r.Header.Get("X-Presto-Catalog"),
+		Source:                   r.Header.Get("X-Presto-Source"),
+		User:                     r.Header.Get("X-Presto-User"),
+		DisableCache:             r.Header.Get("X-Presto-Disable-Cache") != "",
+		DisableVectorKernels:     r.Header.Get("X-Presto-Disable-Vector-Kernels") != "",
+		DisableVectorProjections: r.Header.Get("X-Presto-Disable-Vector-Projections") != "",
+		DisableMorsels:           r.Header.Get("X-Presto-Disable-Morsels") != "",
+		DisableDynamicFilters:    r.Header.Get("X-Presto-Disable-Dynamic-Filters") != "",
+		DisableHBO:               r.Header.Get("X-Presto-Disable-HBO") != "",
+		DisablePlanCache:         r.Header.Get("X-Presto-Disable-Plan-Cache") != "",
+		DisableResultCache:       r.Header.Get("X-Presto-Disable-Result-Cache") != "",
+		DisableSharedScans:       r.Header.Get("X-Presto-Disable-Shared-Scans") != "",
+		DisableSpill:             r.Header.Get("X-Presto-Disable-Spill") != "",
+		MaterializedExchange:     r.Header.Get("X-Presto-Materialized-Exchange") != "",
 	}
 	// The request context cancels admission: a client that disconnects
 	// while its statement is queued is removed from the queue instead of
@@ -291,6 +292,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metrics.PromGauge(w, "presto_dynamic_filter_rows_skipped_total", nil, float64(dynRows))
 	metrics.PromGauge(w, "presto_dynamic_filter_splits_skipped_total", nil, float64(dynSplits))
 	metrics.PromGauge(w, "presto_dynamic_filter_wait_nanos_total", nil, float64(dynWait))
+	vecEvals, cseHits, dictEvict := s.Coord.VecProjTotals()
+	metrics.PromGauge(w, "presto_vecproj_evals_total", nil, float64(vecEvals))
+	metrics.PromGauge(w, "presto_vecproj_cse_hits_total", nil, float64(cseHits))
+	metrics.PromGauge(w, "presto_dict_proj_evictions_total", nil, float64(dictEvict))
 	// End-to-end statement latency (admission through final page) over the
 	// most recent statements, plus admission-queue depth per resource group.
 	lat := s.Coord.StatementLatency()

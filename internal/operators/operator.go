@@ -87,6 +87,30 @@ type OpStats struct {
 	dynRowsFiltered  atomic.Int64
 	dynSplitsSkipped atomic.Int64
 	dynWaitNanos     atomic.Int64
+
+	// Vectorized-projection accounting (filter/project operators only):
+	// projections evaluated by the columnar kernels, shared-subtree
+	// evaluations saved by CSE, and dictionary projection cache evictions.
+	vecProjEvals  atomic.Int64
+	cseHits       atomic.Int64
+	dictEvictions atomic.Int64
+}
+
+// RecordProjKernels accumulates vectorized-projection counter deltas flushed
+// from a page processor.
+func (s *OpStats) RecordProjKernels(vecEvals, cseHits, evictions int64) {
+	if s == nil {
+		return
+	}
+	if vecEvals > 0 {
+		s.vecProjEvals.Add(vecEvals)
+	}
+	if cseHits > 0 {
+		s.cseHits.Add(cseHits)
+	}
+	if evictions > 0 {
+		s.dictEvictions.Add(evictions)
+	}
 }
 
 // RecordDynFiltered counts probe rows removed by a dynamic join filter.
@@ -182,6 +206,9 @@ type OpStatsSnapshot struct {
 	DynRowsFiltered  int64  `json:"dynRowsFiltered,omitempty"`
 	DynSplitsSkipped int64  `json:"dynSplitsSkipped,omitempty"`
 	DynWaitNanos     int64  `json:"dynWaitNanos,omitempty"`
+	VecProjEvals     int64  `json:"vecProjEvals,omitempty"`
+	CSEHits          int64  `json:"cseHits,omitempty"`
+	DictEvictions    int64  `json:"dictProjEvictions,omitempty"`
 }
 
 // Snapshot copies the counters.
@@ -206,6 +233,9 @@ func (s *OpStats) Snapshot() OpStatsSnapshot {
 		DynRowsFiltered:  s.dynRowsFiltered.Load(),
 		DynSplitsSkipped: s.dynSplitsSkipped.Load(),
 		DynWaitNanos:     s.dynWaitNanos.Load(),
+		VecProjEvals:     s.vecProjEvals.Load(),
+		CSEHits:          s.cseHits.Load(),
+		DictEvictions:    s.dictEvictions.Load(),
 	}
 }
 
@@ -236,6 +266,9 @@ func (s *OpStatsSnapshot) Merge(o OpStatsSnapshot) {
 	s.DynRowsFiltered += o.DynRowsFiltered
 	s.DynSplitsSkipped += o.DynSplitsSkipped
 	s.DynWaitNanos += o.DynWaitNanos
+	s.VecProjEvals += o.VecProjEvals
+	s.CSEHits += o.CSEHits
+	s.DictEvictions += o.DictEvictions
 }
 
 // NopContext returns a context with no memory accounting, for tests.

@@ -53,6 +53,7 @@ type FilterProjectOperator struct {
 	pending  *block.Page
 	finished bool
 	done     bool
+	flushed  expr.ProcessorStats // kernel counters already flushed to OpStats
 }
 
 // NewFilterProject builds the fused filter/project operator.
@@ -70,6 +71,7 @@ func (o *FilterProjectOperator) NeedsInput() bool {
 func (o *FilterProjectOperator) AddInput(p *block.Page) error {
 	o.ctx.recordIn(p)
 	out, err := o.proc.Process(p)
+	o.flushKernelStats()
 	if err != nil {
 		return err
 	}
@@ -87,6 +89,21 @@ func (o *FilterProjectOperator) Output() (*block.Page, error) {
 	}
 	o.ctx.recordOut(p)
 	return p, nil
+}
+
+// flushKernelStats forwards vectorized-projection counter deltas from the
+// (single-threaded) page processor into the shared atomic OpStats.
+func (o *FilterProjectOperator) flushKernelStats() {
+	if o.ctx == nil || o.ctx.Stats == nil {
+		return
+	}
+	st := o.proc.Stats
+	o.ctx.Stats.RecordProjKernels(
+		st.VecProjEvals-o.flushed.VecProjEvals,
+		st.CSEHits-o.flushed.CSEHits,
+		st.DictEvictions-o.flushed.DictEvictions,
+	)
+	o.flushed = st
 }
 
 func (o *FilterProjectOperator) Finish()          { o.finished = true }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/expr"
 )
 
 // Cardinality fingerprints identify plan subtrees across queries for
@@ -77,7 +79,10 @@ func CardFingerprint(n Node, opts *FingerprintOpts) uint64 {
 		return h
 
 	case *Filter:
-		h := fpStr(fpOffset, "filter|"+x.Predicate.String())
+		// Hash the predicate's canonical form, not String(): composite nodes
+		// like CASE render degenerately ("CASE(..)") through String(), which
+		// would merge distinct predicates into one history entry.
+		h := fpU64(fpStr(fpOffset, "filter|"), expr.Fingerprint(x.Predicate))
 		return fpU64(h, CardFingerprint(x.Input, opts))
 
 	case *Project:

@@ -117,6 +117,10 @@ type ClusterConfig struct {
 	// cluster-wide (the vectorized-kernels ablation; per-query via
 	// Session.DisableVectorKernels).
 	DisableVectorKernels bool
+	// DisableVectorProjections forces the compiled row-at-a-time projection
+	// closures cluster-wide (the columnar-projection ablation; per-query
+	// via Session.DisableVectorProjections).
+	DisableVectorProjections bool
 	// DisableMorsels reverts leaf pipelines to static split-per-driver
 	// execution cluster-wide (the morsel-scheduling ablation; per-query via
 	// Session.DisableMorsels).
@@ -232,24 +236,25 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	catalog.Register(memconn.New(cfg.DefaultCatalog))
 
 	taskCfg := exec.TaskConfig{
-		PageSize:               cfg.PageSize,
-		OutputBufferBytes:      cfg.OutputBufferBytes,
-		TargetSplitConcurrency: cfg.TargetSplitConcurrency,
-		SpillEnabled:           cfg.SpillEnabled,
-		SpillDir:               cfg.SpillDir,
-		MaterializedExchange:   cfg.MaterializedExchange,
-		Interpreted:            cfg.Interpreted,
-		VectorKernelsDisabled:  cfg.DisableVectorKernels,
-		MorselsDisabled:        cfg.DisableMorsels,
-		MorselRows:             cfg.MorselRows,
-		DynamicFiltersDisabled: cfg.DisableDynamicFilters,
-		DynamicFilterWait:      cfg.DynamicFilterWait,
-		DynamicFilterMaxSet:    cfg.DynamicFilterMaxSet,
-		SharedScanWindow:       cfg.SharedScanWindow,
-		Phased:                 cfg.Phased,
-		MaxWriters:             cfg.MaxWriters,
-		WriteDelay:             cfg.WriteDelay,
-		FetchRetry:             cfg.FetchRetry,
+		PageSize:                  cfg.PageSize,
+		OutputBufferBytes:         cfg.OutputBufferBytes,
+		TargetSplitConcurrency:    cfg.TargetSplitConcurrency,
+		SpillEnabled:              cfg.SpillEnabled,
+		SpillDir:                  cfg.SpillDir,
+		MaterializedExchange:      cfg.MaterializedExchange,
+		Interpreted:               cfg.Interpreted,
+		VectorKernelsDisabled:     cfg.DisableVectorKernels,
+		VectorProjectionsDisabled: cfg.DisableVectorProjections,
+		MorselsDisabled:           cfg.DisableMorsels,
+		MorselRows:                cfg.MorselRows,
+		DynamicFiltersDisabled:    cfg.DisableDynamicFilters,
+		DynamicFilterWait:         cfg.DynamicFilterWait,
+		DynamicFilterMaxSet:       cfg.DynamicFilterMaxSet,
+		SharedScanWindow:          cfg.SharedScanWindow,
+		Phased:                    cfg.Phased,
+		MaxWriters:                cfg.MaxWriters,
+		WriteDelay:                cfg.WriteDelay,
+		FetchRetry:                cfg.FetchRetry,
 	}
 	wcfg := exec.WorkerConfig{
 		Threads:          cfg.ThreadsPerWorker,

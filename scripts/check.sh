@@ -71,8 +71,12 @@ echo "==> elastic chaos (worker kill/join mid-query under materialized exchange)
 go test -race -count=1 -run 'TestStore|TestOutputBufferMaterialized|TestDecodeSegment' ./internal/shuffle/
 go test -race -count=1 -run 'TestElastic' .
 
+echo "==> projection ablation differential (vec x closure x interpreted, morsel x static, div-by-zero regression)"
+go test -race -count=1 -run 'TestVectorizedProjectionDifferential|TestProjectionCSE|TestCSEDoesNotHoistErrors|TestDivisionByZeroConsistency|TestDictProjectionErrorFallthrough|TestDictCacheBounded' ./internal/expr/
+go test -race -count=1 -run 'TestVecProj' .
+
 echo "==> kernel + morsel bench smoke (1 iteration per benchmark)"
-go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan|DynFilterFig6' -benchtime 1x . > /dev/null
+go test -run '^$' -bench 'HashAggBigintKey|HashAggVarcharKey|HashAggDictVarcharKey|HashAggRLEKey|HashJoinBuildProbe|HashJoinDictKey|FilterSelectivity|MorselSkewScan|DynFilterFig6|ProjArithBigint|ProjArithDouble|ProjVarcharConcat|ProjTPCHQ1Proc|ProjTPCHQ6Proc' -benchtime 1x . > /dev/null
 
 if [ "$chaos_full" = 1 ]; then
   echo "==> chaos full sweep"
